@@ -1,0 +1,53 @@
+//! Shared harness for the KathDB benchmark suite and the `paper_figures`
+//! binary that regenerates every table and figure of the paper (see
+//! DESIGN.md §4 for the experiment index).
+
+#![warn(missing_docs)]
+
+use kath_data::{mmqa_small, MmqaCorpus};
+use kath_model::ScriptedChannel;
+use kathdb::{KathDB, QueryResult};
+use std::sync::Arc;
+
+/// The paper's flagship NL query (§1, §6).
+pub const FLAGSHIP_QUERY: &str = "Sort the given films in the table by how exciting \
+                                  they are, but the poster should be 'boring'";
+
+/// The simulated user replies of §6: clarification, reactive correction,
+/// approval.
+pub fn flagship_channel() -> Arc<ScriptedChannel> {
+    ScriptedChannel::new([
+        "The movie plot contains scenes that are uncommon in real life",
+        "Oh I prefer a more recent movie as well when scoring",
+        "OK",
+    ])
+}
+
+/// Runs the flagship query over a corpus; returns the database (for lineage
+/// and registry inspection), the result, and the interaction transcript.
+pub fn run_flagship(corpus: &MmqaCorpus) -> (KathDB, QueryResult, Arc<ScriptedChannel>) {
+    let mut db = KathDB::new(42);
+    db.load_corpus(corpus).expect("corpus loads");
+    let channel = flagship_channel();
+    let result = db
+        .query(FLAGSHIP_QUERY, channel.as_ref())
+        .expect("flagship query runs");
+    (db, result, channel)
+}
+
+/// Runs the flagship query over the paper's small corpus.
+pub fn run_flagship_small() -> (KathDB, QueryResult, Arc<ScriptedChannel>) {
+    run_flagship(&mmqa_small())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_reproduces_fig6() {
+        let (_db, result, _) = run_flagship_small();
+        let t = result.display_table();
+        assert_eq!(t.cell(0, "title").unwrap().as_str(), Some("Guilty by Suspicion"));
+    }
+}

@@ -1,0 +1,139 @@
+//! `kathdb-repl` — the interactive shell for KathDB.
+//!
+//! The paper's thesis is iterative human-AI interaction; this binary is that
+//! loop made concrete. It loads the MMQA-like corpus (or a generated one)
+//! and accepts:
+//!
+//! - any natural-language query (the parser will ask clarification
+//!   questions right here on stdin),
+//! - `\sql <query>` — run raw SQL against the catalog,
+//! - `\explain <question>` — NL questions over the last query's provenance,
+//! - `\lineage` — the Table-3 lineage relation (tail),
+//! - `\functions` — the versioned function registry,
+//! - `\tables` — the catalog,
+//! - `\tokens` — simulated token usage,
+//! - `\quit`.
+//!
+//! ```sh
+//! cargo run -p kathdb --bin kathdb-repl
+//! echo 'help' | cargo run -p kathdb --bin kathdb-repl   # non-interactive
+//! ```
+
+use kath_data::{generate_corpus, mmqa_small, CorpusSpec};
+use kath_model::StdioChannel;
+use kathdb::KathDB;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut db = KathDB::new(42);
+    if let Some(pos) = args.iter().position(|a| a == "--movies") {
+        let n: usize = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        db.load_corpus(&generate_corpus(&CorpusSpec {
+            movies: n,
+            ..Default::default()
+        }))
+        .expect("corpus loads");
+        println!("loaded a generated corpus of {n} movies");
+    } else {
+        db.load_corpus(&mmqa_small()).expect("corpus loads");
+        println!("loaded the small MMQA-like corpus (6 movies)");
+    }
+    println!("KathDB repl — type an NL query, \\help for commands\n");
+
+    let stdin = std::io::stdin();
+    let channel = StdioChannel;
+    loop {
+        print!("kathdb> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_once(' ').map(|(c, r)| (c, r.trim())) {
+            _ if line == "\\quit" || line == "\\q" => break,
+            _ if line == "\\help" || line == "help" => {
+                println!(
+                    "commands: \\sql <query> | \\explain <question> | \\lineage | \
+                     \\functions | \\tables | \\tokens | \\quit\n\
+                     anything else is parsed as a natural-language query"
+                );
+            }
+            _ if line == "\\lineage" => match db.lineage_table() {
+                Ok(t) => {
+                    let start = t.len().saturating_sub(15);
+                    let mut tail =
+                        kath_storage::Table::new("lineage_tail", t.schema().clone());
+                    for row in &t.rows()[start..] {
+                        tail.push(row.clone()).expect("row copy");
+                    }
+                    println!("{}", tail.render());
+                    println!("({} edges total)", t.len());
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            _ if line == "\\functions" => {
+                for name in db.registry().names() {
+                    let entry = db.registry().get(name).expect("listed");
+                    for v in &entry.versions {
+                        let active = if v.ver_id == entry.active { "*" } else { " " };
+                        println!(
+                            "{active} {name} v{} [{}]: {}",
+                            v.ver_id,
+                            v.note,
+                            v.body.summarize()
+                        );
+                    }
+                }
+            }
+            _ if line == "\\tables" => {
+                print!("{}", db.context().catalog.describe());
+            }
+            _ if line == "\\tokens" => {
+                let u = db.token_usage();
+                println!(
+                    "{} prompt + {} completion tokens over {} calls",
+                    u.prompt_tokens, u.completion_tokens, u.calls
+                );
+            }
+            Some(("\\sql", rest)) if !rest.is_empty() => {
+                // Raw SQL runs against a clone so the repl cannot corrupt
+                // the materialized pipeline state.
+                let mut catalog = db.context().catalog.clone();
+                match kath_sql::execute(&mut catalog, rest, "sql_result") {
+                    Ok(t) => println!("{}", t.render()),
+                    Err(e) => println!("sql error: {e}"),
+                }
+            }
+            Some(("\\explain", rest)) if !rest.is_empty() => match db.explain(rest) {
+                Ok(text) => println!("{text}"),
+                Err(e) => println!("error: {e}"),
+            },
+            _ if line.starts_with('\\') => {
+                println!("unknown command {line}; \\help lists commands");
+            }
+            _ => match db.query(line, &channel) {
+                Ok(result) => {
+                    println!("{}", result.display_table().render());
+                    if !result.exec.repairs.is_empty() {
+                        println!(
+                            "({} repair(s) performed during execution — \\functions shows versions)",
+                            result.exec.repairs.len()
+                        );
+                    }
+                    println!("ask \\explain explain the pipeline — or \\explain explain tuple <lid>");
+                }
+                Err(e) => println!("query failed: {e}"),
+            },
+        }
+    }
+    println!("bye");
+}

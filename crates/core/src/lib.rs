@@ -1,0 +1,423 @@
+//! # KathDB
+//!
+//! An explainable multimodal database management system with human-AI
+//! collaboration — a from-scratch Rust reproduction of the CIDR 2026 vision
+//! paper. This facade crate wires the full pipeline together:
+//!
+//! 1. **Parse** (`kath-parser`): NL query → clarifications → query sketch →
+//!    logical plan (function signatures in the exact Fig. 3 JSON layout) →
+//!    agentic plan verification with database tool use.
+//! 2. **Optimize** (`kath-optimizer`): logical rewrites, then the
+//!    coder/profiler/critic loop generates, profiles, and selects versioned
+//!    function bodies (FAO, §4).
+//! 3. **Execute** (`kath-exec`): the engine runs the physical plan under
+//!    the monitor (self-repair + semantic anomaly checks) while recording
+//!    row/table-level lineage (§3).
+//! 4. **Explain** (`kath-explain`): coarse pipeline and fine-grained
+//!    per-tuple explanations over the provenance graph (§5).
+//!
+//! ```
+//! use kathdb::KathDB;
+//! use kath_data::mmqa_small;
+//! use kath_model::ScriptedChannel;
+//!
+//! let mut db = KathDB::new(42);
+//! db.load_corpus(&mmqa_small()).unwrap();
+//! let channel = ScriptedChannel::new([
+//!     "The movie plot contains scenes that are uncommon in real life",
+//!     "Oh I prefer a more recent movie as well when scoring",
+//!     "OK",
+//! ]);
+//! let result = db
+//!     .query(
+//!         "Sort the given films in the table by how exciting they are, \
+//!          but the poster should be 'boring'",
+//!         channel.as_ref(),
+//!     )
+//!     .unwrap();
+//! assert_eq!(
+//!     result.display_table().cell(0, "title").unwrap().as_str(),
+//!     Some("Guilty by Suspicion")
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+use kath_data::MmqaCorpus;
+use kath_exec::{ExecContext, ExecError, ExecReport, ExecutionEngine, PhysicalPlan};
+use kath_explain::Explainer;
+use kath_fao::FunctionRegistry;
+use kath_model::{SimLlm, TokenMeter, Usage, UserChannel};
+use kath_optimizer::{compile, CompileOptions, CompileReport};
+use kath_parser::{generate_logical_plan, LogicalPlan, NlParser, ParseOutcome, PlanVerifier, VerifierReport};
+use kath_storage::{Table, Value};
+use std::fmt;
+use std::path::Path;
+
+pub use kath_data as data;
+pub use kath_exec as exec;
+pub use kath_explain as explain;
+pub use kath_fao as fao;
+pub use kath_json as json;
+pub use kath_lineage as lineage;
+pub use kath_media as media;
+pub use kath_model as model;
+pub use kath_multimodal as multimodal;
+pub use kath_optimizer as optimizer;
+pub use kath_parser as parser;
+pub use kath_sql as sql;
+pub use kath_storage as storage;
+pub use kath_vector as vector;
+
+/// Top-level errors.
+#[derive(Debug)]
+pub enum KathError {
+    /// The plan verifier rejected the plan.
+    PlanRejected(VerifierReport),
+    /// Compilation or execution failed.
+    Exec(ExecError),
+    /// Storage failure (ingest).
+    Storage(kath_storage::StorageError),
+    /// Nothing has been executed yet.
+    NoQueryRun,
+    /// Registry persistence failure.
+    Registry(kath_fao::RegistryError),
+}
+
+impl fmt::Display for KathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KathError::PlanRejected(r) => {
+                write!(f, "plan rejected by verifier: {:?}", r.hints())
+            }
+            KathError::Exec(e) => write!(f, "{e}"),
+            KathError::Storage(e) => write!(f, "{e}"),
+            KathError::NoQueryRun => write!(f, "no query has been executed yet"),
+            KathError::Registry(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for KathError {}
+
+impl From<ExecError> for KathError {
+    fn from(e: ExecError) -> Self {
+        KathError::Exec(e)
+    }
+}
+
+impl From<kath_storage::StorageError> for KathError {
+    fn from(e: kath_storage::StorageError) -> Self {
+        KathError::Storage(e)
+    }
+}
+
+impl From<kath_fao::RegistryError> for KathError {
+    fn from(e: kath_fao::RegistryError) -> Self {
+        KathError::Registry(e)
+    }
+}
+
+/// The result of one NL query, with every intermediate artifact exposed for
+/// inspection (that exposure *is* the paper's thesis).
+pub struct QueryResult {
+    /// The final ranked table (all columns, including plumbing).
+    pub table: Table,
+    /// Parser artifacts: intent, sketch history, clarifications.
+    pub parse: ParseOutcome,
+    /// The verified logical plan.
+    pub logical: LogicalPlan,
+    /// The verifier's report.
+    pub verification: VerifierReport,
+    /// The optimizer's report (rewrites, critiques, selections).
+    pub compile: CompileReport,
+    /// The engine's report (repairs, anomalies, timings).
+    pub exec: ExecReport,
+}
+
+impl QueryResult {
+    /// A presentation view matching Fig. 6: `lid, title, year, final_score,
+    /// boring` (whichever of those exist in the output).
+    pub fn display_table(&self) -> Table {
+        let wanted = ["lid", "title", "year", "final_score", "boring"];
+        let schema = self.table.schema();
+        let available: Vec<(usize, &str)> = wanted
+            .iter()
+            .filter_map(|w| schema.index_of(w).map(|i| (i, *w)))
+            .collect();
+        if available.is_empty() {
+            return self.table.clone();
+        }
+        let proj = schema.project(&available.iter().map(|(i, _)| *i).collect::<Vec<_>>());
+        let mut out = Table::new("final_results", proj);
+        for row in self.table.rows() {
+            let cells: Vec<Value> = available.iter().map(|(i, _)| row[*i].clone()).collect();
+            out.push(cells).expect("projection preserves types");
+        }
+        out
+    }
+
+    /// The lid of the top-ranked tuple, if present.
+    pub fn top_lid(&self) -> Option<i64> {
+        let idx = self.table.schema().index_of("lid")?;
+        self.table.rows().first().and_then(|r| r[idx].as_int())
+    }
+}
+
+/// The database façade.
+pub struct KathDB {
+    ctx: ExecContext,
+    registry: FunctionRegistry,
+    last_plan: Option<PhysicalPlan>,
+    /// Compiler options used for subsequent queries (exposed so examples and
+    /// benches can inject faults or disable rewrites).
+    pub compile_options: CompileOptions,
+    /// Run the engine's semantic checks (fan-out detection).
+    pub semantic_checks: bool,
+}
+
+impl KathDB {
+    /// A fresh instance with the given model seed.
+    pub fn new(seed: u64) -> Self {
+        let meter = TokenMeter::new();
+        Self {
+            ctx: ExecContext::new(SimLlm::new(seed, meter)),
+            registry: FunctionRegistry::new(),
+            last_plan: None,
+            compile_options: CompileOptions::default(),
+            semantic_checks: true,
+        }
+    }
+
+    /// Ingests an MMQA-like corpus: the base table plus its media.
+    pub fn load_corpus(&mut self, corpus: &MmqaCorpus) -> Result<(), KathError> {
+        self.ctx
+            .ingest_table(corpus.movies.clone(), "file://data/movie_table")?;
+        for d in &corpus.documents {
+            self.ctx.media.add_document(d.clone());
+        }
+        for i in &corpus.images {
+            self.ctx.media.add_image(i.clone());
+        }
+        Ok(())
+    }
+
+    /// Ingests an arbitrary base table.
+    pub fn load_table(&mut self, table: Table, src_uri: &str) -> Result<(), KathError> {
+        self.ctx.ingest_table(table, src_uri)?;
+        Ok(())
+    }
+
+    /// Runs the full interactive pipeline on an NL query.
+    pub fn query(
+        &mut self,
+        nl: &str,
+        channel: &dyn UserChannel,
+    ) -> Result<QueryResult, KathError> {
+        // 1. Interactive parse (proactive clarification + reactive
+        //    correction).
+        let parser = NlParser::new(self.ctx.llm.clone());
+        let parse = parser.parse(nl, channel);
+
+        // 2. Logical plan generation + agentic verification.
+        let logical = generate_logical_plan(&parse.sketch, "movie_table");
+        let verifier = PlanVerifier::new(&self.ctx.catalog);
+        let (logical, verification) = verifier.verify(logical);
+        if !verification.approved {
+            return Err(KathError::PlanRejected(verification));
+        }
+
+        // 3. Compile: coder/profiler/critic, rewrites, selection.
+        let compile_report = compile(
+            &logical,
+            &self.ctx,
+            &mut self.registry,
+            &parse.clarifications,
+            &self.compile_options,
+        )?;
+
+        // 4. Execute under the monitor.
+        let engine = ExecutionEngine {
+            semantic_checks: self.semantic_checks,
+            ..ExecutionEngine::new()
+        };
+        let exec_report = engine.run(
+            &mut self.ctx,
+            &mut self.registry,
+            &compile_report.physical,
+            channel,
+        )?;
+
+        self.last_plan = Some(compile_report.physical.clone());
+        Ok(QueryResult {
+            table: exec_report.final_table.clone(),
+            parse,
+            logical,
+            verification,
+            compile: compile_report,
+            exec: exec_report,
+        })
+    }
+
+    /// Answers an NL explanation question about the last query (§5):
+    /// `"explain the pipeline"`, `"explain tuple <lid>"`, ….
+    pub fn explain(&self, question: &str) -> Result<String, KathError> {
+        let plan = self.last_plan.as_ref().ok_or(KathError::NoQueryRun)?;
+        let explainer = Explainer::new(plan, &self.registry, &self.ctx.lineage, &self.ctx.catalog);
+        Ok(explainer.answer(question))
+    }
+
+    /// Total simulated token usage so far.
+    pub fn token_usage(&self) -> Usage {
+        self.ctx.llm.meter().usage()
+    }
+
+    /// Persists every generated function (all versions) to disk (§1:
+    /// "these functions are persisted locally on disk").
+    pub fn save_functions(&self, path: &Path) -> Result<(), KathError> {
+        self.registry.save(path)?;
+        Ok(())
+    }
+
+    /// The function registry (read access for inspection).
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The execution context (read access: catalog, lineage, media).
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Mutable execution context (benches inject lineage policies).
+    pub fn context_mut(&mut self) -> &mut ExecContext {
+        &mut self.ctx
+    }
+
+    /// The Table-3 lineage relation for the current session.
+    pub fn lineage_table(&self) -> Result<Table, KathError> {
+        self.ctx
+            .lineage
+            .as_table()
+            .map_err(|e| KathError::Exec(ExecError::Lineage(e.to_string())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_data::mmqa_small;
+    use kath_model::ScriptedChannel;
+
+    const FLAGSHIP: &str = "Sort the given films in the table by how exciting \
+                            they are, but the poster should be 'boring'";
+
+    fn run_flagship() -> (KathDB, QueryResult) {
+        let mut db = KathDB::new(42);
+        db.load_corpus(&mmqa_small()).unwrap();
+        let channel = ScriptedChannel::new([
+            "The movie plot contains scenes that are uncommon in real life",
+            "Oh I prefer a more recent movie as well when scoring",
+            "OK",
+        ]);
+        let result = db.query(FLAGSHIP, channel.as_ref()).unwrap();
+        (db, result)
+    }
+
+    #[test]
+    fn flagship_reproduces_fig6_top_two() {
+        let (_db, result) = run_flagship();
+        let display = result.display_table();
+        assert!(display.len() >= 2, "{}", display.render());
+        // Fig. 6: Guilty by Suspicion (1991) then Clean and Sober (1988),
+        // both with boring posters.
+        assert_eq!(
+            display.cell(0, "title").unwrap().as_str(),
+            Some("Guilty by Suspicion"),
+            "\n{}",
+            display.render()
+        );
+        assert_eq!(
+            display.cell(1, "title").unwrap().as_str(),
+            Some("Clean and Sober"),
+            "\n{}",
+            display.render()
+        );
+        assert_eq!(display.cell(0, "year").unwrap().as_int(), Some(1991));
+        assert_eq!(display.cell(1, "year").unwrap().as_int(), Some(1988));
+        for i in 0..display.len() {
+            assert_eq!(display.cell(i, "boring").unwrap(), &Value::Bool(true));
+        }
+        // Scores are sorted descending.
+        let s0 = display.cell(0, "final_score").unwrap().as_f64().unwrap();
+        let s1 = display.cell(1, "final_score").unwrap().as_f64().unwrap();
+        assert!(s0 > s1);
+    }
+
+    #[test]
+    fn sketch_history_matches_fig4() {
+        let (_db, result) = run_flagship();
+        assert_eq!(result.parse.history[0].len(), 8);
+        assert_eq!(result.parse.sketch.len(), 11);
+        assert_eq!(result.parse.clarifications.len(), 1);
+        assert_eq!(result.parse.clarifications[0].0, "exciting");
+    }
+
+    #[test]
+    fn explanations_work_after_query() {
+        let (db, result) = run_flagship();
+        let pipeline = db.explain("explain the pipeline").unwrap();
+        assert!(pipeline.contains("classify_boring"));
+        let lid = result.top_lid().expect("final table carries lids");
+        let tuple = db.explain(&format!("explain tuple {lid}")).unwrap();
+        assert!(tuple.contains("final_score"), "{tuple}");
+        assert!(tuple.contains("0.7 *"), "{tuple}");
+    }
+
+    #[test]
+    fn explain_before_query_errors() {
+        let db = KathDB::new(1);
+        assert!(matches!(
+            db.explain("explain the pipeline"),
+            Err(KathError::NoQueryRun)
+        ));
+    }
+
+    #[test]
+    fn tokens_are_metered_and_functions_persist() {
+        let (db, _result) = run_flagship();
+        assert!(db.token_usage().calls > 10);
+        assert!(db.token_usage().total() > 1000);
+        let dir = std::env::temp_dir().join("kathdb_facade_test");
+        let path = dir.join("functions.json");
+        db.save_functions(&path).unwrap();
+        let loaded = kath_fao::FunctionRegistry::load(&path).unwrap();
+        assert!(loaded.contains("classify_boring"));
+        assert!(loaded.contains("gen_excitement_score"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lineage_table_has_fig2_shape() {
+        let (db, result) = run_flagship();
+        let lineage = db.lineage_table().unwrap();
+        assert_eq!(
+            lineage.schema().names(),
+            vec!["lid", "parent_lid", "src_uri", "func_id", "ver_id", "data_type", "ts"]
+        );
+        assert!(lineage.len() > 20);
+        // The final tuple's trace reaches the raw ingest.
+        let lid = result.top_lid().unwrap();
+        let trace = db.context().lineage.trace(lid).unwrap();
+        let funcs: Vec<String> = trace.functions().into_iter().map(|(f, _)| f).collect();
+        assert!(funcs.contains(&"combine_score".to_string()), "{funcs:?}");
+        assert!(funcs.contains(&"gen_excitement_score".to_string()), "{funcs:?}");
+        // The row-level path bottoms out at an external ingest root — the
+        // plot documents' media collection (the excitement score derives
+        // from the text view rows).
+        assert!(
+            funcs.iter().any(|f| f.starts_with("ingest")),
+            "{funcs:?}"
+        );
+    }
+}

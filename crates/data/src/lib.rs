@@ -1,0 +1,17 @@
+//! Synthetic MMQA-like corpora for KathDB.
+//!
+//! The paper evaluates on MMQA (tables, texts, and images crawled from
+//! Wikipedia, §6). That crawl is not redistributable, so this crate
+//! generates a synthetic equivalent with the same *shape*: a movie table
+//! whose rows reference a plot document (`did`) and a poster image (`vid`),
+//! plus planted ground truth so accuracy is measurable (something the
+//! paper's qualitative evaluation could not do). The small corpus embeds
+//! the paper's two result movies so Fig. 6 reproduces.
+
+#![warn(missing_docs)]
+
+mod mmqa;
+mod scale;
+
+pub use mmqa::{mmqa_small, MmqaCorpus, MovieTruth};
+pub use scale::{generate_corpus, CorpusSpec};

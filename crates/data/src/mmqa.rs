@@ -1,0 +1,246 @@
+//! The small MMQA-like corpus used by the flagship query (§6, Fig. 6).
+
+use kath_media::{BBox, Color, Document, Image, ImageObject, MediaFormat};
+use kath_storage::{DataType, Schema, Table};
+
+/// Planted ground truth for one movie.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovieTruth {
+    /// Movie id.
+    pub id: i64,
+    /// Title.
+    pub title: String,
+    /// Whether the plot is genuinely "exciting" (uncommon scenes).
+    pub exciting_plot: bool,
+    /// Whether the poster is genuinely boring.
+    pub boring_poster: bool,
+}
+
+/// A generated corpus: the base table, its media, and ground truth.
+#[derive(Debug, Clone)]
+pub struct MmqaCorpus {
+    /// `movie_table(id, title, year, did, vid)` — the schema the paper's
+    /// prototype assumes (§2.1: "a simple database schema containing the
+    /// relevant tables and columns").
+    pub movies: Table,
+    /// Plot documents (`doc://plot/<did>`).
+    pub documents: Vec<Document>,
+    /// Poster images (`file://posters/<vid>.<ext>`).
+    pub images: Vec<Image>,
+    /// Ground truth labels.
+    pub truth: Vec<MovieTruth>,
+}
+
+/// The movie-table schema.
+pub fn movie_schema() -> Schema {
+    Schema::of(&[
+        ("id", DataType::Int),
+        ("title", DataType::Str),
+        ("year", DataType::Int),
+        ("did", DataType::Int),
+        ("vid", DataType::Int),
+    ])
+}
+
+fn boring_poster(vid: i64) -> Image {
+    Image::new(format!("file://posters/{vid}.png"), MediaFormat::Png)
+        .with_color(Color::rgb(112, 112, 112))
+        .with_color(Color::rgb(90, 90, 98))
+        .with_object(
+            ImageObject::new("portrait", BBox::new(0.3, 0.15, 0.7, 0.8)).with_saliency(0.25),
+        )
+        .with_object(
+            ImageObject::new("text", BBox::new(0.1, 0.85, 0.9, 0.95))
+                .with_saliency(0.2)
+                .with_text("A FILM"),
+        )
+}
+
+fn exciting_poster(vid: i64, format: MediaFormat) -> Image {
+    Image::new(
+        format!("file://posters/{vid}.{}", format.extension()),
+        format,
+    )
+    .with_color(Color::rgb(235, 30, 30))
+    .with_color(Color::rgb(250, 180, 20))
+    .with_color(Color::rgb(20, 40, 230))
+    .with_object(ImageObject::new("person", BBox::new(0.05, 0.1, 0.45, 0.95)))
+    .with_object(ImageObject::new("motorcycle", BBox::new(0.4, 0.55, 0.9, 0.95)))
+    .with_object(ImageObject::new("weapon", BBox::new(0.42, 0.35, 0.58, 0.5)))
+    .with_object(ImageObject::new("explosion", BBox::new(0.6, 0.05, 0.98, 0.4)))
+    .with_rel(0, "rides", 1)
+    .with_rel(0, "holds", 2)
+}
+
+/// Builds the deterministic flagship corpus. Six movies:
+///
+/// | id | title | year | plot | poster |
+/// |---|---|---|---|---|
+/// | 1 | Guilty by Suspicion | 1991 | very exciting | boring |
+/// | 2 | Clean and Sober | 1988 | exciting | boring |
+/// | 3 | Quiet Days | 1975 | calm | boring |
+/// | 4 | Night Chase | 1991 | exciting | vivid (filtered out) |
+/// | 5 | Garden Letters | 1984 | calm | vivid (filtered out) |
+/// | 6 | Harbor Story | 1990 | mild | boring |
+///
+/// With the paper's pipeline (excitement 0.7 + recency 0.3, keep boring
+/// posters), the top two results are *Guilty by Suspicion* (1991) then
+/// *Clean and Sober* (1988) — exactly Fig. 6.
+pub fn mmqa_small() -> MmqaCorpus {
+    let rows: Vec<(i64, &str, i64, &str, bool, bool, bool)> = vec![
+        // id, title, year, plot, exciting_plot, boring_poster, heic
+        (
+            1,
+            "Guilty by Suspicion",
+            1991,
+            "David Merrill returns to Hollywood under threat. A gun appears at a hearing \
+             and a murder shakes the studio. Friends fear death and attack from every side; \
+             he must escape the committee or kill his own career. Irwin Winkler directed \
+             Guilty by Suspicion.",
+            true,
+            true,
+            false,
+        ),
+        (
+            2,
+            "Clean and Sober",
+            1988,
+            "A broker flees after a theft. A fight breaks out in recovery and a threat \
+             of death hangs over the clinic. He must escape his habits before the attack \
+             on his life succeeds.",
+            true,
+            true,
+            false,
+        ),
+        (
+            3,
+            "Quiet Days",
+            1975,
+            "A calm week in a quiet garden. Tea with neighbours, a peaceful walk, an \
+             ordinary routine repeated gently every day.",
+            false,
+            true,
+            false,
+        ),
+        (
+            4,
+            "Night Chase",
+            1991,
+            "A chase across the city: a motorcycle jump over the bridge, an explosion at \
+             the docks, a gun fight in the rain.",
+            true,
+            false,
+            false,
+        ),
+        (
+            5,
+            "Garden Letters",
+            1984,
+            "Letters between two friends about a garden, written over a calm and peaceful \
+             summer of ordinary days.",
+            false,
+            false,
+            false,
+        ),
+        (
+            6,
+            "Harbor Story",
+            1990,
+            "A harbor town prepares a festival. A storm threatens the pier but the day \
+             ends with a quiet walk along the water.",
+            false,
+            true,
+            false,
+        ),
+    ];
+
+    let mut movies = Table::new("movie_table", movie_schema());
+    let mut documents = Vec::new();
+    let mut images = Vec::new();
+    let mut truth = Vec::new();
+    for (id, title, year, plot, exciting, boring, heic) in rows {
+        movies
+            .push(vec![
+                id.into(),
+                title.into(),
+                year.into(),
+                id.into(), // did
+                id.into(), // vid
+            ])
+            .expect("static corpus rows are schema-valid");
+        documents.push(Document::new(format!("doc://plot/{id}"), plot).with_title(title));
+        let format = if heic { MediaFormat::Heic } else { MediaFormat::Png };
+        images.push(if boring {
+            boring_poster(id)
+        } else {
+            exciting_poster(id, format)
+        });
+        truth.push(MovieTruth {
+            id,
+            title: title.to_string(),
+            exciting_plot: exciting,
+            boring_poster: boring,
+        });
+    }
+    MmqaCorpus {
+        movies,
+        documents,
+        images,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_internally_consistent() {
+        let c = mmqa_small();
+        assert_eq!(c.movies.len(), 6);
+        assert_eq!(c.documents.len(), 6);
+        assert_eq!(c.images.len(), 6);
+        assert_eq!(c.truth.len(), 6);
+        // Every row's did/vid resolves to a document/image by URI convention.
+        for row in c.movies.rows() {
+            let did = row[3].as_int().unwrap();
+            let vid = row[4].as_int().unwrap();
+            assert!(c
+                .documents
+                .iter()
+                .any(|d| d.uri == format!("doc://plot/{did}")));
+            assert!(c.images.iter().any(|i| i.uri.contains(&format!("/{vid}."))));
+        }
+    }
+
+    #[test]
+    fn paper_movies_are_present_with_correct_years() {
+        let c = mmqa_small();
+        let guilty = c.truth.iter().find(|t| t.title == "Guilty by Suspicion").unwrap();
+        assert!(guilty.exciting_plot && guilty.boring_poster);
+        let idx = c
+            .movies
+            .find("title", &"Guilty by Suspicion".into())
+            .unwrap()
+            .unwrap();
+        assert_eq!(c.movies.cell(idx, "year").unwrap().as_int(), Some(1991));
+        let idx = c
+            .movies
+            .find("title", &"Clean and Sober".into())
+            .unwrap()
+            .unwrap();
+        assert_eq!(c.movies.cell(idx, "year").unwrap().as_int(), Some(1988));
+    }
+
+    #[test]
+    fn boring_and_vivid_posters_differ_visually() {
+        let c = mmqa_small();
+        for (img, t) in c.images.iter().zip(&c.truth) {
+            if t.boring_poster {
+                assert!(img.colorfulness() < 0.3, "{} should look boring", t.title);
+            } else {
+                assert!(img.colorfulness() > 0.5, "{} should look vivid", t.title);
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Parameterised corpus generation for benchmarks.
+//!
+//! Scales the MMQA-like shape to arbitrary sizes with seeded randomness:
+//! controllable fractions of exciting plots, boring posters, and
+//! unsupported-format (HEIC) posters for fault-injection benches.
+
+use crate::{MmqaCorpus, MovieTruth};
+use kath_media::{BBox, Color, Document, Image, ImageObject, MediaFormat};
+use kath_storage::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Number of movies.
+    pub movies: usize,
+    /// Fraction with exciting plots.
+    pub exciting_fraction: f64,
+    /// Fraction with boring posters.
+    pub boring_fraction: f64,
+    /// Fraction of posters stored as HEIC (triggers the repair loop).
+    pub heic_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        Self {
+            movies: 100,
+            exciting_fraction: 0.5,
+            boring_fraction: 0.5,
+            heic_fraction: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+const EXCITING_SENTENCES: [&str; 6] = [
+    "A gun fight erupts at the docks and a murder follows.",
+    "A man jumped off a plane to escape the attack.",
+    "An explosion tears through the bridge during the chase.",
+    "A knife flashes and a threat of death hangs over the crew.",
+    "The motorcycle crash nearly kills the lead in the storm.",
+    "They fight through fire to escape the collapsing cliff.",
+];
+
+const CALM_SENTENCES: [&str; 6] = [
+    "A calm morning of tea in the quiet garden.",
+    "A peaceful walk through the ordinary town.",
+    "Routine days pass gently with plain dinners.",
+    "Letters are written over a quiet, mundane summer.",
+    "Neighbours share a peaceful afternoon walk.",
+    "An ordinary week ends with tea and a calm evening.",
+];
+
+const TITLE_A: [&str; 8] = [
+    "Night", "Quiet", "Harbor", "Silver", "Broken", "Golden", "Distant", "Last",
+];
+const TITLE_B: [&str; 8] = [
+    "Chase", "Days", "Story", "Letters", "Bridge", "Summer", "Signal", "Witness",
+];
+
+/// Generates a corpus per `spec`. Deterministic for a fixed spec.
+pub fn generate_corpus(spec: &CorpusSpec) -> MmqaCorpus {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut movies = Table::new("movie_table", crate::mmqa::movie_schema());
+    let mut documents = Vec::with_capacity(spec.movies);
+    let mut images = Vec::with_capacity(spec.movies);
+    let mut truth = Vec::with_capacity(spec.movies);
+
+    for i in 0..spec.movies {
+        let id = i as i64 + 1;
+        let exciting = rng.gen::<f64>() < spec.exciting_fraction;
+        let boring = rng.gen::<f64>() < spec.boring_fraction;
+        let heic = rng.gen::<f64>() < spec.heic_fraction;
+        let year = 1960 + rng.gen_range(0..65) as i64;
+        let title = format!(
+            "{} {} {}",
+            TITLE_A[rng.gen_range(0..TITLE_A.len())],
+            TITLE_B[rng.gen_range(0..TITLE_B.len())],
+            id
+        );
+
+        // Plot: 3 sentences drawn from the matching pool (with one
+        // contrasting sentence 20% of the time, so scores are not binary).
+        let pool: &[&str] = if exciting {
+            &EXCITING_SENTENCES
+        } else {
+            &CALM_SENTENCES
+        };
+        let other: &[&str] = if exciting {
+            &CALM_SENTENCES
+        } else {
+            &EXCITING_SENTENCES
+        };
+        let mut plot = String::new();
+        for s in 0..3 {
+            let from = if s == 2 && rng.gen::<f64>() < 0.2 {
+                other
+            } else {
+                pool
+            };
+            plot.push_str(from[rng.gen_range(0..from.len())]);
+            plot.push(' ');
+        }
+        documents.push(Document::new(format!("doc://plot/{id}"), plot.trim()).with_title(&title));
+
+        // Poster.
+        let format = if heic { MediaFormat::Heic } else { MediaFormat::Png };
+        let uri = format!("file://posters/{id}.{}", format.extension());
+        let image = if boring {
+            Image::new(uri, format)
+                .with_color(Color::rgb(
+                    100 + rng.gen_range(0..30),
+                    100 + rng.gen_range(0..30),
+                    100 + rng.gen_range(0..30),
+                ))
+                .with_object(
+                    ImageObject::new("portrait", BBox::new(0.3, 0.2, 0.7, 0.8))
+                        .with_saliency(0.2 + rng.gen::<f64>() * 0.15),
+                )
+        } else {
+            let mut img = Image::new(uri, format)
+                .with_color(Color::rgb(200 + rng.gen_range(0..55), rng.gen_range(0..60), 30))
+                .with_color(Color::rgb(20, 40, 200 + rng.gen_range(0..55)))
+                .with_object(ImageObject::new("person", BBox::new(0.05, 0.1, 0.45, 0.95)));
+            for (cls, n) in [("weapon", 1), ("motorcycle", 1), ("explosion", 1)] {
+                for _ in 0..n {
+                    let x = rng.gen::<f64>() * 0.5;
+                    let y = rng.gen::<f64>() * 0.5;
+                    img = img.with_object(ImageObject::new(
+                        cls,
+                        BBox::new(x, y, x + 0.3, y + 0.3),
+                    ));
+                }
+            }
+            img
+        };
+        images.push(image);
+
+        movies
+            .push(vec![
+                id.into(),
+                title.clone().into(),
+                year.into(),
+                id.into(),
+                id.into(),
+            ])
+            .expect("generated rows are schema-valid");
+        truth.push(MovieTruth {
+            id,
+            title,
+            exciting_plot: exciting,
+            boring_poster: boring,
+        });
+    }
+
+    MmqaCorpus {
+        movies,
+        documents,
+        images,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = CorpusSpec {
+            movies: 20,
+            ..Default::default()
+        };
+        let a = generate_corpus(&spec);
+        let b = generate_corpus(&spec);
+        assert_eq!(a.movies, b.movies);
+        assert_eq!(a.documents, b.documents);
+        assert_eq!(a.images, b.images);
+    }
+
+    #[test]
+    fn fractions_are_respected_roughly() {
+        let spec = CorpusSpec {
+            movies: 400,
+            exciting_fraction: 0.3,
+            boring_fraction: 0.7,
+            heic_fraction: 0.1,
+            seed: 11,
+        };
+        let c = generate_corpus(&spec);
+        let exciting = c.truth.iter().filter(|t| t.exciting_plot).count() as f64 / 400.0;
+        let boring = c.truth.iter().filter(|t| t.boring_poster).count() as f64 / 400.0;
+        let heic = c
+            .images
+            .iter()
+            .filter(|i| i.format == MediaFormat::Heic)
+            .count() as f64
+            / 400.0;
+        assert!((exciting - 0.3).abs() < 0.08, "exciting={exciting}");
+        assert!((boring - 0.7).abs() < 0.08, "boring={boring}");
+        assert!((heic - 0.1).abs() < 0.05, "heic={heic}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_corpus(&CorpusSpec { seed: 1, movies: 10, ..Default::default() });
+        let b = generate_corpus(&CorpusSpec { seed: 2, movies: 10, ..Default::default() });
+        assert_ne!(a.documents, b.documents);
+    }
+
+    #[test]
+    fn plots_match_truth_labels() {
+        let c = generate_corpus(&CorpusSpec {
+            movies: 50,
+            ..Default::default()
+        });
+        for (doc, t) in c.documents.iter().zip(&c.truth) {
+            // At least the first sentence comes from the matching pool.
+            let first_exciting = EXCITING_SENTENCES.iter().any(|s| doc.text.starts_with(s));
+            assert_eq!(first_exciting, t.exciting_plot, "{}", t.title);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The execution context: catalog + media + models + lineage.
+
+use crate::ExecError;
+use kath_lineage::{DataKind, LineageStore};
+use kath_media::MediaRegistry;
+use kath_model::SimLlm;
+use kath_storage::{Catalog, Table};
+use std::collections::HashMap;
+
+/// Everything a function body needs at runtime.
+pub struct ExecContext {
+    /// The system catalog (base relations + materialized intermediates).
+    pub catalog: Catalog,
+    /// Registered media, resolved by URI.
+    pub media: MediaRegistry,
+    /// The simulated foundation model (shared token meter).
+    pub llm: SimLlm,
+    /// The provenance store.
+    pub lineage: LineageStore,
+    /// Table-level lid of every materialized table.
+    pub table_lids: HashMap<String, i64>,
+}
+
+impl ExecContext {
+    /// Builds a context around a model.
+    pub fn new(llm: SimLlm) -> Self {
+        Self {
+            catalog: Catalog::new(),
+            media: MediaRegistry::new(),
+            llm,
+            lineage: LineageStore::new(),
+            table_lids: HashMap::new(),
+        }
+    }
+
+    /// Ingests a base table: registers it in the catalog and creates the
+    /// single table-level lineage root of §3 ("Ingesting a raw table creates
+    /// a single lineage entry with data_type=table").
+    pub fn ingest_table(&mut self, table: Table, src_uri: &str) -> Result<i64, ExecError> {
+        let name = table.name().to_string();
+        let lid = self.lineage.alloc_lid();
+        self.lineage.record(
+            lid,
+            None,
+            Some(src_uri.to_string()),
+            "ingest",
+            1,
+            DataKind::Table,
+        )?;
+        self.catalog.register(table)?;
+        self.table_lids.insert(name, lid);
+        Ok(lid)
+    }
+
+    /// Registers (or replaces) a materialized intermediate with its lid.
+    pub fn materialize(&mut self, table: Table, lid: i64) {
+        let name = table.name().to_string();
+        self.catalog.register_or_replace(table);
+        self.table_lids.insert(name, lid);
+    }
+
+    /// The table-level lid of a materialized table, if known.
+    pub fn table_lid(&self, name: &str) -> Option<i64> {
+        self.table_lids.get(name).copied()
+    }
+
+    /// Creates the lineage root for a media collection (one per modality,
+    /// like a raw-table ingest).
+    pub fn ingest_media_root(&mut self, src_uri: &str) -> Result<i64, ExecError> {
+        let lid = self.lineage.alloc_lid();
+        self.lineage.record(
+            lid,
+            None,
+            Some(src_uri.to_string()),
+            "ingest_media",
+            1,
+            DataKind::Table,
+        )?;
+        Ok(lid)
+    }
+}
+
+/// Extracts the trailing integer id from a media URI, the convention that
+/// ties media to the `did`/`vid` columns of the base table (e.g.
+/// `file://posters/7.png` → 7, `doc://plot/3` → 3).
+pub fn id_from_uri(uri: &str) -> Option<i64> {
+    let stem = uri.rsplit_once('.').map(|(s, ext)| {
+        // Only strip a real extension (alphanumeric, short).
+        if ext.len() <= 5 && ext.chars().all(|c| c.is_ascii_alphanumeric()) {
+            s
+        } else {
+            uri
+        }
+    })
+    .unwrap_or(uri);
+    let digits: String = stem
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.chars().rev().collect::<String>().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_model::TokenMeter;
+    use kath_storage::{DataType, Schema};
+
+    #[test]
+    fn ingest_creates_single_table_root() {
+        let mut ctx = ExecContext::new(SimLlm::new(1, TokenMeter::new()));
+        let t = Table::new("movie_table", Schema::of(&[("id", DataType::Int)]));
+        let lid = ctx.ingest_table(t, "file://data/movies").unwrap();
+        assert_eq!(ctx.lineage.len(), 1);
+        assert_eq!(ctx.table_lid("movie_table"), Some(lid));
+        let e = ctx.lineage.edges_of(lid)[0];
+        assert_eq!(e.src_uri.as_deref(), Some("file://data/movies"));
+        assert!(e.parent_lid.is_none());
+    }
+
+    #[test]
+    fn duplicate_ingest_fails() {
+        let mut ctx = ExecContext::new(SimLlm::new(1, TokenMeter::new()));
+        let t = Table::new("t", Schema::of(&[("id", DataType::Int)]));
+        ctx.ingest_table(t.clone(), "u").unwrap();
+        assert!(ctx.ingest_table(t, "u").is_err());
+    }
+
+    #[test]
+    fn id_from_uri_conventions() {
+        assert_eq!(id_from_uri("file://posters/7.png"), Some(7));
+        assert_eq!(id_from_uri("doc://plot/3"), Some(3));
+        assert_eq!(id_from_uri("file://posters/142.heic"), Some(142));
+        assert_eq!(id_from_uri("file://posters/cover.png"), None);
+        assert_eq!(id_from_uri(""), None);
+    }
+}

@@ -1,0 +1,183 @@
+//! Function signatures — the nodes of KathDB's logical plan.
+//!
+//! The logical plan generator emits "each generated plan node … in the exact
+//! JSON layout we defined so the downstream parser can ingest it without any
+//! post-processing" (§4, Fig. 3). The layout is fixed here: an object with
+//! the keys `name`, `description`, `inputs`, `output` — in that order.
+
+use kath_json::Json;
+use std::fmt;
+
+/// A logical-plan node: the declaration of a function, without its body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSignature {
+    /// Function identifier, e.g. `classify_boring`.
+    pub name: String,
+    /// Semantic hint supporting downstream code synthesis (§4).
+    pub description: String,
+    /// Datasource names consumed: base relations or intermediate tables
+    /// produced by preceding nodes.
+    pub inputs: Vec<String>,
+    /// The table this function produces.
+    pub output: String,
+}
+
+/// Errors when ingesting a signature from JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignatureError(pub String);
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid function signature: {}", self.0)
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+impl FunctionSignature {
+    /// Builds a signature.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        inputs: Vec<String>,
+        output: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            description: description.into(),
+            inputs,
+            output: output.into(),
+        }
+    }
+
+    /// Emits the exact JSON layout of Fig. 3 (key order is part of the
+    /// contract and is covered by tests).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::str(&self.name)),
+            ("description", Json::str(&self.description)),
+            ("inputs", Json::str_array(self.inputs.iter().map(String::as_str))),
+            ("output", Json::str(&self.output)),
+        ])
+    }
+
+    /// Ingests the exact layout "without any post-processing": all four keys
+    /// must be present with the right types; extra keys are rejected, which
+    /// is what lets the plan verifier catch layout drift.
+    pub fn from_json(v: &Json) -> Result<Self, SignatureError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| SignatureError("expected an object".into()))?;
+        for key in obj.keys() {
+            if !matches!(key, "name" | "description" | "inputs" | "output") {
+                return Err(SignatureError(format!("unexpected key '{key}'")));
+            }
+        }
+        let name = obj
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SignatureError("missing string 'name'".into()))?;
+        let description = obj
+            .get("description")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SignatureError("missing string 'description'".into()))?;
+        let inputs = obj
+            .get("inputs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| SignatureError("missing array 'inputs'".into()))?
+            .iter()
+            .map(|x| {
+                x.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| SignatureError("inputs must be strings".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let output = obj
+            .get("output")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SignatureError("missing string 'output'".into()))?;
+        if name.is_empty() {
+            return Err(SignatureError("name must be non-empty".into()));
+        }
+        Ok(Self {
+            name: name.to_string(),
+            description: description.to_string(),
+            inputs,
+            output: output.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for FunctionSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}) -> {}",
+            self.name,
+            self.inputs.join(", "),
+            self.output
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_json::{parse, to_string};
+
+    fn classify_boring() -> FunctionSignature {
+        FunctionSignature::new(
+            "classify_boring",
+            "Analyze visual features of each film's poster...",
+            vec!["films_with_image_scene".to_string()],
+            "films_with_boring_flag",
+        )
+    }
+
+    #[test]
+    fn fig3_exact_json_layout() {
+        let j = classify_boring().to_json();
+        // Exact key order: name, description, inputs, output.
+        let keys: Vec<_> = j.as_object().unwrap().keys().collect();
+        assert_eq!(keys, vec!["name", "description", "inputs", "output"]);
+        assert_eq!(
+            to_string(&j),
+            r#"{"name":"classify_boring","description":"Analyze visual features of each film's poster...","inputs":["films_with_image_scene"],"output":"films_with_boring_flag"}"#
+        );
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let sig = classify_boring();
+        let text = to_string(&sig.to_json());
+        let back = FunctionSignature::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, sig);
+    }
+
+    #[test]
+    fn ingestion_is_strict() {
+        // Extra key → rejected.
+        let with_extra = parse(
+            r#"{"name":"f","description":"d","inputs":[],"output":"o","extra":1}"#,
+        )
+        .unwrap();
+        assert!(FunctionSignature::from_json(&with_extra).is_err());
+        // Missing key → rejected.
+        let missing = parse(r#"{"name":"f","inputs":[],"output":"o"}"#).unwrap();
+        assert!(FunctionSignature::from_json(&missing).is_err());
+        // Wrong type → rejected.
+        let wrong = parse(r#"{"name":"f","description":"d","inputs":"x","output":"o"}"#).unwrap();
+        assert!(FunctionSignature::from_json(&wrong).is_err());
+        // Empty name → rejected.
+        let empty = parse(r#"{"name":"","description":"d","inputs":[],"output":"o"}"#).unwrap();
+        assert!(FunctionSignature::from_json(&empty).is_err());
+    }
+
+    #[test]
+    fn display_shows_signature_shape() {
+        assert_eq!(
+            classify_boring().to_string(),
+            "classify_boring(films_with_image_scene) -> films_with_boring_flag"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! JSON serialization: compact and pretty writers.
+//!
+//! The pretty writer is the one used when persisting FAO function versions to
+//! disk (§4: "these functions are persisted locally on disk") so that users
+//! can read the artifacts KathDB generates — explainability extends to the
+//! on-disk format.
+
+use crate::Json;
+use std::fmt::Write as _;
+
+/// Serializes a value to compact JSON (no extra whitespace).
+pub fn to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Serializes a value to pretty JSON with two-space indentation.
+pub fn to_string_pretty(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Json, indent: Option<usize>, level: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(out, *n),
+        Json::Str(s) => write_string(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Json::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_nan() || n.is_infinite() {
+        // JSON has no NaN/Inf; scores in KathDB are clamped upstream, so this
+        // only happens on programmer error. Emit null rather than panic.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_output_has_no_whitespace() {
+        let v = Json::object([
+            ("name", Json::str("classify_boring")),
+            ("inputs", Json::str_array(["films_with_image_scene"])),
+        ]);
+        assert_eq!(
+            to_string(&v),
+            r#"{"name":"classify_boring","inputs":["films_with_image_scene"]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_round_trips() {
+        let v = Json::object([
+            ("a", Json::from(1i64)),
+            ("b", Json::Array(vec![Json::Null, Json::Bool(true)])),
+            ("c", Json::object([("nested", Json::str("x"))])),
+        ]);
+        let text = to_string_pretty(&v);
+        assert!(text.contains('\n'));
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(to_string(&Json::Num(1621.0)), "1621");
+        assert_eq!(to_string(&Json::Num(0.7)), "0.7");
+        assert_eq!(to_string(&Json::Num(-2.0)), "-2");
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = Json::str("line1\nline2\t\"quoted\" \\ \u{0001}");
+        let text = to_string(&v);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null() {
+        assert_eq!(to_string(&Json::Num(f64::NAN)), "null");
+        assert_eq!(to_string(&Json::Num(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Json::Array(vec![])), "[]");
+        assert_eq!(to_string(&Json::Object(crate::JsonMap::new())), "{}");
+        assert_eq!(to_string_pretty(&Json::Array(vec![])), "[]");
+    }
+}

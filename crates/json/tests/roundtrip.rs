@@ -1,0 +1,58 @@
+//! Property tests: any JSON value survives serialize -> parse, in both
+//! compact and pretty form, and the parser never panics on arbitrary input.
+
+use kath_json::{parse, to_string, to_string_pretty, Json, JsonMap};
+use proptest::prelude::*;
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite numbers only: JSON cannot represent NaN/Inf.
+        (-1.0e12f64..1.0e12).prop_map(Json::Num),
+        any::<i32>().prop_map(|n| Json::Num(n as f64)),
+        "[a-zA-Z0-9 _\\-\\n\\t\"\\\\]{0,20}".prop_map(Json::Str),
+        // Exercise non-ASCII payloads too.
+        "\\PC{0,8}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|pairs| {
+                let mut map = JsonMap::new();
+                for (k, v) in pairs {
+                    map.insert(k, v);
+                }
+                Json::Object(map)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(v in arb_json()) {
+        let text = to_string(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trip(v in arb_json()) {
+        let text = to_string_pretty(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn reserialization_is_fixpoint(v in arb_json()) {
+        let once = to_string(&v);
+        let twice = to_string(&parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}

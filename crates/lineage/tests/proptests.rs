@@ -1,0 +1,72 @@
+//! Property tests: the lineage graph is acyclic by construction, traces
+//! terminate, and every recorded lid is reachable from itself.
+
+use kath_lineage::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Build a random DAG respecting allocation order; every trace
+    /// terminates and only visits older lids.
+    #[test]
+    fn traces_terminate_and_visit_older_lids(
+        edges in prop::collection::vec((0usize..50, 0usize..50), 1..120)
+    ) {
+        let mut store = LineageStore::new();
+        let lids: Vec<i64> = (0..50).map(|_| store.alloc_lid()).collect();
+        for (a, b) in edges {
+            let (child, parent) = if lids[a] > lids[b] { (lids[a], lids[b]) } else { (lids[b], lids[a]) };
+            if child == parent {
+                prop_assert!(store.record(child, Some(parent), None, "f", 1, DataKind::Row).is_err());
+                continue;
+            }
+            store.record(child, Some(parent), None, "f", 1, DataKind::Row).unwrap();
+        }
+        for &l in &lids {
+            if store.contains(l) {
+                let t = store.trace(l).unwrap();
+                prop_assert!(t.depth() <= 50);
+                for visited in t.lids() {
+                    prop_assert!(visited <= l);
+                }
+            }
+        }
+    }
+
+    /// children() and parents() are mutually consistent.
+    #[test]
+    fn child_parent_symmetry(
+        edges in prop::collection::vec((0usize..20, 0usize..20), 1..60)
+    ) {
+        let mut store = LineageStore::new();
+        let lids: Vec<i64> = (0..20).map(|_| store.alloc_lid()).collect();
+        for (a, b) in edges {
+            if lids[a] == lids[b] { continue; }
+            let (child, parent) = if lids[a] > lids[b] { (lids[a], lids[b]) } else { (lids[b], lids[a]) };
+            store.record(child, Some(parent), None, "f", 1, DataKind::Table).unwrap();
+        }
+        for &l in &lids {
+            for c in store.children(l) {
+                prop_assert!(store.parents(c).contains(&l));
+            }
+            for p in store.parents(l) {
+                prop_assert!(store.children(p).contains(&l));
+            }
+        }
+    }
+
+    /// The Table-3 rendering always has one row per recorded edge and
+    /// validates against the schema.
+    #[test]
+    fn table_rendering_is_faithful(n in 0usize..40) {
+        let mut store = LineageStore::new();
+        let mut prev = None;
+        for i in 0..n {
+            let l = store.alloc_lid();
+            let kind = if i % 3 == 0 { DataKind::Table } else { DataKind::Row };
+            store.record(l, prev, None, &format!("f{i}"), (i % 5) as u32 + 1, kind).unwrap();
+            prev = Some(l);
+        }
+        let t = store.as_table().unwrap();
+        prop_assert_eq!(t.len(), n);
+    }
+}

@@ -1,0 +1,116 @@
+//! Text documents.
+
+/// A text document (e.g. a movie plot crawled from Wikipedia, as in MMQA).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Source URI.
+    pub uri: String,
+    /// Optional title.
+    pub title: Option<String>,
+    /// Full text.
+    pub text: String,
+}
+
+impl Document {
+    /// Builds a document.
+    pub fn new(uri: impl Into<String>, text: impl Into<String>) -> Self {
+        Self {
+            uri: uri.into(),
+            title: None,
+            text: text.into(),
+        }
+    }
+
+    /// Sets the title (builder style).
+    pub fn with_title(mut self, t: impl Into<String>) -> Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// The document's sentences with their character spans.
+    pub fn sentences(&self) -> Vec<(usize, usize, &str)> {
+        split_sentences(&self.text)
+    }
+}
+
+/// Splits text into sentences, returning `(start, end, slice)` character
+/// offsets. Sentence ends are `.`, `!`, `?` followed by whitespace/EOF;
+/// common abbreviations ("Mr.", "Mrs.", "Dr.") do not split — the Mentions
+/// view (Table 2) records character spans, so offsets must be stable.
+pub fn split_sentences(text: &str) -> Vec<(usize, usize, &str)> {
+    const ABBREVIATIONS: [&str; 6] = ["Mr", "Mrs", "Ms", "Dr", "St", "vs"];
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'.' || b == b'!' || b == b'?' {
+            let next_ws = i + 1 >= bytes.len() || bytes[i + 1].is_ascii_whitespace();
+            let is_abbrev = b == b'.'
+                && ABBREVIATIONS.iter().any(|a| {
+                    text[..i].ends_with(a)
+                        && (i < a.len() + 1 || !bytes[i - a.len() - 1].is_ascii_alphanumeric())
+                });
+            if next_ws && !is_abbrev {
+                let end = i + 1;
+                let slice = text[start..end].trim();
+                if !slice.is_empty() {
+                    // Recompute trimmed offsets.
+                    let lead = text[start..end].len() - text[start..end].trim_start().len();
+                    out.push((start + lead, start + lead + slice.len(), slice));
+                }
+                start = end;
+            }
+        }
+        i += 1;
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        let lead = text[start..].len() - text[start..].trim_start().len();
+        out.push((start + lead, start + lead + tail.len(), tail));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_basic_sentences() {
+        let s = split_sentences("A man jumped off a plane. A dog fell into a pool!");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].2, "A man jumped off a plane.");
+        assert_eq!(s[1].2, "A dog fell into a pool!");
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = split_sentences("Mrs. Swift sang. Mr. Winkler directed.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].2.starts_with("Mrs. Swift"));
+    }
+
+    #[test]
+    fn spans_index_into_source() {
+        let text = "First part. Second part?  Third.";
+        for (a, b, slice) in split_sentences(text) {
+            assert_eq!(&text[a..b], slice);
+        }
+    }
+
+    #[test]
+    fn handles_no_terminator_and_empty() {
+        assert_eq!(split_sentences("no terminator here").len(), 1);
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   ").is_empty());
+    }
+
+    #[test]
+    fn document_sentences() {
+        let d = Document::new("doc://1", "One. Two.").with_title("T");
+        assert_eq!(d.sentences().len(), 2);
+        assert_eq!(d.title.as_deref(), Some("T"));
+    }
+}

@@ -1,0 +1,340 @@
+//! Structured image descriptors.
+
+use crate::{MediaError, MediaFormat};
+
+/// An RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// Constructs a color.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Self { r, g, b }
+    }
+
+    /// HSV-style saturation in `[0,1]` — the "vivid colors" signal the
+    /// paper's `classify_boring` body reads off the poster (§2.1).
+    pub fn saturation(&self) -> f64 {
+        let max = self.r.max(self.g).max(self.b) as f64;
+        let min = self.r.min(self.g).min(self.b) as f64;
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+
+    /// Perceptual brightness in `[0,1]` (Rec. 601 luma).
+    pub fn brightness(&self) -> f64 {
+        (0.299 * self.r as f64 + 0.587 * self.g as f64 + 0.114 * self.b as f64) / 255.0
+    }
+
+    /// Whether this color reads as vivid (saturated and not too dark).
+    pub fn is_vivid(&self) -> bool {
+        self.saturation() > 0.5 && self.brightness() > 0.2
+    }
+}
+
+/// An axis-aligned bounding box in relative coordinates `[0,1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Upper-left x.
+    pub x1: f64,
+    /// Upper-left y.
+    pub y1: f64,
+    /// Bottom-right x.
+    pub x2: f64,
+    /// Bottom-right y.
+    pub y2: f64,
+}
+
+impl BBox {
+    /// Constructs a box; coordinates are clamped to `[0,1]` and ordered.
+    pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Self {
+        let (x1, x2) = (x1.clamp(0.0, 1.0), x2.clamp(0.0, 1.0));
+        let (y1, y2) = (y1.clamp(0.0, 1.0), y2.clamp(0.0, 1.0));
+        Self {
+            x1: x1.min(x2),
+            y1: y1.min(y2),
+            x2: x1.max(x2),
+            y2: y1.max(y2),
+        }
+    }
+
+    /// Box area (relative units).
+    pub fn area(&self) -> f64 {
+        (self.x2 - self.x1) * (self.y2 - self.y1)
+    }
+
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &BBox) -> f64 {
+        let ix1 = self.x1.max(other.x1);
+        let iy1 = self.y1.max(other.y1);
+        let ix2 = self.x2.min(other.x2);
+        let iy2 = self.y2.min(other.y2);
+        let iw = (ix2 - ix1).max(0.0);
+        let ih = (iy2 - iy1).max(0.0);
+        let inter = iw * ih;
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Whether two boxes overlap at all.
+    pub fn overlaps(&self, other: &BBox) -> bool {
+        self.iou(other) > 0.0
+    }
+}
+
+/// One object depicted in an image (what a detector would find).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageObject {
+    /// Class label, e.g. "person", "motorcycle".
+    pub class: String,
+    /// Location in the frame.
+    pub bbox: BBox,
+    /// Key/value attributes, e.g. ("color", "black").
+    pub attributes: Vec<(String, String)>,
+    /// How visually prominent the object is, `[0,1]`; detectors miss
+    /// low-saliency objects first.
+    pub saliency: f64,
+    /// Legible text on the object, if any (what OCR would read).
+    pub text: Option<String>,
+    /// Track id shared by the same physical object across video frames.
+    pub track_id: Option<u32>,
+}
+
+impl ImageObject {
+    /// A minimal object with a class and box.
+    pub fn new(class: impl Into<String>, bbox: BBox) -> Self {
+        Self {
+            class: class.into(),
+            bbox,
+            attributes: Vec::new(),
+            saliency: 1.0,
+            text: None,
+            track_id: None,
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.attributes.push((k.into(), v.into()));
+        self
+    }
+
+    /// Sets the saliency (builder style).
+    pub fn with_saliency(mut self, s: f64) -> Self {
+        self.saliency = s.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets legible text (builder style).
+    pub fn with_text(mut self, t: impl Into<String>) -> Self {
+        self.text = Some(t.into());
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A structured image descriptor (the reproduction's stand-in for pixels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Source URI, e.g. `file://posters/1621.png`.
+    pub uri: String,
+    /// Container format; unsupported formats fail the decode path.
+    pub format: MediaFormat,
+    /// Width in pixels (metadata only).
+    pub width: u32,
+    /// Height in pixels (metadata only).
+    pub height: u32,
+    /// Depicted objects.
+    pub objects: Vec<ImageObject>,
+    /// Dominant palette (up to ~8 colors).
+    pub palette: Vec<Color>,
+    /// Pairwise relationships: (subject idx, predicate, object idx).
+    pub relationships: Vec<(usize, String, usize)>,
+}
+
+impl Image {
+    /// A new empty image descriptor.
+    pub fn new(uri: impl Into<String>, format: MediaFormat) -> Self {
+        Self {
+            uri: uri.into(),
+            format,
+            width: 1024,
+            height: 1536,
+            objects: Vec::new(),
+            palette: Vec::new(),
+            relationships: Vec::new(),
+        }
+    }
+
+    /// Adds an object (builder style).
+    pub fn with_object(mut self, o: ImageObject) -> Self {
+        self.objects.push(o);
+        self
+    }
+
+    /// Adds a palette color (builder style).
+    pub fn with_color(mut self, c: Color) -> Self {
+        self.palette.push(c);
+        self
+    }
+
+    /// Adds a relationship between objects by index (builder style).
+    pub fn with_rel(mut self, subj: usize, pred: impl Into<String>, obj: usize) -> Self {
+        self.relationships.push((subj, pred.into(), obj));
+        self
+    }
+
+    /// Validates internal consistency (relationship indices in range).
+    pub fn validate(&self) -> Result<(), MediaError> {
+        for (s, p, o) in &self.relationships {
+            if *s >= self.objects.len() || *o >= self.objects.len() {
+                return Err(MediaError::Malformed(format!(
+                    "relationship '{p}' references object out of range"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulated decode: fails exactly when the container format is
+    /// unsupported, reproducing the cv2-on-HEIC failure of §5.
+    pub fn decode(&self) -> Result<&Image, MediaError> {
+        if self.format.is_supported() {
+            Ok(self)
+        } else {
+            Err(MediaError::UnsupportedFormat(self.format))
+        }
+    }
+
+    /// Converts to a supported format (what the rewriter agent's patch adds).
+    pub fn convert_to(&self, format: MediaFormat) -> Image {
+        let mut out = self.clone();
+        out.format = format;
+        out.uri = match self.uri.rsplit_once('.') {
+            Some((stem, _)) => format!("{stem}.{}", format.extension()),
+            None => format!("{}.{}", self.uri, format.extension()),
+        };
+        out
+    }
+
+    /// Fraction of palette colors that are vivid — the "lacks vivid colors"
+    /// feature of `classify_boring` (§2.1).
+    pub fn colorfulness(&self) -> f64 {
+        if self.palette.is_empty() {
+            return 0.0;
+        }
+        self.palette.iter().filter(|c| c.is_vivid()).count() as f64 / self.palette.len() as f64
+    }
+
+    /// Mean object saliency — the "little action" feature.
+    pub fn visual_activity(&self) -> f64 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        self.objects.iter().map(|o| o.saliency).sum::<f64>() / self.objects.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_measures() {
+        let red = Color::rgb(230, 20, 20);
+        assert!(red.saturation() > 0.8);
+        assert!(red.is_vivid());
+        let grey = Color::rgb(120, 120, 120);
+        assert_eq!(grey.saturation(), 0.0);
+        assert!(!grey.is_vivid());
+        let black = Color::rgb(0, 0, 0);
+        assert_eq!(black.saturation(), 0.0);
+        assert_eq!(black.brightness(), 0.0);
+    }
+
+    #[test]
+    fn bbox_normalizes_and_measures() {
+        let b = BBox::new(0.8, 0.9, 0.2, 0.1);
+        assert!(b.x1 < b.x2 && b.y1 < b.y2);
+        assert!((b.area() - 0.48).abs() < 1e-12);
+        let c = BBox::new(0.0, 0.0, 0.2, 0.2);
+        let d = BBox::new(0.1, 0.1, 0.3, 0.3);
+        assert!(c.overlaps(&d));
+        assert!(c.iou(&d) > 0.0 && c.iou(&d) < 1.0);
+        assert!((c.iou(&c) - 1.0).abs() < 1e-12);
+        let far = BBox::new(0.9, 0.9, 1.0, 1.0);
+        assert_eq!(c.iou(&far), 0.0);
+    }
+
+    #[test]
+    fn decode_respects_format_support() {
+        let ok = Image::new("file://p/1.png", MediaFormat::Png);
+        assert!(ok.decode().is_ok());
+        let bad = Image::new("file://p/2.heic", MediaFormat::Heic);
+        assert!(matches!(
+            bad.decode(),
+            Err(MediaError::UnsupportedFormat(MediaFormat::Heic))
+        ));
+    }
+
+    #[test]
+    fn convert_changes_format_and_uri() {
+        let bad = Image::new("file://p/2.heic", MediaFormat::Heic);
+        let good = bad.convert_to(MediaFormat::Png);
+        assert!(good.decode().is_ok());
+        assert_eq!(good.uri, "file://p/2.png");
+    }
+
+    #[test]
+    fn colorfulness_and_activity() {
+        let img = Image::new("u", MediaFormat::Png)
+            .with_color(Color::rgb(230, 10, 10))
+            .with_color(Color::rgb(128, 128, 128))
+            .with_object(ImageObject::new("person", BBox::new(0.1, 0.1, 0.5, 0.9)).with_saliency(0.8))
+            .with_object(ImageObject::new("gun", BBox::new(0.4, 0.4, 0.6, 0.6)).with_saliency(0.6));
+        assert!((img.colorfulness() - 0.5).abs() < 1e-12);
+        assert!((img.visual_activity() - 0.7).abs() < 1e-12);
+        let empty = Image::new("u", MediaFormat::Png);
+        assert_eq!(empty.colorfulness(), 0.0);
+        assert_eq!(empty.visual_activity(), 0.0);
+    }
+
+    #[test]
+    fn validate_checks_relationship_indices() {
+        let img = Image::new("u", MediaFormat::Png)
+            .with_object(ImageObject::new("person", BBox::new(0.0, 0.0, 0.5, 0.5)))
+            .with_rel(0, "holds", 3);
+        assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn object_attributes() {
+        let o = ImageObject::new("car", BBox::new(0.0, 0.0, 1.0, 1.0))
+            .with_attr("color", "black")
+            .with_text("POLICE");
+        assert_eq!(o.attr("color"), Some("black"));
+        assert_eq!(o.attr("size"), None);
+        assert_eq!(o.text.as_deref(), Some("POLICE"));
+    }
+}

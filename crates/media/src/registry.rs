@@ -1,0 +1,126 @@
+//! The media registry: URI → descriptor lookup.
+//!
+//! KathDB stores media by "a file path to the image stored on disk" (§1);
+//! the relational views carry URIs and the execution engine resolves them
+//! here when a function body needs the underlying content.
+
+use crate::{Document, Image, MediaError, Video};
+use std::collections::HashMap;
+
+/// In-memory registry of all media known to a KathDB instance.
+#[derive(Debug, Clone, Default)]
+pub struct MediaRegistry {
+    images: HashMap<String, Image>,
+    documents: HashMap<String, Document>,
+    videos: HashMap<String, Video>,
+}
+
+impl MediaRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an image under its URI (replaces any previous entry —
+    /// the repair loop re-registers converted images).
+    pub fn add_image(&mut self, image: Image) {
+        self.images.insert(image.uri.clone(), image);
+    }
+
+    /// Registers a document under its URI.
+    pub fn add_document(&mut self, doc: Document) {
+        self.documents.insert(doc.uri.clone(), doc);
+    }
+
+    /// Registers a video under its URI.
+    pub fn add_video(&mut self, video: Video) {
+        self.videos.insert(video.uri.clone(), video);
+    }
+
+    /// Removes an image by URI (e.g. after converting it to a new format).
+    pub fn remove_image(&mut self, uri: &str) -> Option<Image> {
+        self.images.remove(uri)
+    }
+
+    /// Looks up an image.
+    pub fn image(&self, uri: &str) -> Result<&Image, MediaError> {
+        self.images
+            .get(uri)
+            .ok_or_else(|| MediaError::NotFound(uri.to_string()))
+    }
+
+    /// Looks up a document.
+    pub fn document(&self, uri: &str) -> Result<&Document, MediaError> {
+        self.documents
+            .get(uri)
+            .ok_or_else(|| MediaError::NotFound(uri.to_string()))
+    }
+
+    /// Looks up a video.
+    pub fn video(&self, uri: &str) -> Result<&Video, MediaError> {
+        self.videos
+            .get(uri)
+            .ok_or_else(|| MediaError::NotFound(uri.to_string()))
+    }
+
+    /// All images, sorted by URI for deterministic iteration.
+    pub fn images(&self) -> Vec<&Image> {
+        let mut v: Vec<&Image> = self.images.values().collect();
+        v.sort_by(|a, b| a.uri.cmp(&b.uri));
+        v
+    }
+
+    /// All documents, sorted by URI.
+    pub fn documents(&self) -> Vec<&Document> {
+        let mut v: Vec<&Document> = self.documents.values().collect();
+        v.sort_by(|a, b| a.uri.cmp(&b.uri));
+        v
+    }
+
+    /// All videos, sorted by URI.
+    pub fn videos(&self) -> Vec<&Video> {
+        let mut v: Vec<&Video> = self.videos.values().collect();
+        v.sort_by(|a, b| a.uri.cmp(&b.uri));
+        v
+    }
+
+    /// Counts: (images, documents, videos).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.images.len(), self.documents.len(), self.videos.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MediaFormat;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = MediaRegistry::new();
+        r.add_image(Image::new("file://p/1.png", MediaFormat::Png));
+        r.add_document(Document::new("doc://1", "text"));
+        assert!(r.image("file://p/1.png").is_ok());
+        assert!(r.document("doc://1").is_ok());
+        assert!(matches!(r.image("nope"), Err(MediaError::NotFound(_))));
+        assert_eq!(r.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut r = MediaRegistry::new();
+        r.add_image(Image::new("u", MediaFormat::Heic));
+        r.add_image(Image::new("u", MediaFormat::Png));
+        assert_eq!(r.image("u").unwrap().format, MediaFormat::Png);
+        assert_eq!(r.counts().0, 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut r = MediaRegistry::new();
+        r.add_image(Image::new("b", MediaFormat::Png));
+        r.add_image(Image::new("a", MediaFormat::Png));
+        let uris: Vec<&str> = r.images().iter().map(|i| i.uri.as_str()).collect();
+        assert_eq!(uris, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Video descriptors: frame sequences with object tracks.
+
+use crate::{Image, MediaError};
+
+/// A video is a sequence of frame descriptors; objects that persist across
+/// frames share a `track_id`, which is what lets the scene-graph layer treat
+/// "each unique object … tracked across frames" (§3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Video {
+    /// Source URI.
+    pub uri: String,
+    /// Frames in order.
+    pub frames: Vec<Image>,
+    /// Frames per second (metadata).
+    pub fps: f64,
+}
+
+impl Video {
+    /// A new empty video.
+    pub fn new(uri: impl Into<String>) -> Self {
+        Self {
+            uri: uri.into(),
+            frames: Vec::new(),
+            fps: 24.0,
+        }
+    }
+
+    /// Appends a frame (builder style).
+    pub fn with_frame(mut self, frame: Image) -> Self {
+        self.frames.push(frame);
+        self
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the video has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Distinct track ids across all frames.
+    pub fn track_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .frames
+            .iter()
+            .flat_map(|f| f.objects.iter().filter_map(|o| o.track_id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Frames (index, frame) where a given track appears.
+    pub fn track_frames(&self, track_id: u32) -> Vec<(usize, &Image)> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.objects.iter().any(|o| o.track_id == Some(track_id)))
+            .collect()
+    }
+
+    /// Validates every frame descriptor.
+    pub fn validate(&self) -> Result<(), MediaError> {
+        for f in &self.frames {
+            f.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BBox, ImageObject, MediaFormat};
+
+    fn tracked(class: &str, track: u32) -> ImageObject {
+        let mut o = ImageObject::new(class, BBox::new(0.1, 0.1, 0.4, 0.4));
+        o.track_id = Some(track);
+        o
+    }
+
+    fn video() -> Video {
+        Video::new("vid://1")
+            .with_frame(
+                Image::new("f0", MediaFormat::Png)
+                    .with_object(tracked("person", 1))
+                    .with_object(tracked("dog", 2)),
+            )
+            .with_frame(Image::new("f1", MediaFormat::Png).with_object(tracked("person", 1)))
+            .with_frame(Image::new("f2", MediaFormat::Png).with_object(tracked("pool", 3)))
+    }
+
+    #[test]
+    fn tracks_are_collected_across_frames() {
+        let v = video();
+        assert_eq!(v.track_ids(), vec![1, 2, 3]);
+        assert_eq!(v.track_frames(1).len(), 2);
+        assert_eq!(v.track_frames(3).len(), 1);
+        assert!(v.track_frames(9).is_empty());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(video().len(), 3);
+        assert!(!video().is_empty());
+        assert!(Video::new("v").is_empty());
+    }
+
+    #[test]
+    fn validate_propagates_frame_errors() {
+        let bad_frame = Image::new("f", MediaFormat::Png)
+            .with_object(ImageObject::new("a", BBox::new(0.0, 0.0, 0.1, 0.1)))
+            .with_rel(0, "rel", 7);
+        let v = Video::new("v").with_frame(bad_frame);
+        assert!(v.validate().is_err());
+    }
+}

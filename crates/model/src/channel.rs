@@ -1,0 +1,199 @@
+//! Human-AI interaction channels.
+//!
+//! KathDB's defining feature is that "user-system interaction does not have
+//! to be limited to a query-result pair: it can be iterative" (§1). Every
+//! stage — parsing, execution, explanation — talks to the user through a
+//! [`UserChannel`]. The paper's own evaluation *simulates* the user's
+//! replies (§6); [`ScriptedChannel`] reproduces exactly that, and
+//! [`TranscriptChannel`] records the dialogue for Fig. 4-style rendering.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A bidirectional channel to the human in the loop.
+pub trait UserChannel: Send + Sync {
+    /// Asks the user a question and returns their reply.
+    fn ask(&self, question: &str) -> String;
+
+    /// Shows the user a message that needs no reply.
+    fn notify(&self, message: &str);
+}
+
+/// A channel with pre-scripted replies (the paper's §6 setup). When the
+/// script runs out, it answers `"OK"` — the explicit go-ahead the reactive
+/// correction loop waits for (§5).
+#[derive(Debug, Default)]
+pub struct ScriptedChannel {
+    replies: Mutex<VecDeque<String>>,
+    log: Mutex<Vec<(String, String)>>,
+}
+
+impl ScriptedChannel {
+    /// Builds a channel that will answer with `replies`, in order.
+    pub fn new<S: Into<String>>(replies: impl IntoIterator<Item = S>) -> Arc<Self> {
+        Arc::new(Self {
+            replies: Mutex::new(replies.into_iter().map(Into::into).collect()),
+            log: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The `(question, reply)` transcript so far.
+    pub fn transcript(&self) -> Vec<(String, String)> {
+        self.log.lock().clone()
+    }
+
+    /// Notifications shown so far (question field, empty reply).
+    pub fn remaining(&self) -> usize {
+        self.replies.lock().len()
+    }
+}
+
+impl UserChannel for ScriptedChannel {
+    fn ask(&self, question: &str) -> String {
+        let reply = self
+            .replies
+            .lock()
+            .pop_front()
+            .unwrap_or_else(|| "OK".to_string());
+        self.log
+            .lock()
+            .push((question.to_string(), reply.clone()));
+        reply
+    }
+
+    fn notify(&self, message: &str) {
+        self.log.lock().push((message.to_string(), String::new()));
+    }
+}
+
+/// A channel backed by the process's stdin/stdout: the real interactive
+/// mode (used by the `kathdb-repl` binary). Questions print to stdout and
+/// replies are read line by line.
+#[derive(Debug, Default)]
+pub struct StdioChannel;
+
+impl UserChannel for StdioChannel {
+    fn ask(&self, question: &str) -> String {
+        use std::io::{BufRead, Write};
+        println!("{question}");
+        print!("> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match std::io::stdin().lock().read_line(&mut line) {
+            Ok(n) if n > 0 => line.trim().to_string(),
+            // EOF or error: behave like the silent channel so piped runs
+            // terminate cleanly.
+            _ => "OK".to_string(),
+        }
+    }
+
+    fn notify(&self, message: &str) {
+        println!("{message}");
+    }
+}
+
+/// A channel that always answers `"OK"` (fully autonomous runs/benches).
+#[derive(Debug, Default)]
+pub struct SilentChannel;
+
+impl UserChannel for SilentChannel {
+    fn ask(&self, _question: &str) -> String {
+        "OK".to_string()
+    }
+
+    fn notify(&self, _message: &str) {}
+}
+
+/// Wraps any channel and records the dialogue (for Fig. 4 rendering).
+pub struct TranscriptChannel<C: UserChannel> {
+    inner: C,
+    log: Mutex<Vec<TranscriptTurn>>,
+}
+
+/// One turn of the recorded dialogue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranscriptTurn {
+    /// System asked, user replied.
+    Exchange {
+        /// The system's question.
+        question: String,
+        /// The user's reply.
+        reply: String,
+    },
+    /// System showed a message.
+    Notice(String),
+}
+
+impl<C: UserChannel> TranscriptChannel<C> {
+    /// Wraps `inner`.
+    pub fn new(inner: C) -> Self {
+        Self {
+            inner,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The recorded turns.
+    pub fn turns(&self) -> Vec<TranscriptTurn> {
+        self.log.lock().clone()
+    }
+}
+
+impl<C: UserChannel> UserChannel for TranscriptChannel<C> {
+    fn ask(&self, question: &str) -> String {
+        let reply = self.inner.ask(question);
+        self.log.lock().push(TranscriptTurn::Exchange {
+            question: question.to_string(),
+            reply: reply.clone(),
+        });
+        reply
+    }
+
+    fn notify(&self, message: &str) {
+        self.inner.notify(message);
+        self.log
+            .lock()
+            .push(TranscriptTurn::Notice(message.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_channel_replays_then_says_ok() {
+        let ch = ScriptedChannel::new(["first answer", "second"]);
+        assert_eq!(ch.ask("q1"), "first answer");
+        assert_eq!(ch.ask("q2"), "second");
+        assert_eq!(ch.ask("q3"), "OK");
+        assert_eq!(ch.remaining(), 0);
+        let t = ch.transcript();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], ("q1".to_string(), "first answer".to_string()));
+    }
+
+    #[test]
+    fn stdio_channel_notify_does_not_panic() {
+        StdioChannel.notify("notice");
+    }
+
+    #[test]
+    fn silent_channel_always_agrees() {
+        let ch = SilentChannel;
+        assert_eq!(ch.ask("anything?"), "OK");
+        ch.notify("noted");
+    }
+
+    #[test]
+    fn transcript_channel_records_both_kinds() {
+        let ch = TranscriptChannel::new(SilentChannel);
+        ch.notify("starting");
+        let _ = ch.ask("proceed?");
+        let turns = ch.turns();
+        assert_eq!(turns.len(), 2);
+        assert!(matches!(&turns[0], TranscriptTurn::Notice(m) if m == "starting"));
+        assert!(matches!(&turns[1], TranscriptTurn::Exchange { reply, .. } if reply == "OK"));
+    }
+}

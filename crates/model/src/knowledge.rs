@@ -1,0 +1,232 @@
+//! The simulator's knowledge base.
+//!
+//! A hosted LLM carries world knowledge implicitly; the simulator makes it
+//! explicit and inspectable: concept lexicons (shared with the embedder),
+//! subjective-term detection for the clarification reviewer (§5), a
+//! person/organization gazetteer for NER, and the mapping from user
+//! clarifications to keyword lists (the LLM-generated keyword list of §6).
+
+use kath_vector::Lexicon;
+
+/// Terms whose meaning is "context dependent or user dependent" (§5); the
+/// reviewer agent asks a clarification question when a query uses one.
+pub const SUBJECTIVE_TERMS: [&str; 12] = [
+    "exciting",
+    "boring",
+    "good",
+    "bad",
+    "interesting",
+    "best",
+    "worst",
+    "scary",
+    "funny",
+    "beautiful",
+    "notable",
+    "memorable",
+];
+
+/// The knowledge base backing every simulated model call.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    lexicon: Lexicon,
+    person_gazetteer: Vec<&'static str>,
+    org_gazetteer: Vec<&'static str>,
+    place_gazetteer: Vec<&'static str>,
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KnowledgeBase {
+    /// The standard knowledge base used throughout the reproduction.
+    pub fn new() -> Self {
+        Self {
+            lexicon: kath_vector::default_lexicon()
+                .with_concept(
+                    "excitement_visual",
+                    [
+                        "weapon", "motorcycle", "gun", "explosion", "car", "helicopter",
+                        "fire", "crowd",
+                    ],
+                )
+                .with_concept(
+                    "boring_visual",
+                    ["wall", "chair", "table", "curtain", "portrait", "text"],
+                ),
+            person_gazetteer: vec![
+                "Taylor Swift",
+                "Irwin Winkler",
+                "Robert De Niro",
+                "Annette Bening",
+                "Michael Keaton",
+                "David Merrill",
+            ],
+            org_gazetteer: vec!["Warner Bros", "HUAC", "Universal Pictures"],
+            place_gazetteer: vec!["Hollywood", "New York", "Seattle", "Los Angeles"],
+        }
+    }
+
+    /// The concept lexicon (shared with the text embedder).
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Whether `term` is subjective/ambiguous.
+    pub fn is_subjective(&self, term: &str) -> bool {
+        let t = term.to_lowercase();
+        SUBJECTIVE_TERMS.iter().any(|s| *s == t)
+    }
+
+    /// The subjective terms appearing in `text`, in order of appearance.
+    pub fn subjective_terms_in(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for token in text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+        {
+            let t = token.to_lowercase();
+            if self.is_subjective(&t) && !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Generates the keyword list for a clarified concept (the
+    /// "LLM-generated keyword list" of §6). The user's clarification text is
+    /// matched against concepts; matching concepts contribute their terms.
+    pub fn keywords_for(&self, clarification: &str) -> Vec<String> {
+        let text = clarification.to_lowercase();
+        let mut out: Vec<String> = Vec::new();
+        // Cue words that route to concepts, mimicking how an LLM expands
+        // "scenes that are uncommon in real life" into violence/danger terms.
+        let routes: [(&[&str], &[&str]); 4] = [
+            (
+                &["uncommon", "unusual", "intense", "action", "thrill", "danger"],
+                &["violence", "danger"],
+            ),
+            (&["violent", "crime", "gun", "murder"], &["violence"]),
+            (&["romance", "romantic", "love"], &["romance"]),
+            (&["calm", "quiet", "slow", "peaceful"], &["calm"]),
+        ];
+        for (cues, concepts) in routes {
+            if cues.iter().any(|c| text.contains(c)) {
+                for concept in concepts {
+                    if let Some(terms) = self.lexicon.terms_of(concept) {
+                        for t in terms {
+                            if !out.contains(t) {
+                                out.push(t.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Always include literal content words from the clarification that
+        // are known lexicon terms.
+        for token in text.split(|c: char| !c.is_alphanumeric()) {
+            if !token.is_empty()
+                && self.lexicon.concept_of(token).is_some()
+                && !out.contains(&token.to_string())
+            {
+                out.push(token.to_string());
+            }
+        }
+        if out.is_empty() {
+            // Fallback: the LLM would still produce something — the default
+            // excitement set.
+            for concept in ["violence", "danger"] {
+                if let Some(terms) = self.lexicon.terms_of(concept) {
+                    out.extend(terms.iter().cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// Gazetteer class for an entity surface form, if known.
+    pub fn entity_class(&self, surface: &str) -> Option<&'static str> {
+        let s = surface.trim();
+        let matches = |list: &[&'static str]| {
+            list.iter().any(|g| {
+                g.eq_ignore_ascii_case(s)
+                    || g.split_whitespace().any(|part| part.eq_ignore_ascii_case(s))
+            })
+        };
+        if matches(&self.person_gazetteer) {
+            Some("person")
+        } else if matches(&self.org_gazetteer) {
+            Some("organization")
+        } else if matches(&self.place_gazetteer) {
+            Some("place")
+        } else {
+            None
+        }
+    }
+
+    /// Object classes an LLM associates with excitement in posters (the list
+    /// "generated by the LLM" in §1: weapons, motorcycles, …).
+    pub fn exciting_object_classes(&self) -> Vec<String> {
+        self.lexicon
+            .terms_of("excitement_visual")
+            .map(|t| t.to_vec())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subjective_detection() {
+        let kb = KnowledgeBase::new();
+        assert!(kb.is_subjective("exciting"));
+        assert!(kb.is_subjective("Boring"));
+        assert!(!kb.is_subjective("year"));
+        let found = kb.subjective_terms_in(
+            "Sort the films by how exciting they are, but the poster should be 'boring'",
+        );
+        assert_eq!(found, vec!["exciting".to_string(), "boring".to_string()]);
+    }
+
+    #[test]
+    fn keywords_for_uncommon_scenes_cover_violence_and_danger() {
+        let kb = KnowledgeBase::new();
+        // The exact user reply simulated in §6.
+        let kws = kb.keywords_for("The movie plot contains scenes that are uncommon in real life");
+        assert!(kws.contains(&"gun".to_string()));
+        assert!(kws.contains(&"murder".to_string()));
+        assert!(kws.contains(&"jump".to_string()));
+        assert!(!kws.contains(&"tea".to_string()));
+    }
+
+    #[test]
+    fn keywords_fallback_is_nonempty() {
+        let kb = KnowledgeBase::new();
+        assert!(!kb.keywords_for("something entirely unrelated").is_empty());
+    }
+
+    #[test]
+    fn gazetteer_classes() {
+        let kb = KnowledgeBase::new();
+        assert_eq!(kb.entity_class("Irwin Winkler"), Some("person"));
+        assert_eq!(kb.entity_class("Hollywood"), Some("place"));
+        assert_eq!(kb.entity_class("HUAC"), Some("organization"));
+        assert_eq!(kb.entity_class("Zzyzx"), None);
+        // Partial-name match (a mention like "Swift").
+        assert_eq!(kb.entity_class("Swift"), Some("person"));
+    }
+
+    #[test]
+    fn exciting_object_classes_contain_paper_examples() {
+        let kb = KnowledgeBase::new();
+        let classes = kb.exciting_object_classes();
+        // "e.g., weapons, motorcycles" (§1).
+        assert!(classes.contains(&"weapon".to_string()));
+        assert!(classes.contains(&"motorcycle".to_string()));
+    }
+}

@@ -1,0 +1,280 @@
+//! Rule-based named-entity recognition and coreference resolution.
+//!
+//! Populates the text semantic graph of Table 2: entities, their mentions
+//! (full names, pronouns, aliases), and character spans. The paper's example
+//! — "Taylor", "Mrs. Swift", and "she" all resolving to one entity — is the
+//! acceptance test for this module.
+
+use crate::KnowledgeBase;
+
+/// One extracted mention before entity resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawMention {
+    /// Sentence index within the document.
+    pub sentence: usize,
+    /// Character span start (document offsets).
+    pub span1: usize,
+    /// Character span end.
+    pub span2: usize,
+    /// Surface text.
+    pub surface: String,
+    /// Whether this is a pronoun.
+    pub pronoun: bool,
+}
+
+/// A resolved entity with all its mentions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedEntity {
+    /// Entity index within the document (becomes `eid`).
+    pub id: usize,
+    /// Canonical (longest) surface form.
+    pub canonical: String,
+    /// Entity class (`person`, `organization`, `place`, `thing`).
+    pub class: String,
+    /// Mentions pointing at this entity.
+    pub mentions: Vec<RawMention>,
+}
+
+const PRONOUNS: [&str; 8] = ["he", "she", "they", "him", "her", "them", "his", "hers"];
+const SENTENCE_STOPWORDS: [&str; 14] = [
+    "The", "A", "An", "In", "On", "At", "It", "He", "She", "They", "But", "And", "After", "When",
+];
+const HONORIFICS: [&str; 5] = ["Mr.", "Mrs.", "Ms.", "Dr.", "Sir"];
+
+/// Extracts raw mentions (capitalized spans + pronouns) from sentence-split
+/// text. `sentences` are `(start, end, text)` document-offset triples.
+pub fn extract_mentions(sentences: &[(usize, usize, &str)]) -> Vec<RawMention> {
+    let mut out = Vec::new();
+    for (si, (sstart, _send, stext)) in sentences.iter().enumerate() {
+        let mut i = 0usize;
+        let words: Vec<(usize, &str)> = tokenize_with_offsets(stext);
+        while i < words.len() {
+            let (off, w) = words[i];
+            let clean = clean_token(w);
+            if clean.is_empty() {
+                i += 1;
+                continue;
+            }
+            let lower = clean.to_lowercase();
+            if PRONOUNS.contains(&lower.as_str()) {
+                out.push(RawMention {
+                    sentence: si,
+                    span1: sstart + off,
+                    span2: sstart + off + clean.len(),
+                    surface: clean.to_string(),
+                    pronoun: true,
+                });
+                i += 1;
+                continue;
+            }
+            let is_cap = clean.chars().next().is_some_and(char::is_uppercase);
+            let sentence_initial = i == 0;
+            let skip_stopword = sentence_initial && SENTENCE_STOPWORDS.contains(&clean);
+            if is_cap && !skip_stopword && (!sentence_initial || HONORIFICS.contains(&clean) || clean.len() > 1)
+            {
+                // Greedily take the run of capitalized words.
+                let mut j = i;
+                let mut end_off = off + clean.len();
+                let mut surface = clean.to_string();
+                while j + 1 < words.len() {
+                    let (noff, nw) = words[j + 1];
+                    let nclean = clean_token(nw);
+                    if nclean.chars().next().is_some_and(char::is_uppercase)
+                        && !PRONOUNS.contains(&nclean.to_lowercase().as_str())
+                    {
+                        surface.push(' ');
+                        surface.push_str(nclean);
+                        end_off = noff + nclean.len();
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Sentence-initial single stopword-like words were filtered
+                // above; runs starting with a stopword keep the tail only.
+                if sentence_initial && SENTENCE_STOPWORDS.contains(&clean) {
+                    i = j + 1;
+                    continue;
+                }
+                out.push(RawMention {
+                    sentence: si,
+                    span1: sstart + off,
+                    span2: sstart + end_off,
+                    surface,
+                    pronoun: false,
+                });
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Trims punctuation but keeps the trailing period of honorifics ("Mrs.").
+fn clean_token(w: &str) -> &str {
+    let t = w.trim_matches(|c: char| !c.is_alphanumeric() && c != '.');
+    if HONORIFICS.contains(&t) {
+        t
+    } else {
+        t.trim_end_matches('.')
+    }
+}
+
+fn tokenize_with_offsets(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s, &text[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &text[s..]));
+    }
+    out
+}
+
+/// Resolves mentions into entities: name mentions cluster by token overlap
+/// (after stripping honorifics); pronouns attach to the most recent
+/// compatible entity.
+pub fn resolve_entities(mentions: Vec<RawMention>, kb: &KnowledgeBase) -> Vec<ResolvedEntity> {
+    let mut entities: Vec<ResolvedEntity> = Vec::new();
+    for m in mentions {
+        if m.pronoun {
+            // Attach to the most recent person entity, else most recent any;
+            // unattachable pronouns (no antecedent) are dropped.
+            let target = entities
+                .iter()
+                .rposition(|e| e.class == "person")
+                .or_else(|| entities.len().checked_sub(1));
+            if let Some(i) = target {
+                entities[i].mentions.push(m);
+            }
+            continue;
+        }
+        let key_tokens = name_tokens(&m.surface);
+        let found = entities.iter_mut().find(|e| {
+            let etoks = name_tokens(&e.canonical);
+            // Alias rule: token sets overlap ("Taylor" ⊂ "Taylor Swift";
+            // "Mrs. Swift" shares "swift").
+            key_tokens.iter().any(|t| etoks.contains(t))
+        });
+        match found {
+            Some(e) => {
+                // Keep the longest surface form as canonical.
+                if name_tokens(&m.surface).len() > name_tokens(&e.canonical).len() {
+                    e.canonical = strip_honorific(&m.surface);
+                }
+                e.mentions.push(m);
+            }
+            None => {
+                let canonical = strip_honorific(&m.surface);
+                let class = kb
+                    .entity_class(&canonical)
+                    .unwrap_or("thing")
+                    .to_string();
+                entities.push(ResolvedEntity {
+                    id: entities.len(),
+                    canonical,
+                    class,
+                    mentions: vec![m],
+                });
+            }
+        }
+    }
+    entities
+}
+
+fn strip_honorific(s: &str) -> String {
+    let mut out = s.to_string();
+    for h in HONORIFICS {
+        if let Some(rest) = out.strip_prefix(h) {
+            out = rest.trim_start().to_string();
+        }
+    }
+    out
+}
+
+fn name_tokens(s: &str) -> Vec<String> {
+    s.split_whitespace()
+        .map(|t| t.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
+        .filter(|t| !t.is_empty() && !HONORIFICS.iter().any(|h| h.trim_end_matches('.').eq_ignore_ascii_case(t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_media::split_sentences;
+
+    fn run(text: &str) -> Vec<ResolvedEntity> {
+        let kb = KnowledgeBase::new();
+        let sentences = split_sentences(text);
+        resolve_entities(extract_mentions(&sentences), &kb)
+    }
+
+    #[test]
+    fn paper_example_taylor_swift_resolves_to_one_entity() {
+        // §3: "Taylor" and "Mrs. Swift" have different mids but the same eid.
+        let ents = run("Taylor Swift released an album. Later Mrs. Swift toured. She sang.");
+        let taylor: Vec<_> = ents
+            .iter()
+            .filter(|e| e.canonical.to_lowercase().contains("swift"))
+            .collect();
+        assert_eq!(taylor.len(), 1, "expected one Swift entity, got {ents:?}");
+        let e = taylor[0];
+        assert_eq!(e.class, "person");
+        // Full name + alias + pronoun = 3 mentions.
+        assert!(e.mentions.len() >= 3, "mentions: {:?}", e.mentions);
+        assert_eq!(e.canonical, "Taylor Swift");
+    }
+
+    #[test]
+    fn director_relationship_entities_exist() {
+        let ents = run("Irwin Winkler directed Guilty by Suspicion in Hollywood.");
+        let names: Vec<_> = ents.iter().map(|e| e.canonical.as_str()).collect();
+        assert!(names.contains(&"Irwin Winkler"));
+        assert!(names.iter().any(|n| n.contains("Guilty")));
+        assert!(names.contains(&"Hollywood"));
+        let winkler = ents.iter().find(|e| e.canonical == "Irwin Winkler").unwrap();
+        assert_eq!(winkler.class, "person");
+    }
+
+    #[test]
+    fn mention_spans_index_into_document() {
+        let text = "Taylor Swift sang. Mrs. Swift bowed.";
+        let sentences = split_sentences(text);
+        let mentions = extract_mentions(&sentences);
+        for m in &mentions {
+            assert_eq!(&text[m.span1..m.span2], m.surface, "span mismatch");
+        }
+    }
+
+    #[test]
+    fn sentence_initial_stopwords_are_not_entities() {
+        let ents = run("The dog fell into a pool. It swam.");
+        assert!(
+            !ents.iter().any(|e| e.canonical == "The"),
+            "stopword leaked: {ents:?}"
+        );
+    }
+
+    #[test]
+    fn unattached_pronouns_are_dropped() {
+        let ents = run("she walked away.");
+        assert!(ents.is_empty());
+    }
+
+    #[test]
+    fn distinct_people_stay_distinct() {
+        let ents = run("Robert De Niro met Annette Bening.");
+        let people: Vec<_> = ents.iter().filter(|e| e.class == "person").collect();
+        assert_eq!(people.len(), 2, "{ents:?}");
+    }
+}

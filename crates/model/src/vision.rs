@@ -1,0 +1,296 @@
+//! Simulated vision models: `SimVlm` (detector) and `SimOcr` (text reader).
+//!
+//! These are the two alternative physical implementations the paper's
+//! optimizer chooses between for an image-to-text operator — "a VLM-based
+//! implementation or an OCR-based implementation such as Tesseract" (§4).
+//! The VLM is accurate but expensive; OCR is cheap but only sees legible
+//! text. Both operate on structured [`Image`] descriptors (DESIGN.md §1).
+
+use crate::TokenMeter;
+use kath_media::{BBox, Image, MediaError};
+use kath_vector::fnv1a;
+
+/// One detection produced by a vision model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Predicted class label.
+    pub class: String,
+    /// Predicted bounding box.
+    pub bbox: BBox,
+    /// Detection confidence in `[0,1]`.
+    pub confidence: f64,
+    /// Predicted key/value attributes.
+    pub attributes: Vec<(String, String)>,
+    /// Track id passed through from the descriptor (videos).
+    pub track_id: Option<u32>,
+}
+
+/// A simulated vision-language model.
+#[derive(Debug, Clone)]
+pub struct SimVlm {
+    /// Probability of detecting a fully-salient object; low-saliency objects
+    /// degrade proportionally. 1.0 = perfect detector.
+    pub recall: f64,
+    /// Flat token cost per analyzed image (VLMs bill image tokens).
+    pub tokens_per_image: u64,
+    seed: u64,
+    meter: TokenMeter,
+}
+
+impl SimVlm {
+    /// An accurate, expensive detector (the "expensive model" of a cascade).
+    pub fn accurate(seed: u64, meter: TokenMeter) -> Self {
+        Self {
+            recall: 0.98,
+            tokens_per_image: 1100,
+            seed,
+            meter,
+        }
+    }
+
+    /// A cheap, noisy detector (the cascade's first stage).
+    pub fn cheap(seed: u64, meter: TokenMeter) -> Self {
+        Self {
+            recall: 0.75,
+            tokens_per_image: 180,
+            seed,
+            meter,
+        }
+    }
+
+    /// Custom detector.
+    pub fn with_recall(recall: f64, tokens_per_image: u64, seed: u64, meter: TokenMeter) -> Self {
+        Self {
+            recall: recall.clamp(0.0, 1.0),
+            tokens_per_image,
+            seed,
+            meter,
+        }
+    }
+
+    /// Runs detection over a decoded image. Fails on unsupported formats —
+    /// the caller (execution monitor) owns the repair loop.
+    pub fn detect(&self, image: &Image) -> Result<Vec<Detection>, MediaError> {
+        image.decode()?;
+        self.meter.charge_raw(self.tokens_per_image, 40);
+        let mut out = Vec::new();
+        for (i, obj) in image.objects.iter().enumerate() {
+            // Detection probability = recall, scaled by object saliency.
+            let p = self.recall * (0.35 + 0.65 * obj.saliency);
+            let roll = self.unit_roll(&image.uri, i);
+            if roll < p {
+                out.push(Detection {
+                    class: obj.class.clone(),
+                    bbox: obj.bbox,
+                    confidence: (p * (0.85 + 0.15 * obj.saliency)).clamp(0.0, 1.0),
+                    attributes: obj.attributes.clone(),
+                    track_id: obj.track_id,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mean detection confidence for an image (used as cascade gate).
+    pub fn confidence(&self, detections: &[Detection]) -> f64 {
+        if detections.is_empty() {
+            // An empty result from a noisy model is itself low-confidence.
+            1.0 - self.recall
+        } else {
+            detections.iter().map(|d| d.confidence).sum::<f64>() / detections.len() as f64
+        }
+    }
+
+    fn unit_roll(&self, uri: &str, index: usize) -> f64 {
+        let h = fnv1a(uri.as_bytes()) ^ self.seed ^ (index as u64).wrapping_mul(0x9E3779B9);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A simulated OCR engine (Tesseract stand-in): reads only legible text.
+#[derive(Debug, Clone)]
+pub struct SimOcr {
+    /// Flat token cost per image (cheap: no model inference).
+    pub tokens_per_image: u64,
+    meter: TokenMeter,
+}
+
+impl SimOcr {
+    /// Builds the OCR engine.
+    pub fn new(meter: TokenMeter) -> Self {
+        Self {
+            tokens_per_image: 15,
+            meter,
+        }
+    }
+
+    /// Extracts visible text snippets, in reading order (top-to-bottom,
+    /// left-to-right by box origin).
+    pub fn read_text(&self, image: &Image) -> Result<Vec<String>, MediaError> {
+        image.decode()?;
+        self.meter.charge_raw(self.tokens_per_image, 10);
+        let mut texted: Vec<(&kath_media::ImageObject, &str)> = image
+            .objects
+            .iter()
+            .filter_map(|o| o.text.as_deref().map(|t| (o, t)))
+            .collect();
+        texted.sort_by(|a, b| {
+            a.0.bbox
+                .y1
+                .total_cmp(&b.0.bbox.y1)
+                .then(a.0.bbox.x1.total_cmp(&b.0.bbox.x1))
+        });
+        Ok(texted.into_iter().map(|(_, t)| t.to_string()).collect())
+    }
+}
+
+/// A two-stage model cascade: run the cheap model; escalate to the
+/// expensive model when confidence falls below the threshold (§1: "physical
+/// choices (e.g., model cascades)").
+#[derive(Debug, Clone)]
+pub struct VlmCascade {
+    /// First-stage model.
+    pub cheap: SimVlm,
+    /// Escalation model.
+    pub expensive: SimVlm,
+    /// Escalate when cheap-stage confidence < threshold.
+    pub threshold: f64,
+}
+
+impl VlmCascade {
+    /// Standard cascade over a shared meter.
+    pub fn new(seed: u64, meter: TokenMeter, threshold: f64) -> Self {
+        Self {
+            cheap: SimVlm::cheap(seed, meter.clone()),
+            expensive: SimVlm::accurate(seed.wrapping_add(1), meter),
+            threshold,
+        }
+    }
+
+    /// Detects with escalation; returns detections and whether it escalated.
+    pub fn detect(&self, image: &Image) -> Result<(Vec<Detection>, bool), MediaError> {
+        let first = self.cheap.detect(image)?;
+        if self.cheap.confidence(&first) >= self.threshold {
+            Ok((first, false))
+        } else {
+            Ok((self.expensive.detect(image)?, true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_media::{Color, ImageObject, MediaFormat};
+
+    fn poster(uri: &str, format: MediaFormat) -> Image {
+        Image::new(uri, format)
+            .with_color(Color::rgb(200, 30, 30))
+            .with_object(
+                ImageObject::new("person", BBox::new(0.1, 0.1, 0.5, 0.9)).with_saliency(1.0),
+            )
+            .with_object(
+                ImageObject::new("gun", BBox::new(0.45, 0.4, 0.6, 0.6))
+                    .with_saliency(0.9)
+                    .with_attr("color", "black"),
+            )
+            .with_object(
+                ImageObject::new("text", BBox::new(0.1, 0.0, 0.9, 0.08))
+                    .with_saliency(0.2)
+                    .with_text("GUILTY BY SUSPICION"),
+            )
+    }
+
+    #[test]
+    fn accurate_vlm_finds_salient_objects() {
+        let meter = TokenMeter::new();
+        let vlm = SimVlm::accurate(7, meter.clone());
+        let dets = vlm.detect(&poster("p1.png", MediaFormat::Png)).unwrap();
+        let classes: Vec<_> = dets.iter().map(|d| d.class.as_str()).collect();
+        assert!(classes.contains(&"person"));
+        assert!(classes.contains(&"gun"));
+        assert_eq!(meter.usage().calls, 1);
+        assert!(meter.usage().prompt_tokens >= 1100);
+    }
+
+    #[test]
+    fn cheap_vlm_misses_more_across_a_corpus() {
+        let meter = TokenMeter::new();
+        let cheap = SimVlm::cheap(7, meter.clone());
+        let accurate = SimVlm::accurate(7, meter);
+        let (mut cheap_hits, mut acc_hits) = (0usize, 0usize);
+        for i in 0..60 {
+            let img = poster(&format!("p{i}.png"), MediaFormat::Png);
+            cheap_hits += cheap.detect(&img).unwrap().len();
+            acc_hits += accurate.detect(&img).unwrap().len();
+        }
+        assert!(
+            cheap_hits < acc_hits,
+            "cheap={cheap_hits} accurate={acc_hits}"
+        );
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let vlm = SimVlm::accurate(7, TokenMeter::new());
+        let img = poster("same.png", MediaFormat::Png);
+        assert_eq!(vlm.detect(&img).unwrap(), vlm.detect(&img).unwrap());
+    }
+
+    #[test]
+    fn heic_fails_decode_for_all_models() {
+        let img = poster("p.heic", MediaFormat::Heic);
+        let vlm = SimVlm::accurate(7, TokenMeter::new());
+        assert!(matches!(
+            vlm.detect(&img),
+            Err(MediaError::UnsupportedFormat(_))
+        ));
+        let ocr = SimOcr::new(TokenMeter::new());
+        assert!(ocr.read_text(&img).is_err());
+        // The rewriter's conversion patch makes it decodable.
+        let fixed = img.convert_to(MediaFormat::Png);
+        assert!(vlm.detect(&fixed).is_ok());
+    }
+
+    #[test]
+    fn ocr_reads_only_text() {
+        let ocr = SimOcr::new(TokenMeter::new());
+        let texts = ocr.read_text(&poster("p.png", MediaFormat::Png)).unwrap();
+        assert_eq!(texts, vec!["GUILTY BY SUSPICION".to_string()]);
+    }
+
+    #[test]
+    fn ocr_is_cheaper_than_vlm() {
+        let m1 = TokenMeter::new();
+        let m2 = TokenMeter::new();
+        let img = poster("p.png", MediaFormat::Png);
+        SimOcr::new(m1.clone()).read_text(&img).unwrap();
+        SimVlm::accurate(7, m2.clone()).detect(&img).unwrap();
+        assert!(m1.usage().total() * 10 < m2.usage().total());
+    }
+
+    #[test]
+    fn cascade_escalates_on_low_confidence() {
+        let meter = TokenMeter::new();
+        // Threshold 0.99: the cheap stage can never reach it → always
+        // escalates.
+        let cascade = VlmCascade::new(7, meter.clone(), 0.99);
+        let (_dets, escalated) = cascade.detect(&poster("p.png", MediaFormat::Png)).unwrap();
+        assert!(escalated);
+        // Threshold 0.0: never escalates.
+        let cascade = VlmCascade::new(7, TokenMeter::new(), 0.0);
+        let (_d, escalated) = cascade.detect(&poster("p.png", MediaFormat::Png)).unwrap();
+        assert!(!escalated);
+    }
+
+    #[test]
+    fn attributes_pass_through() {
+        let vlm = SimVlm::accurate(7, TokenMeter::new());
+        let dets = vlm.detect(&poster("p.png", MediaFormat::Png)).unwrap();
+        let gun = dets.iter().find(|d| d.class == "gun").unwrap();
+        assert_eq!(
+            gun.attributes,
+            vec![("color".to_string(), "black".to_string())]
+        );
+    }
+}

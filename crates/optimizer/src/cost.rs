@@ -1,0 +1,178 @@
+//! The unified cost model (§1: "compare alternatives for the same sub-task
+//! under a unified cost model, optimizing query accuracy and token cost").
+//!
+//! Profiled sample costs are extrapolated to full-table cardinalities using
+//! classical selectivity estimates from `kath-storage` statistics.
+
+use kath_fao::{FunctionBody, FunctionRegistry};
+use kath_storage::Catalog;
+
+/// A cost estimate for one function or a whole plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostEstimate {
+    /// Estimated simulated tokens.
+    pub tokens: f64,
+    /// Estimated runtime, milliseconds.
+    pub runtime_ms: f64,
+    /// Estimated accuracy in `[0,1]` (product over nodes).
+    pub accuracy: f64,
+}
+
+impl CostEstimate {
+    /// Scalar cost (same weighting as `ProfileStats::cost`).
+    pub fn scalar(&self) -> f64 {
+        self.tokens + self.runtime_ms / 1000.0
+    }
+}
+
+/// Estimates the cost of executing a function's active version over its
+/// full inputs, by scaling the sample profile linearly in input rows (model
+/// calls in KathDB are per-row, so linear scaling is the right first-order
+/// model).
+pub fn estimate_function(
+    registry: &FunctionRegistry,
+    catalog: &Catalog,
+    func_id: &str,
+) -> Option<CostEstimate> {
+    let entry = registry.get(func_id).ok()?;
+    let version = entry.active_version();
+    let profile = version.profile.as_ref()?;
+    let full_rows: usize = match &version.body {
+        FunctionBody::ViewPopulate { .. } => profile.rows_in.max(1),
+        body => body
+            .inputs()
+            .iter()
+            .map(|t| catalog.get(t).map(|t| t.len()).unwrap_or(profile.rows_in))
+            .sum(),
+    };
+    let scale = if profile.rows_in == 0 {
+        1.0
+    } else {
+        full_rows as f64 / profile.rows_in as f64
+    };
+    Some(CostEstimate {
+        tokens: profile.tokens as f64 * scale,
+        runtime_ms: profile.runtime_ms * scale,
+        accuracy: profile.accuracy.unwrap_or(1.0),
+    })
+}
+
+/// Estimates a whole plan: tokens/runtime add, accuracies multiply (§4's
+/// observation that more, smaller functions compound accuracy differently
+/// than few large ones).
+pub fn estimate_plan(
+    registry: &FunctionRegistry,
+    catalog: &Catalog,
+    func_ids: &[String],
+) -> CostEstimate {
+    let mut total = CostEstimate {
+        accuracy: 1.0,
+        ..Default::default()
+    };
+    for f in func_ids {
+        if let Some(e) = estimate_function(registry, catalog, f) {
+            total.tokens += e.tokens;
+            total.runtime_ms += e.runtime_ms;
+            total.accuracy *= e.accuracy;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_fao::{FunctionSignature, ProfileStats};
+    use kath_storage::{DataType, Schema, Table};
+
+    fn setup() -> (FunctionRegistry, Catalog) {
+        let mut registry = FunctionRegistry::new();
+        registry.register(
+            FunctionSignature::new("f", "maps", vec!["t".into()], "o"),
+            FunctionBody::MapExpr {
+                input: "t".into(),
+                expr: "x + 1".into(),
+                output_column: "y".into(),
+            },
+            "initial",
+        );
+        registry
+            .set_profile(
+                "f",
+                1,
+                ProfileStats {
+                    runtime_ms: 2.0,
+                    tokens: 40,
+                    rows_in: 4,
+                    rows_out: 4,
+                    accuracy: Some(0.9),
+                },
+            )
+            .unwrap();
+        let mut catalog = Catalog::new();
+        let mut t = Table::new("t", Schema::of(&[("x", DataType::Int)]));
+        for i in 0..100i64 {
+            t.push(vec![i.into()]).unwrap();
+        }
+        catalog.register(t).unwrap();
+        (registry, catalog)
+    }
+
+    #[test]
+    fn linear_extrapolation_from_sample() {
+        let (registry, catalog) = setup();
+        let e = estimate_function(&registry, &catalog, "f").unwrap();
+        // 100 rows / 4 sampled = 25x.
+        assert!((e.tokens - 1000.0).abs() < 1e-9);
+        assert!((e.runtime_ms - 50.0).abs() < 1e-9);
+        assert_eq!(e.accuracy, 0.9);
+        assert!(e.scalar() > 1000.0);
+    }
+
+    #[test]
+    fn plan_estimate_compounds_accuracy() {
+        let (mut registry, catalog) = setup();
+        registry.register(
+            FunctionSignature::new("g", "maps", vec!["t".into()], "o2"),
+            FunctionBody::MapExpr {
+                input: "t".into(),
+                expr: "x * 2".into(),
+                output_column: "z".into(),
+            },
+            "initial",
+        );
+        registry
+            .set_profile(
+                "g",
+                1,
+                ProfileStats {
+                    runtime_ms: 1.0,
+                    tokens: 10,
+                    rows_in: 4,
+                    rows_out: 4,
+                    accuracy: Some(0.8),
+                },
+            )
+            .unwrap();
+        let e = estimate_plan(&registry, &catalog, &["f".into(), "g".into()]);
+        assert!((e.accuracy - 0.72).abs() < 1e-9);
+        assert!(e.tokens > 1000.0);
+    }
+
+    #[test]
+    fn unprofiled_functions_are_skipped() {
+        let (mut registry, catalog) = setup();
+        registry.register(
+            FunctionSignature::new("h", "unprofiled", vec!["t".into()], "o3"),
+            FunctionBody::FilterExpr {
+                input: "t".into(),
+                predicate: "x > 0".into(),
+            },
+            "initial",
+        );
+        assert!(estimate_function(&registry, &catalog, "h").is_none());
+        let e = estimate_plan(&registry, &catalog, &["h".into()]);
+        assert_eq!(e.tokens, 0.0);
+        assert_eq!(e.accuracy, 1.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! KathDB query optimizer (§2.2, §4).
+//!
+//! Translates a verified logical plan into a low-cost physical plan: the
+//! *coder* writes structured function bodies from node specs and sampled
+//! rows, the *profiler* executes them on samples to record runtime/token
+//! cost, the *critic* checks semantic direction and sends corrective hints
+//! back to the coder, and the selector picks the cheapest implementation
+//! meeting the accuracy floor. Logical rewrites (predicate pushdown, dead
+//! node elimination) run first.
+
+#![warn(missing_docs)]
+
+mod coder;
+mod compile;
+mod cost;
+mod rewrite;
+
+pub use coder::{synthesize, CoderContext, CoderFaults};
+pub use compile::{compile, CompileOptions, CompileReport, CritiqueEvent, SelectionEvent};
+pub use cost::{estimate_function, estimate_plan, CostEstimate};
+pub use rewrite::{
+    eliminate_dead_nodes, predicate_pushdown, rewrite_plan, RewriteEvent,
+};

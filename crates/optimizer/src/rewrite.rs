@@ -1,0 +1,258 @@
+//! Logical plan rewrites (§4: "push predicates closer to data sources and
+//! merge two function signatures into one to avoid unnecessary intermediate
+//! result materialization").
+
+use kath_parser::{LogicalPlan, StepTag};
+
+/// A rewrite the optimizer applied, for the explainer and the ablation
+/// bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteEvent {
+    /// Which rule fired.
+    pub rule: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Applies all enabled logical rewrites, returning the new plan and the
+/// rewrite log.
+pub fn rewrite_plan(
+    plan: LogicalPlan,
+    enable_pushdown: bool,
+    enable_dead_node_elimination: bool,
+) -> (LogicalPlan, Vec<RewriteEvent>) {
+    let mut events = Vec::new();
+    let mut plan = plan;
+    if enable_pushdown {
+        let (p, e) = predicate_pushdown(plan);
+        plan = p;
+        events.extend(e);
+    }
+    if enable_dead_node_elimination {
+        let (p, e) = eliminate_dead_nodes(plan);
+        plan = p;
+        events.extend(e);
+    }
+    (plan, events)
+}
+
+/// Moves each `FilterFlag` node to immediately after the node producing its
+/// flag, so downstream operators (joins, scorers) see fewer rows.
+pub fn predicate_pushdown(mut plan: LogicalPlan) -> (LogicalPlan, Vec<RewriteEvent>) {
+    let mut events = Vec::new();
+    loop {
+        // Find a filter that sits later than producer+1.
+        let mut movement: Option<(usize, usize)> = None;
+        for (i, node) in plan.nodes.iter().enumerate() {
+            if !matches!(node.tag, StepTag::FilterFlag { .. }) {
+                continue;
+            }
+            let input = &node.signature.inputs[0];
+            let producer = plan
+                .nodes
+                .iter()
+                .position(|n| &n.signature.output == input);
+            if let Some(p) = producer {
+                if i > p + 1 {
+                    movement = Some((i, p + 1));
+                    break;
+                }
+            }
+        }
+        let Some((from, to)) = movement else { break };
+        let filter = plan.nodes.remove(from);
+        let producer_output = filter.signature.inputs[0].clone();
+        let filter_output = filter.signature.output.clone();
+        events.push(RewriteEvent {
+            rule: "predicate_pushdown".into(),
+            detail: format!(
+                "moved {} next to the producer of '{}'",
+                filter.signature.name, producer_output
+            ),
+        });
+        plan.nodes.insert(to, filter);
+        // Rewire: nodes between the new position and the old one that read
+        // the producer's output now read the filtered output instead, so the
+        // predicate actually reduces their input.
+        for node in plan.nodes.iter_mut().skip(to + 1) {
+            for input in node.signature.inputs.iter_mut() {
+                if *input == producer_output {
+                    *input = filter_output.clone();
+                }
+            }
+        }
+    }
+    (plan, events)
+}
+
+/// Removes nodes whose output nothing consumes (and which is not the final
+/// output) — repeated until a fixpoint, so chains of dead producers die too.
+pub fn eliminate_dead_nodes(mut plan: LogicalPlan) -> (LogicalPlan, Vec<RewriteEvent>) {
+    let mut events = Vec::new();
+    loop {
+        let last = plan.nodes.len().saturating_sub(1);
+        let dead = plan.nodes.iter().enumerate().position(|(i, node)| {
+            if i == last || node.prewritten {
+                return false;
+            }
+            !plan
+                .nodes
+                .iter()
+                .any(|n| n.signature.inputs.contains(&node.signature.output))
+        });
+        let Some(idx) = dead else { break };
+        let node = plan.nodes.remove(idx);
+        events.push(RewriteEvent {
+            rule: "dead_node_elimination".into(),
+            detail: format!(
+                "removed {} (output '{}' is never consumed)",
+                node.signature.name, node.signature.output
+            ),
+        });
+    }
+    (plan, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_fao::FunctionSignature;
+    use kath_parser::LogicalNode;
+
+    fn node(name: &str, inputs: Vec<&str>, output: &str, tag: StepTag) -> LogicalNode {
+        LogicalNode {
+            signature: FunctionSignature::new(
+                name,
+                "d",
+                inputs.into_iter().map(String::from).collect(),
+                output,
+            ),
+            tag,
+            prewritten: false,
+        }
+    }
+
+    /// A deliberately suboptimal plan: classify → join → filter, where the
+    /// filter could run right after classify.
+    fn late_filter_plan() -> LogicalPlan {
+        LogicalPlan {
+            nodes: vec![
+                node(
+                    "classify_boring",
+                    vec!["films"],
+                    "flagged",
+                    StepTag::VisualClassify {
+                        term: "boring".into(),
+                    },
+                ),
+                node(
+                    "join_scores",
+                    vec!["flagged", "scores"],
+                    "joined",
+                    StepTag::JoinScores,
+                ),
+                node(
+                    "filter_boring",
+                    vec!["flagged"],
+                    "boring_only",
+                    StepTag::FilterFlag {
+                        term: "boring".into(),
+                        keep: true,
+                    },
+                ),
+                node("rank", vec!["joined"], "final", StepTag::FinalRank),
+            ],
+        }
+    }
+
+    #[test]
+    fn pushdown_moves_filter_after_producer_and_rewires() {
+        let (plan, events) = predicate_pushdown(late_filter_plan());
+        assert_eq!(events.len(), 1);
+        let names: Vec<&str> = plan
+            .nodes
+            .iter()
+            .map(|n| n.signature.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["classify_boring", "filter_boring", "join_scores", "rank"]
+        );
+        // The join now consumes the *filtered* table.
+        let join = plan.node("join_scores").unwrap();
+        assert!(join.signature.inputs.contains(&"boring_only".to_string()));
+        assert!(!join.signature.inputs.contains(&"flagged".to_string()));
+    }
+
+    #[test]
+    fn pushdown_is_a_noop_on_already_tight_plans() {
+        let (plan, events) = predicate_pushdown(LogicalPlan {
+            nodes: vec![
+                node(
+                    "classify_boring",
+                    vec!["films"],
+                    "flagged",
+                    StepTag::VisualClassify {
+                        term: "boring".into(),
+                    },
+                ),
+                node(
+                    "filter_boring",
+                    vec!["flagged"],
+                    "boring_only",
+                    StepTag::FilterFlag {
+                        term: "boring".into(),
+                        keep: true,
+                    },
+                ),
+            ],
+        });
+        assert!(events.is_empty());
+        assert_eq!(plan.nodes.len(), 2);
+    }
+
+    #[test]
+    fn dead_nodes_are_eliminated_transitively() {
+        let plan = LogicalPlan {
+            nodes: vec![
+                node("a", vec!["base"], "a_out", StepTag::SelectColumns),
+                // b feeds only c; c feeds nothing → both die.
+                node("b", vec!["base"], "b_out", StepTag::JoinImageView),
+                node(
+                    "c",
+                    vec!["b_out"],
+                    "c_out",
+                    StepTag::VisualClassify {
+                        term: "boring".into(),
+                    },
+                ),
+                node("rank", vec!["a_out"], "final", StepTag::FinalRank),
+            ],
+        };
+        let (plan, events) = eliminate_dead_nodes(plan);
+        assert_eq!(events.len(), 2);
+        let names: Vec<&str> = plan
+            .nodes
+            .iter()
+            .map(|n| n.signature.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "rank"]);
+    }
+
+    #[test]
+    fn final_node_is_never_eliminated() {
+        let plan = LogicalPlan {
+            nodes: vec![node("only", vec!["base"], "final", StepTag::FinalRank)],
+        };
+        let (plan, events) = eliminate_dead_nodes(plan);
+        assert!(events.is_empty());
+        assert_eq!(plan.nodes.len(), 1);
+    }
+
+    #[test]
+    fn rewrite_plan_composes_rules() {
+        let (plan, events) = rewrite_plan(late_filter_plan(), true, true);
+        assert!(!events.is_empty());
+        assert!(plan.node("filter_boring").is_some());
+    }
+}

@@ -1,0 +1,217 @@
+//! Query-intent extraction from natural language.
+//!
+//! The NL parser's first job is understanding what the user wants before
+//! committing to a sketch. Intent extraction is deterministic (it stands in
+//! for the LLM's reading of the query) and deliberately conservative: what
+//! it cannot ground becomes a clarification question (§5).
+
+use kath_model::SimLlm;
+
+/// What the user wants done with a concept: rank by it or filter on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConceptUse {
+    /// Order results by the concept score (e.g. "sort by how exciting").
+    RankBy,
+    /// Keep only rows matching the concept (e.g. "poster should be boring").
+    FilterBy {
+        /// Keep rows *matching* the concept if true.
+        keep_matching: bool,
+    },
+}
+
+/// Which modality a concept applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modality {
+    /// Plot/description text.
+    Text,
+    /// Poster/frame images.
+    Image,
+}
+
+/// One concept extracted from the query ("exciting" over text, "boring"
+/// over the poster image).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptIntent {
+    /// The subjective term as the user wrote it.
+    pub term: String,
+    /// How it is used.
+    pub usage: ConceptUse,
+    /// The modality it grounds in.
+    pub modality: Modality,
+    /// The user's clarification of the term, once obtained.
+    pub clarification: Option<String>,
+}
+
+/// Additional ranking factors introduced by reactive corrections (§5),
+/// e.g. "I prefer more recent movies when scoring".
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtraFactor {
+    /// Favor recent release years.
+    Recency,
+    /// Favor older release years.
+    Age,
+}
+
+/// The extracted intent of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryIntent {
+    /// Original NL query.
+    pub query: String,
+    /// Extracted concepts, in textual order.
+    pub concepts: Vec<ConceptIntent>,
+    /// Extra factors from corrections, in arrival order.
+    pub extra_factors: Vec<ExtraFactor>,
+}
+
+/// Words that signal image/poster modality.
+const IMAGE_CUES: [&str; 5] = ["poster", "image", "picture", "photo", "frame"];
+
+/// Extracts intent from an NL query. Subjective terms become concepts; a
+/// term within an image-cue clause grounds in the image, otherwise in text.
+/// "should be" / "must be" phrasing marks a filter; ranking verbs ("sort",
+/// "rank", "order") mark the ranking concept.
+pub fn extract_intent(query: &str, llm: &SimLlm) -> QueryIntent {
+    let lower = query.to_lowercase();
+    let terms = llm.knowledge().subjective_terms_in(query);
+    let mut concepts = Vec::new();
+    for term in terms {
+        let pos = lower.find(&term).unwrap_or(0);
+        // Image modality if an image cue appears within the same clause
+        // (between the previous comma/`but` and the term).
+        let clause_start = lower[..pos]
+            .rfind([',', ';'])
+            .map(|i| i + 1)
+            .or_else(|| lower[..pos].rfind(" but ").map(|i| i + 5))
+            .unwrap_or(0);
+        let clause = &lower[clause_start..(pos + term.len()).min(lower.len())];
+        let modality = if IMAGE_CUES.iter().any(|c| clause.contains(c)) {
+            Modality::Image
+        } else {
+            Modality::Text
+        };
+        // Filter if the clause uses copular phrasing; otherwise ranking if a
+        // ranking verb governs the query, else default to filter.
+        let filter_phrasing = ["should be", "must be", "has to be", "should not be",
+            "must not be", "shouldn't be"]
+            .iter()
+            .any(|p| clause.contains(p));
+        let ranking_verbs = ["sort", "rank", "order by", "top"];
+        let usage = if filter_phrasing {
+            let negated = clause.contains("not be") || clause.contains("shouldn't");
+            ConceptUse::FilterBy {
+                keep_matching: !negated,
+            }
+        } else if ranking_verbs.iter().any(|v| lower.contains(v)) {
+            ConceptUse::RankBy
+        } else {
+            ConceptUse::FilterBy {
+                keep_matching: true,
+            }
+        };
+        concepts.push(ConceptIntent {
+            term,
+            usage,
+            modality,
+            clarification: None,
+        });
+    }
+    QueryIntent {
+        query: query.to_string(),
+        concepts,
+        extra_factors: Vec::new(),
+    }
+}
+
+/// Parses a reactive-correction reply into extra factors; returns what was
+/// understood (empty when the reply is just "OK" or unintelligible).
+pub fn parse_correction(reply: &str) -> Vec<ExtraFactor> {
+    let lower = reply.to_lowercase();
+    let mut out = Vec::new();
+    if (lower.contains("recent") || lower.contains("newer") || lower.contains("new movies"))
+        && !lower.contains("not recent")
+    {
+        out.push(ExtraFactor::Recency);
+    }
+    if lower.contains("older") || lower.contains("classic") {
+        out.push(ExtraFactor::Age);
+    }
+    out
+}
+
+/// Whether the reply is the explicit go-ahead that ends the refinement
+/// cycle ("until the user explicitly responds OK", §5).
+pub fn is_approval(reply: &str) -> bool {
+    let t = reply.trim().to_lowercase();
+    t == "ok" || t == "okay" || t == "looks good" || t == "lgtm" || t == "yes"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_model::TokenMeter;
+
+    fn llm() -> SimLlm {
+        SimLlm::new(42, TokenMeter::new())
+    }
+
+    const FLAGSHIP: &str = "Sort the given films in the table by how exciting \
+                            they are, but the poster should be 'boring'";
+
+    #[test]
+    fn flagship_query_intent() {
+        let intent = extract_intent(FLAGSHIP, &llm());
+        assert_eq!(intent.concepts.len(), 2);
+        let exciting = &intent.concepts[0];
+        assert_eq!(exciting.term, "exciting");
+        assert_eq!(exciting.usage, ConceptUse::RankBy);
+        assert_eq!(exciting.modality, Modality::Text);
+        let boring = &intent.concepts[1];
+        assert_eq!(boring.term, "boring");
+        assert_eq!(
+            boring.usage,
+            ConceptUse::FilterBy {
+                keep_matching: true
+            }
+        );
+        assert_eq!(boring.modality, Modality::Image);
+    }
+
+    #[test]
+    fn negated_filter() {
+        let intent = extract_intent(
+            "rank films by how scary they are, the poster should not be boring",
+            &llm(),
+        );
+        let boring = intent.concepts.iter().find(|c| c.term == "boring").unwrap();
+        assert_eq!(
+            boring.usage,
+            ConceptUse::FilterBy {
+                keep_matching: false
+            }
+        );
+    }
+
+    #[test]
+    fn unambiguous_query_has_no_concepts() {
+        let intent = extract_intent("sort films by release year", &llm());
+        assert!(intent.concepts.is_empty());
+    }
+
+    #[test]
+    fn correction_parsing() {
+        assert_eq!(
+            parse_correction("Oh I prefer a more recent movie as well when scoring"),
+            vec![ExtraFactor::Recency]
+        );
+        assert_eq!(parse_correction("I like older classics"), vec![ExtraFactor::Age]);
+        assert!(parse_correction("OK").is_empty());
+    }
+
+    #[test]
+    fn approval_detection() {
+        assert!(is_approval("OK"));
+        assert!(is_approval("  okay "));
+        assert!(is_approval("LGTM"));
+        assert!(!is_approval("add recency"));
+    }
+}

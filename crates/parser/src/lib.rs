@@ -1,0 +1,20 @@
+//! KathDB's query parser with human-AI verification (§2.1, §5).
+//!
+//! NL query → [`QueryIntent`] → interactive clarification/correction →
+//! [`QuerySketch`] → [`LogicalPlan`] (function signatures in the exact
+//! Fig. 3 JSON layout) → agentic [`PlanVerifier`] with its tool user.
+
+#![warn(missing_docs)]
+
+mod intent;
+mod logical;
+mod sketch;
+mod verifier;
+
+pub use intent::{
+    extract_intent, is_approval, parse_correction, ConceptIntent, ConceptUse, ExtraFactor,
+    Modality, QueryIntent,
+};
+pub use logical::{generate_logical_plan, noun_form, LogicalNode, LogicalPlan};
+pub use sketch::{generate_sketch, NlParser, ParseOutcome, QuerySketch, SketchStep, StepTag};
+pub use verifier::{Check, PlanVerifier, VerifierReport};

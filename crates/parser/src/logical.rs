@@ -1,0 +1,368 @@
+//! The logical plan generator.
+//!
+//! "Given a query sketch as input, the logical plan generator uses the
+//! system catalog as additional context and expands each step … into a
+//! logical plan node equipped with a function signature" (§2.1). Nodes are
+//! emitted in the exact JSON layout of Fig. 3.
+
+use crate::sketch::{QuerySketch, StepTag};
+use kath_fao::FunctionSignature;
+use kath_json::Json;
+
+/// One logical-plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalNode {
+    /// The function signature (name, description, inputs, output).
+    pub signature: FunctionSignature,
+    /// The sketch tag this node implements.
+    pub tag: StepTag,
+    /// Whether the implementation is pre-written rather than generated
+    /// (the view-population function in the prototype, §6).
+    pub prewritten: bool,
+}
+
+/// A logical plan: nodes in topological (sketch) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalPlan {
+    /// The nodes.
+    pub nodes: Vec<LogicalNode>,
+}
+
+impl LogicalPlan {
+    /// Nodes whose bodies must be generated (excludes pre-written ones).
+    pub fn generated_nodes(&self) -> impl Iterator<Item = &LogicalNode> {
+        self.nodes.iter().filter(|n| !n.prewritten)
+    }
+
+    /// Finds a node by function name.
+    pub fn node(&self, name: &str) -> Option<&LogicalNode> {
+        self.nodes.iter().find(|n| n.signature.name == name)
+    }
+
+    /// Indices of the nodes whose outputs `node` consumes.
+    pub fn dependencies(&self, idx: usize) -> Vec<usize> {
+        let inputs = &self.nodes[idx].signature.inputs;
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(j, n)| *j != idx && inputs.contains(&n.signature.output))
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// The Fig. 3 JSON rendering: an array of signature objects in the
+    /// exact layout.
+    pub fn to_json(&self) -> Json {
+        Json::Array(self.nodes.iter().map(|n| n.signature.to_json()).collect())
+    }
+
+    /// The name of the final output table.
+    pub fn final_output(&self) -> Option<&str> {
+        self.nodes.last().map(|n| n.signature.output.as_str())
+    }
+}
+
+/// Canonical noun form of a subjective term ("exciting" → "excitement"),
+/// used to derive paper-style function names like `gen_excitement_score`.
+pub fn noun_form(term: &str) -> String {
+    match term {
+        "exciting" => "excitement".to_string(),
+        "boring" => "boring".to_string(),
+        "scary" => "scariness".to_string(),
+        "funny" => "funniness".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Expands an approved sketch into a logical plan. Table names follow the
+/// conventions of the flagship pipeline (`movie_table`, the multimodal view
+/// names, and intermediate outputs chained step to step).
+pub fn generate_logical_plan(sketch: &QuerySketch, base_table: &str) -> LogicalPlan {
+    let mut nodes: Vec<LogicalNode> = Vec::new();
+    // The most recent table carrying per-film scores (threads the chain).
+    let mut score_table = String::new();
+    // The table carrying the visual flag.
+    let mut flag_table = String::new();
+    let mut flag_term = String::new();
+
+    for step in &sketch.steps {
+        match &step.tag {
+            StepTag::PopulateViews => {
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        "populate_views",
+                        step.text.clone(),
+                        vec![],
+                        "multimodal_views",
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: true,
+                });
+            }
+            StepTag::SelectColumns => {
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        "select_movie_columns",
+                        step.text.clone(),
+                        vec![base_table.to_string()],
+                        "movie_columns",
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+            }
+            StepTag::JoinTextView => {
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        "join_text_view",
+                        step.text.clone(),
+                        vec!["movie_columns".to_string(), "text_texts".to_string()],
+                        "films_with_text",
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+                score_table = "films_with_text".to_string();
+            }
+            StepTag::JoinImageView => {
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        "join_image_view",
+                        step.text.clone(),
+                        vec!["movie_columns".to_string(), "scene_frames".to_string()],
+                        "films_with_image_scene",
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+            }
+            StepTag::ConceptScore { term } => {
+                let noun = noun_form(term);
+                let output = format!("films_with_{noun}");
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        format!("gen_{noun}_score"),
+                        step.text.clone(),
+                        vec![score_table.clone()],
+                        output.clone(),
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+                score_table = output;
+            }
+            StepTag::RecencyScore => {
+                let output = "films_with_recency".to_string();
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        "gen_recency_score",
+                        step.text.clone(),
+                        vec![score_table.clone()],
+                        output.clone(),
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+                score_table = output;
+            }
+            StepTag::CombineScores => {
+                let output = "films_with_final_score".to_string();
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        "combine_score",
+                        step.text.clone(),
+                        vec![score_table.clone()],
+                        output.clone(),
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+                score_table = output;
+            }
+            StepTag::VisualClassify { term } => {
+                let output = format!("films_with_{term}_flag");
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        format!("classify_{term}"),
+                        step.text.clone(),
+                        vec!["films_with_image_scene".to_string()],
+                        output.clone(),
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+                flag_table = output;
+                flag_term = term.clone();
+            }
+            StepTag::FilterFlag { term, .. } => {
+                let output = format!("films_{term}_only");
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        format!("filter_{term}"),
+                        step.text.clone(),
+                        vec![flag_table.clone()],
+                        output.clone(),
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+                flag_table = output;
+            }
+            StepTag::JoinScores => {
+                let output = "films_scored_and_flagged".to_string();
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        "join_score_tables",
+                        step.text.clone(),
+                        vec![score_table.clone(), flag_table.clone()],
+                        output.clone(),
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+                score_table = output;
+            }
+            StepTag::FinalRank => {
+                // With a join_score_tables node upstream the scores already
+                // carry the flag; otherwise rank joins both sides itself.
+                let joined = nodes
+                    .iter()
+                    .any(|n| n.signature.name == "join_score_tables");
+                let inputs = if joined || flag_table.is_empty() {
+                    vec![score_table.clone()]
+                } else {
+                    vec![score_table.clone(), flag_table.clone()]
+                };
+                nodes.push(LogicalNode {
+                    signature: FunctionSignature::new(
+                        "rank_films",
+                        step.text.clone(),
+                        inputs,
+                        "final_ranked_films",
+                    ),
+                    tag: step.tag.clone(),
+                    prewritten: false,
+                });
+            }
+        }
+        let _ = &flag_term; // reserved for multi-flag queries
+    }
+
+    LogicalPlan { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::extract_intent;
+    use crate::sketch::generate_sketch;
+    use kath_model::{SimLlm, TokenMeter};
+
+    const FLAGSHIP: &str = "Sort the given films in the table by how exciting \
+                            they are, but the poster should be 'boring'";
+
+    fn plan_with_recency() -> LogicalPlan {
+        let llm = SimLlm::new(42, TokenMeter::new());
+        let mut intent = extract_intent(FLAGSHIP, &llm);
+        intent.concepts[0].clarification =
+            Some("scenes that are uncommon in real life".to_string());
+        intent.extra_factors.push(crate::intent::ExtraFactor::Recency);
+        let sketch = generate_sketch(&intent, &llm, 2);
+        generate_logical_plan(&sketch, "movie_table")
+    }
+
+    #[test]
+    fn eleven_step_sketch_yields_papers_ten_generated_nodes() {
+        let plan = plan_with_recency();
+        // §6: view population is pre-written, "leaving 10 remaining logical
+        // plan nodes".
+        assert_eq!(plan.nodes.len(), 11);
+        assert_eq!(plan.generated_nodes().count(), 10);
+        let names: Vec<&str> = plan
+            .generated_nodes()
+            .map(|n| n.signature.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "select_movie_columns",
+                "join_text_view",
+                "join_image_view",
+                "gen_excitement_score",
+                "gen_recency_score",
+                "combine_score",
+                "classify_boring",
+                "filter_boring",
+                "join_score_tables",
+                "rank_films",
+            ]
+        );
+    }
+
+    #[test]
+    fn classify_boring_matches_fig3_signature() {
+        let plan = plan_with_recency();
+        let node = plan.node("classify_boring").unwrap();
+        assert_eq!(
+            node.signature.inputs,
+            vec!["films_with_image_scene".to_string()]
+        );
+        assert_eq!(node.signature.output, "films_with_boring_flag");
+        assert!(node.signature.description.contains("boring"));
+    }
+
+    #[test]
+    fn dependencies_follow_table_flow() {
+        let plan = plan_with_recency();
+        let rank_idx = plan.nodes.len() - 1;
+        let deps = plan.dependencies(rank_idx);
+        // rank_films depends on join_score_tables.
+        assert_eq!(deps.len(), 1);
+        assert_eq!(plan.nodes[deps[0]].signature.name, "join_score_tables");
+        // join_score_tables depends on combine_score and filter_boring.
+        let jst = plan
+            .nodes
+            .iter()
+            .position(|n| n.signature.name == "join_score_tables")
+            .unwrap();
+        let dep_names: Vec<&str> = plan
+            .dependencies(jst)
+            .into_iter()
+            .map(|i| plan.nodes[i].signature.name.as_str())
+            .collect();
+        assert!(dep_names.contains(&"combine_score"));
+        assert!(dep_names.contains(&"filter_boring"));
+    }
+
+    #[test]
+    fn json_rendering_is_an_array_of_exact_layout_nodes() {
+        let plan = plan_with_recency();
+        let j = plan.to_json();
+        let arr = j.as_array().unwrap();
+        assert_eq!(arr.len(), 11);
+        for node in arr {
+            let keys: Vec<&str> = node.as_object().unwrap().keys().collect();
+            assert_eq!(keys, vec!["name", "description", "inputs", "output"]);
+        }
+    }
+
+    #[test]
+    fn plan_without_recency_has_single_assembly_step() {
+        let llm = SimLlm::new(42, TokenMeter::new());
+        let mut intent = extract_intent(FLAGSHIP, &llm);
+        intent.concepts[0].clarification = Some("uncommon scenes".to_string());
+        let sketch = generate_sketch(&intent, &llm, 1);
+        let plan = generate_logical_plan(&sketch, "movie_table");
+        assert!(plan.node("join_score_tables").is_none());
+        let rank = plan.node("rank_films").unwrap();
+        assert_eq!(rank.signature.inputs.len(), 2);
+        assert_eq!(plan.final_output(), Some("final_ranked_films"));
+    }
+
+    #[test]
+    fn noun_forms() {
+        assert_eq!(noun_form("exciting"), "excitement");
+        assert_eq!(noun_form("scary"), "scariness");
+        assert_eq!(noun_form("weird"), "weird");
+    }
+}

@@ -1,0 +1,461 @@
+//! Query sketches and the interactive NL parser.
+//!
+//! The sketch is "a step-by-step description of the intended execution
+//! logic expressed entirely in NL … one abstraction level above the final
+//! logical plan" (§2.1). The parser runs the two interaction modes of §5:
+//! **proactive clarification** (the reviewer agent asks about subjective
+//! terms before sketching) and **reactive correction** (the user reviews the
+//! sketch and the sketch generator refines it until they reply OK).
+
+use crate::intent::{
+    extract_intent, is_approval, parse_correction, ConceptIntent, ConceptUse, ExtraFactor,
+    Modality, QueryIntent,
+};
+use kath_model::{SimLlm, UserChannel};
+
+/// Machine-followable tag attached to each sketch step; the logical plan
+/// generator expands tags into function signatures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepTag {
+    /// Populate the multimodal relational views (pre-written in the
+    /// prototype, §6).
+    PopulateViews,
+    /// Select the relevant columns from the base table.
+    SelectColumns,
+    /// Join the text semantic-graph view with the base table.
+    JoinTextView,
+    /// Join the image scene-graph view with the base table.
+    JoinImageView,
+    /// Score a text concept (e.g. excitement) via keyword similarity.
+    ConceptScore {
+        /// The subjective term being scored.
+        term: String,
+    },
+    /// Score recency from the release year.
+    RecencyScore,
+    /// Combine the ranking scores into a final score.
+    CombineScores,
+    /// Classify a visual attribute of the poster (e.g. boring).
+    VisualClassify {
+        /// The subjective term being classified.
+        term: String,
+    },
+    /// Filter rows on a previously computed flag.
+    FilterFlag {
+        /// The flag's term.
+        term: String,
+        /// Keep rows where the flag is true.
+        keep: bool,
+    },
+    /// Join the score intermediates together.
+    JoinScores,
+    /// Join everything and produce the final ranked list.
+    FinalRank,
+}
+
+/// One sketch step: an id, the NL description the user reviews, and the tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchStep {
+    /// 1-based step number.
+    pub id: usize,
+    /// Natural-language description (what the user sees and edits).
+    pub text: String,
+    /// Machine-followable intent.
+    pub tag: StepTag,
+}
+
+/// A chain-of-thought query sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySketch {
+    /// Sketch version (1 = initial, incremented per correction round).
+    pub version: u32,
+    /// The steps in execution order.
+    pub steps: Vec<SketchStep>,
+}
+
+impl QuerySketch {
+    /// Renders the sketch the way it is shown to the user (Fig. 4).
+    pub fn render(&self) -> String {
+        let mut out = format!("Query sketch (v{}):\n", self.version);
+        for s in &self.steps {
+            out.push_str(&format!("  {}. {}\n", s.id, s.text));
+        }
+        out
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the sketch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Generates a sketch from an intent (the *sketch generator* agent).
+#[allow(clippy::vec_init_then_push)] // steps accumulate conditionally below
+pub fn generate_sketch(intent: &QueryIntent, llm: &SimLlm, version: u32) -> QuerySketch {
+    let mut steps: Vec<(String, StepTag)> = Vec::new();
+
+    steps.push((
+        "Populate the relational views over the raw text and images \
+         (extract scene graphs from posters and semantic graphs from plots)."
+            .to_string(),
+        StepTag::PopulateViews,
+    ));
+    steps.push((
+        "Select the relevant columns from movie_table (e.g., title, release year, \
+         plot document id, poster image id)."
+            .to_string(),
+        StepTag::SelectColumns,
+    ));
+    steps.push((
+        "Join the relational view over text with movie_table to associate each \
+         movie with the entities extracted from its plot."
+            .to_string(),
+        StepTag::JoinTextView,
+    ));
+    steps.push((
+        "Check the Objects table associated with each poster image by joining the \
+         relational view over images with movie_table."
+            .to_string(),
+        StepTag::JoinImageView,
+    ));
+
+    // Ranking concepts over text.
+    for c in &intent.concepts {
+        if c.modality == Modality::Text && c.usage == ConceptUse::RankBy {
+            let kws = llm.generate_keywords(
+                c.clarification.as_deref().unwrap_or(&c.term),
+            );
+            let preview: Vec<&str> = kws.iter().take(3).map(String::as_str).collect();
+            steps.push((
+                format!(
+                    "Assign an \"{} score\" to each film based on how many and how \
+                     intense the matching scenes are, by measuring vector similarity \
+                     between generated keywords (e.g., {}, ...) and all extracted \
+                     text entities.",
+                    c.term,
+                    preview.join(", ")
+                ),
+                StepTag::ConceptScore {
+                    term: c.term.clone(),
+                },
+            ));
+        }
+    }
+
+    // Extra factors from corrections.
+    let has_recency = intent.extra_factors.contains(&ExtraFactor::Recency)
+        || intent.extra_factors.contains(&ExtraFactor::Age);
+    if has_recency {
+        steps.push((
+            "Assign a \"recency score\" for each film based on the release date \
+             (newer films score higher)."
+                .to_string(),
+            StepTag::RecencyScore,
+        ));
+        steps.push((
+            "Combine the excitement and recency scores into a final score \
+             according to the user's preference (weighted sum)."
+                .to_string(),
+            StepTag::CombineScores,
+        ));
+    }
+
+    // Visual classification + filter.
+    for c in &intent.concepts {
+        if c.modality == Modality::Image {
+            if let ConceptUse::FilterBy { keep_matching } = c.usage {
+                steps.push((
+                    format!(
+                        "Analyze poster visual features using both extracted objects and \
+                         image pixels to determine if the poster appears '{}' (e.g., lacks \
+                         vivid colors, few objects, little action, plain background).",
+                        c.term
+                    ),
+                    StepTag::VisualClassify {
+                        term: c.term.clone(),
+                    },
+                ));
+                steps.push((
+                    format!(
+                        "{} posters labeled as {}.",
+                        if keep_matching {
+                            "Keep only films whose"
+                        } else {
+                            "Filter out films whose"
+                        },
+                        c.term
+                    ),
+                    StepTag::FilterFlag {
+                        term: c.term.clone(),
+                        keep: keep_matching,
+                    },
+                ));
+            }
+        }
+    }
+
+    // Final assembly: with combined scores the paper splits the assembly
+    // into two join steps (§6 functions 9 and 10); otherwise one step.
+    if has_recency {
+        steps.push((
+            "Join the intermediate score tables so every film carries its final \
+             combined score."
+                .to_string(),
+            StepTag::JoinScores,
+        ));
+    }
+    steps.push((
+        "Join all intermediate results and produce the final ranked list of \
+         movies by their score."
+            .to_string(),
+        StepTag::FinalRank,
+    ));
+
+    QuerySketch {
+        version,
+        steps: steps
+            .into_iter()
+            .enumerate()
+            .map(|(i, (text, tag))| SketchStep {
+                id: i + 1,
+                text,
+                tag,
+            })
+            .collect(),
+    }
+}
+
+/// The outcome of interactive parsing.
+#[derive(Debug, Clone)]
+pub struct ParseOutcome {
+    /// The final intent (with clarifications and corrections applied).
+    pub intent: QueryIntent,
+    /// The approved sketch.
+    pub sketch: QuerySketch,
+    /// Every sketch version produced (v1 first).
+    pub history: Vec<QuerySketch>,
+    /// `(term, user clarification)` pairs from the proactive phase.
+    pub clarifications: Vec<(String, String)>,
+}
+
+/// The interactive NL parser: reviewer + sketch generator (§2.1, §5).
+pub struct NlParser {
+    llm: SimLlm,
+    /// Upper bound on reactive correction rounds.
+    pub max_rounds: u32,
+}
+
+impl NlParser {
+    /// Builds a parser over a simulated model.
+    pub fn new(llm: SimLlm) -> Self {
+        Self { llm, max_rounds: 5 }
+    }
+
+    /// The model in use.
+    pub fn llm(&self) -> &SimLlm {
+        &self.llm
+    }
+
+    /// Whether a concept needs user clarification: subjective terms over
+    /// text are user-dependent ("exciting"); image-modality terms ground in
+    /// visual features the knowledge base already has ("boring").
+    fn needs_clarification(&self, c: &ConceptIntent) -> bool {
+        c.modality == Modality::Text
+    }
+
+    /// Runs the full interactive parse: proactive clarification, sketch
+    /// generation, and the reactive correction cycle ("repeats until the
+    /// user explicitly responds OK", §5).
+    pub fn parse(&self, query: &str, channel: &dyn UserChannel) -> ParseOutcome {
+        let mut intent = extract_intent(query, &self.llm);
+
+        // Proactive clarification (Fig. 4, top).
+        let mut clarifications = Vec::new();
+        let mut resolved: Vec<String> = intent
+            .concepts
+            .iter()
+            .filter(|c| !self.needs_clarification(c))
+            .map(|c| c.term.clone())
+            .collect();
+        while let Some(clar) = self.llm.detect_ambiguity(query, &resolved) {
+            resolved.push(clar.term.clone());
+            let needs = intent
+                .concepts
+                .iter()
+                .any(|c| c.term == clar.term && self.needs_clarification(c));
+            if !needs {
+                continue;
+            }
+            let reply = channel.ask(&clar.question);
+            for c in intent.concepts.iter_mut() {
+                if c.term == clar.term {
+                    c.clarification = Some(reply.clone());
+                }
+            }
+            clarifications.push((clar.term, reply));
+        }
+
+        // Sketch generation + reactive correction (Fig. 4, bottom).
+        let mut version = 1;
+        let mut sketch = generate_sketch(&intent, &self.llm, version);
+        let mut history = vec![sketch.clone()];
+        for _ in 0..self.max_rounds {
+            let reply = channel.ask(&format!(
+                "{}\nReply OK to proceed, or describe a correction.",
+                sketch.render()
+            ));
+            if is_approval(&reply) {
+                break;
+            }
+            let factors = parse_correction(&reply);
+            if factors.is_empty() {
+                channel.notify(
+                    "I could not map that correction to a known refinement; \
+                     proceeding with the current sketch.",
+                );
+                break;
+            }
+            for f in factors {
+                if !intent.extra_factors.contains(&f) {
+                    intent.extra_factors.push(f);
+                }
+            }
+            version += 1;
+            sketch = generate_sketch(&intent, &self.llm, version);
+            history.push(sketch.clone());
+        }
+
+        ParseOutcome {
+            intent,
+            sketch,
+            history,
+            clarifications,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kath_model::{ScriptedChannel, TokenMeter};
+
+    const FLAGSHIP: &str = "Sort the given films in the table by how exciting \
+                            they are, but the poster should be 'boring'";
+
+    fn parser() -> NlParser {
+        NlParser::new(SimLlm::new(42, TokenMeter::new()))
+    }
+
+    #[test]
+    fn fig4_full_interaction_grows_sketch_8_to_11() {
+        // The exact simulated user of §6: one clarification reply, one
+        // reactive correction, then OK.
+        let channel = ScriptedChannel::new([
+            "The movie plot contains scenes that are uncommon in real life",
+            "Oh I prefer a more recent movie as well when scoring",
+            "OK",
+        ]);
+        let outcome = parser().parse(FLAGSHIP, channel.as_ref());
+
+        // Proactive phase asked exactly the paper's question.
+        assert_eq!(outcome.clarifications.len(), 1);
+        assert_eq!(outcome.clarifications[0].0, "exciting");
+        let transcript = channel.transcript();
+        assert!(transcript[0]
+            .0
+            .contains("What does 'exciting' mean in this context?"));
+
+        // Initial sketch has 8 steps; corrected sketch has 11 (§6).
+        assert_eq!(outcome.history[0].len(), 8);
+        assert_eq!(outcome.sketch.len(), 11);
+        assert_eq!(outcome.sketch.version, 2);
+
+        // The corrected sketch contains recency and combine steps.
+        assert!(outcome
+            .sketch
+            .steps
+            .iter()
+            .any(|s| s.tag == StepTag::RecencyScore));
+        assert!(outcome
+            .sketch
+            .steps
+            .iter()
+            .any(|s| s.tag == StepTag::CombineScores));
+    }
+
+    #[test]
+    fn approval_without_corrections_keeps_v1() {
+        let channel = ScriptedChannel::new([
+            "scenes that are uncommon in real life",
+            "OK",
+        ]);
+        let outcome = parser().parse(FLAGSHIP, channel.as_ref());
+        assert_eq!(outcome.sketch.version, 1);
+        assert_eq!(outcome.history.len(), 1);
+        assert_eq!(outcome.sketch.len(), 8);
+    }
+
+    #[test]
+    fn image_concept_needs_no_clarification() {
+        // Only "exciting" (text) is asked; "boring" (image) grounds in
+        // visual features — matching the single question in Fig. 4.
+        let channel = ScriptedChannel::new(["uncommon scenes", "OK"]);
+        let outcome = parser().parse(FLAGSHIP, channel.as_ref());
+        assert_eq!(outcome.clarifications.len(), 1);
+    }
+
+    #[test]
+    fn keywords_flow_into_sketch_text() {
+        let channel = ScriptedChannel::new([
+            "The movie plot contains scenes that are uncommon in real life",
+            "OK",
+        ]);
+        let outcome = parser().parse(FLAGSHIP, channel.as_ref());
+        let score_step = outcome
+            .sketch
+            .steps
+            .iter()
+            .find(|s| matches!(s.tag, StepTag::ConceptScore { .. }))
+            .unwrap();
+        // The LLM-generated keyword list surfaces in the NL description.
+        assert!(score_step.text.contains("gun"), "{}", score_step.text);
+    }
+
+    #[test]
+    fn unintelligible_correction_is_notified_and_parse_terminates() {
+        let channel = ScriptedChannel::new([
+            "uncommon scenes",
+            "make it more purple somehow",
+        ]);
+        let outcome = parser().parse(FLAGSHIP, channel.as_ref());
+        assert_eq!(outcome.sketch.version, 1);
+        let transcript = channel.transcript();
+        assert!(transcript
+            .iter()
+            .any(|(q, _)| q.contains("could not map that correction")));
+    }
+
+    #[test]
+    fn unambiguous_query_asks_nothing() {
+        let channel = ScriptedChannel::new(["OK"]);
+        let outcome = parser().parse("sort films by release year", channel.as_ref());
+        assert!(outcome.clarifications.is_empty());
+        // Still produces a well-formed (if generic) sketch.
+        assert!(!outcome.sketch.is_empty());
+    }
+
+    #[test]
+    fn sketch_render_shows_numbered_steps() {
+        let channel = ScriptedChannel::new(["uncommon scenes", "OK"]);
+        let outcome = parser().parse(FLAGSHIP, channel.as_ref());
+        let rendered = outcome.sketch.render();
+        assert!(rendered.contains("1. "));
+        assert!(rendered.contains("8. "));
+        assert!(rendered.contains("Query sketch (v1)"));
+    }
+}

@@ -1,0 +1,23 @@
+//! KathDB SQL subset.
+//!
+//! FAO function bodies "can contain a SQL query over a table" (§4). This
+//! crate provides the lexer, parser, AST (with a printer that round-trips),
+//! and an executor that lowers SQL onto the relational substrate in
+//! `kath-storage`. The subset covers what KathDB's coder agent emits:
+//! SELECT (projection, computed columns, DISTINCT), equi-JOIN / LEFT JOIN,
+//! WHERE, GROUP BY with COUNT/SUM/AVG/MIN/MAX, ORDER BY, LIMIT, plus
+//! CREATE TABLE and INSERT for setup.
+
+#![warn(missing_docs)]
+
+mod ast;
+mod lexer;
+mod parser;
+mod plan;
+
+pub use ast::{
+    AggCall, JoinClause, OrderKey, Select, SelectItem, SqlBinOp, SqlExpr, Statement,
+};
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse_expr, parse_select, parse_statement, SqlParseError};
+pub use plan::{execute, run_select, to_expr, SqlError};

@@ -1,0 +1,564 @@
+//! Recursive-descent SQL parser for the KathDB subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlParseError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for SqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sql parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlParseError {}
+
+impl From<LexError> for SqlParseError {
+    fn from(e: LexError) -> Self {
+        SqlParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses one statement (optionally `;`-terminated).
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if p.peek_kw("") {
+        // unreachable; keeps clippy calm about unused helper patterns
+    }
+    p.eat_if(&Token::Semi);
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parses a standalone scalar expression (used by FAO `MapExpr`/`FilterExpr`
+/// bodies, which persist expressions as SQL text).
+pub fn parse_expr(text: &str) -> Result<SqlExpr, SqlParseError> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+/// Parses a SELECT query.
+pub fn parse_select(sql: &str) -> Result<Select, SqlParseError> {
+    match parse_statement(sql)? {
+        Statement::Select(s) => Ok(s),
+        other => Err(SqlParseError {
+            message: format!("expected SELECT, got {other}"),
+        }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> SqlParseError {
+        let near = self
+            .tokens
+            .get(self.pos)
+            .map(|t| format!(" near '{t}'"))
+            .unwrap_or_else(|| " at end of input".to_string());
+        SqlParseError {
+            message: format!("{}{}", msg.into(), near),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlParseError> {
+        if self.peek_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("CREATE") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            if !self.eat_if(&Token::LParen) {
+                return Err(self.err("expected '('"));
+            }
+            let mut columns = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let ty = self.ident()?;
+                columns.push((col, ty));
+                if self.eat_if(&Token::Comma) {
+                    continue;
+                }
+                if self.eat_if(&Token::RParen) {
+                    break;
+                }
+                return Err(self.err("expected ',' or ')'"));
+            }
+            Ok(Statement::CreateTable { name, columns })
+        } else if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident()?;
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                if !self.eat_if(&Token::LParen) {
+                    return Err(self.err("expected '('"));
+                }
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.expr()?);
+                    if self.eat_if(&Token::Comma) {
+                        continue;
+                    }
+                    if self.eat_if(&Token::RParen) {
+                        break;
+                    }
+                    return Err(self.err("expected ',' or ')'"));
+                }
+                rows.push(row);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            Ok(Statement::Insert { table, rows })
+        } else {
+            Err(self.err("expected SELECT, CREATE or INSERT"))
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_if(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let e = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr(e, alias));
+            }
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.ident()?;
+        let mut joins = Vec::new();
+        loop {
+            let left_outer = if self.peek_kw("LEFT") {
+                self.pos += 1;
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                true
+            } else if self.peek_kw("JOIN") || self.peek_kw("INNER") {
+                self.eat_kw("INNER");
+                self.expect_kw("JOIN")?;
+                false
+            } else {
+                break;
+            };
+            let table = self.ident()?;
+            self.expect_kw("ON")?;
+            let on_left = self.qualified_column()?;
+            if !self.eat_if(&Token::Eq) {
+                return Err(self.err("expected '=' in JOIN ON"));
+            }
+            let on_right = self.qualified_column()?;
+            joins.push(JoinClause {
+                table,
+                left_outer,
+                on_left,
+                on_right,
+            });
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.ident()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let column = self.ident()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { column, desc });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn qualified_column(&mut self) -> Result<(Option<String>, String), SqlParseError> {
+        let first = self.ident()?;
+        if self.eat_if(&Token::Dot) {
+            let second = self.ident()?;
+            Ok((Some(first), second))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    // Precedence climbing: OR < AND < NOT < cmp < add < mul < unary.
+    fn expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = SqlExpr::Binary(SqlBinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = SqlExpr::Binary(SqlBinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        if self.eat_kw("NOT") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(SqlBinOp::Eq),
+            Some(Token::Ne) => Some(SqlBinOp::Ne),
+            Some(Token::Lt) => Some(SqlBinOp::Lt),
+            Some(Token::Le) => Some(SqlBinOp::Le),
+            Some(Token::Gt) => Some(SqlBinOp::Gt),
+            Some(Token::Ge) => Some(SqlBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            return Ok(SqlExpr::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(SqlExpr::IsNull(Box::new(lhs), negated));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => SqlBinOp::Add,
+                Some(Token::Minus) => SqlBinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = SqlExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => SqlBinOp::Mul,
+                Some(Token::Slash) => SqlBinOp::Div,
+                Some(Token::Percent) => SqlBinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = SqlExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr, SqlParseError> {
+        if self.eat_if(&Token::Minus) {
+            return Ok(SqlExpr::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, SqlParseError> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(SqlExpr::Int(i)),
+            Some(Token::Float(x)) => Ok(SqlExpr::Float(x)),
+            Some(Token::Str(s)) => Ok(SqlExpr::Str(s)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                if !self.eat_if(&Token::RParen) {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_ascii_uppercase();
+                match upper.as_str() {
+                    "NULL" => return Ok(SqlExpr::Null),
+                    "TRUE" => return Ok(SqlExpr::Bool(true)),
+                    "FALSE" => return Ok(SqlExpr::Bool(false)),
+                    _ => {}
+                }
+                // Aggregate or scalar function call.
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let agg = match upper.as_str() {
+                        "COUNT" => Some(AggCall::Count),
+                        "SUM" => Some(AggCall::Sum),
+                        "AVG" => Some(AggCall::Avg),
+                        "MIN" => Some(AggCall::Min),
+                        "MAX" => Some(AggCall::Max),
+                        _ => None,
+                    };
+                    if let Some(agg) = agg {
+                        if self.eat_if(&Token::Star) {
+                            if agg != AggCall::Count {
+                                return Err(self.err("only COUNT accepts *"));
+                            }
+                            if !self.eat_if(&Token::RParen) {
+                                return Err(self.err("expected ')'"));
+                            }
+                            return Ok(SqlExpr::Agg(AggCall::Count, None));
+                        }
+                        let arg = self.expr()?;
+                        if !self.eat_if(&Token::RParen) {
+                            return Err(self.err("expected ')'"));
+                        }
+                        return Ok(SqlExpr::Agg(agg, Some(Box::new(arg))));
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_if(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_if(&Token::Comma) {
+                                continue;
+                            }
+                            if self.eat_if(&Token::RParen) {
+                                break;
+                            }
+                            return Err(self.err("expected ',' or ')'"));
+                        }
+                    }
+                    return Ok(SqlExpr::Call(name.to_ascii_lowercase(), args));
+                }
+                // Possibly qualified column.
+                if self.eat_if(&Token::Dot) {
+                    let col = self.ident()?;
+                    Ok(SqlExpr::Column(Some(name), col))
+                } else {
+                    Ok(SqlExpr::Column(None, name))
+                }
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected expression"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_flagship_shape() {
+        let s = parse_select(
+            "SELECT title, year, final_score FROM films \
+             JOIN posters ON films.id = posters.film_id \
+             WHERE boring = TRUE ORDER BY final_score DESC LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(s.from, "films");
+        assert_eq!(s.joins.len(), 1);
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_group_by_aggregates() {
+        let s = parse_select(
+            "SELECT year, COUNT(*) AS n, AVG(score) AS mean FROM films GROUP BY year",
+        )
+        .unwrap();
+        assert_eq!(s.group_by, vec!["year".to_string()]);
+        assert!(matches!(
+            s.items[1],
+            SelectItem::Expr(SqlExpr::Agg(AggCall::Count, None), Some(_))
+        ));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let s = parse_select("SELECT a + b * c FROM t").unwrap();
+        let SelectItem::Expr(e, _) = &s.items[0] else {
+            panic!()
+        };
+        // a + (b * c)
+        assert_eq!(
+            e.to_string(),
+            "(a + (b * c))"
+        );
+        let s = parse_select("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        assert_eq!(
+            s.where_clause.unwrap().to_string(),
+            "((a = 1) OR ((b = 2) AND (c = 3)))"
+        );
+    }
+
+    #[test]
+    fn parses_create_and_insert() {
+        let c = parse_statement("CREATE TABLE t (id INT, name STR)").unwrap();
+        assert!(matches!(c, Statement::CreateTable { .. }));
+        let i = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        match i {
+            Statement::Insert { rows, .. } => assert_eq!(rows.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn is_null_forms() {
+        let s = parse_select("SELECT 1 FROM t WHERE x IS NULL AND y IS NOT NULL").unwrap();
+        assert_eq!(
+            s.where_clause.unwrap().to_string(),
+            "((x IS NULL) AND (y IS NOT NULL))"
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_select("select * from t where x = 1 order by x limit 1").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t LIMIT x",
+            "SELECT SUM(*) FROM t",
+            "SELECT * FROM t JOIN u ON a",
+            "INSERT INTO t VALUES 1",
+            "SELECT * FROM t extra",
+        ] {
+            assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! Planning and execution of parsed SQL against a [`Catalog`].
+//!
+//! This is the interpreter behind FAO bodies of kind `Sql` (§4: "a function
+//! can contain a SQL query over a table").
+
+use crate::ast::*;
+use crate::parser::{parse_statement, SqlParseError};
+use kath_storage::{
+    collect, AggFunc, Aggregate, BinOp, Catalog, Column, DataType, Distinct, Expr, Filter,
+    HashAggregate, HashJoin, JoinKind, Limit, Operator, Project, Schema, Sort, SortKey,
+    StorageError, Table, TableScan, Value,
+};
+use std::fmt;
+
+/// Errors from SQL execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Parsing failed.
+    Parse(SqlParseError),
+    /// The storage layer rejected the plan or data.
+    Storage(StorageError),
+    /// The query uses a feature outside the KathDB subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Storage(e) => write!(f, "{e}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported sql: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<SqlParseError> for SqlError {
+    fn from(e: SqlParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+/// Executes one SQL statement against the catalog. SELECT returns the result
+/// table (named `output_name`); CREATE/INSERT mutate the catalog and return
+/// an empty/affected summary table.
+pub fn execute(
+    catalog: &mut Catalog,
+    sql: &str,
+    output_name: &str,
+) -> Result<Table, SqlError> {
+    match parse_statement(sql)? {
+        Statement::Select(select) => run_select(catalog, &select, output_name),
+        Statement::CreateTable { name, columns } => {
+            let cols = columns
+                .iter()
+                .map(|(c, ty)| Ok(Column::new(c.clone(), parse_type(ty)?)))
+                .collect::<Result<Vec<_>, SqlError>>()?;
+            let schema = Schema::new(cols).map_err(SqlError::Storage)?;
+            catalog.register(Table::new(name, schema))?;
+            Ok(Table::new(output_name, Schema::of(&[])))
+        }
+        Statement::Insert { table, rows } => {
+            let existing = catalog.get(&table)?;
+            let mut new_table = (*existing).clone();
+            let empty_schema = Schema::of(&[]);
+            for row in &rows {
+                let values: Vec<Value> = row
+                    .iter()
+                    .map(|e| to_expr(e, &empty_schema).and_then(|x| Ok(x.eval(&vec![], &empty_schema)?)))
+                    .collect::<Result<_, SqlError>>()?;
+                new_table.push(values)?;
+            }
+            let n = rows.len();
+            catalog.register_or_replace(new_table);
+            let mut summary = Table::new(
+                output_name,
+                Schema::of(&[("rows_inserted", DataType::Int)]),
+            );
+            summary.push(vec![Value::Int(n as i64)])?;
+            Ok(summary)
+        }
+    }
+}
+
+/// Runs a SELECT and materializes the result under `output_name`.
+pub fn run_select(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+) -> Result<Table, SqlError> {
+    let mut op: Box<dyn Operator> = Box::new(TableScan::new(catalog.get(&select.from)?));
+
+    // Joins, in order.
+    for j in &select.joins {
+        let right = catalog.get(&j.table)?;
+        let right_schema = right.schema().clone();
+        let rscan: Box<dyn Operator> = Box::new(TableScan::new(right));
+        // The ON pair may be written either way round; figure out which side
+        // belongs to the accumulated left pipeline.
+        let (lcol, rcol) = orient_on(op.schema(), &right_schema, &j.on_left, &j.on_right)?;
+        let kind = if j.left_outer {
+            JoinKind::Left
+        } else {
+            JoinKind::Inner
+        };
+        op = Box::new(HashJoin::new(op, rscan, &lcol, &rcol, kind)?);
+    }
+
+    // WHERE.
+    if let Some(w) = &select.where_clause {
+        let pred = to_expr(w, op.schema())?;
+        op = Box::new(Filter::new(op, pred));
+    }
+
+    // Aggregation vs plain projection.
+    let has_agg = select.items.iter().any(|i| match i {
+        SelectItem::Expr(e, _) => contains_agg(e),
+        SelectItem::Wildcard => false,
+    });
+
+    let sort_keys: Vec<SortKey> = select
+        .order_by
+        .iter()
+        .map(|k| SortKey {
+            column: k.column.clone(),
+            desc: k.desc,
+        })
+        .collect();
+
+    if has_agg || !select.group_by.is_empty() {
+        op = plan_aggregate(op, select)?;
+        if !sort_keys.is_empty() {
+            op = Box::new(Sort::new(op, sort_keys)?);
+        }
+    } else if !(select.items.len() == 1 && select.items[0] == SelectItem::Wildcard) {
+        let mut outputs = Vec::new();
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for name in op.schema().names() {
+                        outputs.push((name.to_string(), Expr::col(name)));
+                    }
+                }
+                SelectItem::Expr(e, alias) => {
+                    let name = alias.clone().unwrap_or_else(|| default_name(e));
+                    outputs.push((name, to_expr(e, op.schema())?));
+                }
+            }
+        }
+        // ORDER BY may reference input columns the projection drops; in that
+        // case sort before projecting (standard SQL behaviour).
+        let sort_before = !sort_keys.is_empty()
+            && sort_keys
+                .iter()
+                .any(|k| !outputs.iter().any(|(n, _)| *n == k.column));
+        if sort_before {
+            op = Box::new(Sort::new(op, sort_keys.clone())?);
+        }
+        op = Box::new(Project::new(op, outputs)?);
+        if !sort_before && !sort_keys.is_empty() {
+            op = Box::new(Sort::new(op, sort_keys)?);
+        }
+    } else if !sort_keys.is_empty() {
+        op = Box::new(Sort::new(op, sort_keys)?);
+    }
+
+    if select.distinct {
+        op = Box::new(Distinct::new(op));
+    }
+
+    if let Some(n) = select.limit {
+        op = Box::new(Limit::new(op, n));
+    }
+
+    Ok(collect(output_name, op)?)
+}
+
+fn plan_aggregate(
+    input: Box<dyn Operator>,
+    select: &Select,
+) -> Result<Box<dyn Operator>, SqlError> {
+    let mut aggregates = Vec::new();
+    let mut group_names = select.group_by.clone();
+    let mut output_order: Vec<String> = Vec::new();
+
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(SqlError::Unsupported(
+                    "SELECT * cannot be combined with aggregation".into(),
+                ))
+            }
+            SelectItem::Expr(SqlExpr::Agg(agg, arg), alias) => {
+                let column = match arg.as_deref() {
+                    None => None,
+                    Some(SqlExpr::Column(_, c)) => Some(c.clone()),
+                    Some(other) => {
+                        return Err(SqlError::Unsupported(format!(
+                            "aggregate over expression '{other}' (use a plain column)"
+                        )))
+                    }
+                };
+                let output = alias.clone().unwrap_or_else(|| {
+                    format!(
+                        "{}_{}",
+                        agg.name().to_ascii_lowercase(),
+                        column.clone().unwrap_or_else(|| "all".into())
+                    )
+                });
+                let func = match (agg, column.is_some()) {
+                    (AggCall::Count, false) => AggFunc::CountStar,
+                    (AggCall::Count, true) => AggFunc::Count,
+                    (AggCall::Sum, _) => AggFunc::Sum,
+                    (AggCall::Avg, _) => AggFunc::Avg,
+                    (AggCall::Min, _) => AggFunc::Min,
+                    (AggCall::Max, _) => AggFunc::Max,
+                };
+                output_order.push(output.clone());
+                aggregates.push(Aggregate {
+                    func,
+                    column,
+                    output,
+                });
+            }
+            SelectItem::Expr(SqlExpr::Column(_, c), alias) => {
+                if !group_names.contains(c) {
+                    // Implicit grouping column (common in generated SQL).
+                    if select.group_by.is_empty() {
+                        return Err(SqlError::Unsupported(format!(
+                            "column '{c}' must appear in GROUP BY"
+                        )));
+                    }
+                    return Err(SqlError::Unsupported(format!(
+                        "column '{c}' is not in GROUP BY"
+                    )));
+                }
+                output_order.push(alias.clone().unwrap_or_else(|| c.clone()));
+            }
+            SelectItem::Expr(e, _) => {
+                return Err(SqlError::Unsupported(format!(
+                    "non-column expression '{e}' in aggregate query"
+                )))
+            }
+        }
+    }
+
+    // GROUP BY columns not in the SELECT list are still legal keys.
+    group_names.dedup();
+    let agg = HashAggregate::new(input, group_names, aggregates)?;
+    Ok(Box::new(agg))
+}
+
+fn orient_on(
+    left: &Schema,
+    right: &Schema,
+    a: &(Option<String>, String),
+    b: &(Option<String>, String),
+) -> Result<(String, String), SqlError> {
+    let in_left = |c: &(Option<String>, String)| resolve_name(left, c).ok();
+    let in_right = |c: &(Option<String>, String)| {
+        right
+            .index_of(&c.1)
+            .map(|i| right.column(i).name.clone())
+    };
+    if let (Some(l), Some(r)) = (in_left(a), in_right(b)) {
+        return Ok((l, r));
+    }
+    if let (Some(l), Some(r)) = (in_left(b), in_right(a)) {
+        return Ok((l, r));
+    }
+    Err(SqlError::Unsupported(format!(
+        "cannot orient join condition {}.{} = {}.{}",
+        a.0.as_deref().unwrap_or(""),
+        a.1,
+        b.0.as_deref().unwrap_or(""),
+        b.1
+    )))
+}
+
+fn resolve_name(
+    schema: &Schema,
+    col: &(Option<String>, String),
+) -> Result<String, SqlError> {
+    // Resolution order: exact qualified name, bare name, right-prefixed name.
+    if let Some(q) = &col.0 {
+        let qualified = format!("{q}.{}", col.1);
+        if schema.index_of(&qualified).is_some() {
+            return Ok(qualified);
+        }
+    }
+    if schema.index_of(&col.1).is_some() {
+        return Ok(col.1.clone());
+    }
+    let prefixed = format!("right.{}", col.1);
+    if schema.index_of(&prefixed).is_some() {
+        return Ok(prefixed);
+    }
+    Err(SqlError::Storage(StorageError::UnknownColumn(
+        col.1.clone(),
+    )))
+}
+
+fn contains_agg(e: &SqlExpr) -> bool {
+    match e {
+        SqlExpr::Agg(..) => true,
+        SqlExpr::Binary(_, l, r) => contains_agg(l) || contains_agg(r),
+        SqlExpr::Not(x) | SqlExpr::Neg(x) | SqlExpr::IsNull(x, _) => contains_agg(x),
+        SqlExpr::Call(_, args) => args.iter().any(contains_agg),
+        _ => false,
+    }
+}
+
+fn default_name(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Column(_, c) => c.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Lowers a [`SqlExpr`] into a storage [`Expr`] resolved against `schema`.
+pub fn to_expr(e: &SqlExpr, schema: &Schema) -> Result<Expr, SqlError> {
+    Ok(match e {
+        SqlExpr::Column(q, c) => Expr::Col(resolve_name(schema, &(q.clone(), c.clone()))?),
+        SqlExpr::Int(i) => Expr::Lit(Value::Int(*i)),
+        SqlExpr::Float(x) => Expr::Lit(Value::Float(*x)),
+        SqlExpr::Str(s) => Expr::Lit(Value::Str(s.clone())),
+        SqlExpr::Bool(b) => Expr::Lit(Value::Bool(*b)),
+        SqlExpr::Null => Expr::Lit(Value::Null),
+        SqlExpr::Binary(op, l, r) => Expr::Bin(
+            lower_op(*op),
+            Box::new(to_expr(l, schema)?),
+            Box::new(to_expr(r, schema)?),
+        ),
+        SqlExpr::Not(x) => Expr::Not(Box::new(to_expr(x, schema)?)),
+        SqlExpr::Neg(x) => Expr::Neg(Box::new(to_expr(x, schema)?)),
+        SqlExpr::IsNull(x, negated) => {
+            let inner = Expr::IsNull(Box::new(to_expr(x, schema)?));
+            if *negated {
+                Expr::Not(Box::new(inner))
+            } else {
+                inner
+            }
+        }
+        SqlExpr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter()
+                .map(|a| to_expr(a, schema))
+                .collect::<Result<_, _>>()?,
+        ),
+        SqlExpr::Agg(..) => {
+            return Err(SqlError::Unsupported(
+                "aggregate in scalar position".into(),
+            ))
+        }
+    })
+}
+
+fn lower_op(op: SqlBinOp) -> BinOp {
+    match op {
+        SqlBinOp::Add => BinOp::Add,
+        SqlBinOp::Sub => BinOp::Sub,
+        SqlBinOp::Mul => BinOp::Mul,
+        SqlBinOp::Div => BinOp::Div,
+        SqlBinOp::Mod => BinOp::Mod,
+        SqlBinOp::Eq => BinOp::Eq,
+        SqlBinOp::Ne => BinOp::Ne,
+        SqlBinOp::Lt => BinOp::Lt,
+        SqlBinOp::Le => BinOp::Le,
+        SqlBinOp::Gt => BinOp::Gt,
+        SqlBinOp::Ge => BinOp::Ge,
+        SqlBinOp::And => BinOp::And,
+        SqlBinOp::Or => BinOp::Or,
+    }
+}
+
+fn parse_type(ty: &str) -> Result<DataType, SqlError> {
+    Ok(match ty.to_ascii_uppercase().as_str() {
+        "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+        "FLOAT" | "REAL" | "DOUBLE" => DataType::Float,
+        "STR" | "TEXT" | "VARCHAR" | "STRING" => DataType::Str,
+        "BOOL" | "BOOLEAN" => DataType::Bool,
+        "BLOB" | "BYTES" => DataType::Blob,
+        "ANY" => DataType::Any,
+        other => {
+            return Err(SqlError::Unsupported(format!(
+                "unknown column type '{other}'"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        execute(&mut c, "CREATE TABLE films (id INT, title STR, year INT)", "x").unwrap();
+        execute(
+            &mut c,
+            "INSERT INTO films VALUES \
+             (1, 'Guilty by Suspicion', 1991), \
+             (2, 'Clean and Sober', 1988), \
+             (3, 'Quiet Days', 1975), \
+             (4, 'Night Chase', 1991)",
+            "x",
+        )
+        .unwrap();
+        execute(&mut c, "CREATE TABLE posters (film_id INT, boring BOOL)", "x").unwrap();
+        execute(
+            &mut c,
+            "INSERT INTO posters VALUES (1, TRUE), (2, TRUE), (4, FALSE)",
+            "x",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let mut c = catalog();
+        let t = execute(
+            &mut c,
+            "SELECT title FROM films WHERE year >= 1988 ORDER BY year DESC, title ASC LIMIT 2",
+            "out",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, "title").unwrap().as_str(), Some("Guilty by Suspicion"));
+        assert_eq!(t.cell(1, "title").unwrap().as_str(), Some("Night Chase"));
+    }
+
+    #[test]
+    fn join_with_qualified_on() {
+        let mut c = catalog();
+        let t = execute(
+            &mut c,
+            "SELECT title, boring FROM films JOIN posters ON films.id = posters.film_id \
+             WHERE boring = TRUE",
+            "out",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn join_on_reversed_condition() {
+        let mut c = catalog();
+        let t = execute(
+            &mut c,
+            "SELECT title FROM films JOIN posters ON posters.film_id = films.id",
+            "out",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let mut c = catalog();
+        let t = execute(
+            &mut c,
+            "SELECT title, boring FROM films LEFT JOIN posters ON films.id = posters.film_id \
+             ORDER BY title",
+            "out",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 4);
+        let quiet = t.find("title", &Value::Str("Quiet Days".into())).unwrap().unwrap();
+        assert!(t.cell(quiet, "boring").unwrap().is_null());
+    }
+
+    #[test]
+    fn group_by_count_avg() {
+        let mut c = catalog();
+        let t = execute(
+            &mut c,
+            "SELECT year, COUNT(*) AS n FROM films GROUP BY year ORDER BY year",
+            "out",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.cell(2, "n").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let mut c = catalog();
+        let t = execute(&mut c, "SELECT COUNT(*) AS n, MAX(year) AS y FROM films", "out").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, "n").unwrap(), &Value::Int(4));
+        assert_eq!(t.cell(0, "y").unwrap(), &Value::Int(1991));
+    }
+
+    #[test]
+    fn computed_projection_with_alias() {
+        let mut c = catalog();
+        let t = execute(
+            &mut c,
+            "SELECT title, 2026 - year AS age FROM films WHERE id = 1",
+            "out",
+        )
+        .unwrap();
+        assert_eq!(t.cell(0, "age").unwrap(), &Value::Int(35));
+    }
+
+    #[test]
+    fn distinct_years() {
+        let mut c = catalog();
+        let t = execute(&mut c, "SELECT DISTINCT year FROM films", "out").unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn insert_returns_count_and_persists() {
+        let mut c = catalog();
+        let t = execute(&mut c, "INSERT INTO films VALUES (5, 'New', 2025)", "out").unwrap();
+        assert_eq!(t.cell(0, "rows_inserted").unwrap(), &Value::Int(1));
+        let all = execute(&mut c, "SELECT COUNT(*) AS n FROM films", "out").unwrap();
+        assert_eq!(all.cell(0, "n").unwrap(), &Value::Int(5));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut c = catalog();
+        assert!(matches!(
+            execute(&mut c, "SELECT * FROM missing", "out"),
+            Err(SqlError::Storage(StorageError::UnknownTable(_)))
+        ));
+        assert!(matches!(
+            execute(&mut c, "SELECT nope FROM films", "out"),
+            Err(SqlError::Storage(StorageError::UnknownColumn(_)))
+        ));
+        assert!(matches!(
+            execute(&mut c, "SELECT title, COUNT(*) FROM films", "out"),
+            Err(SqlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn create_rejects_bad_type_and_duplicate() {
+        let mut c = Catalog::new();
+        assert!(execute(&mut c, "CREATE TABLE t (x WIBBLE)", "o").is_err());
+        execute(&mut c, "CREATE TABLE t (x INT)", "o").unwrap();
+        assert!(execute(&mut c, "CREATE TABLE t (y INT)", "o").is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The system catalog.
+//!
+//! The catalog is consulted by the logical plan generator ("uses the system
+//! catalog as additional context", §2.1) and owns the small set of database
+//! utilities — row sampler, joinability tester — that the plan verifier's
+//! tool user invokes (§4).
+
+use crate::{StorageError, Table, TableStats, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Named table registry with statistics.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+/// Result of the joinability tester utility (§4): how well two columns join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Joinability {
+    /// Fraction of distinct left keys that appear on the right, in `[0,1]`.
+    pub key_overlap: f64,
+    /// Whether the right side has at most one row per key (i.e. joining will
+    /// not fan out — the assumption the paper's semantic monitor checks when
+    /// a poster matches several movies, §5).
+    pub right_unique: bool,
+    /// Estimated join output rows.
+    pub estimated_rows: f64,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table; fails if the name is taken.
+    pub fn register(&mut self, table: Table) -> Result<Arc<Table>, StorageError> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        let arc = Arc::new(table);
+        self.tables.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Registers or replaces a table (used when a repaired function version
+    /// re-materializes its output).
+    pub fn register_or_replace(&mut self, table: Table) -> Arc<Table> {
+        let name = table.name().to_string();
+        let arc = Arc::new(table);
+        self.tables.insert(name, Arc::clone(&arc));
+        arc
+    }
+
+    /// Fetches a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether a table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<(), StorageError> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Catalog metadata the logical plan generator feeds to the model:
+    /// every table with its schema and row count.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (name, t) in &self.tables {
+            out.push_str(&format!("{name} {} [{} rows]\n", t.schema(), t.len()));
+        }
+        out
+    }
+
+    /// The rows-sampler utility (§4): first `n` rows of a table.
+    pub fn sample_rows(&self, name: &str, n: usize) -> Result<Table, StorageError> {
+        Ok(self.get(name)?.sample(n))
+    }
+
+    /// Exact statistics for a table.
+    pub fn stats(&self, name: &str) -> Result<TableStats, StorageError> {
+        Ok(TableStats::collect(self.get(name)?.as_ref()))
+    }
+
+    /// The joinability tester utility (§4): measures how `left.left_col`
+    /// joins against `right.right_col`.
+    pub fn joinability(
+        &self,
+        left: &str,
+        left_col: &str,
+        right: &str,
+        right_col: &str,
+    ) -> Result<Joinability, StorageError> {
+        let lt = self.get(left)?;
+        let rt = self.get(right)?;
+        let li = lt.schema().resolve(left_col)?;
+        let ri = rt.schema().resolve(right_col)?;
+
+        let mut right_counts: std::collections::HashMap<Value, usize> =
+            std::collections::HashMap::new();
+        for row in rt.rows() {
+            if !row[ri].is_null() {
+                *right_counts.entry(row[ri].clone()).or_insert(0) += 1;
+            }
+        }
+        let mut left_keys: std::collections::HashSet<Value> = std::collections::HashSet::new();
+        for row in lt.rows() {
+            if !row[li].is_null() {
+                left_keys.insert(row[li].clone());
+            }
+        }
+        let overlapping = left_keys
+            .iter()
+            .filter(|k| right_counts.contains_key(k))
+            .count();
+        let key_overlap = if left_keys.is_empty() {
+            0.0
+        } else {
+            overlapping as f64 / left_keys.len() as f64
+        };
+        let right_unique = right_counts.values().all(|&c| c <= 1);
+        let estimated_rows: f64 = lt
+            .rows()
+            .iter()
+            .filter(|r| !r[li].is_null())
+            .map(|r| right_counts.get(&r[li]).copied().unwrap_or(0) as f64)
+            .sum();
+        Ok(Joinability {
+            key_overlap,
+            right_unique,
+            estimated_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let films = Table::from_rows(
+            "films",
+            Schema::of(&[("id", DataType::Int), ("title", DataType::Str)]),
+            vec![
+                vec![1i64.into(), "A".into()],
+                vec![2i64.into(), "B".into()],
+                vec![3i64.into(), "C".into()],
+            ],
+        )
+        .unwrap();
+        let posters = Table::from_rows(
+            "posters",
+            Schema::of(&[("film_id", DataType::Int), ("uri", DataType::Str)]),
+            vec![
+                vec![1i64.into(), "p1".into()],
+                vec![1i64.into(), "p1b".into()],
+                vec![2i64.into(), "p2".into()],
+            ],
+        )
+        .unwrap();
+        c.register(films).unwrap();
+        c.register(posters).unwrap();
+        c
+    }
+
+    #[test]
+    fn register_get_drop() {
+        let mut c = catalog();
+        assert!(c.contains("films"));
+        assert_eq!(c.table_names(), vec!["films", "posters"]);
+        assert!(c.get("nope").is_err());
+        c.drop_table("films").unwrap();
+        assert!(!c.contains("films"));
+        assert!(c.drop_table("films").is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_fails_but_replace_works() {
+        let mut c = catalog();
+        let dup = Table::new("films", Schema::of(&[("x", DataType::Int)]));
+        assert!(matches!(
+            c.register(dup.clone()),
+            Err(StorageError::TableExists(_))
+        ));
+        c.register_or_replace(dup);
+        assert_eq!(c.get("films").unwrap().schema().names(), vec!["x"]);
+    }
+
+    #[test]
+    fn joinability_detects_fanout() {
+        let c = catalog();
+        let j = c.joinability("films", "id", "posters", "film_id").unwrap();
+        assert!((j.key_overlap - 2.0 / 3.0).abs() < 1e-12);
+        assert!(!j.right_unique); // film 1 has two posters
+        assert_eq!(j.estimated_rows, 3.0);
+    }
+
+    #[test]
+    fn describe_lists_all_tables() {
+        let d = catalog().describe();
+        assert!(d.contains("films"));
+        assert!(d.contains("posters"));
+        assert!(d.contains("[3 rows]"));
+    }
+
+    #[test]
+    fn sample_rows_utility() {
+        let c = catalog();
+        assert_eq!(c.sample_rows("films", 2).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the relational substrate.
+
+use crate::DataType;
+use std::fmt;
+
+/// Errors raised by storage, expression evaluation, and operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A schema declared the same column twice.
+    DuplicateColumn(String),
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Row arity differs from the schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Row length.
+        got: usize,
+    },
+    /// A value's type does not match its column.
+    TypeMismatch {
+        /// Offending column.
+        column: String,
+        /// Declared type.
+        expected: DataType,
+        /// Actual value type.
+        got: DataType,
+    },
+    /// Expression evaluation failed (type error, div by zero, bad arg count).
+    Eval(String),
+    /// Corrupt or truncated persisted data.
+    Corrupt(String),
+    /// Underlying I/O failure (message only, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateColumn(c) => write!(f, "duplicate column '{c}'"),
+            StorageError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            StorageError::TableExists(t) => write!(f, "table '{t}' already exists"),
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "column '{column}' expects {expected}, got {got}"),
+            StorageError::Eval(m) => write!(f, "expression error: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt table data: {m}"),
+            StorageError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,511 @@
+//! Scalar expressions evaluated against rows.
+//!
+//! Generated function bodies that are "a SQL query over a table" (§4) bottom
+//! out here: filters, projections, and computed columns are all [`Expr`]s.
+
+use crate::{Row, Schema, StorageError, Value};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by name (resolved against the input schema at eval).
+    Col(String),
+    /// A literal value.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `expr IS NULL`
+    IsNull(Box<Expr>),
+    /// Named scalar function call (`lower`, `upper`, `length`, `abs`,
+    /// `contains`, `coalesce`, `round`, `min2`, `max2`, `clamp01`).
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self op other` helper.
+    pub fn bin(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(other))
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.bin(BinOp::Eq, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        self.bin(BinOp::And, other)
+    }
+
+    /// Evaluates against a row positionally aligned with `schema`.
+    pub fn eval(&self, row: &Row, schema: &Schema) -> Result<Value, StorageError> {
+        match self {
+            Expr::Col(name) => {
+                let idx = schema.resolve(name)?;
+                Ok(row[idx].clone())
+            }
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Bin(op, l, r) => {
+                let lv = l.eval(row, schema)?;
+                // Short-circuit AND/OR with SQL three-valued collapse.
+                match op {
+                    BinOp::And => {
+                        if !lv.is_null() && !lv.is_truthy() {
+                            return Ok(Value::Bool(false));
+                        }
+                        let rv = r.eval(row, schema)?;
+                        if lv.is_null() || rv.is_null() {
+                            return Ok(Value::Null);
+                        }
+                        return Ok(Value::Bool(lv.is_truthy() && rv.is_truthy()));
+                    }
+                    BinOp::Or => {
+                        if lv.is_truthy() {
+                            return Ok(Value::Bool(true));
+                        }
+                        let rv = r.eval(row, schema)?;
+                        if lv.is_null() || rv.is_null() {
+                            return Ok(if rv.is_truthy() {
+                                Value::Bool(true)
+                            } else {
+                                Value::Null
+                            });
+                        }
+                        return Ok(Value::Bool(lv.is_truthy() || rv.is_truthy()));
+                    }
+                    _ => {}
+                }
+                let rv = r.eval(row, schema)?;
+                eval_bin(*op, &lv, &rv)
+            }
+            Expr::Not(e) => {
+                let v = e.eval(row, schema)?;
+                if v.is_null() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(!v.is_truthy()))
+                }
+            }
+            Expr::Neg(e) => match e.eval(row, schema)? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                Value::Null => Ok(Value::Null),
+                v => Err(StorageError::Eval(format!("cannot negate {v:?}"))),
+            },
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(row, schema)?.is_null())),
+            Expr::Call(name, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(row, schema))
+                    .collect::<Result<_, _>>()?;
+                eval_call(name, &vals)
+            }
+        }
+    }
+
+    /// The set of column names this expression reads (used by the optimizer
+    /// for predicate pushdown and column pruning).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Col(n) => out.push(n.clone()),
+            Expr::Lit(_) => {}
+            Expr::Bin(_, l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) => e.collect_columns(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value, StorageError> {
+    use BinOp::*;
+    // Comparisons: SQL semantics — NULL operand yields NULL.
+    if matches!(op, Eq | Ne | Lt | Le | Gt | Ge) {
+        return Ok(match l.sql_cmp(r) {
+            None => Value::Null,
+            Some(ord) => Value::Bool(match op {
+                Eq => ord.is_eq(),
+                Ne => !ord.is_eq(),
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }),
+        });
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // String concatenation via `+`.
+    if op == Add {
+        if let (Value::Str(a), Value::Str(b)) = (l, r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+    }
+    // Integer arithmetic stays integral when both sides are ints.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            Add => Ok(Value::Int(a.wrapping_add(*b))),
+            Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            Div => {
+                if *b == 0 {
+                    Err(StorageError::Eval("division by zero".into()))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            Mod => {
+                if *b == 0 {
+                    Err(StorageError::Eval("modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(StorageError::Eval(format!(
+                "cannot apply {op} to {l:?} and {r:?}"
+            )))
+        }
+    };
+    match op {
+        Add => Ok(Value::Float(a + b)),
+        Sub => Ok(Value::Float(a - b)),
+        Mul => Ok(Value::Float(a * b)),
+        Div => {
+            if b == 0.0 {
+                Err(StorageError::Eval("division by zero".into()))
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+        Mod => Ok(Value::Float(a % b)),
+        _ => unreachable!(),
+    }
+}
+
+fn eval_call(name: &str, args: &[Value]) -> Result<Value, StorageError> {
+    let need = |n: usize| {
+        if args.len() != n {
+            Err(StorageError::Eval(format!(
+                "function {name} expects {n} argument(s), got {}",
+                args.len()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match name {
+        "lower" => {
+            need(1)?;
+            match &args[0] {
+                Value::Str(s) => Ok(Value::Str(s.to_lowercase())),
+                Value::Null => Ok(Value::Null),
+                v => Err(StorageError::Eval(format!("lower expects STR, got {v:?}"))),
+            }
+        }
+        "upper" => {
+            need(1)?;
+            match &args[0] {
+                Value::Str(s) => Ok(Value::Str(s.to_uppercase())),
+                Value::Null => Ok(Value::Null),
+                v => Err(StorageError::Eval(format!("upper expects STR, got {v:?}"))),
+            }
+        }
+        "length" => {
+            need(1)?;
+            match &args[0] {
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                Value::Blob(b) => Ok(Value::Int(b.len() as i64)),
+                Value::Null => Ok(Value::Null),
+                v => Err(StorageError::Eval(format!("length expects STR, got {v:?}"))),
+            }
+        }
+        "abs" => {
+            need(1)?;
+            match &args[0] {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                Value::Null => Ok(Value::Null),
+                v => Err(StorageError::Eval(format!("abs expects number, got {v:?}"))),
+            }
+        }
+        "round" => {
+            need(2)?;
+            let v = args[0]
+                .as_f64()
+                .ok_or_else(|| StorageError::Eval("round expects number".into()))?;
+            let d = args[1]
+                .as_int()
+                .ok_or_else(|| StorageError::Eval("round expects int digits".into()))?;
+            let m = 10f64.powi(d as i32);
+            Ok(Value::Float((v * m).round() / m))
+        }
+        "contains" => {
+            need(2)?;
+            match (&args[0], &args[1]) {
+                (Value::Str(h), Value::Str(n)) => {
+                    Ok(Value::Bool(h.to_lowercase().contains(&n.to_lowercase())))
+                }
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                _ => Err(StorageError::Eval("contains expects (STR, STR)".into())),
+            }
+        }
+        "coalesce" => {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "min2" | "max2" => {
+            need(2)?;
+            if args[0].is_null() {
+                return Ok(args[1].clone());
+            }
+            if args[1].is_null() {
+                return Ok(args[0].clone());
+            }
+            let ord = args[0]
+                .sql_cmp(&args[1])
+                .ok_or_else(|| StorageError::Eval("incomparable arguments".into()))?;
+            let pick_first = if name == "min2" { ord.is_le() } else { ord.is_ge() };
+            Ok(if pick_first {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            })
+        }
+        "clamp01" => {
+            need(1)?;
+            match args[0].as_f64() {
+                Some(f) => Ok(Value::Float(f.clamp(0.0, 1.0))),
+                None if args[0].is_null() => Ok(Value::Null),
+                None => Err(StorageError::Eval("clamp01 expects number".into())),
+            }
+        }
+        other => Err(StorageError::Eval(format!("unknown function '{other}'"))),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(n) => f.write_str(n),
+            Expr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("year", DataType::Int),
+            ("score", DataType::Float),
+            ("title", DataType::Str),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(1991), Value::Float(0.7), "Guilty".into()]
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let s = schema();
+        let r = row();
+        let e = Expr::col("year").bin(BinOp::Add, Expr::lit(9i64));
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Int(2000));
+        let e = Expr::col("score").bin(BinOp::Mul, Expr::lit(10.0));
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Float(7.0));
+        let e = Expr::col("year").bin(BinOp::Ge, Expr::lit(1990i64));
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_propagation() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let r = vec![Value::Null];
+        let e = Expr::col("x").bin(BinOp::Add, Expr::lit(1i64));
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Null);
+        let e = Expr::col("x").eq(Expr::lit(1i64));
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Null);
+        let e = Expr::IsNull(Box::new(Expr::col("x")));
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_and_or() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let r = vec![Value::Int(0)];
+        // AND with false left never evaluates the erroring right side.
+        let bad = Expr::col("x").bin(BinOp::Div, Expr::lit(0i64));
+        let e = Expr::col("x").and(bad.clone());
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Bool(false));
+        // OR with true left likewise.
+        let e = Expr::lit(true).bin(BinOp::Or, bad);
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let s = schema();
+        let e = Expr::lit(1i64).bin(BinOp::Div, Expr::lit(0i64));
+        assert!(e.eval(&row(), &s).is_err());
+    }
+
+    #[test]
+    fn string_functions() {
+        let s = schema();
+        let r = row();
+        let e = Expr::Call("lower".into(), vec![Expr::col("title")]);
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Str("guilty".into()));
+        let e = Expr::Call(
+            "contains".into(),
+            vec![Expr::col("title"), Expr::lit("GUIL")],
+        );
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Bool(true));
+        let e = Expr::Call("length".into(), vec![Expr::col("title")]);
+        assert_eq!(e.eval(&r, &s).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn weighted_sum_matches_paper_fig5() {
+        // final_score = 0.7 * excitement + 0.3 * recency (Fig. 5).
+        let s = Schema::of(&[("exc", DataType::Float), ("rec", DataType::Float)]);
+        let r = vec![Value::Float(0.99999988), Value::Float(1.0)];
+        let e = Expr::col("exc")
+            .bin(BinOp::Mul, Expr::lit(0.7))
+            .bin(BinOp::Add, Expr::col("rec").bin(BinOp::Mul, Expr::lit(0.3)));
+        let v = e.eval(&r, &s).unwrap().as_f64().unwrap();
+        assert!((v - 0.99999992).abs() < 1e-8);
+    }
+
+    #[test]
+    fn referenced_columns_dedups() {
+        let e = Expr::col("a")
+            .bin(BinOp::Add, Expr::col("b"))
+            .bin(BinOp::Mul, Expr::col("a"));
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn unknown_function_and_column_error() {
+        let s = schema();
+        assert!(Expr::Call("nope".into(), vec![]).eval(&row(), &s).is_err());
+        assert!(Expr::col("missing").eval(&row(), &s).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::col("year").bin(BinOp::Ge, Expr::lit(1990i64));
+        assert_eq!(e.to_string(), "(year >= 1990)");
+    }
+}

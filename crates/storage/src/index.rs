@@ -1,0 +1,172 @@
+//! Secondary indexes over tables.
+//!
+//! KathDB materializes every intermediate view (§3); hash and sorted indexes
+//! make lineage lookups (`lid -> row`) and range predicates cheap.
+
+use crate::{StorageError, Table, Value};
+use std::collections::HashMap;
+
+/// A hash index from column value to row positions.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    column: String,
+    map: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Builds the index over one column of `table`. NULLs are not indexed.
+    pub fn build(table: &Table, column: &str) -> Result<Self, StorageError> {
+        let idx = table.schema().resolve(column)?;
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (pos, row) in table.rows().iter().enumerate() {
+            let v = &row[idx];
+            if !v.is_null() {
+                map.entry(v.clone()).or_default().push(pos);
+            }
+        }
+        Ok(Self {
+            column: column.to_string(),
+            map,
+        })
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Row positions matching `value` (empty slice if none).
+    pub fn lookup(&self, value: &Value) -> &[usize] {
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A sorted index supporting range scans.
+#[derive(Debug, Clone)]
+pub struct SortedIndex {
+    column: String,
+    // (value, row position) sorted by value's total order.
+    entries: Vec<(Value, usize)>,
+}
+
+impl SortedIndex {
+    /// Builds the index over one column of `table`. NULLs are not indexed.
+    pub fn build(table: &Table, column: &str) -> Result<Self, StorageError> {
+        let idx = table.schema().resolve(column)?;
+        let mut entries: Vec<(Value, usize)> = table
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r[idx].is_null())
+            .map(|(pos, r)| (r[idx].clone(), pos))
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        Ok(Self {
+            column: column.to_string(),
+            entries,
+        })
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Row positions with `low <= value <= high` (either bound optional).
+    pub fn range(&self, low: Option<&Value>, high: Option<&Value>) -> Vec<usize> {
+        let start = match low {
+            None => 0,
+            Some(lo) => self
+                .entries
+                .partition_point(|(v, _)| v.total_cmp(lo) == std::cmp::Ordering::Less),
+        };
+        let end = match high {
+            None => self.entries.len(),
+            Some(hi) => self
+                .entries
+                .partition_point(|(v, _)| v.total_cmp(hi) != std::cmp::Ordering::Greater),
+        };
+        self.entries[start..end.max(start)]
+            .iter()
+            .map(|(_, p)| *p)
+            .collect()
+    }
+
+    /// Row positions equal to `value`.
+    pub fn lookup(&self, value: &Value) -> Vec<usize> {
+        self.range(Some(value), Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::of(&[("id", DataType::Int), ("year", DataType::Int)]);
+        Table::from_rows(
+            "t",
+            schema,
+            vec![
+                vec![1i64.into(), 1991i64.into()],
+                vec![2i64.into(), 1988i64.into()],
+                vec![3i64.into(), Value::Null],
+                vec![4i64.into(), 1991i64.into()],
+                vec![5i64.into(), 2001i64.into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hash_index_lookup() {
+        let t = table();
+        let ix = HashIndex::build(&t, "year").unwrap();
+        assert_eq!(ix.lookup(&Value::Int(1991)), &[0, 3]);
+        assert_eq!(ix.lookup(&Value::Int(1900)), &[] as &[usize]);
+        assert_eq!(ix.distinct_keys(), 3);
+        // NULLs are not indexed.
+        assert_eq!(ix.lookup(&Value::Null), &[] as &[usize]);
+    }
+
+    #[test]
+    fn sorted_index_range() {
+        let t = table();
+        let ix = SortedIndex::build(&t, "year").unwrap();
+        let got = ix.range(Some(&Value::Int(1988)), Some(&Value::Int(1991)));
+        assert_eq!(got, vec![1, 0, 3]);
+        let all = ix.range(None, None);
+        assert_eq!(all.len(), 4);
+        let upper = ix.range(Some(&Value::Int(1992)), None);
+        assert_eq!(upper, vec![4]);
+    }
+
+    #[test]
+    fn sorted_index_point_lookup() {
+        let t = table();
+        let ix = SortedIndex::build(&t, "year").unwrap();
+        assert_eq!(ix.lookup(&Value::Int(1991)), vec![0, 3]);
+        assert!(ix.lookup(&Value::Int(1800)).is_empty());
+    }
+
+    #[test]
+    fn empty_range_when_bounds_cross() {
+        let t = table();
+        let ix = SortedIndex::build(&t, "year").unwrap();
+        let got = ix.range(Some(&Value::Int(2005)), Some(&Value::Int(1990)));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let t = table();
+        assert!(HashIndex::build(&t, "nope").is_err());
+        assert!(SortedIndex::build(&t, "nope").is_err());
+    }
+}

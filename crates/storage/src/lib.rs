@@ -1,0 +1,36 @@
+//! KathDB relational substrate.
+//!
+//! The paper's central design decision is a "unified semantic layer based on
+//! the relational model" (§1): every modality — tables, text, images, video —
+//! is represented as relational views, and every FAO ultimately reads and
+//! writes tables. This crate is that relational foundation: typed values,
+//! schemas, in-memory tables, scalar expressions, volcano-style operators,
+//! secondary indexes, statistics, a system catalog (with the verifier's
+//! database utilities), and binary persistence.
+
+#![warn(missing_docs)]
+
+mod catalog;
+mod error;
+mod expr;
+mod index;
+mod ops;
+mod persist;
+mod schema;
+mod stats;
+mod table;
+mod value;
+
+pub use catalog::{Catalog, Joinability};
+pub use error::StorageError;
+pub use expr::{BinOp, Expr};
+pub use index::{HashIndex, SortedIndex};
+pub use ops::{
+    col_cmp, collect, AggFunc, Aggregate, Distinct, Filter, HashAggregate, HashJoin, JoinKind,
+    Limit, NestedLoopJoin, Operator, Project, Sort, SortKey, TableScan, UnionAll,
+};
+pub use persist::{decode_table, encode_table, load_table, save_table};
+pub use schema::{Column, Schema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;
+pub use value::{DataType, Row, Value};

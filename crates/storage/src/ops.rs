@@ -1,0 +1,907 @@
+//! Volcano-style relational operators.
+//!
+//! KathDB's FAO bodies compile down to pipelines of these operators; the
+//! classical iterator model gives the system the "clear query semantics and
+//! high efficiency" of a traditional DBMS (§1) underneath the model-driven
+//! layer.
+
+use crate::{BinOp, Expr, Row, Schema, StorageError, Table, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A pull-based relational operator.
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// Produces the next row, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Row>, StorageError>;
+}
+
+/// Drains an operator into a materialized [`Table`].
+pub fn collect(name: &str, mut op: Box<dyn Operator>) -> Result<Table, StorageError> {
+    let mut out = Table::new(name, op.schema().clone());
+    while let Some(row) = op.next()? {
+        out.push(row)?;
+    }
+    Ok(out)
+}
+
+/// Full scan over a shared table.
+pub struct TableScan {
+    table: Arc<Table>,
+    cursor: usize,
+}
+
+impl TableScan {
+    /// Scans `table` from the first row.
+    pub fn new(table: Arc<Table>) -> Self {
+        Self { table, cursor: 0 }
+    }
+}
+
+impl Operator for TableScan {
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        let row = self.table.row(self.cursor).cloned();
+        if row.is_some() {
+            self.cursor += 1;
+        }
+        Ok(row)
+    }
+}
+
+/// Filters rows by a predicate expression (NULL predicate drops the row,
+/// SQL `WHERE` semantics).
+pub struct Filter {
+    input: Box<dyn Operator>,
+    predicate: Expr,
+}
+
+impl Filter {
+    /// Wraps `input`, keeping rows where `predicate` is truthy.
+    pub fn new(input: Box<dyn Operator>, predicate: Expr) -> Self {
+        Self { input, predicate }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        while let Some(row) = self.input.next()? {
+            let keep = self.predicate.eval(&row, self.input.schema())?;
+            if keep.is_truthy() {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Projects (and computes) output columns from expressions.
+pub struct Project {
+    input: Box<dyn Operator>,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl Project {
+    /// Builds a projection of `(output name, expression)` pairs. Output
+    /// types are inferred as `Any` unless the expression is a plain column
+    /// reference, in which case the input type is preserved.
+    pub fn new(
+        input: Box<dyn Operator>,
+        outputs: Vec<(String, Expr)>,
+    ) -> Result<Self, StorageError> {
+        use crate::{Column, DataType};
+        let mut cols = Vec::with_capacity(outputs.len());
+        for (name, expr) in &outputs {
+            let dtype = match expr {
+                Expr::Col(c) => {
+                    let idx = input.schema().resolve(c)?;
+                    input.schema().column(idx).dtype
+                }
+                Expr::Lit(v) if !v.is_null() => v.data_type(),
+                _ => DataType::Any,
+            };
+            cols.push(Column::new(name.clone(), dtype));
+        }
+        let schema = Schema::new(cols)?;
+        Ok(Self {
+            input,
+            exprs: outputs.into_iter().map(|(_, e)| e).collect(),
+            schema,
+        })
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                let out: Row = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval(&row, self.input.schema()))
+                    .collect::<Result<_, _>>()?;
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Join kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner join.
+    Inner,
+    /// Left outer join (unmatched left rows padded with NULLs).
+    Left,
+}
+
+/// Hash join on column equality. Builds on the right input, probes the left.
+pub struct HashJoin {
+    left: Box<dyn Operator>,
+    schema: Schema,
+    left_key: usize,
+    built: HashMap<Value, Vec<Row>>,
+    right_arity: usize,
+    kind: JoinKind,
+    pending: Vec<Row>,
+}
+
+impl HashJoin {
+    /// Joins `left.left_col == right.right_col`. The right side is fully
+    /// materialized into the hash table up front.
+    pub fn new(
+        left: Box<dyn Operator>,
+        mut right: Box<dyn Operator>,
+        left_col: &str,
+        right_col: &str,
+        kind: JoinKind,
+    ) -> Result<Self, StorageError> {
+        let left_key = left.schema().resolve(left_col)?;
+        let right_key = right.schema().resolve(right_col)?;
+        let schema = left.schema().join(right.schema(), "right");
+        let right_arity = right.schema().arity();
+        let mut built: HashMap<Value, Vec<Row>> = HashMap::new();
+        while let Some(row) = right.next()? {
+            let key = row[right_key].clone();
+            if key.is_null() {
+                continue; // NULL keys never match in SQL equi-joins.
+            }
+            built.entry(key).or_default().push(row);
+        }
+        Ok(Self {
+            left,
+            schema,
+            left_key,
+            built,
+            right_arity,
+            kind,
+            pending: Vec::new(),
+        })
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        loop {
+            if let Some(row) = self.pending.pop() {
+                return Ok(Some(row));
+            }
+            let Some(lrow) = self.left.next()? else {
+                return Ok(None);
+            };
+            let key = &lrow[self.left_key];
+            let matches = if key.is_null() {
+                None
+            } else {
+                self.built.get(key)
+            };
+            match matches {
+                Some(rrows) => {
+                    for rrow in rrows.iter().rev() {
+                        let mut out = lrow.clone();
+                        out.extend(rrow.iter().cloned());
+                        self.pending.push(out);
+                    }
+                }
+                None if self.kind == JoinKind::Left => {
+                    let mut out = lrow.clone();
+                    out.extend(std::iter::repeat_n(Value::Null, self.right_arity));
+                    self.pending.push(out);
+                }
+                None => continue,
+            }
+        }
+    }
+}
+
+/// Nested-loop join with an arbitrary predicate over the concatenated row.
+pub struct NestedLoopJoin {
+    left: Box<dyn Operator>,
+    right_rows: Vec<Row>,
+    predicate: Expr,
+    schema: Schema,
+    current_left: Option<Row>,
+    right_cursor: usize,
+}
+
+impl NestedLoopJoin {
+    /// Joins on any predicate; the right side is materialized.
+    pub fn new(
+        left: Box<dyn Operator>,
+        mut right: Box<dyn Operator>,
+        predicate: Expr,
+    ) -> Result<Self, StorageError> {
+        let schema = left.schema().join(right.schema(), "right");
+        let mut right_rows = Vec::new();
+        while let Some(row) = right.next()? {
+            right_rows.push(row);
+        }
+        Ok(Self {
+            left,
+            right_rows,
+            predicate,
+            schema,
+            current_left: None,
+            right_cursor: 0,
+        })
+    }
+}
+
+impl Operator for NestedLoopJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        loop {
+            if self.current_left.is_none() {
+                self.current_left = self.left.next()?;
+                self.right_cursor = 0;
+                if self.current_left.is_none() {
+                    return Ok(None);
+                }
+            }
+            let lrow = self.current_left.as_ref().expect("set above").clone();
+            while self.right_cursor < self.right_rows.len() {
+                let rrow = &self.right_rows[self.right_cursor];
+                self.right_cursor += 1;
+                let mut joined = lrow.clone();
+                joined.extend(rrow.iter().cloned());
+                if self.predicate.eval(&joined, &self.schema)?.is_truthy() {
+                    return Ok(Some(joined));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}
+
+/// Aggregate functions supported by [`HashAggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` (counts rows; NULLs included).
+    CountStar,
+    /// `COUNT(col)` (non-NULL values).
+    Count,
+    /// `SUM(col)`
+    Sum,
+    /// `AVG(col)`
+    Avg,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+}
+
+/// One aggregate output: function + input column + output name.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (ignored for `CountStar`).
+    pub column: Option<String>,
+    /// Output column name.
+    pub output: String,
+}
+
+/// Hash aggregation with optional GROUP BY keys.
+pub struct HashAggregate {
+    schema: Schema,
+    results: std::vec::IntoIter<Row>,
+}
+
+#[derive(Clone)]
+struct AggState {
+    count: i64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_f64() {
+            self.sum += f;
+        }
+        let better_min = self
+            .min
+            .as_ref()
+            .is_none_or(|m| v.total_cmp(m) == Ordering::Less);
+        if better_min {
+            self.min = Some(v.clone());
+        }
+        let better_max = self
+            .max
+            .as_ref()
+            .is_none_or(|m| v.total_cmp(m) == Ordering::Greater);
+        if better_max {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(&self, func: AggFunc, rows_in_group: i64) -> Value {
+        match func {
+            AggFunc::CountStar => Value::Int(rows_in_group),
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+impl HashAggregate {
+    /// Aggregates `input` grouped by `group_by` columns. Output schema is
+    /// group keys followed by aggregate outputs. With no group keys, emits a
+    /// single global row (even for empty input, as SQL does).
+    pub fn new(
+        mut input: Box<dyn Operator>,
+        group_by: Vec<String>,
+        aggregates: Vec<Aggregate>,
+    ) -> Result<Self, StorageError> {
+        use crate::{Column, DataType};
+        let in_schema = input.schema().clone();
+        let key_idx: Vec<usize> = group_by
+            .iter()
+            .map(|g| in_schema.resolve(g))
+            .collect::<Result<_, _>>()?;
+        let agg_idx: Vec<Option<usize>> = aggregates
+            .iter()
+            .map(|a| match (&a.column, a.func) {
+                (_, AggFunc::CountStar) => Ok(None),
+                (Some(c), _) => in_schema.resolve(c).map(Some),
+                (None, _) => Err(StorageError::Eval(format!(
+                    "aggregate {} requires a column",
+                    a.output
+                ))),
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut cols: Vec<Column> = key_idx
+            .iter()
+            .map(|&i| in_schema.column(i).clone())
+            .collect();
+        for a in &aggregates {
+            let dtype = match a.func {
+                AggFunc::CountStar | AggFunc::Count => DataType::Int,
+                AggFunc::Sum | AggFunc::Avg => DataType::Float,
+                AggFunc::Min | AggFunc::Max => DataType::Any,
+            };
+            cols.push(Column::new(a.output.clone(), dtype));
+        }
+        let schema = Schema::new(cols)?;
+
+        // Group states, keyed by the group-key tuple. Insertion order of
+        // groups is preserved for deterministic output.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: HashMap<Vec<Value>, (i64, Vec<AggState>)> = HashMap::new();
+        while let Some(row) = input.next()? {
+            let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (0, vec![AggState::new(); aggregates.len()])
+            });
+            entry.0 += 1;
+            for (state, idx) in entry.1.iter_mut().zip(&agg_idx) {
+                if let Some(i) = idx {
+                    state.update(&row[*i]);
+                }
+            }
+        }
+        if group_by.is_empty() && groups.is_empty() {
+            order.push(Vec::new());
+            groups.insert(Vec::new(), (0, vec![AggState::new(); aggregates.len()]));
+        }
+
+        let mut results = Vec::with_capacity(order.len());
+        for key in order {
+            let (n, states) = &groups[&key];
+            let mut row = key.clone();
+            for (state, agg) in states.iter().zip(&aggregates) {
+                row.push(state.finish(agg.func, *n));
+            }
+            results.push(row);
+        }
+        Ok(Self {
+            schema,
+            results: results.into_iter(),
+        })
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        Ok(self.results.next())
+    }
+}
+
+/// Sort direction for one key.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// Column to sort on.
+    pub column: String,
+    /// Descending if true.
+    pub desc: bool,
+}
+
+/// Full sort (materializing).
+pub struct Sort {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl Sort {
+    /// Sorts `input` by `keys` using the total value order (stable).
+    pub fn new(mut input: Box<dyn Operator>, keys: Vec<SortKey>) -> Result<Self, StorageError> {
+        let schema = input.schema().clone();
+        let key_idx: Vec<(usize, bool)> = keys
+            .iter()
+            .map(|k| schema.resolve(&k.column).map(|i| (i, k.desc)))
+            .collect::<Result<_, _>>()?;
+        let mut rows = Vec::new();
+        while let Some(row) = input.next()? {
+            rows.push(row);
+        }
+        rows.sort_by(|a, b| {
+            for &(i, desc) in &key_idx {
+                let ord = a[i].total_cmp(&b[i]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        Ok(Self {
+            schema,
+            rows: rows.into_iter(),
+        })
+    }
+}
+
+impl Operator for Sort {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        Ok(self.rows.next())
+    }
+}
+
+/// LIMIT n.
+pub struct Limit {
+    input: Box<dyn Operator>,
+    remaining: usize,
+}
+
+impl Limit {
+    /// Yields at most `n` rows from `input`.
+    pub fn new(input: Box<dyn Operator>, n: usize) -> Self {
+        Self {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl Operator for Limit {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// DISTINCT over whole rows.
+pub struct Distinct {
+    input: Box<dyn Operator>,
+    seen: std::collections::HashSet<Row>,
+}
+
+impl Distinct {
+    /// De-duplicates rows of `input`.
+    pub fn new(input: Box<dyn Operator>) -> Self {
+        Self {
+            input,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl Operator for Distinct {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        while let Some(row) = self.input.next()? {
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// UNION ALL of two schema-compatible inputs.
+pub struct UnionAll {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    left_done: bool,
+}
+
+impl UnionAll {
+    /// Concatenates two inputs; arities must match.
+    pub fn new(left: Box<dyn Operator>, right: Box<dyn Operator>) -> Result<Self, StorageError> {
+        if left.schema().arity() != right.schema().arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: left.schema().arity(),
+                got: right.schema().arity(),
+            });
+        }
+        Ok(Self {
+            left,
+            right,
+            left_done: false,
+        })
+    }
+}
+
+impl Operator for UnionAll {
+    fn schema(&self) -> &Schema {
+        self.left.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        if !self.left_done {
+            if let Some(row) = self.left.next()? {
+                return Ok(Some(row));
+            }
+            self.left_done = true;
+        }
+        self.right.next()
+    }
+}
+
+/// Convenience: builds a comparison predicate `col op lit`.
+pub fn col_cmp(col: &str, op: BinOp, v: impl Into<Value>) -> Expr {
+    Expr::col(col).bin(op, Expr::lit(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    fn films() -> Arc<Table> {
+        let schema = Schema::of(&[
+            ("id", DataType::Int),
+            ("title", DataType::Str),
+            ("year", DataType::Int),
+        ]);
+        Arc::new(
+            Table::from_rows(
+                "films",
+                schema,
+                vec![
+                    vec![1i64.into(), "Guilty by Suspicion".into(), 1991i64.into()],
+                    vec![2i64.into(), "Clean and Sober".into(), 1988i64.into()],
+                    vec![3i64.into(), "Quiet Days".into(), 1975i64.into()],
+                    vec![4i64.into(), "Night Chase".into(), 1991i64.into()],
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn posters() -> Arc<Table> {
+        let schema = Schema::of(&[("film_id", DataType::Int), ("boring", DataType::Bool)]);
+        Arc::new(
+            Table::from_rows(
+                "posters",
+                schema,
+                vec![
+                    vec![1i64.into(), true.into()],
+                    vec![2i64.into(), true.into()],
+                    vec![4i64.into(), false.into()],
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let scan = Box::new(TableScan::new(films()));
+        let filt = Box::new(Filter::new(scan, col_cmp("year", BinOp::Ge, 1988i64)));
+        let proj = Project::new(filt, vec![("title".into(), Expr::col("title"))]).unwrap();
+        let t = collect("recent", Box::new(proj)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.schema().names(), vec!["title"]);
+    }
+
+    #[test]
+    fn filter_is_subset_of_scan() {
+        let scan = Box::new(TableScan::new(films()));
+        let filt = Filter::new(scan, col_cmp("year", BinOp::Eq, 1991i64));
+        let t = collect("f", Box::new(filt)).unwrap();
+        assert_eq!(t.len(), 2);
+        for r in t.rows() {
+            assert_eq!(r[2], Value::Int(1991));
+        }
+    }
+
+    #[test]
+    fn hash_join_inner_and_left() {
+        let j = HashJoin::new(
+            Box::new(TableScan::new(films())),
+            Box::new(TableScan::new(posters())),
+            "id",
+            "film_id",
+            JoinKind::Inner,
+        )
+        .unwrap();
+        let t = collect("j", Box::new(j)).unwrap();
+        assert_eq!(t.len(), 3); // film 3 has no poster
+
+        let j = HashJoin::new(
+            Box::new(TableScan::new(films())),
+            Box::new(TableScan::new(posters())),
+            "id",
+            "film_id",
+            JoinKind::Left,
+        )
+        .unwrap();
+        let t = collect("j", Box::new(j)).unwrap();
+        assert_eq!(t.len(), 4);
+        let unmatched = t.rows().iter().find(|r| r[0] == Value::Int(3)).unwrap();
+        assert!(unmatched[3].is_null());
+    }
+
+    #[test]
+    fn hash_join_skips_null_keys() {
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        let left = Arc::new(
+            Table::from_rows("l", schema.clone(), vec![vec![Value::Null], vec![1i64.into()]])
+                .unwrap(),
+        );
+        let right = Arc::new(
+            Table::from_rows("r", schema, vec![vec![Value::Null], vec![1i64.into()]]).unwrap(),
+        );
+        let j = HashJoin::new(
+            Box::new(TableScan::new(left)),
+            Box::new(TableScan::new(right)),
+            "k",
+            "k",
+            JoinKind::Inner,
+        )
+        .unwrap();
+        let t = collect("j", Box::new(j)).unwrap();
+        assert_eq!(t.len(), 1); // NULL never equals NULL
+    }
+
+    #[test]
+    fn nested_loop_join_with_predicate() {
+        let pred = Expr::col("id").eq(Expr::col("film_id"));
+        let j = NestedLoopJoin::new(
+            Box::new(TableScan::new(films())),
+            Box::new(TableScan::new(posters())),
+            pred,
+        )
+        .unwrap();
+        let t = collect("j", Box::new(j)).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let agg = HashAggregate::new(
+            Box::new(TableScan::new(films())),
+            vec!["year".into()],
+            vec![
+                Aggregate {
+                    func: AggFunc::CountStar,
+                    column: None,
+                    output: "n".into(),
+                },
+                Aggregate {
+                    func: AggFunc::Min,
+                    column: Some("title".into()),
+                    output: "first_title".into(),
+                },
+            ],
+        )
+        .unwrap();
+        let t = collect("g", Box::new(agg)).unwrap();
+        assert_eq!(t.len(), 3);
+        let idx = t.find("year", &Value::Int(1991)).unwrap().unwrap();
+        assert_eq!(t.cell(idx, "n").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn aggregate_global_on_empty_input_emits_one_row() {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let empty = Arc::new(Table::new("e", schema));
+        let agg = HashAggregate::new(
+            Box::new(TableScan::new(empty)),
+            vec![],
+            vec![
+                Aggregate {
+                    func: AggFunc::CountStar,
+                    column: None,
+                    output: "n".into(),
+                },
+                Aggregate {
+                    func: AggFunc::Sum,
+                    column: Some("x".into()),
+                    output: "s".into(),
+                },
+            ],
+        )
+        .unwrap();
+        let t = collect("g", Box::new(agg)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, "n").unwrap(), &Value::Int(0));
+        assert!(t.cell(0, "s").unwrap().is_null());
+    }
+
+    #[test]
+    fn aggregate_avg_ignores_nulls() {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let tbl = Arc::new(
+            Table::from_rows(
+                "t",
+                schema,
+                vec![vec![2i64.into()], vec![Value::Null], vec![4i64.into()]],
+            )
+            .unwrap(),
+        );
+        let agg = HashAggregate::new(
+            Box::new(TableScan::new(tbl)),
+            vec![],
+            vec![Aggregate {
+                func: AggFunc::Avg,
+                column: Some("x".into()),
+                output: "a".into(),
+            }],
+        )
+        .unwrap();
+        let t = collect("g", Box::new(agg)).unwrap();
+        assert_eq!(t.cell(0, "a").unwrap(), &Value::Float(3.0));
+    }
+
+    #[test]
+    fn sort_desc_then_limit() {
+        let sort = Sort::new(
+            Box::new(TableScan::new(films())),
+            vec![SortKey {
+                column: "year".into(),
+                desc: true,
+            }],
+        )
+        .unwrap();
+        let lim = Limit::new(Box::new(sort), 2);
+        let t = collect("top", Box::new(lim)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, "year").unwrap(), &Value::Int(1991));
+        assert_eq!(t.cell(1, "year").unwrap(), &Value::Int(1991));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let sort = Sort::new(
+            Box::new(TableScan::new(films())),
+            vec![SortKey {
+                column: "year".into(),
+                desc: true,
+            }],
+        )
+        .unwrap();
+        let t = collect("s", Box::new(sort)).unwrap();
+        // ids 1 and 4 both have year 1991; input order 1 then 4 preserved.
+        assert_eq!(t.cell(0, "id").unwrap(), &Value::Int(1));
+        assert_eq!(t.cell(1, "id").unwrap(), &Value::Int(4));
+    }
+
+    #[test]
+    fn distinct_and_union() {
+        let u = UnionAll::new(
+            Box::new(TableScan::new(films())),
+            Box::new(TableScan::new(films())),
+        )
+        .unwrap();
+        let d = Distinct::new(Box::new(u));
+        let t = collect("d", Box::new(d)).unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn union_rejects_arity_mismatch() {
+        let r = UnionAll::new(
+            Box::new(TableScan::new(films())),
+            Box::new(TableScan::new(posters())),
+        );
+        assert!(r.is_err());
+    }
+}

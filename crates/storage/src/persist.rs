@@ -1,0 +1,293 @@
+//! Binary table persistence.
+//!
+//! KathDB materializes intermediate views and persists them so the lineage
+//! browser can show "the materialized view it came from" (§5) across
+//! sessions. The format is a simple length-prefixed layout with a magic
+//! header and version byte.
+
+use crate::{Column, DataType, Row, Schema, StorageError, Table, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"KTBL";
+const FORMAT_VERSION: u8 = 1;
+
+/// Encodes a table into the KathDB binary table format.
+pub fn encode_table(table: &Table) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(FORMAT_VERSION);
+    put_str(&mut buf, table.name());
+    buf.put_u32(table.schema().arity() as u32);
+    for col in table.schema().columns() {
+        put_str(&mut buf, &col.name);
+        buf.put_u8(dtype_tag(col.dtype));
+        buf.put_u8(col.nullable as u8);
+    }
+    buf.put_u64(table.len() as u64);
+    for row in table.rows() {
+        for v in row {
+            put_value(&mut buf, v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a table from the binary format.
+pub fn decode_table(mut data: &[u8]) -> Result<Table, StorageError> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if data.len() < 5 || &data[..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    data.advance(4);
+    let version = data.get_u8();
+    if version != FORMAT_VERSION {
+        return Err(corrupt("unsupported format version"));
+    }
+    let name = get_str(&mut data)?;
+    if data.remaining() < 4 {
+        return Err(corrupt("truncated column count"));
+    }
+    let arity = data.get_u32() as usize;
+    if arity > 1 << 16 {
+        return Err(corrupt("implausible column count"));
+    }
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let cname = get_str(&mut data)?;
+        if data.remaining() < 2 {
+            return Err(corrupt("truncated column descriptor"));
+        }
+        let dtype = dtype_from_tag(data.get_u8())?;
+        let nullable = data.get_u8() != 0;
+        cols.push(Column {
+            name: cname,
+            dtype,
+            nullable,
+        });
+    }
+    let schema = Schema::new(cols)?;
+    if data.remaining() < 8 {
+        return Err(corrupt("truncated row count"));
+    }
+    let rows = data.get_u64() as usize;
+    let mut table = Table::new(name, schema);
+    for _ in 0..rows {
+        let mut row: Row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            row.push(get_value(&mut data)?);
+        }
+        table.push(row)?;
+    }
+    if data.has_remaining() {
+        return Err(corrupt("trailing bytes after table payload"));
+    }
+    Ok(table)
+}
+
+/// Writes a table to `path`.
+pub fn save_table(table: &Table, path: &Path) -> Result<(), StorageError> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, encode_table(table))?;
+    Ok(())
+}
+
+/// Reads a table from `path`.
+pub fn load_table(path: &Path) -> Result<Table, StorageError> {
+    let data = std::fs::read(path)?;
+    decode_table(&data)
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+        DataType::Blob => 4,
+        DataType::Any => 5,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> Result<DataType, StorageError> {
+    Ok(match t {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Str,
+        3 => DataType::Bool,
+        4 => DataType::Blob,
+        5 => DataType::Any,
+        _ => return Err(StorageError::Corrupt(format!("unknown type tag {t}"))),
+    })
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut &[u8]) -> Result<String, StorageError> {
+    if data.remaining() < 4 {
+        return Err(StorageError::Corrupt("truncated string length".into()));
+    }
+    let len = data.get_u32() as usize;
+    if data.remaining() < len {
+        return Err(StorageError::Corrupt("truncated string payload".into()));
+    }
+    let s = std::str::from_utf8(&data[..len])
+        .map_err(|_| StorageError::Corrupt("invalid utf-8".into()))?
+        .to_string();
+    data.advance(len);
+    Ok(s)
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(4);
+            buf.put_u8(*b as u8);
+        }
+        Value::Blob(b) => {
+            buf.put_u8(5);
+            buf.put_u32(b.len() as u32);
+            buf.put_slice(b);
+        }
+    }
+}
+
+fn get_value(data: &mut &[u8]) -> Result<Value, StorageError> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if !data.has_remaining() {
+        return Err(corrupt("truncated value tag"));
+    }
+    Ok(match data.get_u8() {
+        0 => Value::Null,
+        1 => {
+            if data.remaining() < 8 {
+                return Err(corrupt("truncated int"));
+            }
+            Value::Int(data.get_i64())
+        }
+        2 => {
+            if data.remaining() < 8 {
+                return Err(corrupt("truncated float"));
+            }
+            Value::Float(data.get_f64())
+        }
+        3 => Value::Str(get_str(data)?),
+        4 => {
+            if !data.has_remaining() {
+                return Err(corrupt("truncated bool"));
+            }
+            Value::Bool(data.get_u8() != 0)
+        }
+        5 => {
+            if data.remaining() < 4 {
+                return Err(corrupt("truncated blob length"));
+            }
+            let len = data.get_u32() as usize;
+            if data.remaining() < len {
+                return Err(corrupt("truncated blob payload"));
+            }
+            let b = data[..len].to_vec();
+            data.advance(len);
+            Value::Blob(b)
+        }
+        t => return Err(corrupt(&format!("unknown value tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let schema = Schema::of(&[
+            ("id", DataType::Int),
+            ("score", DataType::Float),
+            ("title", DataType::Str),
+            ("boring", DataType::Bool),
+            ("pixels", DataType::Blob),
+        ]);
+        Table::from_rows(
+            "films",
+            schema,
+            vec![
+                vec![
+                    1i64.into(),
+                    0.999.into(),
+                    "Guilty by Suspicion".into(),
+                    true.into(),
+                    Value::Blob(vec![1, 2, 3]),
+                ],
+                vec![
+                    2i64.into(),
+                    Value::Null,
+                    "Clean and Sober".into(),
+                    Value::Null,
+                    Value::Blob(vec![]),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = table();
+        let bytes = encode_table(&t);
+        let back = decode_table(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("kathdb_persist_test");
+        let path = dir.join("films.ktbl");
+        let t = table();
+        save_table(&t, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back, t);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let t = table();
+        let bytes = encode_table(&t);
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(decode_table(&bad).is_err());
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_table(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(decode_table(&long).is_err());
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let t = Table::new("empty", Schema::of(&[("x", DataType::Any)]));
+        let back = decode_table(&encode_table(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,243 @@
+//! Column and schema definitions.
+
+use crate::{DataType, StorageError, Value};
+use std::fmt;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Declared type; `Any` admits every value.
+    pub dtype: DataType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL column.
+    pub fn required(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// Whether `value` is admissible for this column.
+    pub fn admits(&self, value: &Value) -> bool {
+        if value.is_null() {
+            return self.nullable;
+        }
+        match self.dtype {
+            DataType::Any => true,
+            // Int columns accept integral floats produced by generated
+            // function bodies; everything else must match exactly.
+            DataType::Int => matches!(value, Value::Int(_)),
+            DataType::Float => matches!(value, Value::Int(_) | Value::Float(_)),
+            dt => value.data_type() == dt,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from columns; duplicate names are rejected.
+    pub fn new(columns: Vec<Column>) -> Result<Self, StorageError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(StorageError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Self { columns })
+    }
+
+    /// Shorthand: builds a schema of nullable columns from `(name, type)`.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Self::new(
+            cols.iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("static schema literals must not repeat column names")
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of a column by name, as an error-carrying lookup.
+    pub fn resolve(&self, name: &str) -> Result<usize, StorageError> {
+        self.index_of(name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Validates a row against this schema (arity + per-column types).
+    pub fn check_row(&self, row: &[Value]) -> Result<(), StorageError> {
+        if row.len() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(row) {
+            if !col.admits(val) {
+                return Err(StorageError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.dtype,
+                    got: val.data_type(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A new schema keeping the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenates two schemas (for joins); right-side duplicate names get a
+    /// disambiguating prefix, mirroring what the paper's intermediate
+    /// materialized views do.
+    pub fn join(&self, right: &Schema, right_prefix: &str) -> Schema {
+        let mut columns = self.columns.clone();
+        for c in &right.columns {
+            let mut name = c.name.clone();
+            // Keep prepending the prefix until the name is unique; repeated
+            // self-joins can otherwise collide on the first-level prefix.
+            while columns.iter().any(|e| e.name == name) {
+                name = format!("{right_prefix}.{name}");
+            }
+            columns.push(Column {
+                name,
+                dtype: c.dtype,
+                nullable: c.nullable,
+            });
+        }
+        Schema { columns }
+    }
+
+    /// Appends a column, disambiguating on clash.
+    pub fn with_column(&self, col: Column) -> Schema {
+        let mut columns = self.columns.clone();
+        if columns.iter().any(|c| c.name == col.name) {
+            let mut i = 2;
+            let mut name = format!("{}_{}", col.name, i);
+            while columns.iter().any(|c| c.name == name) {
+                i += 1;
+                name = format!("{}_{}", col.name, i);
+            }
+            columns.push(Column { name, ..col });
+        } else {
+            columns.push(col);
+        }
+        Schema { columns }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            if !c.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("a", DataType::Str),
+        ]);
+        assert!(matches!(err, Err(StorageError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_types() {
+        let s = Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]);
+        assert!(s.check_row(&[Value::Int(1), Value::Str("x".into())]).is_ok());
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        assert!(s
+            .check_row(&[Value::Str("bad".into()), Value::Str("x".into())])
+            .is_err());
+    }
+
+    #[test]
+    fn nullable_controls_null_admission() {
+        let s = Schema::new(vec![Column::required("id", DataType::Int)]).unwrap();
+        assert!(s.check_row(&[Value::Null]).is_err());
+        let s2 = Schema::of(&[("id", DataType::Int)]);
+        assert!(s2.check_row(&[Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn float_columns_accept_ints() {
+        let s = Schema::of(&[("score", DataType::Float)]);
+        assert!(s.check_row(&[Value::Int(1)]).is_ok());
+    }
+
+    #[test]
+    fn join_disambiguates_duplicate_names() {
+        let left = Schema::of(&[("id", DataType::Int), ("title", DataType::Str)]);
+        let right = Schema::of(&[("id", DataType::Int), ("year", DataType::Int)]);
+        let joined = left.join(&right, "r");
+        assert_eq!(joined.names(), vec!["id", "title", "r.id", "year"]);
+    }
+
+    #[test]
+    fn with_column_disambiguates() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let s2 = s.with_column(Column::new("x", DataType::Int));
+        assert_eq!(s2.names(), vec!["x", "x_2"]);
+    }
+}

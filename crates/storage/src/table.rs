@@ -1,0 +1,223 @@
+//! In-memory tables: the materialization unit of KathDB.
+//!
+//! Every intermediate result in a KathDB pipeline is materialized as a table
+//! so that lineage can reference it (§3) and the explainer can show it (§5).
+
+use crate::{Row, Schema, StorageError, Value};
+use std::fmt;
+
+/// A named, schema-checked collection of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a table from rows, validating each against the schema.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> Result<Self, StorageError> {
+        let mut t = Table::new(name, schema);
+        for row in rows {
+            t.push(row)?;
+        }
+        Ok(t)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the table (used when an intermediate result is registered
+    /// under the `output` name its plan node declared).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// A row by position.
+    pub fn row(&self, idx: usize) -> Option<&Row> {
+        self.rows.get(idx)
+    }
+
+    /// Appends a validated row.
+    pub fn push(&mut self, row: Row) -> Result<(), StorageError> {
+        self.schema.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Appends many validated rows.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) -> Result<(), StorageError> {
+        for row in rows {
+            self.push(row)?;
+        }
+        Ok(())
+    }
+
+    /// Reads one cell by row index and column name.
+    pub fn cell(&self, row: usize, column: &str) -> Result<&Value, StorageError> {
+        let c = self.schema.resolve(column)?;
+        self.rows
+            .get(row)
+            .map(|r| &r[c])
+            .ok_or_else(|| StorageError::Eval(format!("row {row} out of bounds")))
+    }
+
+    /// All values of one column.
+    pub fn column_values(&self, column: &str) -> Result<Vec<&Value>, StorageError> {
+        let c = self.schema.resolve(column)?;
+        Ok(self.rows.iter().map(|r| &r[c]).collect())
+    }
+
+    /// The first `n` rows, as a new table (the "rows sampler" database
+    /// utility owned by the plan verifier's tool user, §4).
+    pub fn sample(&self, n: usize) -> Table {
+        Table {
+            name: format!("{}_sample", self.name),
+            schema: self.schema.clone(),
+            rows: self.rows.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Finds the first row index where `column == value`.
+    pub fn find(&self, column: &str, value: &Value) -> Result<Option<usize>, StorageError> {
+        let c = self.schema.resolve(column)?;
+        Ok(self.rows.iter().position(|r| &r[c] == value))
+    }
+
+    /// Renders the table as an aligned ASCII grid, the way the paper's
+    /// figures print result tables (Fig. 6).
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = self.schema.names().iter().map(|s| s.to_string()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {:w$} |", h, w = w));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {:w$} |", cell, w = w));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{} rows]", self.name, self.schema, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataType;
+
+    fn movies() -> Table {
+        let schema = Schema::of(&[("title", DataType::Str), ("year", DataType::Int)]);
+        Table::from_rows(
+            "movies",
+            schema,
+            vec![
+                vec!["Guilty by Suspicion".into(), Value::Int(1991)],
+                vec!["Clean and Sober".into(), Value::Int(1988)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_validates_schema() {
+        let mut t = movies();
+        assert!(t.push(vec![Value::Int(5), Value::Int(2000)]).is_err());
+        assert!(t.push(vec!["New".into(), Value::Int(2000)]).is_ok());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn cell_and_find() {
+        let t = movies();
+        assert_eq!(
+            t.cell(0, "title").unwrap().as_str(),
+            Some("Guilty by Suspicion")
+        );
+        assert_eq!(t.find("year", &Value::Int(1988)).unwrap(), Some(1));
+        assert_eq!(t.find("year", &Value::Int(1900)).unwrap(), None);
+        assert!(t.cell(0, "nope").is_err());
+    }
+
+    #[test]
+    fn sample_truncates() {
+        let t = movies();
+        assert_eq!(t.sample(1).len(), 1);
+        assert_eq!(t.sample(10).len(), 2);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let r = movies().render();
+        assert!(r.contains("Guilty by Suspicion"));
+        assert!(r.contains("1988"));
+        assert!(r.contains("title"));
+    }
+}

@@ -1,0 +1,18 @@
+//! KathDB vector-similarity substrate.
+//!
+//! Provides the deterministic text embedder (the reproduction's stand-in for
+//! a hosted embedding model — see DESIGN.md §1), similarity measures, and
+//! exact/ANN indexes used by FAO bodies of the `VectorScore` kind
+//! ("vector-based similarity search for semantic keyword matching", §2.2).
+
+#![warn(missing_docs)]
+
+mod embed;
+mod index;
+mod sim;
+
+pub use embed::{
+    default_lexicon, fnv1a, normalize, seeded_unit_vector, Embedding, Lexicon, TextEmbedder, DIM,
+};
+pub use index::{FlatIndex, Hit, IvfIndex};
+pub use sim::{cosine, dot, l2};

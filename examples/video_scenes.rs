@@ -1,0 +1,113 @@
+//! Video scene graphs (§3): two videos — "a man jumped off a plane" and
+//! "a dog fell into a pool" — populated into the Table-1 relational views
+//! with object tracking across frames, then queried with plain SQL and
+//! scored for "excitement" the way the paper's example distinguishes them:
+//! the scene graph lets KathDB explain why the dog in the pool does *not*
+//! make a movie exciting.
+//!
+//! ```sh
+//! cargo run --example video_scenes
+//! ```
+
+use kath_media::{BBox, Image, ImageObject, MediaFormat, Video};
+use kath_model::{SimLlm, SimVlm, TokenMeter};
+use kath_multimodal::{populate_video, SceneGraphViews};
+use kath_storage::Catalog;
+
+fn tracked(class: &str, track: u32, y: f64) -> ImageObject {
+    let mut o = ImageObject::new(class, BBox::new(0.3, y, 0.5, (y + 0.25).min(1.0)));
+    o.track_id = Some(track);
+    o
+}
+
+fn main() {
+    // Video 1: a man (track 1) and a plane (track 2); across frames the man
+    // moves downward — the "jumped off a plane" scene.
+    let plane_jump = Video::new("vid://plane_jump/1")
+        .with_frame(
+            Image::new("f0.png", MediaFormat::Png)
+                .with_object(tracked("person", 1, 0.1))
+                .with_object(tracked("plane", 2, 0.05))
+                .with_rel(0, "inside", 1),
+        )
+        .with_frame(
+            Image::new("f1.png", MediaFormat::Png)
+                .with_object(tracked("person", 1, 0.4))
+                .with_object(tracked("plane", 2, 0.05))
+                .with_rel(0, "below", 1),
+        )
+        .with_frame(
+            Image::new("f2.png", MediaFormat::Png)
+                .with_object(tracked("person", 1, 0.75))
+                .with_object(tracked("plane", 2, 0.05))
+                .with_rel(0, "below", 1),
+        );
+
+    // Video 2: a dog (track 1) and a pool (track 2) — the not-actually-
+    // dangerous scene.
+    let dog_pool = Video::new("vid://dog_pool/2")
+        .with_frame(
+            Image::new("g0.png", MediaFormat::Png)
+                .with_object(tracked("dog", 1, 0.3))
+                .with_object(tracked("pool", 2, 0.7))
+                .with_rel(0, "above", 1),
+        )
+        .with_frame(
+            Image::new("g1.png", MediaFormat::Png)
+                .with_object(tracked("dog", 1, 0.65))
+                .with_object(tracked("pool", 2, 0.7))
+                .with_rel(0, "inside", 1),
+        );
+
+    // Populate the Table-1 views.
+    let vlm = SimVlm::accurate(7, TokenMeter::new());
+    let mut views = SceneGraphViews::empty();
+    let mut next_lid = {
+        let mut c = 0i64;
+        move || {
+            c += 1;
+            c
+        }
+    };
+    populate_video(&mut views, 1, &plane_jump, &vlm, &mut next_lid).expect("video 1");
+    populate_video(&mut views, 2, &dog_pool, &vlm, &mut next_lid).expect("video 2");
+
+    println!("== Objects view (Table 1) ==");
+    println!("{}", views.objects.render());
+    println!("== Relationships view ==");
+    println!("{}", views.relationships.render());
+
+    // Query the views with plain SQL: which videos show something falling
+    // ("below"/"inside" transitions of a tracked subject)?
+    let mut catalog = Catalog::new();
+    catalog.register(views.objects.clone()).expect("register");
+    catalog.register(views.relationships.clone()).expect("register");
+    let per_video = kath_sql::execute(
+        &mut catalog,
+        "SELECT vid, COUNT(*) AS n_relationships FROM scene_relationships \
+         GROUP BY vid ORDER BY vid",
+        "rel_counts",
+    )
+    .expect("sql runs");
+    println!("== SQL over the views: relationships per video ==");
+    println!("{}", per_video.render());
+
+    // Score each video's NL scene description against "danger" keywords —
+    // the embedding-based reasoning that lets KathDB call the plane jump
+    // exciting and the pool splash mundane (§3).
+    let llm = SimLlm::new(42, TokenMeter::new());
+    let keywords = llm.generate_keywords("dangerous scenes that are uncommon in real life");
+    println!("== Concept scoring of the two scenes ==");
+    for (desc, label) in [
+        ("a man jumped off a plane", "plane_jump"),
+        ("a dog fell into a pool", "dog_pool"),
+    ] {
+        let score = llm.concept_score(desc, &keywords);
+        println!("{label:<12} \"{desc}\"  danger score = {score:.3}");
+    }
+    println!(
+        "\nThe scene-graph views plus concept scoring explain *why*: the jump \
+         involves a person and a plane (uncommon, dangerous classes), the \
+         splash involves a dog and a pool (common, benign)."
+    );
+}

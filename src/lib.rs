@@ -1,0 +1,7 @@
+//! Workspace umbrella crate for KathDB.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The public API lives in the
+//! [`kathdb`] facade crate, re-exported here for convenience.
+
+pub use kathdb::*;
