@@ -1,0 +1,35 @@
+# Developer / CI entry points. `make verify` is the tier-1 gate.
+
+CARGO ?= cargo
+
+.PHONY: verify build test bench bench-no-run clippy fmt examples figures
+
+EXAMPLES := $(basename $(notdir $(wildcard examples/*.rs)))
+
+verify: build test clippy bench-no-run examples
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --all-targets -- -D warnings
+
+bench:
+	$(CARGO) bench -p kath_bench
+
+bench-no-run:
+	$(CARGO) bench --no-run
+
+fmt:
+	$(CARGO) fmt --all --check
+
+examples:
+	for e in $(EXAMPLES); do \
+		$(CARGO) run -q --release --example $$e </dev/null || exit 1; \
+	done
+
+figures:
+	$(CARGO) run -q --release -p kath_bench --bin paper_figures

@@ -1,0 +1,298 @@
+//! Generator for the regex subset used as string strategies.
+//!
+//! Supported syntax: literal chars, escapes (`\n \t \r \- \" \\` and other
+//! escaped punctuation as literals), character classes with ranges
+//! (`[a-z0-9_ ']`), groups with alternation (`(a|bb|ccc)`), quantifiers
+//! (`{m}`, `{m,n}`, `?`, `*`, `+`), and `\PC` (any non-control Unicode
+//! scalar, approximated by printable ASCII plus a spread of wider scalars).
+//! Unsupported constructs panic with the offending pattern so a new test's
+//! needs surface immediately.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Inclusive char ranges, uniformly weighted by span.
+    Class(Vec<(char, char)>),
+    /// `\PC` — any non-control scalar.
+    NonControl,
+    /// `(a|b|c)` — one branch, each a sequence.
+    Alt(Vec<Vec<Node>>),
+    /// `node{m,n}` (also `?`, `*`, `+` with bounded max).
+    Rep(Box<Node>, u32, u32),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = Parser::new(pattern).parse_sequence(true);
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.usize_below(total as usize) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range is valid"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("pick within total span");
+        }
+        Node::NonControl => out.push(rng.printable_char()),
+        Node::Alt(branches) => {
+            for n in &branches[rng.usize_below(branches.len())] {
+                emit(n, rng, out);
+            }
+        }
+        Node::Rep(inner, min, max) => {
+            let n = *min + rng.usize_below((*max - *min + 1) as usize) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { pattern, chars: pattern.chars().peekable() }
+    }
+
+    fn unsupported(&self, what: &str) -> ! {
+        panic!("regex strategy: unsupported {what} in pattern {:?}", self.pattern);
+    }
+
+    /// Parses a sequence of quantified atoms, optionally splitting on `|`
+    /// at this level (top level and inside groups).
+    fn parse_sequence(&mut self, top: bool) -> Vec<Node> {
+        let mut branches: Vec<Vec<Node>> = vec![Vec::new()];
+        loop {
+            match self.chars.peek().copied() {
+                None => break,
+                Some(')') if !top => break,
+                Some(')') => self.unsupported("unbalanced ')'"),
+                Some('|') => {
+                    self.chars.next();
+                    branches.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = self.parse_atom();
+                    let atom = self.parse_quantifier(atom);
+                    branches.last_mut().expect("non-empty").push(atom);
+                }
+            }
+        }
+        if branches.len() == 1 {
+            branches.pop().expect("non-empty")
+        } else {
+            vec![Node::Alt(branches)]
+        }
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next().expect("peeked") {
+            '\\' => self.parse_escape(),
+            '[' => self.parse_class(),
+            '(' => {
+                let inner = self.parse_sequence(false);
+                match self.chars.next() {
+                    Some(')') => {}
+                    _ => self.unsupported("unterminated group"),
+                }
+                // A group is just its (possibly single-branch) sequence.
+                if inner.len() == 1 {
+                    inner.into_iter().next().expect("len checked")
+                } else {
+                    Node::Alt(vec![inner])
+                }
+            }
+            '.' => Node::NonControl,
+            c @ ('*' | '+' | '?' | '{') => {
+                self.unsupported(&format!("dangling quantifier '{c}'"))
+            }
+            c => Node::Lit(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.chars.next() {
+            Some('n') => Node::Lit('\n'),
+            Some('t') => Node::Lit('\t'),
+            Some('r') => Node::Lit('\r'),
+            Some('P') => {
+                // Single-letter negated category: only \PC is supported.
+                match self.chars.next() {
+                    Some('C') => Node::NonControl,
+                    other => self.unsupported(&format!("\\P{other:?}")),
+                }
+            }
+            Some('p') => self.unsupported("\\p category"),
+            Some('d') => Node::Class(vec![('0', '9')]),
+            Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            Some('s') => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+            Some(c) => Node::Lit(c),
+            None => self.unsupported("trailing backslash"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        if self.chars.peek() == Some(&'^') {
+            self.unsupported("negated class");
+        }
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                None => self.unsupported("unterminated class"),
+                Some(']') => break,
+                Some('\\') => match self.parse_escape() {
+                    Node::Lit(c) => c,
+                    Node::Class(mut rs) => {
+                        ranges.append(&mut rs);
+                        continue;
+                    }
+                    _ => self.unsupported("escape in class"),
+                },
+                Some(c) => c,
+            };
+            // Range `c-x` (a '-' right before ']' is a literal).
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&n| n != ']') {
+                    self.chars.next();
+                    let hi = match self.chars.next() {
+                        Some('\\') => match self.parse_escape() {
+                            Node::Lit(c) => c,
+                            _ => self.unsupported("range endpoint"),
+                        },
+                        Some(h) => h,
+                        None => self.unsupported("unterminated range"),
+                    };
+                    assert!(c <= hi, "regex strategy: inverted range {c}-{hi}");
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+        if ranges.is_empty() {
+            self.unsupported("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.chars.peek().copied() {
+            Some('?') => {
+                self.chars.next();
+                Node::Rep(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Rep(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Rep(Box::new(atom), 1, 8)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut min = String::new();
+                while self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    min.push(self.chars.next().expect("peeked"));
+                }
+                let min: u32 = min.parse().unwrap_or_else(|_| self.unsupported("quantifier"));
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut max = String::new();
+                        while self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            max.push(self.chars.next().expect("peeked"));
+                        }
+                        match self.chars.next() {
+                            Some('}') => {}
+                            _ => self.unsupported("unterminated quantifier"),
+                        }
+                        max.parse().unwrap_or(min + 8)
+                    }
+                    _ => self.unsupported("unterminated quantifier"),
+                };
+                if max < min {
+                    self.unsupported(&format!("inverted quantifier {{{min},{max}}}"));
+                }
+                Node::Rep(Box::new(atom), min, max)
+            }
+            _ => atom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("regex_gen", 0)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,6}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().expect("non-empty").is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn alternation_group() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("(lower|upper|abs|coalesce)", &mut r);
+            assert!(["lower", "upper", "abs", "coalesce"].contains(&s.as_str()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_in_class() {
+        let mut r = rng();
+        let allowed = |c: char| {
+            c.is_ascii_alphanumeric()
+                || " _-\n\t\"\\".contains(c)
+        };
+        for _ in 0..300 {
+            let s = generate("[a-zA-Z0-9 _\\-\\n\\t\"\\\\]{0,20}", &mut r);
+            assert!(s.chars().all(allowed), "{s:?}");
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn non_control() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate("\\PC{0,80}", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 80);
+        }
+    }
+}
