@@ -6,7 +6,7 @@ CARGO ?= cargo
 
 EXAMPLES := $(basename $(notdir $(wildcard examples/*.rs)))
 
-verify: build test clippy bench-no-run examples
+verify: fmt build test clippy bench-no-run examples
 
 build:
 	$(CARGO) build --release

@@ -11,9 +11,13 @@ use kath_lineage::{LineagePolicy, LineageStore};
 use kath_model::{ScriptedChannel, SimLlm, TokenMeter};
 use kath_optimizer::{predicate_pushdown, rewrite_plan};
 use kath_parser::{extract_intent, generate_logical_plan, generate_sketch};
-use kath_storage::{DataType, Schema, Table};
+use kath_storage::{
+    col_cmp, collect, collect_batched, BinOp, DataType, Expr, Filter, Operator, Project, Schema,
+    Table, TableScan, DEFAULT_BATCH_SIZE,
+};
 use kath_vector::{seeded_unit_vector, FlatIndex, IvfIndex};
 use kathdb::KathDB;
+use std::sync::Arc;
 
 fn ctx_with_films(n: usize, policy: LineagePolicy) -> ExecContext {
     let mut ctx = ExecContext::new(SimLlm::new(42, TokenMeter::new()));
@@ -74,7 +78,11 @@ fn bench_fao_granularity(c: &mut Criterion) {
                 .enumerate()
                 {
                     let body = FunctionBody::MapExpr {
-                        input: if i == 0 { "films".into() } else { format!("t{}", i - 1) },
+                        input: if i == 0 {
+                            "films".into()
+                        } else {
+                            format!("t{}", i - 1)
+                        },
                         expr: expr.to_string(),
                         output_column: col.to_string(),
                     };
@@ -116,22 +124,32 @@ fn bench_cascade(c: &mut Criterion) {
         VisionImpl::Cascade,
         VisionImpl::Ocr,
     ] {
-        g.bench_function(BenchmarkId::new("impl", format!("{:?}", implementation)), |b| {
-            let llm = SimLlm::new(42, TokenMeter::new());
-            b.iter(|| {
-                let mut acc = 0.0;
-                for img in &corpus.images {
-                    if img.format.is_supported() {
-                        acc += visual_interest(img, implementation, &llm).unwrap();
+        g.bench_function(
+            BenchmarkId::new("impl", format!("{:?}", implementation)),
+            |b| {
+                let llm = SimLlm::new(42, TokenMeter::new());
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for img in &corpus.images {
+                        if img.format.is_supported() {
+                            acc += visual_interest(img, implementation, &llm).unwrap();
+                        }
                     }
-                }
-                acc
-            })
-        });
+                    acc
+                })
+            },
+        );
     }
     // Print the token-cost series once (the table the paper would show).
-    let corpus_small: Vec<_> = corpus.images.iter().filter(|i| i.format.is_supported()).collect();
-    println!("\nvision implementation token costs over {} posters:", corpus_small.len());
+    let corpus_small: Vec<_> = corpus
+        .images
+        .iter()
+        .filter(|i| i.format.is_supported())
+        .collect();
+    println!(
+        "\nvision implementation token costs over {} posters:",
+        corpus_small.len()
+    );
     for implementation in [
         VisionImpl::VlmAccurate,
         VisionImpl::VlmCheap,
@@ -144,6 +162,48 @@ fn bench_cascade(c: &mut Criterion) {
             let _ = visual_interest(img, implementation, &llm);
         }
         println!("  {:?}: {} tokens", implementation, meter.usage().total());
+    }
+    g.finish();
+}
+
+/// RQ (execution spine): batch-at-a-time columnar execution vs
+/// tuple-at-a-time Volcano on a `TableScan → Filter → Project` pipeline
+/// over the 100k-row scale corpus, sweeping batch size. The claim under
+/// test: at batch size 1024 the batched drive beats the row drive (per-row
+/// virtual dispatch and per-row name resolution amortize over batches),
+/// while batch size 1 pays the batch overhead per row and loses.
+fn bench_batch_vs_volcano(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_vs_volcano");
+    g.sample_size(10);
+    let corpus = generate_corpus(&CorpusSpec {
+        movies: 100_000,
+        ..Default::default()
+    });
+    let table = Arc::new(corpus.movies);
+    let pipeline = |batch: usize| -> Box<dyn Operator> {
+        let scan = Box::new(TableScan::new(Arc::clone(&table)).with_batch_size(batch));
+        let filt = Box::new(Filter::new(scan, col_cmp("year", BinOp::Ge, 1990i64)));
+        Box::new(
+            Project::new(
+                filt,
+                vec![
+                    ("title".into(), Expr::col("title")),
+                    (
+                        "age".into(),
+                        Expr::lit(2026i64).bin(BinOp::Sub, Expr::col("year")),
+                    ),
+                ],
+            )
+            .expect("projection over scan schema"),
+        )
+    };
+    g.bench_function("volcano_row_at_a_time", |b| {
+        b.iter(|| collect("out", pipeline(DEFAULT_BATCH_SIZE)).unwrap())
+    });
+    for batch in [1usize, 64, 1024] {
+        g.bench_function(BenchmarkId::new("batched", batch), |b| {
+            b.iter(|| collect_batched("out", pipeline(batch)).unwrap())
+        });
     }
     g.finish();
 }
@@ -163,9 +223,7 @@ fn bench_rewrites(c: &mut Criterion) {
     intent.extra_factors.push(kath_parser::ExtraFactor::Recency);
     let sketch = generate_sketch(&intent, &llm, 2);
     let plan = generate_logical_plan(&sketch, "movie_table");
-    g.bench_function("pushdown", |b| {
-        b.iter(|| predicate_pushdown(plan.clone()))
-    });
+    g.bench_function("pushdown", |b| b.iter(|| predicate_pushdown(plan.clone())));
     g.bench_function("full_rewrite", |b| {
         b.iter(|| rewrite_plan(plan.clone(), true, true))
     });
@@ -177,9 +235,8 @@ fn bench_vector_index(c: &mut Criterion) {
     let mut g = c.benchmark_group("vector_index");
     g.sample_size(20);
     for n in [1_000usize, 10_000] {
-        let entries: Vec<(u64, Vec<f32>)> = (0..n as u64)
-            .map(|i| (i, seeded_unit_vector(i)))
-            .collect();
+        let entries: Vec<(u64, Vec<f32>)> =
+            (0..n as u64).map(|i| (i, seeded_unit_vector(i))).collect();
         let mut flat = FlatIndex::new();
         for (id, v) in &entries {
             flat.insert(*id, v.clone());
@@ -258,7 +315,8 @@ fn bench_repair_throughput(c: &mut Criterion) {
                 },
                 |mut db| {
                     let channel = ScriptedChannel::new(["uncommon scenes", "OK"]);
-                    db.query(kath_bench::FLAGSHIP_QUERY, channel.as_ref()).unwrap()
+                    db.query(kath_bench::FLAGSHIP_QUERY, channel.as_ref())
+                        .unwrap()
                 },
                 criterion::BatchSize::SmallInput,
             )
@@ -293,6 +351,7 @@ criterion_group!(
     bench_lineage_overhead,
     bench_fao_granularity,
     bench_cascade,
+    bench_batch_vs_volcano,
     bench_rewrites,
     bench_vector_index,
     bench_view_population,

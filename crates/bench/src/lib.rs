@@ -48,6 +48,9 @@ mod tests {
     fn harness_reproduces_fig6() {
         let (_db, result, _) = run_flagship_small();
         let t = result.display_table();
-        assert_eq!(t.cell(0, "title").unwrap().as_str(), Some("Guilty by Suspicion"));
+        assert_eq!(
+            t.cell(0, "title").unwrap().as_str(),
+            Some("Guilty by Suspicion")
+        );
     }
 }

@@ -12,6 +12,8 @@
 //! - `\functions` — the versioned function registry,
 //! - `\tables` — the catalog,
 //! - `\tokens` — simulated token usage,
+//! - `\batch <n>` / `\batch off` / `\batch auto` — tune the execution
+//!   batch size (columnar batch-at-a-time vs row-at-a-time Volcano),
 //! - `\quit`.
 //!
 //! ```sh
@@ -21,17 +23,23 @@
 
 use kath_data::{generate_corpus, mmqa_small, CorpusSpec};
 use kath_model::StdioChannel;
+use kath_storage::ExecMode;
 use kathdb::KathDB;
 use std::io::{BufRead, Write};
+
+/// Renders the active execution mode the way `\batch` reports it.
+fn mode_label(mode: ExecMode) -> String {
+    match mode {
+        ExecMode::Volcano => "row-at-a-time (Volcano)".to_string(),
+        ExecMode::Batched(n) => format!("batch size {n}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut db = KathDB::new(42);
     if let Some(pos) = args.iter().position(|a| a == "--movies") {
-        let n: usize = args
-            .get(pos + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(50);
+        let n: usize = args.get(pos + 1).and_then(|v| v.parse().ok()).unwrap_or(50);
         db.load_corpus(&generate_corpus(&CorpusSpec {
             movies: n,
             ..Default::default()
@@ -63,15 +71,14 @@ fn main() {
             _ if line == "\\help" || line == "help" => {
                 println!(
                     "commands: \\sql <query> | \\explain <question> | \\lineage | \
-                     \\functions | \\tables | \\tokens | \\quit\n\
+                     \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \\quit\n\
                      anything else is parsed as a natural-language query"
                 );
             }
             _ if line == "\\lineage" => match db.lineage_table() {
                 Ok(t) => {
                     let start = t.len().saturating_sub(15);
-                    let mut tail =
-                        kath_storage::Table::new("lineage_tail", t.schema().clone());
+                    let mut tail = kath_storage::Table::new("lineage_tail", t.schema().clone());
                     for row in &t.rows()[start..] {
                         tail.push(row.clone()).expect("row copy");
                     }
@@ -117,19 +124,51 @@ fn main() {
                 Ok(text) => println!("{text}"),
                 Err(e) => println!("error: {e}"),
             },
+            _ if line == "\\batch" => {
+                println!("execution mode: {}", mode_label(db.exec_mode()));
+            }
+            Some(("\\batch", rest)) if !rest.is_empty() => match rest {
+                "off" | "volcano" => {
+                    db.set_exec_mode(ExecMode::Volcano);
+                    println!("execution mode: {}", mode_label(db.exec_mode()));
+                }
+                "auto" => {
+                    db.auto_exec_mode();
+                    println!(
+                        "execution mode: auto (currently {})",
+                        mode_label(db.exec_mode())
+                    );
+                }
+                n => match n.parse::<usize>() {
+                    Ok(n) if n > 0 => {
+                        db.set_batch_size(n);
+                        println!("execution mode: {}", mode_label(db.exec_mode()));
+                    }
+                    _ => println!("usage: \\batch <rows> | \\batch off | \\batch auto"),
+                },
+            },
             _ if line.starts_with('\\') => {
                 println!("unknown command {line}; \\help lists commands");
             }
             _ => match db.query(line, &channel) {
                 Ok(result) => {
                     println!("{}", result.display_table().render());
+                    println!("plan timings ({}):", mode_label(db.context().exec_mode));
+                    for t in &result.exec.timings {
+                        println!(
+                            "  {:<28} {:>9.2} ms  {:>6} rows  {:>4} batches",
+                            t.func_id, t.elapsed_ms, t.rows_out, t.batches_out
+                        );
+                    }
                     if !result.exec.repairs.is_empty() {
                         println!(
                             "({} repair(s) performed during execution — \\functions shows versions)",
                             result.exec.repairs.len()
                         );
                     }
-                    println!("ask \\explain explain the pipeline — or \\explain explain tuple <lid>");
+                    println!(
+                        "ask \\explain explain the pipeline — or \\explain explain tuple <lid>"
+                    );
                 }
                 Err(e) => println!("query failed: {e}"),
             },

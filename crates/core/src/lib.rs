@@ -48,9 +48,11 @@ use kath_exec::{ExecContext, ExecError, ExecReport, ExecutionEngine, PhysicalPla
 use kath_explain::Explainer;
 use kath_fao::FunctionRegistry;
 use kath_model::{SimLlm, TokenMeter, Usage, UserChannel};
-use kath_optimizer::{compile, CompileOptions, CompileReport};
-use kath_parser::{generate_logical_plan, LogicalPlan, NlParser, ParseOutcome, PlanVerifier, VerifierReport};
-use kath_storage::{Table, Value};
+use kath_optimizer::{compile, preferred_exec_mode, CompileOptions, CompileReport};
+use kath_parser::{
+    generate_logical_plan, LogicalPlan, NlParser, ParseOutcome, PlanVerifier, VerifierReport,
+};
+use kath_storage::{ExecMode, Table, Value};
 use std::fmt;
 use std::path::Path;
 
@@ -174,6 +176,8 @@ pub struct KathDB {
     pub compile_options: CompileOptions,
     /// Run the engine's semantic checks (fan-out detection).
     pub semantic_checks: bool,
+    /// Pinned execution mode; `None` lets the cost model pick per query.
+    pinned_exec_mode: Option<ExecMode>,
 }
 
 impl KathDB {
@@ -186,6 +190,93 @@ impl KathDB {
             last_plan: None,
             compile_options: CompileOptions::default(),
             semantic_checks: true,
+            pinned_exec_mode: None,
+        }
+    }
+
+    /// Pins the batch size for relational pipelines (batched execution).
+    pub fn set_batch_size(&mut self, rows: usize) {
+        self.pinned_exec_mode = Some(ExecMode::Batched(rows.max(1)));
+    }
+
+    /// Pins an execution mode (`ExecMode::Volcano` forces the row-at-a-time
+    /// compatibility path).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.pinned_exec_mode = Some(mode);
+    }
+
+    /// Reverts to cost-model-driven execution-mode selection (the default):
+    /// each query picks batched or Volcano from the cost estimates of its
+    /// own physical plan.
+    pub fn auto_exec_mode(&mut self) {
+        self.pinned_exec_mode = None;
+    }
+
+    /// The execution mode the next query will run with. Under auto
+    /// selection this previews the choice from current catalog
+    /// cardinalities; the per-query decision additionally weighs the
+    /// compiled plan's own cost estimates (see [`KathDB::query`]).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.pinned_exec_mode.unwrap_or_else(|| {
+            let max_rows = self
+                .ctx
+                .catalog
+                .table_names()
+                .iter()
+                .filter_map(|n| self.ctx.catalog.get(n).ok())
+                .map(|t| t.len())
+                .max()
+                .unwrap_or(0);
+            preferred_exec_mode(max_rows)
+        })
+    }
+
+    /// Physical execution-mode selection for one compiled plan: compares
+    /// the cost model's mode-aware estimates (per-row Volcano dispatch vs
+    /// per-batch amortization) summed over the plan's profiled functions;
+    /// falls back to the plan's largest *input* cardinality when no node is
+    /// profiled yet.
+    fn select_exec_mode(&self, plan: &PhysicalPlan) -> ExecMode {
+        if let Some(mode) = self.pinned_exec_mode {
+            return mode;
+        }
+        let batched = ExecMode::default();
+        let (mut volcano_ms, mut batched_ms, mut profiled) = (0.0, 0.0, false);
+        let mut max_input_rows = 0usize;
+        for node in &plan.nodes {
+            let v = kath_optimizer::estimate_function_in_mode(
+                &self.registry,
+                &self.ctx.catalog,
+                &node.func_id,
+                ExecMode::Volcano,
+            );
+            let b = kath_optimizer::estimate_function_in_mode(
+                &self.registry,
+                &self.ctx.catalog,
+                &node.func_id,
+                batched,
+            );
+            if let (Some(v), Some(b)) = (v, b) {
+                volcano_ms += v.runtime_ms;
+                batched_ms += b.runtime_ms;
+                profiled = true;
+            }
+            if let Ok(entry) = self.registry.get(&node.func_id) {
+                for input in entry.active_version().body.inputs() {
+                    if let Ok(t) = self.ctx.catalog.get(&input) {
+                        max_input_rows = max_input_rows.max(t.len());
+                    }
+                }
+            }
+        }
+        if profiled {
+            if batched_ms <= volcano_ms {
+                batched
+            } else {
+                ExecMode::Volcano
+            }
+        } else {
+            preferred_exec_mode(max_input_rows)
         }
     }
 
@@ -209,11 +300,7 @@ impl KathDB {
     }
 
     /// Runs the full interactive pipeline on an NL query.
-    pub fn query(
-        &mut self,
-        nl: &str,
-        channel: &dyn UserChannel,
-    ) -> Result<QueryResult, KathError> {
+    pub fn query(&mut self, nl: &str, channel: &dyn UserChannel) -> Result<QueryResult, KathError> {
         // 1. Interactive parse (proactive clarification + reactive
         //    correction).
         let parser = NlParser::new(self.ctx.llm.clone());
@@ -236,7 +323,10 @@ impl KathDB {
             &self.compile_options,
         )?;
 
-        // 4. Execute under the monitor.
+        // 4. Execute under the monitor, in the selected execution mode
+        //    (pinned, or the cost model's mode-aware estimate for this
+        //    plan's profiled functions and input cardinalities).
+        self.ctx.exec_mode = self.select_exec_mode(&compile_report.physical);
         let engine = ExecutionEngine {
             semantic_checks: self.semantic_checks,
             ..ExecutionEngine::new()
@@ -355,6 +445,92 @@ mod tests {
     }
 
     #[test]
+    fn batched_and_volcano_modes_agree_end_to_end() {
+        let (_db, baseline) = run_flagship();
+        for mode in [ExecMode::Batched(64), ExecMode::Volcano] {
+            let mut db = KathDB::new(42);
+            db.load_corpus(&mmqa_small()).unwrap();
+            db.set_exec_mode(mode);
+            assert_eq!(db.exec_mode(), mode);
+            let channel = ScriptedChannel::new([
+                "The movie plot contains scenes that are uncommon in real life",
+                "Oh I prefer a more recent movie as well when scoring",
+                "OK",
+            ]);
+            let result = db.query(FLAGSHIP, channel.as_ref()).unwrap();
+            assert_eq!(
+                result.display_table(),
+                baseline.display_table(),
+                "{mode:?} diverged from the default path"
+            );
+            // SQL nodes report their batch counts when batched.
+            let sql_batches: usize = result.exec.timings.iter().map(|t| t.batches_out).sum();
+            match mode {
+                ExecMode::Batched(_) => assert!(sql_batches > 0, "no batches recorded"),
+                ExecMode::Volcano => assert_eq!(sql_batches, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn auto_mode_selects_per_plan_not_per_catalog() {
+        // A huge unrelated table must not force batching onto a tiny
+        // query: selection weighs the plan's own inputs and estimates.
+        let mut db = KathDB::new(42);
+        db.load_corpus(&mmqa_small()).unwrap();
+        let mut big = Table::new(
+            "unrelated_big",
+            kath_storage::Schema::of(&[("x", kath_storage::DataType::Int)]),
+        );
+        for i in 0..50_000i64 {
+            big.push(vec![i.into()]).unwrap();
+        }
+        db.load_table(big, "bench://unrelated").unwrap();
+        let channel = ScriptedChannel::new([
+            "The movie plot contains scenes that are uncommon in real life",
+            "Oh I prefer a more recent movie as well when scoring",
+            "OK",
+        ]);
+        let result = db.query(FLAGSHIP, channel.as_ref()).unwrap();
+        // The flagship plan never touches unrelated_big; its own nodes are
+        // small, and results match the baseline either way.
+        assert_eq!(
+            result.display_table().cell(0, "title").unwrap().as_str(),
+            Some("Guilty by Suspicion")
+        );
+        let mode = db.context().exec_mode;
+        let plan_rows = 6; // movie_table drives every flagship node
+        assert_eq!(
+            matches!(mode, ExecMode::Batched(_)),
+            matches!(
+                kath_optimizer::preferred_exec_mode(plan_rows),
+                ExecMode::Batched(_)
+            ),
+            "mode {mode:?} ignored the plan's own cardinality"
+        );
+    }
+
+    #[test]
+    fn auto_mode_follows_catalog_cardinality() {
+        let mut db = KathDB::new(42);
+        // Empty catalog: nothing to batch over.
+        assert_eq!(db.exec_mode(), ExecMode::Volcano);
+        let mut big = Table::new(
+            "big",
+            kath_storage::Schema::of(&[("x", kath_storage::DataType::Int)]),
+        );
+        for i in 0..10_000i64 {
+            big.push(vec![i.into()]).unwrap();
+        }
+        db.load_table(big, "bench://big").unwrap();
+        assert!(matches!(db.exec_mode(), ExecMode::Batched(_)));
+        db.set_batch_size(32);
+        assert_eq!(db.exec_mode(), ExecMode::Batched(32));
+        db.auto_exec_mode();
+        assert!(matches!(db.exec_mode(), ExecMode::Batched(_)));
+    }
+
+    #[test]
     fn sketch_history_matches_fig4() {
         let (_db, result) = run_flagship();
         assert_eq!(result.parse.history[0].len(), 8);
@@ -403,7 +579,15 @@ mod tests {
         let lineage = db.lineage_table().unwrap();
         assert_eq!(
             lineage.schema().names(),
-            vec!["lid", "parent_lid", "src_uri", "func_id", "ver_id", "data_type", "ts"]
+            vec![
+                "lid",
+                "parent_lid",
+                "src_uri",
+                "func_id",
+                "ver_id",
+                "data_type",
+                "ts"
+            ]
         );
         assert!(lineage.len() > 20);
         // The final tuple's trace reaches the raw ingest.
@@ -411,13 +595,13 @@ mod tests {
         let trace = db.context().lineage.trace(lid).unwrap();
         let funcs: Vec<String> = trace.functions().into_iter().map(|(f, _)| f).collect();
         assert!(funcs.contains(&"combine_score".to_string()), "{funcs:?}");
-        assert!(funcs.contains(&"gen_excitement_score".to_string()), "{funcs:?}");
+        assert!(
+            funcs.contains(&"gen_excitement_score".to_string()),
+            "{funcs:?}"
+        );
         // The row-level path bottoms out at an external ingest root — the
         // plot documents' media collection (the excitement score derives
         // from the text view rows).
-        assert!(
-            funcs.iter().any(|f| f.starts_with("ingest")),
-            "{funcs:?}"
-        );
+        assert!(funcs.iter().any(|f| f.starts_with("ingest")), "{funcs:?}");
     }
 }

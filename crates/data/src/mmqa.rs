@@ -65,9 +65,15 @@ fn exciting_poster(vid: i64, format: MediaFormat) -> Image {
     .with_color(Color::rgb(250, 180, 20))
     .with_color(Color::rgb(20, 40, 230))
     .with_object(ImageObject::new("person", BBox::new(0.05, 0.1, 0.45, 0.95)))
-    .with_object(ImageObject::new("motorcycle", BBox::new(0.4, 0.55, 0.9, 0.95)))
+    .with_object(ImageObject::new(
+        "motorcycle",
+        BBox::new(0.4, 0.55, 0.9, 0.95),
+    ))
     .with_object(ImageObject::new("weapon", BBox::new(0.42, 0.35, 0.58, 0.5)))
-    .with_object(ImageObject::new("explosion", BBox::new(0.6, 0.05, 0.98, 0.4)))
+    .with_object(ImageObject::new(
+        "explosion",
+        BBox::new(0.6, 0.05, 0.98, 0.4),
+    ))
     .with_rel(0, "rides", 1)
     .with_rel(0, "holds", 2)
 }
@@ -169,7 +175,11 @@ pub fn mmqa_small() -> MmqaCorpus {
             ])
             .expect("static corpus rows are schema-valid");
         documents.push(Document::new(format!("doc://plot/{id}"), plot).with_title(title));
-        let format = if heic { MediaFormat::Heic } else { MediaFormat::Png };
+        let format = if heic {
+            MediaFormat::Heic
+        } else {
+            MediaFormat::Png
+        };
         images.push(if boring {
             boring_poster(id)
         } else {
@@ -216,7 +226,11 @@ mod tests {
     #[test]
     fn paper_movies_are_present_with_correct_years() {
         let c = mmqa_small();
-        let guilty = c.truth.iter().find(|t| t.title == "Guilty by Suspicion").unwrap();
+        let guilty = c
+            .truth
+            .iter()
+            .find(|t| t.title == "Guilty by Suspicion")
+            .unwrap();
         assert!(guilty.exciting_plot && guilty.boring_poster);
         let idx = c
             .movies

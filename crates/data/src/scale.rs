@@ -108,7 +108,11 @@ pub fn generate_corpus(spec: &CorpusSpec) -> MmqaCorpus {
         documents.push(Document::new(format!("doc://plot/{id}"), plot.trim()).with_title(&title));
 
         // Poster.
-        let format = if heic { MediaFormat::Heic } else { MediaFormat::Png };
+        let format = if heic {
+            MediaFormat::Heic
+        } else {
+            MediaFormat::Png
+        };
         let uri = format!("file://posters/{id}.{}", format.extension());
         let image = if boring {
             Image::new(uri, format)
@@ -123,17 +127,18 @@ pub fn generate_corpus(spec: &CorpusSpec) -> MmqaCorpus {
                 )
         } else {
             let mut img = Image::new(uri, format)
-                .with_color(Color::rgb(200 + rng.gen_range(0..55), rng.gen_range(0..60), 30))
+                .with_color(Color::rgb(
+                    200 + rng.gen_range(0..55),
+                    rng.gen_range(0..60),
+                    30,
+                ))
                 .with_color(Color::rgb(20, 40, 200 + rng.gen_range(0..55)))
                 .with_object(ImageObject::new("person", BBox::new(0.05, 0.1, 0.45, 0.95)));
             for (cls, n) in [("weapon", 1), ("motorcycle", 1), ("explosion", 1)] {
                 for _ in 0..n {
                     let x = rng.gen::<f64>() * 0.5;
                     let y = rng.gen::<f64>() * 0.5;
-                    img = img.with_object(ImageObject::new(
-                        cls,
-                        BBox::new(x, y, x + 0.3, y + 0.3),
-                    ));
+                    img = img.with_object(ImageObject::new(cls, BBox::new(x, y, x + 0.3, y + 0.3)));
                 }
             }
             img
@@ -207,8 +212,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate_corpus(&CorpusSpec { seed: 1, movies: 10, ..Default::default() });
-        let b = generate_corpus(&CorpusSpec { seed: 2, movies: 10, ..Default::default() });
+        let a = generate_corpus(&CorpusSpec {
+            seed: 1,
+            movies: 10,
+            ..Default::default()
+        });
+        let b = generate_corpus(&CorpusSpec {
+            seed: 2,
+            movies: 10,
+            ..Default::default()
+        });
         assert_ne!(a.documents, b.documents);
     }
 

@@ -4,7 +4,7 @@ use crate::ExecError;
 use kath_lineage::{DataKind, LineageStore};
 use kath_media::MediaRegistry;
 use kath_model::SimLlm;
-use kath_storage::{Catalog, Table};
+use kath_storage::{Catalog, ExecMode, Table};
 use std::collections::HashMap;
 
 /// Everything a function body needs at runtime.
@@ -19,6 +19,11 @@ pub struct ExecContext {
     pub lineage: LineageStore,
     /// Table-level lid of every materialized table.
     pub table_lids: HashMap<String, i64>,
+    /// How relational (SQL) function bodies drive their operator pipelines:
+    /// batch-at-a-time (default) or tuple-at-a-time Volcano. Row-level
+    /// lineage is unaffected — SQL bodies record table-level edges, and the
+    /// narrow per-row transforms stay row-accurate regardless of mode.
+    pub exec_mode: ExecMode,
 }
 
 impl ExecContext {
@@ -30,6 +35,7 @@ impl ExecContext {
             llm,
             lineage: LineageStore::new(),
             table_lids: HashMap::new(),
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -84,15 +90,17 @@ impl ExecContext {
 /// ties media to the `did`/`vid` columns of the base table (e.g.
 /// `file://posters/7.png` → 7, `doc://plot/3` → 3).
 pub fn id_from_uri(uri: &str) -> Option<i64> {
-    let stem = uri.rsplit_once('.').map(|(s, ext)| {
-        // Only strip a real extension (alphanumeric, short).
-        if ext.len() <= 5 && ext.chars().all(|c| c.is_ascii_alphanumeric()) {
-            s
-        } else {
-            uri
-        }
-    })
-    .unwrap_or(uri);
+    let stem = uri
+        .rsplit_once('.')
+        .map(|(s, ext)| {
+            // Only strip a real extension (alphanumeric, short).
+            if ext.len() <= 5 && ext.chars().all(|c| c.is_ascii_alphanumeric()) {
+                s
+            } else {
+                uri
+            }
+        })
+        .unwrap_or(uri);
     let digits: String = stem
         .chars()
         .rev()

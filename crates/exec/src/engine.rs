@@ -41,6 +41,9 @@ pub struct NodeTiming {
     pub elapsed_ms: f64,
     /// Rows in the node's output.
     pub rows_out: usize,
+    /// Batches the node's operator pipeline produced (0 when the node ran
+    /// tuple-at-a-time or is not relational).
+    pub batches_out: usize,
 }
 
 /// The engine's report for one query.
@@ -101,6 +104,7 @@ impl ExecutionEngine {
                 monitor.execute_with_repair(ctx, registry, &node.func_id, &node.output)?;
             repairs.extend(node_repairs);
             let mut rows_out = outcome.table.len();
+            let mut batches_out = outcome.batches_out;
             let mut table = outcome.table;
 
             if self.semantic_checks && is_join_sql(registry, &node.func_id) {
@@ -114,6 +118,7 @@ impl ExecutionEngine {
                     anomalies.push(event);
                     if let Some(fixed) = reexec {
                         rows_out = fixed.table.len();
+                        batches_out = fixed.batches_out;
                         table = fixed.table;
                     }
                 }
@@ -123,6 +128,7 @@ impl ExecutionEngine {
                 func_id: node.func_id.clone(),
                 elapsed_ms: started.elapsed().as_secs_f64() * 1000.0,
                 rows_out,
+                batches_out,
             });
             final_table = Some(table);
         }
@@ -177,8 +183,12 @@ mod tests {
 
         let mut registry = FunctionRegistry::new();
         registry.register(
-            FunctionSignature::new("gen_recency_score", "newer is higher",
-                vec!["films".into()], "scored"),
+            FunctionSignature::new(
+                "gen_recency_score",
+                "newer is higher",
+                vec!["films".into()],
+                "scored",
+            ),
             FunctionBody::MapExpr {
                 input: "films".into(),
                 expr: "clamp01((year - 1970) / 25.0)".into(),
@@ -187,8 +197,12 @@ mod tests {
             "initial",
         );
         registry.register(
-            FunctionSignature::new("rank_films", "rank by score",
-                vec!["scored".into()], "ranked"),
+            FunctionSignature::new(
+                "rank_films",
+                "rank by score",
+                vec!["scored".into()],
+                "ranked",
+            ),
             FunctionBody::Sql {
                 query: "SELECT id, title, year, lid, recency_score FROM scored \
                         ORDER BY recency_score DESC"
@@ -217,7 +231,9 @@ mod tests {
         let (mut ctx, mut registry, plan) = setup();
         let engine = ExecutionEngine::new();
         let channel = SilentChannel;
-        let report = engine.run(&mut ctx, &mut registry, &plan, &channel).unwrap();
+        let report = engine
+            .run(&mut ctx, &mut registry, &plan, &channel)
+            .unwrap();
         assert_eq!(report.final_table.len(), 3);
         assert_eq!(
             report.final_table.cell(0, "title").unwrap().as_str(),
@@ -226,6 +242,10 @@ mod tests {
         assert!(report.repairs.is_empty());
         assert!(report.anomalies.is_empty());
         assert_eq!(report.timings.len(), 2);
+        // The SQL node ran batched (default mode) and reported its batches;
+        // the narrow map node stays row-at-a-time for row-level lineage.
+        assert_eq!(report.timings[0].batches_out, 0);
+        assert!(report.timings[1].batches_out >= 1);
         // The final table keeps per-row lids for explanation (Fig. 6).
         assert!(report.final_table.schema().index_of("lid").is_some());
         let lid = report.final_table.cell(0, "lid").unwrap();
@@ -246,7 +266,9 @@ mod tests {
         let (mut ctx, mut registry, plan) = setup();
         let engine = ExecutionEngine::new();
         let channel = SilentChannel;
-        let report = engine.run(&mut ctx, &mut registry, &plan, &channel).unwrap();
+        let report = engine
+            .run(&mut ctx, &mut registry, &plan, &channel)
+            .unwrap();
         let lid = report.final_table.cell(0, "lid").unwrap().as_int().unwrap();
         let trace = ctx.lineage.trace(lid).unwrap();
         let funcs: Vec<String> = trace.functions().into_iter().map(|(f, _)| f).collect();

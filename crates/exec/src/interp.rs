@@ -27,6 +27,9 @@ pub struct ExecOutcome {
     pub failed_rows: Vec<(String, String)>,
     /// Input rows consumed.
     pub rows_in: usize,
+    /// Batches the body's operator pipeline produced (0 when the body ran
+    /// tuple-at-a-time or is not relational).
+    pub batches_out: usize,
 }
 
 /// Executes `body` as function `func_id` version `ver_id`, materializing
@@ -39,9 +42,14 @@ pub fn execute_body(
     output_name: &str,
 ) -> Result<ExecOutcome, ExecError> {
     match body {
-        FunctionBody::Sql { query, dedup_key } => {
-            exec_sql(ctx, func_id, ver_id, query, dedup_key.as_deref(), output_name)
-        }
+        FunctionBody::Sql { query, dedup_key } => exec_sql(
+            ctx,
+            func_id,
+            ver_id,
+            query,
+            dedup_key.as_deref(),
+            output_name,
+        ),
         FunctionBody::MapExpr {
             input,
             expr,
@@ -56,8 +64,7 @@ pub fn execute_body(
                 output_name,
                 &[(output_column.as_str(), DataType::Any)],
                 |row, schema| {
-                    let lowered = kath_sql::to_expr(&parsed, schema)
-                        .map_err(|e| e.to_string())?;
+                    let lowered = kath_sql::to_expr(&parsed, schema).map_err(|e| e.to_string())?;
                     let v = lowered.eval(row, schema).map_err(|e| e.to_string())?;
                     Ok(Some(vec![v]))
                 },
@@ -66,12 +73,19 @@ pub fn execute_body(
         FunctionBody::FilterExpr { input, predicate } => {
             let parsed =
                 kath_sql::parse_expr(predicate).map_err(|e| ExecError::Expr(e.to_string()))?;
-            narrow_transform(ctx, func_id, ver_id, input, output_name, &[], |row, schema| {
-                let lowered =
-                    kath_sql::to_expr(&parsed, schema).map_err(|e| e.to_string())?;
-                let keep = lowered.eval(row, schema).map_err(|e| e.to_string())?;
-                Ok(if keep.is_truthy() { Some(vec![]) } else { None })
-            })
+            narrow_transform(
+                ctx,
+                func_id,
+                ver_id,
+                input,
+                output_name,
+                &[],
+                |row, schema| {
+                    let lowered = kath_sql::to_expr(&parsed, schema).map_err(|e| e.to_string())?;
+                    let keep = lowered.eval(row, schema).map_err(|e| e.to_string())?;
+                    Ok(if keep.is_truthy() { Some(vec![]) } else { None })
+                },
+            )
         }
         FunctionBody::ConceptScore {
             input,
@@ -134,8 +148,8 @@ pub fn execute_body(
                     } else {
                         image
                     };
-                    let interest = visual_interest(image, implementation, &llm)
-                        .map_err(|e| e.to_string())?;
+                    let interest =
+                        visual_interest(image, implementation, &llm).map_err(|e| e.to_string())?;
                     Ok(Some(vec![Value::Bool(interest <= threshold)]))
                 },
             )
@@ -175,10 +189,7 @@ pub fn visual_interest(
         } else {
             dets.iter().map(|d| d.confidence).sum::<f64>() / dets.len() as f64
         };
-        let exciting_bonus = if dets
-            .iter()
-            .any(|d| exciting_classes.contains(&d.class))
-        {
+        let exciting_bonus = if dets.iter().any(|d| exciting_classes.contains(&d.class)) {
             0.25
         } else {
             0.0
@@ -224,7 +235,8 @@ fn exec_sql(
         .iter()
         .map(|t| ctx.catalog.get(t).map(|t| t.len()).unwrap_or(0))
         .sum();
-    let mut table = kath_sql::run_select(&ctx.catalog, &select, output_name)?;
+    let (mut table, batches_out) =
+        kath_sql::run_select_with(&ctx.catalog, &select, output_name, ctx.exec_mode)?;
 
     if let Some(key) = dedup_key {
         table = dedup_by_key(&table, key)?;
@@ -235,8 +247,14 @@ fn exec_sql(
     let mut recorded = false;
     for input in &inputs {
         if let Some(parent) = ctx.table_lid(input) {
-            ctx.lineage
-                .record(output_lid, Some(parent), None, func_id, ver_id, DataKind::Table)?;
+            ctx.lineage.record(
+                output_lid,
+                Some(parent),
+                None,
+                func_id,
+                ver_id,
+                DataKind::Table,
+            )?;
             recorded = true;
         }
     }
@@ -250,6 +268,7 @@ fn exec_sql(
         output_lid,
         failed_rows: Vec::new(),
         rows_in,
+        batches_out,
     })
 }
 
@@ -299,18 +318,12 @@ fn narrow_transform(
     for row in input_table.rows() {
         match row_fn(row, &in_schema) {
             Err(msg) => {
-                let desc = row
-                    .iter()
-                    .map(Value::render)
-                    .collect::<Vec<_>>()
-                    .join(", ");
+                let desc = row.iter().map(Value::render).collect::<Vec<_>>().join(", ");
                 failed_rows.push((desc, msg));
             }
             Ok(None) => {}
             Ok(Some(extra)) => {
-                let parent = lid_idx
-                    .and_then(|i| row[i].as_int())
-                    .or(parent_table_lid);
+                let parent = lid_idx.and_then(|i| row[i].as_int()).or(parent_table_lid);
                 let new_lid = ctx.lineage.alloc_lid();
                 ctx.lineage
                     .record(new_lid, parent, None, func_id, ver_id, DataKind::Row)?;
@@ -342,6 +355,8 @@ fn narrow_transform(
         output_lid,
         failed_rows,
         rows_in,
+        // Narrow transforms run row-at-a-time so lineage stays row-accurate.
+        batches_out: 0,
     })
 }
 
@@ -467,6 +482,7 @@ fn exec_view_populate(
         output_lid,
         failed_rows,
         rows_in,
+        batches_out: 0,
     })
 }
 
@@ -502,8 +518,14 @@ mod tests {
             .with_color(Color::rgb(20, 20, 230))
             .with_object(ImageObject::new("person", BBox::new(0.1, 0.1, 0.5, 0.9)))
             .with_object(ImageObject::new("gun", BBox::new(0.4, 0.4, 0.6, 0.6)))
-            .with_object(ImageObject::new("motorcycle", BBox::new(0.5, 0.6, 0.9, 0.95)))
-            .with_object(ImageObject::new("explosion", BBox::new(0.6, 0.1, 0.95, 0.4)))
+            .with_object(ImageObject::new(
+                "motorcycle",
+                BBox::new(0.5, 0.6, 0.9, 0.95),
+            ))
+            .with_object(ImageObject::new(
+                "explosion",
+                BBox::new(0.6, 0.1, 0.95, 0.4),
+            ))
     }
 
     fn boring_poster(uri: &str) -> Image {
@@ -556,8 +578,18 @@ mod tests {
             assert_eq!(e.func_id, "gen_recency_score");
         }
         // Newer year → higher score.
-        let s91 = out.table.cell(0, "recency_score").unwrap().as_f64().unwrap();
-        let s75 = out.table.cell(2, "recency_score").unwrap().as_f64().unwrap();
+        let s91 = out
+            .table
+            .cell(0, "recency_score")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let s75 = out
+            .table
+            .cell(2, "recency_score")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         assert!(s91 > s75);
     }
 
@@ -643,17 +675,29 @@ mod tests {
             "scored",
         )
         .unwrap();
-        let s1 = out.table.cell(0, "excitement_score").unwrap().as_f64().unwrap();
-        let s2 = out.table.cell(1, "excitement_score").unwrap().as_f64().unwrap();
+        let s1 = out
+            .table
+            .cell(0, "excitement_score")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let s2 = out
+            .table
+            .cell(1, "excitement_score")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         assert!(s1 > s2 + 0.2, "exciting={s1} calm={s2}");
     }
 
     #[test]
     fn visual_classify_flags_boring_and_fails_on_heic() {
         let mut c = ctx();
-        c.media.add_image(exciting_poster("file://posters/1.png", MediaFormat::Png));
+        c.media
+            .add_image(exciting_poster("file://posters/1.png", MediaFormat::Png));
         c.media.add_image(boring_poster("file://posters/2.png"));
-        c.media.add_image(exciting_poster("file://posters/3.heic", MediaFormat::Heic));
+        c.media
+            .add_image(exciting_poster("file://posters/3.heic", MediaFormat::Heic));
         let posters = Table::from_rows(
             "posters",
             Schema::of(&[("id", DataType::Int), ("poster_uri", DataType::Str)]),
@@ -721,10 +765,14 @@ mod tests {
     #[test]
     fn view_populate_text_and_scene() {
         let mut c = ctx();
+        c.media.add_document(Document::new(
+            "doc://plot/1",
+            "Irwin Winkler directed it. A gun fight erupts.",
+        ));
         c.media
-            .add_document(Document::new("doc://plot/1", "Irwin Winkler directed it. A gun fight erupts."));
-        c.media.add_document(Document::new("doc://plot/2", "Tea in the garden."));
-        c.media.add_image(exciting_poster("file://posters/1.png", MediaFormat::Png));
+            .add_document(Document::new("doc://plot/2", "Tea in the garden."));
+        c.media
+            .add_image(exciting_poster("file://posters/1.png", MediaFormat::Png));
         c.media.add_image(boring_poster("file://posters/2.png"));
 
         let t = execute_body(
@@ -766,7 +814,8 @@ mod tests {
     #[test]
     fn view_populate_collects_heic_failures_until_patched() {
         let mut c = ctx();
-        c.media.add_image(exciting_poster("file://posters/9.heic", MediaFormat::Heic));
+        c.media
+            .add_image(exciting_poster("file://posters/9.heic", MediaFormat::Heic));
         let v1 = execute_body(
             &mut c,
             "populate_views",

@@ -165,8 +165,8 @@ impl<'a> Monitor<'a> {
             "Semantic check on {func_id}: {observation}.\nLikely cause: {explanation}\n\
              Accept the operator as is, or enforce one match per {key}? (accept/enforce)"
         ));
-        let wants_enforce = reply.to_lowercase().contains("enforce")
-            || reply.to_lowercase().contains("one match");
+        let wants_enforce =
+            reply.to_lowercase().contains("enforce") || reply.to_lowercase().contains("one match");
         if !wants_enforce {
             return Ok(Some((
                 AnomalyEvent {
@@ -309,8 +309,12 @@ mod tests {
         let mut ctx = ctx_with_posters();
         let mut registry = FunctionRegistry::new();
         registry.register(
-            FunctionSignature::new("classify_boring", "flag boring posters",
-                vec!["posters".into()], "flagged"),
+            FunctionSignature::new(
+                "classify_boring",
+                "flag boring posters",
+                vec!["posters".into()],
+                "flagged",
+            ),
             FunctionBody::VisualClassify {
                 input: "posters".into(),
                 uri_column: "poster_uri".into(),
@@ -352,8 +356,7 @@ mod tests {
         ctx.ingest_table(t, "u").unwrap();
         let mut registry = FunctionRegistry::new();
         registry.register(
-            FunctionSignature::new("bad", "references a missing column",
-                vec!["t".into()], "o"),
+            FunctionSignature::new("bad", "references a missing column", vec!["t".into()], "o"),
             FunctionBody::MapExpr {
                 input: "t".into(),
                 expr: "no_such_column + 1".into(),
@@ -373,10 +376,7 @@ mod tests {
         let films = Table::from_rows(
             "films",
             Schema::of(&[("id", DataType::Int), ("title", DataType::Str)]),
-            vec![
-                vec![1i64.into(), "A".into()],
-                vec![2i64.into(), "B".into()],
-            ],
+            vec![vec![1i64.into(), "A".into()], vec![2i64.into(), "B".into()]],
         )
         .unwrap();
         // Two posters claim film 1: the fan-out of §5.
@@ -394,8 +394,12 @@ mod tests {
         ctx.ingest_table(posters, "p").unwrap();
         let mut registry = FunctionRegistry::new();
         registry.register(
-            FunctionSignature::new("join_posters", "join posters to films",
-                vec!["films".into(), "posters".into()], "joined"),
+            FunctionSignature::new(
+                "join_posters",
+                "join posters to films",
+                vec!["films".into(), "posters".into()],
+                "joined",
+            ),
             FunctionBody::Sql {
                 query: "SELECT * FROM films JOIN posters ON films.id = posters.film_id".into(),
                 dedup_key: None,

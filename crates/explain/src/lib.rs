@@ -265,8 +265,7 @@ impl<'a> Explainer<'a> {
 fn substitute_operands(expr: &str, names: &[String], row: &[Value]) -> String {
     let mut out = expr.to_string();
     // Longest names first so `excitement_score` is replaced before `score`.
-    let mut indexed: Vec<(usize, &String)> =
-        names.iter().enumerate().collect();
+    let mut indexed: Vec<(usize, &String)> = names.iter().enumerate().collect();
     indexed.sort_by_key(|(_, n)| std::cmp::Reverse(n.len()));
     for (i, name) in indexed {
         if out.contains(name.as_str()) {
@@ -337,7 +336,12 @@ mod tests {
                     1991i64.into(),
                     0.99999988.into(),
                 ],
-                vec![2i64.into(), "Clean and Sober".into(), 1988i64.into(), 0.973.into()],
+                vec![
+                    2i64.into(),
+                    "Clean and Sober".into(),
+                    1988i64.into(),
+                    0.973.into(),
+                ],
             ],
         )
         .unwrap();
@@ -425,7 +429,9 @@ mod tests {
     fn nl_questions_route_to_the_right_mode() {
         let (ctx, registry, plan) = setup();
         let ex = Explainer::new(&plan, &registry, &ctx.lineage, &ctx.catalog);
-        assert!(ex.answer("Explain the pipeline?").contains("Pipeline overview"));
+        assert!(ex
+            .answer("Explain the pipeline?")
+            .contains("Pipeline overview"));
         let final_table = ctx.catalog.get("combined").unwrap();
         let lid_idx = final_table.schema().index_of("lid").unwrap();
         let lid = final_table.rows()[0][lid_idx].as_int().unwrap();

@@ -160,7 +160,9 @@ impl FunctionBody {
                 None => format!("runs SQL: {query}"),
             },
             FunctionBody::MapExpr {
-                expr, output_column, ..
+                expr,
+                output_column,
+                ..
             } => format!("computes {output_column} = {expr} for each row"),
             FunctionBody::FilterExpr { predicate, .. } => {
                 format!("keeps rows where {predicate}")
@@ -200,10 +202,7 @@ impl FunctionBody {
     pub fn to_json(&self) -> Json {
         match self {
             FunctionBody::Sql { query, dedup_key } => {
-                let mut pairs = vec![
-                    ("kind", Json::str("sql")),
-                    ("query", Json::str(query)),
-                ];
+                let mut pairs = vec![("kind", Json::str("sql")), ("query", Json::str(query))];
                 if let Some(k) = dedup_key {
                     pairs.push(("dedup_key", Json::str(k)));
                 }
@@ -283,7 +282,10 @@ impl FunctionBody {
         Ok(match kind {
             "sql" => FunctionBody::Sql {
                 query: get_str("query")?,
-                dedup_key: v.get("dedup_key").and_then(Json::as_str).map(str::to_string),
+                dedup_key: v
+                    .get("dedup_key")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
             },
             "map_expr" => FunctionBody::MapExpr {
                 input: get_str("input")?,
@@ -424,7 +426,10 @@ mod tests {
             query: "SELECT a FROM films JOIN posters ON films.id = posters.film_id".into(),
             dedup_key: None,
         };
-        assert_eq!(sql.inputs(), vec!["films".to_string(), "posters".to_string()]);
+        assert_eq!(
+            sql.inputs(),
+            vec!["films".to_string(), "posters".to_string()]
+        );
         assert_eq!(all_bodies()[1].inputs(), vec!["films".to_string()]);
         assert!(all_bodies()[5].inputs().is_empty());
     }

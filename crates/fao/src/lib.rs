@@ -13,7 +13,5 @@ mod registry;
 mod signature;
 
 pub use body::{BodyError, FunctionBody, VisionImpl};
-pub use registry::{
-    FunctionEntry, FunctionRegistry, FunctionVersion, ProfileStats, RegistryError,
-};
+pub use registry::{FunctionEntry, FunctionRegistry, FunctionVersion, ProfileStats, RegistryError};
 pub use signature::{FunctionSignature, SignatureError};

@@ -275,10 +275,7 @@ impl FunctionRegistry {
                                     ("tokens", Json::from(p.tokens)),
                                     ("rows_in", Json::from(p.rows_in as u64)),
                                     ("rows_out", Json::from(p.rows_out as u64)),
-                                    (
-                                        "accuracy",
-                                        p.accuracy.map(Json::Num).unwrap_or(Json::Null),
-                                    ),
+                                    ("accuracy", p.accuracy.map(Json::Num).unwrap_or(Json::Null)),
                                 ]),
                             ));
                         }
@@ -305,7 +302,8 @@ impl FunctionRegistry {
             .ok_or_else(|| corrupt("missing 'functions'"))?;
         for f in funcs {
             let signature = FunctionSignature::from_json(
-                f.get("signature").ok_or_else(|| corrupt("missing signature"))?,
+                f.get("signature")
+                    .ok_or_else(|| corrupt("missing signature"))?,
             )
             .map_err(|e| corrupt(&e.to_string()))?;
             let active = f
@@ -322,10 +320,9 @@ impl FunctionRegistry {
                     .get("ver_id")
                     .and_then(Json::as_i64)
                     .ok_or_else(|| corrupt("missing ver_id"))? as u32;
-                let body = FunctionBody::from_json(
-                    vj.get("body").ok_or_else(|| corrupt("missing body"))?,
-                )
-                .map_err(|e| corrupt(&e.to_string()))?;
+                let body =
+                    FunctionBody::from_json(vj.get("body").ok_or_else(|| corrupt("missing body"))?)
+                        .map_err(|e| corrupt(&e.to_string()))?;
                 let note = vj
                     .get("note")
                     .and_then(Json::as_str)
@@ -381,8 +378,7 @@ impl FunctionRegistry {
 
     /// Loads the registry from a file.
     pub fn load(path: &Path) -> Result<Self, RegistryError> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| RegistryError::Io(e.to_string()))?;
+        let text = std::fs::read_to_string(path).map_err(|e| RegistryError::Io(e.to_string()))?;
         let v = parse(&text).map_err(|e| RegistryError::Corrupt(e.to_string()))?;
         Self::from_json(&v)
     }
@@ -455,7 +451,10 @@ mod tests {
             accuracy: Some(0.9),
         };
         reg.set_profile("f", 1, stats.clone()).unwrap();
-        assert_eq!(reg.get("f").unwrap().version(1).unwrap().profile, Some(stats));
+        assert_eq!(
+            reg.get("f").unwrap().version(1).unwrap().profile,
+            Some(stats)
+        );
         assert!(reg.set_profile("f", 5, ProfileStats::default()).is_err());
     }
 

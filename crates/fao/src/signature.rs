@@ -56,7 +56,10 @@ impl FunctionSignature {
         Json::object([
             ("name", Json::str(&self.name)),
             ("description", Json::str(&self.description)),
-            ("inputs", Json::str_array(self.inputs.iter().map(String::as_str))),
+            (
+                "inputs",
+                Json::str_array(self.inputs.iter().map(String::as_str)),
+            ),
             ("output", Json::str(&self.output)),
         ])
     }
@@ -157,10 +160,8 @@ mod tests {
     #[test]
     fn ingestion_is_strict() {
         // Extra key → rejected.
-        let with_extra = parse(
-            r#"{"name":"f","description":"d","inputs":[],"output":"o","extra":1}"#,
-        )
-        .unwrap();
+        let with_extra =
+            parse(r#"{"name":"f","description":"d","inputs":[],"output":"o","extra":1}"#).unwrap();
         assert!(FunctionSignature::from_json(&with_extra).is_err());
         // Missing key → rejected.
         let missing = parse(r#"{"name":"f","inputs":[],"output":"o"}"#).unwrap();

@@ -274,7 +274,10 @@ mod tests {
     #[test]
     fn pointer_navigates_nested_structures() {
         let v = Json::object([
-            ("inputs", Json::str_array(["films_with_image_scene", "other"])),
+            (
+                "inputs",
+                Json::str_array(["films_with_image_scene", "other"]),
+            ),
             ("meta", Json::object([("depth", Json::from(3i64))])),
         ]);
         assert_eq!(v.pointer("inputs/1").and_then(Json::as_str), Some("other"));

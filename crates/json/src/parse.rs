@@ -19,7 +19,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -231,7 +235,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -313,7 +319,10 @@ mod tests {
                         "inputs": [ "films_with_image_scene" ],
                         "output": "films_with_boring_flag" }"#;
         let v = parse(text).unwrap();
-        assert_eq!(v.get("name").and_then(Json::as_str), Some("classify_boring"));
+        assert_eq!(
+            v.get("name").and_then(Json::as_str),
+            Some("classify_boring")
+        );
         assert_eq!(
             v.get("inputs").and_then(Json::as_array).map(<[Json]>::len),
             Some(1)
@@ -331,8 +340,22 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[", "\"", "{\"a\"}", "{\"a\":}", "[1,]", "{,}", "01", "1.", "1e",
-            "tru", "+1", "'a'", "\"\\q\"", "{\"a\":1,}",
+            "",
+            "{",
+            "[",
+            "\"",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "{,}",
+            "01",
+            "1.",
+            "1e",
+            "tru",
+            "+1",
+            "'a'",
+            "\"\\q\"",
+            "{\"a\":1,}",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

@@ -49,7 +49,10 @@ pub enum DependencyPattern {
 impl DependencyPattern {
     /// Narrow patterns permit row-level lineage (§3).
     pub fn is_narrow(&self) -> bool {
-        matches!(self, DependencyPattern::OneToOne | DependencyPattern::OneToMany)
+        matches!(
+            self,
+            DependencyPattern::OneToOne | DependencyPattern::OneToMany
+        )
     }
 
     /// The lineage granularity this pattern records.
@@ -156,7 +159,10 @@ impl fmt::Display for LineageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LineageError::ParentNotOlder { lid, parent } => {
-                write!(f, "lineage edge {lid} -> parent {parent} violates allocation order")
+                write!(
+                    f,
+                    "lineage edge {lid} -> parent {parent} violates allocation order"
+                )
             }
             LineageError::UnknownLid(l) => write!(f, "unknown lid {l}"),
             LineageError::Storage(e) => write!(f, "{e}"),
@@ -331,7 +337,11 @@ impl LineageStore {
                 }
             }
         }
-        DerivationTrace { lid, edges, parents }
+        DerivationTrace {
+            lid,
+            edges,
+            parents,
+        }
     }
 
     /// Renders the store as the exact Table 3 relation.
@@ -380,7 +390,12 @@ pub struct DerivationTrace {
 impl DerivationTrace {
     /// Depth of the trace (1 for a root).
     pub fn depth(&self) -> usize {
-        1 + self.parents.iter().map(DerivationTrace::depth).max().unwrap_or(0)
+        1 + self
+            .parents
+            .iter()
+            .map(DerivationTrace::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// All distinct lids in the trace.
@@ -423,25 +438,68 @@ mod tests {
     fn paper_like_store() -> LineageStore {
         let mut s = LineageStore::new();
         let l1 = s.alloc_lid();
-        s.record(l1, None, Some("file://data/movies".into()), "ingest", 1, DataKind::Table)
-            .unwrap();
+        s.record(
+            l1,
+            None,
+            Some("file://data/movies".into()),
+            "ingest",
+            1,
+            DataKind::Table,
+        )
+        .unwrap();
         let l21 = s.alloc_lid();
-        s.record(l21, Some(l1), None, "load_data", 1, DataKind::Table).unwrap();
+        s.record(l21, Some(l1), None, "load_data", 1, DataKind::Table)
+            .unwrap();
         let l940 = s.alloc_lid();
-        s.record(l940, Some(l21), None, "populate_text_views", 1, DataKind::Table)
-            .unwrap();
+        s.record(
+            l940,
+            Some(l21),
+            None,
+            "populate_text_views",
+            1,
+            DataKind::Table,
+        )
+        .unwrap();
         let l941 = s.alloc_lid();
-        s.record(l941, Some(l21), None, "populate_scene_views", 1, DataKind::Table)
-            .unwrap();
+        s.record(
+            l941,
+            Some(l21),
+            None,
+            "populate_scene_views",
+            1,
+            DataKind::Table,
+        )
+        .unwrap();
         let l1274 = s.alloc_lid();
         // Two parents: one edge per parent, same child lid.
-        s.record(l1274, Some(l940), None, "join_text_scene_graph", 1, DataKind::Table)
-            .unwrap();
-        s.record(l1274, Some(l941), None, "join_text_scene_graph", 1, DataKind::Table)
-            .unwrap();
+        s.record(
+            l1274,
+            Some(l940),
+            None,
+            "join_text_scene_graph",
+            1,
+            DataKind::Table,
+        )
+        .unwrap();
+        s.record(
+            l1274,
+            Some(l941),
+            None,
+            "join_text_scene_graph",
+            1,
+            DataKind::Table,
+        )
+        .unwrap();
         let l1417 = s.alloc_lid();
-        s.record(l1417, Some(l1274), None, "gen_excitement_score", 1, DataKind::Row)
-            .unwrap();
+        s.record(
+            l1417,
+            Some(l1274),
+            None,
+            "gen_excitement_score",
+            1,
+            DataKind::Row,
+        )
+        .unwrap();
         s
     }
 
@@ -449,7 +507,15 @@ mod tests {
     fn schema_matches_table3() {
         assert_eq!(
             lineage_schema().names(),
-            vec!["lid", "parent_lid", "src_uri", "func_id", "ver_id", "data_type", "ts"]
+            vec![
+                "lid",
+                "parent_lid",
+                "src_uri",
+                "func_id",
+                "ver_id",
+                "data_type",
+                "ts"
+            ]
         );
     }
 
@@ -507,17 +573,23 @@ mod tests {
         let l1 = to.alloc_lid();
         assert!(to.record(l1, None, None, "f", 1, DataKind::Table).unwrap());
         let l2 = to.alloc_lid();
-        assert!(!to.record(l2, Some(l1), None, "f", 1, DataKind::Row).unwrap());
+        assert!(!to
+            .record(l2, Some(l1), None, "f", 1, DataKind::Row)
+            .unwrap());
         assert_eq!(to.len(), 1);
 
         // Sampled(10) keeps ~1/10 row edges and all table edges.
         let mut sa = LineageStore::with_policy(LineagePolicy::Sampled(10));
         let root = sa.alloc_lid();
-        sa.record(root, None, None, "f", 1, DataKind::Table).unwrap();
+        sa.record(root, None, None, "f", 1, DataKind::Table)
+            .unwrap();
         let mut kept = 0;
         for _ in 0..100 {
             let l = sa.alloc_lid();
-            if sa.record(l, Some(root), None, "f", 1, DataKind::Row).unwrap() {
+            if sa
+                .record(l, Some(root), None, "f", 1, DataKind::Row)
+                .unwrap()
+            {
                 kept += 1;
             }
         }
@@ -541,7 +613,8 @@ mod tests {
     fn version_ids_flow_through() {
         let mut s = LineageStore::new();
         let a = s.alloc_lid();
-        s.record(a, None, None, "classify_boring", 3, DataKind::Row).unwrap();
+        s.record(a, None, None, "classify_boring", 3, DataKind::Row)
+            .unwrap();
         let e = s.edges_of(a)[0];
         assert_eq!(e.ver_id, 3);
         assert_eq!(e.func_id, "classify_boring");
@@ -555,7 +628,10 @@ mod tests {
         assert!(!DependencyPattern::ManyToMany.is_narrow());
         assert_eq!(DependencyPattern::OneToOne.data_kind(), DataKind::Row);
         assert_eq!(DependencyPattern::ManyToMany.data_kind(), DataKind::Table);
-        assert_eq!(DependencyPattern::parse("many_to_one"), Some(DependencyPattern::ManyToOne));
+        assert_eq!(
+            DependencyPattern::parse("many_to_one"),
+            Some(DependencyPattern::ManyToOne)
+        );
         assert_eq!(DependencyPattern::parse("nope"), None);
     }
 }

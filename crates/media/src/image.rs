@@ -311,7 +311,9 @@ mod tests {
         let img = Image::new("u", MediaFormat::Png)
             .with_color(Color::rgb(230, 10, 10))
             .with_color(Color::rgb(128, 128, 128))
-            .with_object(ImageObject::new("person", BBox::new(0.1, 0.1, 0.5, 0.9)).with_saliency(0.8))
+            .with_object(
+                ImageObject::new("person", BBox::new(0.1, 0.1, 0.5, 0.9)).with_saliency(0.8),
+            )
             .with_object(ImageObject::new("gun", BBox::new(0.4, 0.4, 0.6, 0.6)).with_saliency(0.6));
         assert!((img.colorfulness() - 0.5).abs() < 1e-12);
         assert!((img.visual_activity() - 0.7).abs() < 1e-12);

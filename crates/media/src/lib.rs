@@ -43,7 +43,10 @@ pub enum MediaFormat {
 impl MediaFormat {
     /// Whether the baseline decode path supports this format.
     pub fn is_supported(&self) -> bool {
-        matches!(self, MediaFormat::Png | MediaFormat::Jpeg | MediaFormat::Webp)
+        matches!(
+            self,
+            MediaFormat::Png | MediaFormat::Jpeg | MediaFormat::Webp
+        )
     }
 
     /// Canonical file extension.

@@ -56,9 +56,7 @@ impl UserChannel for ScriptedChannel {
             .lock()
             .pop_front()
             .unwrap_or_else(|| "OK".to_string());
-        self.log
-            .lock()
-            .push((question.to_string(), reply.clone()));
+        self.log.lock().push((question.to_string(), reply.clone()));
         reply
     }
 

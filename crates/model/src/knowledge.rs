@@ -48,8 +48,14 @@ impl KnowledgeBase {
                 .with_concept(
                     "excitement_visual",
                     [
-                        "weapon", "motorcycle", "gun", "explosion", "car", "helicopter",
-                        "fire", "crowd",
+                        "weapon",
+                        "motorcycle",
+                        "gun",
+                        "explosion",
+                        "car",
+                        "helicopter",
+                        "fire",
+                        "crowd",
                     ],
                 )
                 .with_concept(
@@ -105,7 +111,9 @@ impl KnowledgeBase {
         // "scenes that are uncommon in real life" into violence/danger terms.
         let routes: [(&[&str], &[&str]); 4] = [
             (
-                &["uncommon", "unusual", "intense", "action", "thrill", "danger"],
+                &[
+                    "uncommon", "unusual", "intense", "action", "thrill", "danger",
+                ],
                 &["violence", "danger"],
             ),
             (&["violent", "crime", "gun", "murder"], &["violence"]),
@@ -153,7 +161,8 @@ impl KnowledgeBase {
         let matches = |list: &[&'static str]| {
             list.iter().any(|g| {
                 g.eq_ignore_ascii_case(s)
-                    || g.split_whitespace().any(|part| part.eq_ignore_ascii_case(s))
+                    || g.split_whitespace()
+                        .any(|part| part.eq_ignore_ascii_case(s))
             })
         };
         if matches(&self.person_gazetteer) {

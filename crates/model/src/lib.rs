@@ -22,7 +22,9 @@ pub mod ner;
 mod token;
 mod vision;
 
-pub use channel::{ScriptedChannel, SilentChannel, StdioChannel, TranscriptChannel, TranscriptTurn, UserChannel};
+pub use channel::{
+    ScriptedChannel, SilentChannel, StdioChannel, TranscriptChannel, TranscriptTurn, UserChannel,
+};
 pub use knowledge::{KnowledgeBase, SUBJECTIVE_TERMS};
 pub use llm::{Clarification, FaultPlan, SimLlm, Verdict};
 pub use token::{approx_tokens, TokenMeter, Usage};

@@ -91,7 +91,6 @@ impl SimLlm {
     /// subjective term, or `None` when the query maps to a single
     /// interpretation. `resolved` lists terms the user already clarified.
     pub fn detect_ambiguity(&self, query: &str, resolved: &[String]) -> Option<Clarification> {
-        
         let found = self
             .kb
             .subjective_terms_in(query)
@@ -158,11 +157,7 @@ impl SimLlm {
     /// Critic pass over a score column (§4): checks that the produced scores
     /// run in the direction the description asks for. `samples` are
     /// `(feature, score)` pairs, e.g. `(release_year, recency_score)`.
-    pub fn critique_monotonic(
-        &self,
-        description: &str,
-        samples: &[(f64, f64)],
-    ) -> Verdict {
+    pub fn critique_monotonic(&self, description: &str, samples: &[(f64, f64)]) -> Verdict {
         self.meter.charge(description, "verdict");
         if samples.len() < 2 {
             return Verdict::Plausible;
@@ -195,7 +190,11 @@ impl SimLlm {
                     "scores run in the wrong direction for '{}': flip the scoring \
                      so that larger inputs get {} scores",
                     description.trim(),
-                    if wants_increasing { "larger" } else { "smaller" }
+                    if wants_increasing {
+                        "larger"
+                    } else {
+                        "smaller"
+                    }
                 ),
             }
         }
@@ -274,8 +273,7 @@ mod tests {
     fn concept_score_separates_exciting_from_calm_plots() {
         let m = llm();
         let kws = m.generate_keywords("scenes that are uncommon in real life");
-        let exciting =
-            m.concept_score("A man jumped off a plane during a gun fight.", &kws);
+        let exciting = m.concept_score("A man jumped off a plane during a gun fight.", &kws);
         let calm = m.concept_score("They drank tea in a quiet garden.", &kws);
         assert!(
             exciting > calm + 0.2,

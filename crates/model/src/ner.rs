@@ -70,7 +70,9 @@ pub fn extract_mentions(sentences: &[(usize, usize, &str)]) -> Vec<RawMention> {
             let is_cap = clean.chars().next().is_some_and(char::is_uppercase);
             let sentence_initial = i == 0;
             let skip_stopword = sentence_initial && SENTENCE_STOPWORDS.contains(&clean);
-            if is_cap && !skip_stopword && (!sentence_initial || HONORIFICS.contains(&clean) || clean.len() > 1)
+            if is_cap
+                && !skip_stopword
+                && (!sentence_initial || HONORIFICS.contains(&clean) || clean.len() > 1)
             {
                 // Greedily take the run of capitalized words.
                 let mut j = i;
@@ -175,10 +177,7 @@ pub fn resolve_entities(mentions: Vec<RawMention>, kb: &KnowledgeBase) -> Vec<Re
             }
             None => {
                 let canonical = strip_honorific(&m.surface);
-                let class = kb
-                    .entity_class(&canonical)
-                    .unwrap_or("thing")
-                    .to_string();
+                let class = kb.entity_class(&canonical).unwrap_or("thing").to_string();
                 entities.push(ResolvedEntity {
                     id: entities.len(),
                     canonical,
@@ -203,8 +202,16 @@ fn strip_honorific(s: &str) -> String {
 
 fn name_tokens(s: &str) -> Vec<String> {
     s.split_whitespace()
-        .map(|t| t.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
-        .filter(|t| !t.is_empty() && !HONORIFICS.iter().any(|h| h.trim_end_matches('.').eq_ignore_ascii_case(t)))
+        .map(|t| {
+            t.trim_matches(|c: char| !c.is_alphanumeric())
+                .to_lowercase()
+        })
+        .filter(|t| {
+            !t.is_empty()
+                && !HONORIFICS
+                    .iter()
+                    .any(|h| h.trim_end_matches('.').eq_ignore_ascii_case(t))
+        })
         .collect()
 }
 
@@ -242,7 +249,10 @@ mod tests {
         assert!(names.contains(&"Irwin Winkler"));
         assert!(names.iter().any(|n| n.contains("Guilty")));
         assert!(names.contains(&"Hollywood"));
-        let winkler = ents.iter().find(|e| e.canonical == "Irwin Winkler").unwrap();
+        let winkler = ents
+            .iter()
+            .find(|e| e.canonical == "Irwin Winkler")
+            .unwrap();
         assert_eq!(winkler.class, "person");
     }
 

@@ -11,9 +11,9 @@ mod scene_graph;
 mod text_graph;
 
 pub use scene_graph::{
-    attributes_schema as scene_attributes_schema, frames_schema, objects_schema,
-    populate_image, populate_video, relationships_schema as scene_relationships_schema,
-    SceneGraphError, SceneGraphViews,
+    attributes_schema as scene_attributes_schema, frames_schema, objects_schema, populate_image,
+    populate_video, relationships_schema as scene_relationships_schema, SceneGraphError,
+    SceneGraphViews,
 };
 pub use text_graph::{
     attributes_schema as text_attributes_schema, entities_schema, mentions_schema,

@@ -176,13 +176,9 @@ fn populate_frame(
     for det in &detections {
         // Find the descriptor index this detection came from (first
         // unclaimed object with the same class and box).
-        let idx = image
-            .objects
-            .iter()
-            .enumerate()
-            .position(|(i, o)| {
-                oid_of_index[i].is_none() && o.class == det.class && o.bbox == det.bbox
-            });
+        let idx = image.objects.iter().enumerate().position(|(i, o)| {
+            oid_of_index[i].is_none() && o.class == det.class && o.bbox == det.bbox
+        });
         let Some(idx) = idx else { continue };
         let oid = match det.track_id {
             Some(t) => t as i64,
@@ -218,9 +214,7 @@ fn populate_frame(
     // Relationships: only between objects that were both detected.
     let mut rid = 0i64;
     for (si, pred, oi) in &image.relationships {
-        if let (Some(Some(a)), Some(Some(b))) =
-            (oid_of_index.get(*si), oid_of_index.get(*oi))
-        {
+        if let (Some(Some(a)), Some(Some(b))) = (oid_of_index.get(*si), oid_of_index.get(*oi)) {
             views.relationships.push(vec![
                 Value::Int(vid),
                 Value::Int(fid),
@@ -263,8 +257,7 @@ mod tests {
         Image::new("file://posters/1.png", MediaFormat::Png)
             .with_object(ImageObject::new("person", BBox::new(0.1, 0.1, 0.5, 0.9)))
             .with_object(
-                ImageObject::new("gun", BBox::new(0.45, 0.4, 0.6, 0.6))
-                    .with_attr("color", "black"),
+                ImageObject::new("gun", BBox::new(0.45, 0.4, 0.6, 0.6)).with_attr("color", "black"),
             )
             .with_rel(0, "holds", 1)
     }

@@ -319,10 +319,7 @@ mod tests {
             .iter()
             .position(|r| r[3].as_str() == Some("person"))
             .unwrap();
-        assert_eq!(
-            views.entities.rows()[winkler][1].as_int().unwrap(),
-            eid_i
-        );
+        assert_eq!(views.entities.rows()[winkler][1].as_int().unwrap(), eid_i);
     }
 
     #[test]

@@ -72,9 +72,7 @@ pub fn synthesize(
                     let wanted: Vec<&str> = names
                         .iter()
                         .copied()
-                        .filter(|n| {
-                            ["id", "title", "year", "did", "vid"].contains(n)
-                        })
+                        .filter(|n| ["id", "title", "year", "did", "vid"].contains(n))
                         .collect();
                     if wanted.is_empty() {
                         names.iter().map(|s| s.to_string()).collect::<Vec<_>>()
@@ -112,9 +110,7 @@ pub fn synthesize(
             "equi-join with the scene view on vid".into(),
         )],
         StepTag::ConceptScore { term } => {
-            let clarification = ctx
-                .clarification_for(term)
-                .unwrap_or(term.as_str());
+            let clarification = ctx.clarification_for(term).unwrap_or(term.as_str());
             let keywords = llm.generate_keywords(clarification);
             let noun = kath_parser::noun_form(term);
             vec![(
@@ -140,10 +136,7 @@ pub fn synthesize(
                         .into_iter()
                         .filter_map(|v| v.as_int())
                         .collect();
-                    Some((
-                        *years.iter().min()?,
-                        *years.iter().max()?,
-                    ))
+                    Some((*years.iter().min()?, *years.iter().max()?))
                 })
                 .unwrap_or((1970, 2026));
             let span = (hi - lo).max(1);
@@ -200,10 +193,19 @@ pub fn synthesize(
                 )
             };
             vec![
-                make(VisionImpl::VlmAccurate, "accurate VLM over poster descriptors"),
-                make(VisionImpl::Cascade, "cheap VLM with escalation to the accurate one"),
+                make(
+                    VisionImpl::VlmAccurate,
+                    "accurate VLM over poster descriptors",
+                ),
+                make(
+                    VisionImpl::Cascade,
+                    "cheap VLM with escalation to the accurate one",
+                ),
                 make(VisionImpl::VlmCheap, "cheap VLM only"),
-                make(VisionImpl::Ocr, "OCR-based implementation (Tesseract-style)"),
+                make(
+                    VisionImpl::Ocr,
+                    "OCR-based implementation (Tesseract-style)",
+                ),
             ]
         }
         StepTag::FilterFlag { term, keep } => vec![(
@@ -211,7 +213,10 @@ pub fn synthesize(
                 input: sig.inputs[0].clone(),
                 predicate: format!("{term} = {}", if *keep { "TRUE" } else { "FALSE" }),
             },
-            format!("keep rows whose poster is {}{term}", if *keep { "" } else { "not " }),
+            format!(
+                "keep rows whose poster is {}{term}",
+                if *keep { "" } else { "not " }
+            ),
         )],
         StepTag::JoinScores => vec![(
             // The score side leads so the surviving `lid` column is the

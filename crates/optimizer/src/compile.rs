@@ -199,9 +199,7 @@ pub fn compile(
             let n = profiled.len();
             for item in profiled.iter_mut().take(n) {
                 let acc = match &item.3 {
-                    Some(out) => {
-                        0.5 * agreement(&reference, out) + 0.5 * accuracy_prior(&item.0)
-                    }
+                    Some(out) => 0.5 * agreement(&reference, out) + 0.5 * accuracy_prior(&item.0),
                     None => 0.0,
                 };
                 item.2.accuracy = Some(acc);
@@ -268,10 +266,9 @@ pub fn compile(
                         Some((r[y].as_f64()?, r[s].as_f64()?))
                     })
                     .collect();
-                let verdict = ctx.llm.critique_monotonic(
-                    "assign a recency score based on release year",
-                    &samples,
-                );
+                let verdict = ctx
+                    .llm
+                    .critique_monotonic("assign a recency score based on release year", &samples);
                 if let Verdict::Mismatch { hint } = verdict {
                     // Coder retries without the fault; critic re-checks.
                     let fixed_ctx = CoderContext {
@@ -404,9 +401,27 @@ mod tests {
                 ("vid", DataType::Int),
             ]),
             vec![
-                vec![1i64.into(), "Guilty by Suspicion".into(), 1991i64.into(), 1i64.into(), 1i64.into()],
-                vec![2i64.into(), "Clean and Sober".into(), 1988i64.into(), 2i64.into(), 2i64.into()],
-                vec![3i64.into(), "Quiet Days".into(), 1975i64.into(), 3i64.into(), 3i64.into()],
+                vec![
+                    1i64.into(),
+                    "Guilty by Suspicion".into(),
+                    1991i64.into(),
+                    1i64.into(),
+                    1i64.into(),
+                ],
+                vec![
+                    2i64.into(),
+                    "Clean and Sober".into(),
+                    1988i64.into(),
+                    2i64.into(),
+                    2i64.into(),
+                ],
+                vec![
+                    3i64.into(),
+                    "Quiet Days".into(),
+                    1975i64.into(),
+                    3i64.into(),
+                    3i64.into(),
+                ],
             ],
         )
         .unwrap();
@@ -439,8 +454,14 @@ mod tests {
                 .with_color(Color::rgb(230, 30, 30))
                 .with_color(Color::rgb(30, 30, 230))
                 .with_object(ImageObject::new("person", BBox::new(0.1, 0.1, 0.5, 0.9)))
-                .with_object(ImageObject::new("motorcycle", BBox::new(0.4, 0.5, 0.9, 0.95)))
-                .with_object(ImageObject::new("explosion", BBox::new(0.6, 0.1, 0.95, 0.4))),
+                .with_object(ImageObject::new(
+                    "motorcycle",
+                    BBox::new(0.4, 0.5, 0.9, 0.95),
+                ))
+                .with_object(ImageObject::new(
+                    "explosion",
+                    BBox::new(0.6, 0.1, 0.95, 0.4),
+                )),
         );
         ctx
     }
@@ -462,8 +483,14 @@ mod tests {
         let ctx = full_ctx();
         let (logical, clars) = flagship_logical(&ctx);
         let mut registry = FunctionRegistry::new();
-        let report = compile(&logical, &ctx, &mut registry, &clars, &CompileOptions::default())
-            .unwrap();
+        let report = compile(
+            &logical,
+            &ctx,
+            &mut registry,
+            &clars,
+            &CompileOptions::default(),
+        )
+        .unwrap();
         // 2 view-population halves + 10 generated nodes.
         assert_eq!(report.physical.nodes.len(), 12);
         assert!(registry.contains("classify_boring"));
@@ -509,8 +536,14 @@ mod tests {
         let ctx = full_ctx();
         let (logical, clars) = flagship_logical(&ctx);
         let mut registry = FunctionRegistry::new();
-        let report =
-            compile(&logical, &ctx, &mut registry, &clars, &CompileOptions::default()).unwrap();
+        let report = compile(
+            &logical,
+            &ctx,
+            &mut registry,
+            &clars,
+            &CompileOptions::default(),
+        )
+        .unwrap();
         assert!(report.critiques.is_empty());
         assert_eq!(registry.get("gen_recency_score").unwrap().versions.len(), 1);
     }
@@ -520,8 +553,14 @@ mod tests {
         let ctx = full_ctx();
         let (logical, clars) = flagship_logical(&ctx);
         let mut registry = FunctionRegistry::new();
-        let report =
-            compile(&logical, &ctx, &mut registry, &clars, &CompileOptions::default()).unwrap();
+        let report = compile(
+            &logical,
+            &ctx,
+            &mut registry,
+            &clars,
+            &CompileOptions::default(),
+        )
+        .unwrap();
         let chosen = &registry
             .get("classify_boring")
             .unwrap()

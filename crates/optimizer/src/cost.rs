@@ -5,7 +5,7 @@
 //! classical selectivity estimates from `kath-storage` statistics.
 
 use kath_fao::{FunctionBody, FunctionRegistry};
-use kath_storage::Catalog;
+use kath_storage::{Catalog, ExecMode, DEFAULT_BATCH_SIZE};
 
 /// A cost estimate for one function or a whole plan.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -22,6 +22,49 @@ impl CostEstimate {
     /// Scalar cost (same weighting as `ProfileStats::cost`).
     pub fn scalar(&self) -> f64 {
         self.tokens + self.runtime_ms / 1000.0
+    }
+}
+
+/// Per-row overhead of the Volcano iterator protocol, in milliseconds: one
+/// virtual `next()` dispatch plus per-row expression setup (name resolution,
+/// `Value` matching) for every operator a row passes through.
+pub const ROW_OVERHEAD_MS: f64 = 4e-4;
+
+/// Per-batch overhead of batched execution, in milliseconds: one virtual
+/// `next_batch()` dispatch plus columnar assembly per operator.
+pub const BATCH_OVERHEAD_MS: f64 = 3e-3;
+
+/// Per-value touch cost shared by both protocols, in milliseconds.
+pub const VALUE_TOUCH_MS: f64 = 2e-5;
+
+/// Estimated per-operator overhead of pushing `rows` rows through a
+/// relational pipeline in the given execution mode. Volcano pays
+/// [`ROW_OVERHEAD_MS`] per row; batched execution amortizes
+/// [`BATCH_OVERHEAD_MS`] over each batch. Both pay [`VALUE_TOUCH_MS`] per
+/// row. These per-batch vs per-row terms are what lets physical selection
+/// prefer batched implementations as cardinality grows.
+pub fn relational_overhead_ms(rows: usize, mode: ExecMode) -> f64 {
+    let touch = rows as f64 * VALUE_TOUCH_MS;
+    match mode {
+        ExecMode::Volcano => touch + rows as f64 * ROW_OVERHEAD_MS,
+        ExecMode::Batched(n) => {
+            let n = n.max(1);
+            let batches = rows.div_ceil(n).max(1);
+            touch + batches as f64 * BATCH_OVERHEAD_MS
+        }
+    }
+}
+
+/// The cheaper execution mode for a pipeline over `rows` rows under the
+/// model above, using the default batch size. Tiny inputs stay on the
+/// Volcano path (a whole batch costs more than a handful of `next()`
+/// calls); everything else runs batched.
+pub fn preferred_exec_mode(rows: usize) -> ExecMode {
+    let batched = ExecMode::Batched(DEFAULT_BATCH_SIZE);
+    if relational_overhead_ms(rows, batched) < relational_overhead_ms(rows, ExecMode::Volcano) {
+        batched
+    } else {
+        ExecMode::Volcano
     }
 }
 
@@ -55,6 +98,33 @@ pub fn estimate_function(
         runtime_ms: profile.runtime_ms * scale,
         accuracy: profile.accuracy.unwrap_or(1.0),
     })
+}
+
+/// [`estimate_function`] plus the execution-mode-dependent relational
+/// overhead for bodies that run an operator pipeline (SQL, map, filter).
+/// Model-call bodies are mode-independent: their per-row token cost dwarfs
+/// iteration overhead.
+pub fn estimate_function_in_mode(
+    registry: &FunctionRegistry,
+    catalog: &Catalog,
+    func_id: &str,
+    mode: ExecMode,
+) -> Option<CostEstimate> {
+    let mut est = estimate_function(registry, catalog, func_id)?;
+    let entry = registry.get(func_id).ok()?;
+    let body = &entry.active_version().body;
+    if matches!(
+        body,
+        FunctionBody::Sql { .. } | FunctionBody::MapExpr { .. } | FunctionBody::FilterExpr { .. }
+    ) {
+        let rows: usize = body
+            .inputs()
+            .iter()
+            .map(|t| catalog.get(t).map(|t| t.len()).unwrap_or(0))
+            .sum();
+        est.runtime_ms += relational_overhead_ms(rows, mode);
+    }
+    Some(est)
 }
 
 /// Estimates a whole plan: tokens/runtime add, accuracies multiply (§4's
@@ -157,6 +227,37 @@ mod tests {
         let e = estimate_plan(&registry, &catalog, &["f".into(), "g".into()]);
         assert!((e.accuracy - 0.72).abs() < 1e-9);
         assert!(e.tokens > 1000.0);
+    }
+
+    #[test]
+    fn batched_overhead_beats_volcano_at_scale() {
+        let volcano = relational_overhead_ms(100_000, ExecMode::Volcano);
+        let batched = relational_overhead_ms(100_000, ExecMode::Batched(1024));
+        assert!(
+            batched < volcano / 5.0,
+            "batched={batched}ms volcano={volcano}ms"
+        );
+        // Tiny batches pay their per-batch overhead almost per row and lose
+        // to a big batch.
+        let tiny = relational_overhead_ms(100_000, ExecMode::Batched(1));
+        assert!(batched < tiny);
+        assert_eq!(preferred_exec_mode(100_000), ExecMode::Batched(1024));
+        // A one-row pipeline is not worth a batch.
+        assert_eq!(preferred_exec_mode(1), ExecMode::Volcano);
+    }
+
+    #[test]
+    fn mode_aware_estimate_adds_relational_overhead() {
+        let (registry, catalog) = setup();
+        let base = estimate_function(&registry, &catalog, "f").unwrap();
+        let volcano =
+            estimate_function_in_mode(&registry, &catalog, "f", ExecMode::Volcano).unwrap();
+        let batched =
+            estimate_function_in_mode(&registry, &catalog, "f", ExecMode::Batched(1024)).unwrap();
+        assert!(volcano.runtime_ms > base.runtime_ms);
+        assert!(batched.runtime_ms > base.runtime_ms);
+        assert!(batched.runtime_ms < volcano.runtime_ms);
+        assert_eq!(volcano.tokens, base.tokens);
     }
 
     #[test]

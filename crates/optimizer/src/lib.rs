@@ -17,7 +17,8 @@ mod rewrite;
 
 pub use coder::{synthesize, CoderContext, CoderFaults};
 pub use compile::{compile, CompileOptions, CompileReport, CritiqueEvent, SelectionEvent};
-pub use cost::{estimate_function, estimate_plan, CostEstimate};
-pub use rewrite::{
-    eliminate_dead_nodes, predicate_pushdown, rewrite_plan, RewriteEvent,
+pub use cost::{
+    estimate_function, estimate_function_in_mode, estimate_plan, preferred_exec_mode,
+    relational_overhead_ms, CostEstimate, BATCH_OVERHEAD_MS, ROW_OVERHEAD_MS, VALUE_TOUCH_MS,
 };
+pub use rewrite::{eliminate_dead_nodes, predicate_pushdown, rewrite_plan, RewriteEvent};

@@ -48,10 +48,7 @@ pub fn predicate_pushdown(mut plan: LogicalPlan) -> (LogicalPlan, Vec<RewriteEve
                 continue;
             }
             let input = &node.signature.inputs[0];
-            let producer = plan
-                .nodes
-                .iter()
-                .position(|n| &n.signature.output == input);
+            let producer = plan.nodes.iter().position(|n| &n.signature.output == input);
             if let Some(p) = producer {
                 if i > p + 1 {
                     movement = Some((i, p + 1));

@@ -91,10 +91,16 @@ pub fn extract_intent(query: &str, llm: &SimLlm) -> QueryIntent {
         };
         // Filter if the clause uses copular phrasing; otherwise ranking if a
         // ranking verb governs the query, else default to filter.
-        let filter_phrasing = ["should be", "must be", "has to be", "should not be",
-            "must not be", "shouldn't be"]
-            .iter()
-            .any(|p| clause.contains(p));
+        let filter_phrasing = [
+            "should be",
+            "must be",
+            "has to be",
+            "should not be",
+            "must not be",
+            "shouldn't be",
+        ]
+        .iter()
+        .any(|p| clause.contains(p));
         let ranking_verbs = ["sort", "rank", "order by", "top"];
         let usage = if filter_phrasing {
             let negated = clause.contains("not be") || clause.contains("shouldn't");
@@ -203,7 +209,10 @@ mod tests {
             parse_correction("Oh I prefer a more recent movie as well when scoring"),
             vec![ExtraFactor::Recency]
         );
-        assert_eq!(parse_correction("I like older classics"), vec![ExtraFactor::Age]);
+        assert_eq!(
+            parse_correction("I like older classics"),
+            vec![ExtraFactor::Age]
+        );
         assert!(parse_correction("OK").is_empty());
     }
 

@@ -266,7 +266,9 @@ mod tests {
         let mut intent = extract_intent(FLAGSHIP, &llm);
         intent.concepts[0].clarification =
             Some("scenes that are uncommon in real life".to_string());
-        intent.extra_factors.push(crate::intent::ExtraFactor::Recency);
+        intent
+            .extra_factors
+            .push(crate::intent::ExtraFactor::Recency);
         let sketch = generate_sketch(&intent, &llm, 2);
         generate_logical_plan(&sketch, "movie_table")
     }

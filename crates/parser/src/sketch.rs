@@ -127,9 +127,7 @@ pub fn generate_sketch(intent: &QueryIntent, llm: &SimLlm, version: u32) -> Quer
     // Ranking concepts over text.
     for c in &intent.concepts {
         if c.modality == Modality::Text && c.usage == ConceptUse::RankBy {
-            let kws = llm.generate_keywords(
-                c.clarification.as_deref().unwrap_or(&c.term),
-            );
+            let kws = llm.generate_keywords(c.clarification.as_deref().unwrap_or(&c.term));
             let preview: Vec<&str> = kws.iter().take(3).map(String::as_str).collect();
             steps.push((
                 format!(
@@ -390,10 +388,7 @@ mod tests {
 
     #[test]
     fn approval_without_corrections_keeps_v1() {
-        let channel = ScriptedChannel::new([
-            "scenes that are uncommon in real life",
-            "OK",
-        ]);
+        let channel = ScriptedChannel::new(["scenes that are uncommon in real life", "OK"]);
         let outcome = parser().parse(FLAGSHIP, channel.as_ref());
         assert_eq!(outcome.sketch.version, 1);
         assert_eq!(outcome.history.len(), 1);
@@ -428,10 +423,7 @@ mod tests {
 
     #[test]
     fn unintelligible_correction_is_notified_and_parse_terminates() {
-        let channel = ScriptedChannel::new([
-            "uncommon scenes",
-            "make it more purple somehow",
-        ]);
+        let channel = ScriptedChannel::new(["uncommon scenes", "make it more purple somehow"]);
         let outcome = parser().parse(FLAGSHIP, channel.as_ref());
         assert_eq!(outcome.sketch.version, 1);
         let transcript = channel.transcript();

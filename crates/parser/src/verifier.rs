@@ -253,11 +253,7 @@ impl<'a> PlanVerifier<'a> {
         candidates.extend(plan.nodes.iter().map(|n| n.signature.output.clone()));
         candidates
             .into_iter()
-            .filter(|c| {
-                c.contains(bad)
-                    || bad.contains(c.as_str())
-                    || shared_prefix(c, bad) >= 5
-            })
+            .filter(|c| c.contains(bad) || bad.contains(c.as_str()) || shared_prefix(c, bad) >= 5)
             .max_by_key(|c| shared_prefix(c, bad))
     }
 }
@@ -290,15 +286,31 @@ mod tests {
                 ("vid", DataType::Int),
             ]),
             vec![
-                vec![1i64.into(), "Guilty by Suspicion".into(), 1991i64.into(), 1i64.into(), 1i64.into()],
-                vec![2i64.into(), "Clean and Sober".into(), 1988i64.into(), 2i64.into(), 2i64.into()],
+                vec![
+                    1i64.into(),
+                    "Guilty by Suspicion".into(),
+                    1991i64.into(),
+                    1i64.into(),
+                    1i64.into(),
+                ],
+                vec![
+                    2i64.into(),
+                    "Clean and Sober".into(),
+                    1988i64.into(),
+                    2i64.into(),
+                    2i64.into(),
+                ],
             ],
         )
         .unwrap();
         c.register(movies).unwrap();
         let texts = Table::from_rows(
             "text_texts",
-            Schema::of(&[("did", DataType::Int), ("lid", DataType::Int), ("chars", DataType::Str)]),
+            Schema::of(&[
+                ("did", DataType::Int),
+                ("lid", DataType::Int),
+                ("chars", DataType::Str),
+            ]),
             vec![
                 vec![1i64.into(), 10i64.into(), "A gun fight.".into()],
                 vec![2i64.into(), 11i64.into(), "A quiet day.".into()],
@@ -308,10 +320,25 @@ mod tests {
         c.register(texts).unwrap();
         let frames = Table::from_rows(
             "scene_frames",
-            Schema::of(&[("vid", DataType::Int), ("fid", DataType::Int), ("lid", DataType::Int), ("pixels", DataType::Str)]),
+            Schema::of(&[
+                ("vid", DataType::Int),
+                ("fid", DataType::Int),
+                ("lid", DataType::Int),
+                ("pixels", DataType::Str),
+            ]),
             vec![
-                vec![1i64.into(), 0i64.into(), 20i64.into(), "file://p1.png".into()],
-                vec![2i64.into(), 0i64.into(), 21i64.into(), "file://p2.png".into()],
+                vec![
+                    1i64.into(),
+                    0i64.into(),
+                    20i64.into(),
+                    "file://p1.png".into(),
+                ],
+                vec![
+                    2i64.into(),
+                    0i64.into(),
+                    21i64.into(),
+                    "file://p2.png".into(),
+                ],
             ],
         )
         .unwrap();
@@ -323,7 +350,9 @@ mod tests {
         let llm = SimLlm::new(42, TokenMeter::new());
         let mut intent = extract_intent(FLAGSHIP, &llm);
         intent.concepts[0].clarification = Some("uncommon scenes".to_string());
-        intent.extra_factors.push(crate::intent::ExtraFactor::Recency);
+        intent
+            .extra_factors
+            .push(crate::intent::ExtraFactor::Recency);
         let sketch = generate_sketch(&intent, &llm, 2);
         generate_logical_plan(&sketch, "movie_table")
     }
@@ -360,7 +389,11 @@ mod tests {
         assert!(report.approved, "hints: {:?}", report.hints());
         assert!(report.rounds >= 2);
         assert_eq!(
-            repaired.node("select_movie_columns").unwrap().signature.inputs[0],
+            repaired
+                .node("select_movie_columns")
+                .unwrap()
+                .signature
+                .inputs[0],
             "movie_table"
         );
     }
@@ -391,7 +424,10 @@ mod tests {
         let verifier = PlanVerifier::new(&cat);
         let (_p, report) = verifier.verify(plan);
         assert!(!report.approved);
-        assert!(report.hints().iter().any(|h| h.contains("duplicate output")));
+        assert!(report
+            .hints()
+            .iter()
+            .any(|h| h.contains("duplicate output")));
     }
 
     #[test]

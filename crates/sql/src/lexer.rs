@@ -220,7 +220,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 let start = pos;
                 let mut is_float = false;
                 while pos < bytes.len()
-                    && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.' || bytes[pos] == b'e'
+                    && (bytes[pos].is_ascii_digit()
+                        || bytes[pos] == b'.'
+                        || bytes[pos] == b'e'
                         || bytes[pos] == b'E'
                         || ((bytes[pos] == b'+' || bytes[pos] == b'-')
                             && matches!(bytes.get(pos - 1), Some(b'e' | b'E'))))

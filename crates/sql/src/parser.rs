@@ -492,10 +492,9 @@ mod tests {
 
     #[test]
     fn parses_group_by_aggregates() {
-        let s = parse_select(
-            "SELECT year, COUNT(*) AS n, AVG(score) AS mean FROM films GROUP BY year",
-        )
-        .unwrap();
+        let s =
+            parse_select("SELECT year, COUNT(*) AS n, AVG(score) AS mean FROM films GROUP BY year")
+                .unwrap();
         assert_eq!(s.group_by, vec!["year".to_string()]);
         assert!(matches!(
             s.items[1],
@@ -510,10 +509,7 @@ mod tests {
             panic!()
         };
         // a + (b * c)
-        assert_eq!(
-            e.to_string(),
-            "(a + (b * c))"
-        );
+        assert_eq!(e.to_string(), "(a + (b * c))");
         let s = parse_select("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         assert_eq!(
             s.where_clause.unwrap().to_string(),

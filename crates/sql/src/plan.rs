@@ -6,9 +6,9 @@
 use crate::ast::*;
 use crate::parser::{parse_statement, SqlParseError};
 use kath_storage::{
-    collect, AggFunc, Aggregate, BinOp, Catalog, Column, DataType, Distinct, Expr, Filter,
-    HashAggregate, HashJoin, JoinKind, Limit, Operator, Project, Schema, Sort, SortKey,
-    StorageError, Table, TableScan, Value,
+    collect, collect_batched, AggFunc, Aggregate, BinOp, Catalog, Column, DataType, Distinct,
+    ExecMode, Expr, Filter, HashAggregate, HashJoin, IndexScan, JoinKind, Limit, Operator, Project,
+    Schema, Sort, SortKey, StorageError, Table, TableScan, Value,
 };
 use std::fmt;
 
@@ -49,14 +49,23 @@ impl From<StorageError> for SqlError {
 
 /// Executes one SQL statement against the catalog. SELECT returns the result
 /// table (named `output_name`); CREATE/INSERT mutate the catalog and return
-/// an empty/affected summary table.
-pub fn execute(
+/// an empty/affected summary table. SELECTs run batch-at-a-time with the
+/// default batch size; use [`execute_with`] to pick the execution mode.
+pub fn execute(catalog: &mut Catalog, sql: &str, output_name: &str) -> Result<Table, SqlError> {
+    execute_with(catalog, sql, output_name, ExecMode::default())
+}
+
+/// [`execute`] with an explicit execution mode for SELECTs.
+pub fn execute_with(
     catalog: &mut Catalog,
     sql: &str,
     output_name: &str,
+    mode: ExecMode,
 ) -> Result<Table, SqlError> {
     match parse_statement(sql)? {
-        Statement::Select(select) => run_select(catalog, &select, output_name),
+        Statement::Select(select) => {
+            run_select_with(catalog, &select, output_name, mode).map(|(table, _batches)| table)
+        }
         Statement::CreateTable { name, columns } => {
             let cols = columns
                 .iter()
@@ -73,29 +82,45 @@ pub fn execute(
             for row in &rows {
                 let values: Vec<Value> = row
                     .iter()
-                    .map(|e| to_expr(e, &empty_schema).and_then(|x| Ok(x.eval(&vec![], &empty_schema)?)))
+                    .map(|e| {
+                        to_expr(e, &empty_schema).and_then(|x| Ok(x.eval(&vec![], &empty_schema)?))
+                    })
                     .collect::<Result<_, SqlError>>()?;
                 new_table.push(values)?;
             }
             let n = rows.len();
             catalog.register_or_replace(new_table);
-            let mut summary = Table::new(
-                output_name,
-                Schema::of(&[("rows_inserted", DataType::Int)]),
-            );
+            let mut summary =
+                Table::new(output_name, Schema::of(&[("rows_inserted", DataType::Int)]));
             summary.push(vec![Value::Int(n as i64)])?;
             Ok(summary)
         }
     }
 }
 
-/// Runs a SELECT and materializes the result under `output_name`.
+/// Runs a SELECT and materializes the result under `output_name`
+/// (batch-at-a-time with the default batch size).
 pub fn run_select(
     catalog: &Catalog,
     select: &Select,
     output_name: &str,
 ) -> Result<Table, SqlError> {
-    let mut op: Box<dyn Operator> = Box::new(TableScan::new(catalog.get(&select.from)?));
+    run_select_with(catalog, select, output_name, ExecMode::default()).map(|(t, _)| t)
+}
+
+/// Runs a SELECT in the given execution mode, returning the result table
+/// and the number of batches the root operator produced (0 in Volcano
+/// mode). When the catalog carries a hash index matching an equality
+/// conjunct of the WHERE clause on the FROM table, the leading scan reads
+/// only the index's candidate positions instead of the whole table; the
+/// full predicate is still applied, so results are identical to a scan.
+pub fn run_select_with(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    mode: ExecMode,
+) -> Result<(Table, usize), SqlError> {
+    let mut op: Box<dyn Operator> = leading_scan(catalog, select, mode)?;
 
     // Joins, in order.
     for j in &select.joins {
@@ -179,7 +204,76 @@ pub fn run_select(
         op = Box::new(Limit::new(op, n));
     }
 
-    Ok(collect(output_name, op)?)
+    match mode {
+        ExecMode::Volcano => Ok((collect(output_name, op)?, 0)),
+        ExecMode::Batched(_) => Ok(collect_batched(output_name, op)?),
+    }
+}
+
+/// The access path for the FROM table: an [`IndexScan`] when an equality
+/// conjunct of the WHERE clause hits a catalog index, a [`TableScan`]
+/// otherwise. The batch size of the mode is applied to the scan, which
+/// pass-through operators inherit.
+fn leading_scan(
+    catalog: &Catalog,
+    select: &Select,
+    mode: ExecMode,
+) -> Result<Box<dyn Operator>, SqlError> {
+    let table = catalog.get(&select.from)?;
+    let batch = mode.batch_size();
+    if let Some(w) = &select.where_clause {
+        if let Some((column, value)) = equality_target(w, &select.from, table.schema()) {
+            if let Some(ix) = catalog.index_on(&select.from, &column) {
+                let positions = ix.lookup(&value).to_vec();
+                let scan = IndexScan::new(table, positions);
+                return Ok(match batch {
+                    Some(n) => Box::new(scan.with_batch_size(n)),
+                    None => Box::new(scan),
+                });
+            }
+        }
+    }
+    let scan = TableScan::new(table);
+    Ok(match batch {
+        Some(n) => Box::new(scan.with_batch_size(n)),
+        None => Box::new(scan),
+    })
+}
+
+/// Finds a `column = literal` conjunct of `predicate` over a column of the
+/// FROM table (qualifier absent or equal to `from`). The index candidate
+/// set is a superset of the predicate's matches, so callers must still
+/// apply the full predicate.
+fn equality_target(predicate: &SqlExpr, from: &str, schema: &Schema) -> Option<(String, Value)> {
+    match predicate {
+        SqlExpr::Binary(SqlBinOp::And, l, r) => {
+            equality_target(l, from, schema).or_else(|| equality_target(r, from, schema))
+        }
+        SqlExpr::Binary(SqlBinOp::Eq, l, r) => {
+            let col_lit = |a: &SqlExpr, b: &SqlExpr| -> Option<(String, Value)> {
+                let SqlExpr::Column(qualifier, column) = a else {
+                    return None;
+                };
+                if qualifier.as_deref().is_some_and(|q| q != from) {
+                    return None;
+                }
+                schema.index_of(column)?;
+                literal_value(b).map(|v| (column.clone(), v))
+            };
+            col_lit(l, r).or_else(|| col_lit(r, l))
+        }
+        _ => None,
+    }
+}
+
+fn literal_value(e: &SqlExpr) -> Option<Value> {
+    match e {
+        SqlExpr::Int(i) => Some(Value::Int(*i)),
+        SqlExpr::Float(f) => Some(Value::Float(*f)),
+        SqlExpr::Str(s) => Some(Value::Str(s.clone())),
+        SqlExpr::Bool(b) => Some(Value::Bool(*b)),
+        _ => None,
+    }
 }
 
 fn plan_aggregate(
@@ -264,11 +358,8 @@ fn orient_on(
     b: &(Option<String>, String),
 ) -> Result<(String, String), SqlError> {
     let in_left = |c: &(Option<String>, String)| resolve_name(left, c).ok();
-    let in_right = |c: &(Option<String>, String)| {
-        right
-            .index_of(&c.1)
-            .map(|i| right.column(i).name.clone())
-    };
+    let in_right =
+        |c: &(Option<String>, String)| right.index_of(&c.1).map(|i| right.column(i).name.clone());
     if let (Some(l), Some(r)) = (in_left(a), in_right(b)) {
         return Ok((l, r));
     }
@@ -284,10 +375,7 @@ fn orient_on(
     )))
 }
 
-fn resolve_name(
-    schema: &Schema,
-    col: &(Option<String>, String),
-) -> Result<String, SqlError> {
+fn resolve_name(schema: &Schema, col: &(Option<String>, String)) -> Result<String, SqlError> {
     // Resolution order: exact qualified name, bare name, right-prefixed name.
     if let Some(q) = &col.0 {
         let qualified = format!("{q}.{}", col.1);
@@ -355,9 +443,7 @@ pub fn to_expr(e: &SqlExpr, schema: &Schema) -> Result<Expr, SqlError> {
                 .collect::<Result<_, _>>()?,
         ),
         SqlExpr::Agg(..) => {
-            return Err(SqlError::Unsupported(
-                "aggregate in scalar position".into(),
-            ))
+            return Err(SqlError::Unsupported("aggregate in scalar position".into()))
         }
     })
 }
@@ -402,7 +488,12 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        execute(&mut c, "CREATE TABLE films (id INT, title STR, year INT)", "x").unwrap();
+        execute(
+            &mut c,
+            "CREATE TABLE films (id INT, title STR, year INT)",
+            "x",
+        )
+        .unwrap();
         execute(
             &mut c,
             "INSERT INTO films VALUES \
@@ -413,7 +504,12 @@ mod tests {
             "x",
         )
         .unwrap();
-        execute(&mut c, "CREATE TABLE posters (film_id INT, boring BOOL)", "x").unwrap();
+        execute(
+            &mut c,
+            "CREATE TABLE posters (film_id INT, boring BOOL)",
+            "x",
+        )
+        .unwrap();
         execute(
             &mut c,
             "INSERT INTO posters VALUES (1, TRUE), (2, TRUE), (4, FALSE)",
@@ -433,7 +529,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.cell(0, "title").unwrap().as_str(), Some("Guilty by Suspicion"));
+        assert_eq!(
+            t.cell(0, "title").unwrap().as_str(),
+            Some("Guilty by Suspicion")
+        );
         assert_eq!(t.cell(1, "title").unwrap().as_str(), Some("Night Chase"));
     }
 
@@ -473,7 +572,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.len(), 4);
-        let quiet = t.find("title", &Value::Str("Quiet Days".into())).unwrap().unwrap();
+        let quiet = t
+            .find("title", &Value::Str("Quiet Days".into()))
+            .unwrap()
+            .unwrap();
         assert!(t.cell(quiet, "boring").unwrap().is_null());
     }
 
@@ -493,7 +595,12 @@ mod tests {
     #[test]
     fn global_aggregate() {
         let mut c = catalog();
-        let t = execute(&mut c, "SELECT COUNT(*) AS n, MAX(year) AS y FROM films", "out").unwrap();
+        let t = execute(
+            &mut c,
+            "SELECT COUNT(*) AS n, MAX(year) AS y FROM films",
+            "out",
+        )
+        .unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.cell(0, "n").unwrap(), &Value::Int(4));
         assert_eq!(t.cell(0, "y").unwrap(), &Value::Int(1991));
@@ -542,6 +649,83 @@ mod tests {
             execute(&mut c, "SELECT title, COUNT(*) FROM films", "out"),
             Err(SqlError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn volcano_and_batched_modes_agree() {
+        let c = catalog();
+        for sql in [
+            "SELECT * FROM films",
+            "SELECT title, year FROM films WHERE year >= 1988 ORDER BY year DESC, title ASC",
+            "SELECT title, boring FROM films LEFT JOIN posters ON films.id = posters.film_id \
+             ORDER BY title",
+            "SELECT year, COUNT(*) AS n FROM films GROUP BY year ORDER BY year",
+            "SELECT DISTINCT year FROM films ORDER BY year LIMIT 2",
+        ] {
+            let volcano = execute_with(&mut c.clone(), sql, "out", ExecMode::Volcano).unwrap();
+            for bs in [1usize, 2, 1024] {
+                let batched =
+                    execute_with(&mut c.clone(), sql, "out", ExecMode::Batched(bs)).unwrap();
+                assert_eq!(batched, volcano, "{sql} (batch {bs})");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_predicate_uses_index_with_same_result() {
+        let mut c = catalog();
+        let unindexed =
+            execute(&mut c, "SELECT title FROM films WHERE year = 1991", "out").unwrap();
+        c.create_index("films", "year").unwrap();
+        let indexed = execute(&mut c, "SELECT title FROM films WHERE year = 1991", "out").unwrap();
+        assert_eq!(indexed, unindexed);
+        assert_eq!(indexed.len(), 2);
+
+        // Compound predicates still narrow via the equality conjunct and
+        // re-apply the rest.
+        let t = execute(
+            &mut c,
+            "SELECT title FROM films WHERE year = 1991 AND id > 1",
+            "out",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, "title").unwrap().as_str(), Some("Night Chase"));
+
+        // Non-equality predicates fall back to the scan.
+        let t = execute(&mut c, "SELECT title FROM films WHERE year > 1988", "out").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn index_survives_insert() {
+        let mut c = catalog();
+        c.create_index("films", "year").unwrap();
+        execute(
+            &mut c,
+            "INSERT INTO films VALUES (5, 'Late Entry', 1991)",
+            "x",
+        )
+        .unwrap();
+        let t = execute(
+            &mut c,
+            "SELECT title FROM films WHERE year = 1991 ORDER BY title",
+            "out",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3, "{}", t.render());
+        assert_eq!(t.cell(1, "title").unwrap().as_str(), Some("Late Entry"));
+    }
+
+    #[test]
+    fn run_select_with_reports_batches() {
+        let c = catalog();
+        let select = crate::parser::parse_select("SELECT title FROM films").unwrap();
+        let (t, batches) = run_select_with(&c, &select, "out", ExecMode::Batched(2)).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(batches, 2);
+        let (_, batches) = run_select_with(&c, &select, "out", ExecMode::Volcano).unwrap();
+        assert_eq!(batches, 0);
     }
 
     #[test]

@@ -18,18 +18,25 @@ fn arb_expr() -> impl Strategy<Value = SqlExpr> {
         prop_oneof![
             (
                 prop_oneof![
-                    Just(SqlBinOp::Add), Just(SqlBinOp::Sub), Just(SqlBinOp::Mul),
-                    Just(SqlBinOp::Eq), Just(SqlBinOp::Lt), Just(SqlBinOp::And),
-                    Just(SqlBinOp::Or), Just(SqlBinOp::Ge),
+                    Just(SqlBinOp::Add),
+                    Just(SqlBinOp::Sub),
+                    Just(SqlBinOp::Mul),
+                    Just(SqlBinOp::Eq),
+                    Just(SqlBinOp::Lt),
+                    Just(SqlBinOp::And),
+                    Just(SqlBinOp::Or),
+                    Just(SqlBinOp::Ge),
                 ],
                 inner.clone(),
                 inner.clone()
             )
                 .prop_map(|(op, l, r)| SqlExpr::Binary(op, Box::new(l), Box::new(r))),
             inner.clone().prop_map(|e| SqlExpr::Not(Box::new(e))),
-            (inner.clone(), any::<bool>())
-                .prop_map(|(e, n)| SqlExpr::IsNull(Box::new(e), n)),
-            ("(lower|upper|abs|coalesce)", prop::collection::vec(inner, 1..3))
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| SqlExpr::IsNull(Box::new(e), n)),
+            (
+                "(lower|upper|abs|coalesce)",
+                prop::collection::vec(inner, 1..3)
+            )
                 .prop_map(|(f, args)| SqlExpr::Call(f, args)),
         ]
     })
@@ -38,34 +45,30 @@ fn arb_expr() -> impl Strategy<Value = SqlExpr> {
 fn arb_select() -> impl Strategy<Value = Select> {
     (
         any::<bool>(),
-        prop::collection::vec(
-            (arb_expr(), prop::option::of("[a-z][a-z0-9_]{0,5}")),
-            1..4,
-        ),
+        prop::collection::vec((arb_expr(), prop::option::of("[a-z][a-z0-9_]{0,5}")), 1..4),
         "[a-z][a-z0-9_]{0,6}",
         prop::option::of(arb_expr()),
-        prop::collection::vec(
-            ("[a-z][a-z0-9_]{0,5}", any::<bool>()),
-            0..3,
-        ),
+        prop::collection::vec(("[a-z][a-z0-9_]{0,5}", any::<bool>()), 0..3),
         prop::option::of(0usize..1000),
     )
-        .prop_map(|(distinct, items, from, where_clause, order, limit)| Select {
-            distinct,
-            items: items
-                .into_iter()
-                .map(|(e, a)| SelectItem::Expr(e, a))
-                .collect(),
-            from,
-            joins: vec![],
-            where_clause,
-            group_by: vec![],
-            order_by: order
-                .into_iter()
-                .map(|(column, desc)| OrderKey { column, desc })
-                .collect(),
-            limit,
-        })
+        .prop_map(
+            |(distinct, items, from, where_clause, order, limit)| Select {
+                distinct,
+                items: items
+                    .into_iter()
+                    .map(|(e, a)| SelectItem::Expr(e, a))
+                    .collect(),
+                from,
+                joins: vec![],
+                where_clause,
+                group_by: vec![],
+                order_by: order
+                    .into_iter()
+                    .map(|(column, desc)| OrderKey { column, desc })
+                    .collect(),
+                limit,
+            },
+        )
 }
 
 proptest! {

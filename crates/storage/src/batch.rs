@@ -1,0 +1,628 @@
+//! Columnar batches for vectorized execution.
+//!
+//! The Volcano `next()` protocol pays a dynamic-dispatch call — and a
+//! name-based schema resolve inside every expression — per *row*. Batch-at-
+//! a-time execution amortizes both over [`RowBatch::capacity`]-sized chunks:
+//! each column of a batch is one typed, null-bitmap-backed [`ColumnVector`],
+//! so predicate and projection kernels run as tight loops over `i64`/`f64`
+//! slices instead of per-row `Value` matches. The row-at-a-time path stays
+//! as the compatibility baseline; parity tests assert both produce
+//! identical results.
+
+use crate::{DataType, Row, StorageError, Value};
+
+/// Default number of rows per batch. Large enough to amortize per-batch
+/// overhead, small enough that a batch's columns stay cache-resident.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// How a query pipeline is driven.
+///
+/// The mode governs the protocol the *pipeline spine* is pulled through
+/// (root-to-leaf `next()` vs `next_batch()` calls). Blocking operators
+/// (hash-join build side, aggregate, sort) always materialize their inputs
+/// batch-wise internally — results are identical either way; Volcano is
+/// the per-row-dispatch baseline on the streaming path, not a promise that
+/// no batch is ever formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Classical tuple-at-a-time Volcano iteration.
+    Volcano,
+    /// Batch-at-a-time execution with the given batch capacity (≥ 1).
+    Batched(usize),
+}
+
+impl ExecMode {
+    /// The batch capacity, or `None` in Volcano mode.
+    pub fn batch_size(&self) -> Option<usize> {
+        match self {
+            ExecMode::Volcano => None,
+            ExecMode::Batched(n) => Some((*n).max(1)),
+        }
+    }
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::Batched(DEFAULT_BATCH_SIZE)
+    }
+}
+
+/// A packed validity bitmap: bit `i` is set when slot `i` is NULL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+    nulls: usize,
+}
+
+impl NullBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An all-valid bitmap of `len` slots.
+    pub fn all_valid(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            nulls: 0,
+        }
+    }
+
+    /// Appends one slot.
+    pub fn push(&mut self, is_null: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if is_null {
+            self.words[word] |= 1u64 << (self.len % 64);
+            self.nulls += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether slot `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of NULL slots.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    /// Whether any slot is NULL (lets kernels skip per-element checks).
+    pub fn any_null(&self) -> bool {
+        self.nulls > 0
+    }
+}
+
+/// The typed payload of a [`ColumnVector`]. NULL slots hold a default
+/// payload; the bitmap is authoritative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// All non-NULL values are `Int`.
+    Int(Vec<i64>),
+    /// All non-NULL values are `Float`.
+    Float(Vec<f64>),
+    /// All non-NULL values are `Str`.
+    Str(Vec<String>),
+    /// All non-NULL values are `Bool`.
+    Bool(Vec<bool>),
+    /// Mixed-type or blob-bearing column: values stored as-is.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+}
+
+/// One column of a [`RowBatch`]: a typed vector plus a null bitmap. The
+/// representation is chosen from the actual values so converting back to
+/// rows reproduces them exactly (an `Int` stays an `Int`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnVector {
+    data: ColumnData,
+    nulls: NullBitmap,
+}
+
+impl ColumnVector {
+    /// Builds a column from owned values, picking the densest representation
+    /// that round-trips exactly.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        let mut nulls = NullBitmap::new();
+        let mut tag: Option<DataType> = None;
+        let mut uniform = true;
+        for v in &values {
+            nulls.push(v.is_null());
+            if v.is_null() {
+                continue;
+            }
+            let t = v.data_type();
+            match tag {
+                None => tag = Some(t),
+                Some(prev) if prev == t => {}
+                Some(_) => uniform = false,
+            }
+        }
+        let data = if !uniform {
+            ColumnData::Mixed(values)
+        } else {
+            match tag {
+                Some(DataType::Int) => ColumnData::Int(
+                    values
+                        .into_iter()
+                        .map(|v| v.as_int().unwrap_or_default())
+                        .collect(),
+                ),
+                Some(DataType::Float) => ColumnData::Float(
+                    values
+                        .into_iter()
+                        .map(|v| v.as_f64().unwrap_or_default())
+                        .collect(),
+                ),
+                Some(DataType::Bool) => ColumnData::Bool(
+                    values
+                        .into_iter()
+                        .map(|v| v.as_bool().unwrap_or_default())
+                        .collect(),
+                ),
+                Some(DataType::Str) => ColumnData::Str(
+                    values
+                        .into_iter()
+                        .map(|v| match v {
+                            Value::Str(s) => s,
+                            _ => String::new(),
+                        })
+                        .collect(),
+                ),
+                // All-NULL columns and blobs stay as raw values.
+                _ => ColumnData::Mixed(values),
+            }
+        };
+        Self { data, nulls }
+    }
+
+    /// Assembles a column from a typed payload and its bitmap. Callers must
+    /// uphold the invariant that NULL slots hold default payloads.
+    pub(crate) fn from_parts(data: ColumnData, nulls: NullBitmap) -> Self {
+        debug_assert_eq!(data.len(), nulls.len());
+        Self { data, nulls }
+    }
+
+    /// A column of `n` copies of `v` (literal broadcast).
+    pub fn repeat(v: &Value, n: usize) -> Self {
+        let mut nulls = NullBitmap::new();
+        for _ in 0..n {
+            nulls.push(v.is_null());
+        }
+        let data = match v {
+            Value::Int(i) => ColumnData::Int(vec![*i; n]),
+            Value::Float(f) => ColumnData::Float(vec![*f; n]),
+            Value::Bool(b) => ColumnData::Bool(vec![*b; n]),
+            Value::Str(s) => ColumnData::Str(vec![s.clone(); n]),
+            _ => ColumnData::Mixed(vec![v.clone(); n]),
+        };
+        Self { data, nulls }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether slot `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.is_null(i)
+    }
+
+    /// Number of NULL slots.
+    pub fn null_count(&self) -> usize {
+        self.nulls.null_count()
+    }
+
+    /// The null bitmap.
+    pub fn nulls(&self) -> &NullBitmap {
+        &self.nulls
+    }
+
+    /// Reconstructs the value at slot `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if self.nulls.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// The typed payload (representation inspection for kernels).
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The `i64` slice when this is an Int column.
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `f64` slice when this is a Float column.
+    pub fn as_floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `bool` slice when this is a Bool column.
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string slice when this is a Str column.
+    pub fn as_strs(&self) -> Option<&[String]> {
+        match &self.data {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Slot `i` widened to `f64` (Int or Float, non-NULL).
+    #[inline]
+    pub fn numeric_at(&self, i: usize) -> Option<f64> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            ColumnData::Mixed(v) => v[i].as_f64(),
+            _ => None,
+        }
+    }
+
+    /// SQL `WHERE` truthiness per slot (NULL is falsy).
+    pub fn truthy_mask(&self) -> Vec<bool> {
+        let n = self.len();
+        let mut mask = Vec::with_capacity(n);
+        match &self.data {
+            ColumnData::Bool(v) => {
+                for (i, b) in v.iter().enumerate() {
+                    mask.push(*b && !self.nulls.is_null(i));
+                }
+            }
+            ColumnData::Int(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    mask.push(*x != 0 && !self.nulls.is_null(i));
+                }
+            }
+            ColumnData::Float(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    mask.push(*x != 0.0 && !self.nulls.is_null(i));
+                }
+            }
+            _ => {
+                for i in 0..n {
+                    mask.push(self.value(i).is_truthy());
+                }
+            }
+        }
+        mask
+    }
+
+    /// A new column keeping only slots where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> ColumnVector {
+        debug_assert_eq!(mask.len(), self.len());
+        let keep = |i: &usize| mask[*i];
+        let mut nulls = NullBitmap::new();
+        for i in (0..self.len()).filter(keep) {
+            nulls.push(self.nulls.is_null(i));
+        }
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                ColumnData::Int((0..v.len()).filter(keep).map(|i| v[i]).collect())
+            }
+            ColumnData::Float(v) => {
+                ColumnData::Float((0..v.len()).filter(keep).map(|i| v[i]).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool((0..v.len()).filter(keep).map(|i| v[i]).collect())
+            }
+            ColumnData::Str(v) => {
+                ColumnData::Str((0..v.len()).filter(keep).map(|i| v[i].clone()).collect())
+            }
+            ColumnData::Mixed(v) => {
+                ColumnData::Mixed((0..v.len()).filter(keep).map(|i| v[i].clone()).collect())
+            }
+        };
+        ColumnVector { data, nulls }
+    }
+
+    /// All values, reconstructed.
+    pub fn to_values(&self) -> Vec<Value> {
+        (0..self.len()).map(|i| self.value(i)).collect()
+    }
+
+    /// All values, moving payloads out (no clones).
+    pub fn into_values(self) -> Vec<Value> {
+        let nulls = self.nulls;
+        let wrap = |i: usize, v: Value| if nulls.is_null(i) { Value::Null } else { v };
+        match self.data {
+            ColumnData::Int(v) => v
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| wrap(i, Value::Int(x)))
+                .collect(),
+            ColumnData::Float(v) => v
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| wrap(i, Value::Float(x)))
+                .collect(),
+            ColumnData::Str(v) => v
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| wrap(i, Value::Str(x)))
+                .collect(),
+            ColumnData::Bool(v) => v
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| wrap(i, Value::Bool(x)))
+                .collect(),
+            ColumnData::Mixed(v) => v,
+        }
+    }
+}
+
+/// A horizontal slice of a relation in columnar layout: one
+/// [`ColumnVector`] per schema column, all the same length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBatch {
+    columns: Vec<ColumnVector>,
+    rows: usize,
+}
+
+impl RowBatch {
+    /// Builds a batch from columns; all must share one length.
+    pub fn from_columns(columns: Vec<ColumnVector>) -> Result<Self, StorageError> {
+        let rows = columns.first().map(ColumnVector::len).unwrap_or(0);
+        if let Some(bad) = columns.iter().find(|c| c.len() != rows) {
+            return Err(StorageError::ArityMismatch {
+                expected: rows,
+                got: bad.len(),
+            });
+        }
+        Ok(Self { columns, rows })
+    }
+
+    /// Transposes rows (all of arity `arity`) into a columnar batch.
+    pub fn from_rows(arity: usize, rows: Vec<Row>) -> Self {
+        let n = rows.len();
+        let mut cols: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(n)).collect();
+        for row in rows {
+            for (c, v) in row.into_iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        Self {
+            columns: cols.into_iter().map(ColumnVector::from_values).collect(),
+            rows: n,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Column `c`.
+    pub fn column(&self, c: usize) -> &ColumnVector {
+        &self.columns[c]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[ColumnVector] {
+        &self.columns
+    }
+
+    /// Reconstructs row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Transposes back to rows.
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Transposes back to rows, moving every value out (no clones).
+    pub fn into_rows(self) -> Vec<Row> {
+        let rows = self.rows;
+        let mut iters: Vec<std::vec::IntoIter<Value>> = self
+            .columns
+            .into_iter()
+            .map(|c| c.into_values().into_iter())
+            .collect();
+        (0..rows)
+            .map(|_| {
+                iters
+                    .iter_mut()
+                    .map(|it| it.next().expect("columns share the batch length"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A new batch keeping only rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> RowBatch {
+        let rows = mask.iter().filter(|m| **m).count();
+        RowBatch {
+            columns: self.columns.iter().map(|c| c.filter(mask)).collect(),
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values() -> Vec<Value> {
+        vec![Value::Int(1), Value::Null, Value::Int(3)]
+    }
+
+    #[test]
+    fn int_column_round_trips_exactly() {
+        let col = ColumnVector::from_values(values());
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.null_count(), 1);
+        assert!(col.is_null(1));
+        assert_eq!(col.as_ints(), Some(&[1i64, 0, 3][..]));
+        assert_eq!(col.to_values(), values());
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_values() {
+        let vals = vec![Value::Int(1), Value::Str("x".into())];
+        let col = ColumnVector::from_values(vals.clone());
+        assert!(col.as_ints().is_none());
+        assert_eq!(col.to_values(), vals);
+    }
+
+    #[test]
+    fn int_and_float_mix_is_not_widened() {
+        // Parity with the row path demands Int(1) stays Int(1).
+        let vals = vec![Value::Int(1), Value::Float(2.5)];
+        let col = ColumnVector::from_values(vals.clone());
+        assert_eq!(col.to_values(), vals);
+        assert_eq!(col.value(0), Value::Int(1));
+        assert!(matches!(col.value(0), Value::Int(_)));
+    }
+
+    #[test]
+    fn all_null_column() {
+        let col = ColumnVector::from_values(vec![Value::Null, Value::Null]);
+        assert_eq!(col.null_count(), 2);
+        assert_eq!(col.to_values(), vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn bitmap_across_word_boundary() {
+        let mut vals = Vec::new();
+        for i in 0..130 {
+            vals.push(if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            });
+        }
+        let col = ColumnVector::from_values(vals.clone());
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(col.is_null(i), v.is_null(), "slot {i}");
+        }
+        assert_eq!(col.to_values(), vals);
+    }
+
+    #[test]
+    fn repeat_broadcasts_literals() {
+        let col = ColumnVector::repeat(&Value::Float(0.5), 4);
+        assert_eq!(col.as_floats(), Some(&[0.5, 0.5, 0.5, 0.5][..]));
+        let nul = ColumnVector::repeat(&Value::Null, 2);
+        assert_eq!(nul.null_count(), 2);
+    }
+
+    #[test]
+    fn truthy_mask_matches_row_semantics() {
+        let col = ColumnVector::from_values(vec![Value::Int(0), Value::Int(7), Value::Null]);
+        assert_eq!(col.truthy_mask(), vec![false, true, false]);
+        let col = ColumnVector::from_values(vec![Value::Bool(true), Value::Null]);
+        assert_eq!(col.truthy_mask(), vec![true, false]);
+    }
+
+    #[test]
+    fn batch_transpose_round_trips() {
+        let rows = vec![
+            vec![Value::Int(1), "a".into(), Value::Null],
+            vec![Value::Int(2), "b".into(), Value::Float(0.5)],
+        ];
+        let batch = RowBatch::from_rows(3, rows.clone());
+        assert_eq!(batch.num_rows(), 2);
+        assert_eq!(batch.num_columns(), 3);
+        assert_eq!(batch.to_rows(), rows);
+        assert_eq!(batch.row(1), rows[1]);
+    }
+
+    #[test]
+    fn batch_filter_keeps_masked_rows() {
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(3)],
+        ];
+        let batch = RowBatch::from_rows(1, rows);
+        let kept = batch.filter(&[true, false, true]);
+        assert_eq!(kept.num_rows(), 2);
+        assert_eq!(kept.column(0).as_ints(), Some(&[1i64, 3][..]));
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged() {
+        let a = ColumnVector::from_values(vec![Value::Int(1)]);
+        let b = ColumnVector::from_values(vec![Value::Int(1), Value::Int(2)]);
+        assert!(RowBatch::from_columns(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn exec_mode_batch_size() {
+        assert_eq!(ExecMode::Volcano.batch_size(), None);
+        assert_eq!(ExecMode::Batched(0).batch_size(), Some(1));
+        assert_eq!(ExecMode::default().batch_size(), Some(DEFAULT_BATCH_SIZE));
+    }
+}

@@ -5,14 +5,25 @@
 //! utilities — row sampler, joinability tester — that the plan verifier's
 //! tool user invokes (§4).
 
-use crate::{StorageError, Table, TableStats, Value};
+use crate::{HashIndex, StorageError, Table, TableStats, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Named table registry with statistics.
+/// Named table registry with statistics and secondary indexes.
+///
+/// Indexes (created via [`Catalog::create_index`]) and cached statistics
+/// (via [`Catalog::analyze`]) are *maintained*, not just stored: replacing
+/// a table through [`Catalog::register_or_replace`] — the path every SQL
+/// `INSERT` and re-materialization takes — rebuilds its indexes and
+/// refreshes its cached stats, so the optimizer never prices plans off
+/// stale row counts and equality scans never consult a stale index.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
+    // table -> column -> index.
+    indexes: BTreeMap<String, BTreeMap<String, Arc<HashIndex>>>,
+    // Cached statistics for analyzed tables.
+    stats_cache: BTreeMap<String, TableStats>,
 }
 
 /// Result of the joinability tester utility (§4): how well two columns join.
@@ -46,12 +57,38 @@ impl Catalog {
     }
 
     /// Registers or replaces a table (used when a repaired function version
-    /// re-materializes its output).
+    /// re-materializes its output, and by SQL `INSERT`). Existing secondary
+    /// indexes are rebuilt and cached statistics refreshed against the new
+    /// contents.
     pub fn register_or_replace(&mut self, table: Table) -> Arc<Table> {
         let name = table.name().to_string();
         let arc = Arc::new(table);
-        self.tables.insert(name, Arc::clone(&arc));
+        self.tables.insert(name.clone(), Arc::clone(&arc));
+        self.refresh_derived(&name);
         arc
+    }
+
+    /// Rebuilds indexes and cached stats of `name` from its current
+    /// contents. Indexes whose column no longer exists are dropped.
+    fn refresh_derived(&mut self, name: &str) {
+        let Some(table) = self.tables.get(name).cloned() else {
+            return;
+        };
+        if let Some(cols) = self.indexes.get_mut(name) {
+            let rebuilt: BTreeMap<String, Arc<HashIndex>> = cols
+                .keys()
+                .filter_map(|c| {
+                    HashIndex::build(&table, c)
+                        .ok()
+                        .map(|ix| (c.clone(), Arc::new(ix)))
+                })
+                .collect();
+            *cols = rebuilt;
+        }
+        if self.stats_cache.contains_key(name) {
+            self.stats_cache
+                .insert(name.to_string(), TableStats::collect(&table));
+        }
     }
 
     /// Fetches a table by name.
@@ -67,12 +104,52 @@ impl Catalog {
         self.tables.contains_key(name)
     }
 
-    /// Drops a table.
+    /// Drops a table along with its indexes and cached statistics.
     pub fn drop_table(&mut self, name: &str) -> Result<(), StorageError> {
+        self.indexes.remove(name);
+        self.stats_cache.remove(name);
         self.tables
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Builds (or rebuilds) a hash index over `table.column`, used by the
+    /// SQL layer to serve equality predicates without a full scan.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<(), StorageError> {
+        let t = self.get(table)?;
+        let ix = HashIndex::build(&t, column)?;
+        self.indexes
+            .entry(table.to_string())
+            .or_default()
+            .insert(column.to_string(), Arc::new(ix));
+        Ok(())
+    }
+
+    /// The hash index over `table.column`, if one was created.
+    pub fn index_on(&self, table: &str, column: &str) -> Option<Arc<HashIndex>> {
+        self.indexes.get(table)?.get(column).cloned()
+    }
+
+    /// Columns of `table` that carry a secondary index.
+    pub fn indexed_columns(&self, table: &str) -> Vec<&str> {
+        self.indexes
+            .get(table)
+            .map(|cols| cols.keys().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Collects and caches statistics for `table`. Subsequent catalog
+    /// mutations of the table keep the cache fresh.
+    pub fn analyze(&mut self, table: &str) -> Result<TableStats, StorageError> {
+        let stats = TableStats::collect(self.get(table)?.as_ref());
+        self.stats_cache.insert(table.to_string(), stats.clone());
+        Ok(stats)
+    }
+
+    /// Cached statistics for `table`, if it has been analyzed.
+    pub fn cached_stats(&self, table: &str) -> Option<&TableStats> {
+        self.stats_cache.get(table)
     }
 
     /// All table names, sorted.
@@ -105,8 +182,12 @@ impl Catalog {
         Ok(self.get(name)?.sample(n))
     }
 
-    /// Exact statistics for a table.
+    /// Statistics for a table: the maintained cache when the table has been
+    /// analyzed, otherwise collected on the spot.
     pub fn stats(&self, name: &str) -> Result<TableStats, StorageError> {
+        if let Some(cached) = self.stats_cache.get(name) {
+            return Ok(cached.clone());
+        }
         Ok(TableStats::collect(self.get(name)?.as_ref()))
     }
 
@@ -237,5 +318,53 @@ mod tests {
     fn sample_rows_utility() {
         let c = catalog();
         assert_eq!(c.sample_rows("films", 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn create_index_and_lookup() {
+        let mut c = catalog();
+        c.create_index("posters", "film_id").unwrap();
+        let ix = c.index_on("posters", "film_id").unwrap();
+        assert_eq!(ix.lookup(&Value::Int(1)), &[0, 1]);
+        assert!(c.index_on("posters", "uri").is_none());
+        assert!(c.index_on("films", "id").is_none());
+        assert_eq!(c.indexed_columns("posters"), vec!["film_id"]);
+        assert!(c.create_index("posters", "nope").is_err());
+        assert!(c.create_index("missing", "x").is_err());
+    }
+
+    #[test]
+    fn replace_rebuilds_indexes() {
+        let mut c = catalog();
+        c.create_index("films", "id").unwrap();
+        let mut grown = (*c.get("films").unwrap()).clone();
+        grown.push(vec![9i64.into(), "D".into()]).unwrap();
+        c.register_or_replace(grown);
+        let ix = c.index_on("films", "id").unwrap();
+        assert_eq!(ix.lookup(&Value::Int(9)), &[3]);
+    }
+
+    #[test]
+    fn analyzed_stats_refresh_on_replace() {
+        let mut c = catalog();
+        let before = c.analyze("films").unwrap();
+        assert_eq!(before.rows, 3);
+        let mut grown = (*c.get("films").unwrap()).clone();
+        grown.push(vec![9i64.into(), "D".into()]).unwrap();
+        c.register_or_replace(grown);
+        // The cache was refreshed, not served stale.
+        assert_eq!(c.cached_stats("films").unwrap().rows, 4);
+        assert_eq!(c.stats("films").unwrap().rows, 4);
+        assert_eq!(c.stats("films").unwrap().column("id").unwrap().ndv, 4);
+    }
+
+    #[test]
+    fn drop_clears_indexes_and_stats() {
+        let mut c = catalog();
+        c.create_index("films", "id").unwrap();
+        c.analyze("films").unwrap();
+        c.drop_table("films").unwrap();
+        assert!(c.index_on("films", "id").is_none());
+        assert!(c.cached_stats("films").is_none());
     }
 }

@@ -3,6 +3,7 @@
 //! Generated function bodies that are "a SQL query over a table" (§4) bottom
 //! out here: filters, projections, and computed columns are all [`Expr`]s.
 
+use crate::batch::{ColumnData, ColumnVector, NullBitmap, RowBatch};
 use crate::{Row, Schema, StorageError, Value};
 use std::fmt;
 
@@ -170,6 +171,116 @@ impl Expr {
         }
     }
 
+    /// Evaluates against a whole [`RowBatch`] at once, returning one value
+    /// per row as a [`ColumnVector`].
+    ///
+    /// Semantics match [`Expr::eval`] row by row exactly — including SQL
+    /// three-valued logic and `AND`/`OR` short-circuiting (a right operand
+    /// that would error only on short-circuited rows does not error here
+    /// either; such expressions fall back to row-at-a-time evaluation).
+    /// Column references resolve once per batch instead of once per row,
+    /// and Int/Float/Str columns run typed kernels.
+    pub fn eval_batch(
+        &self,
+        batch: &RowBatch,
+        schema: &Schema,
+    ) -> Result<ColumnVector, StorageError> {
+        let n = batch.num_rows();
+        match self {
+            Expr::Col(name) => {
+                let idx = schema.resolve(name)?;
+                Ok(batch.column(idx).clone())
+            }
+            Expr::Lit(v) => Ok(ColumnVector::repeat(v, n)),
+            Expr::Bin(op @ (BinOp::And | BinOp::Or), l, r) => {
+                let lv = l.eval_batch(batch, schema)?;
+                match r.eval_batch(batch, schema) {
+                    Ok(rv) => Ok(combine_logical(*op, &lv, &rv)),
+                    // The row path may short-circuit past the erroring rows
+                    // of the right operand; re-run row-wise to find out.
+                    Err(_) => self.eval_rows(batch, schema),
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                let lv = l.eval_batch(batch, schema)?;
+                let rv = r.eval_batch(batch, schema)?;
+                eval_bin_batch(*op, &lv, &rv)
+            }
+            Expr::Not(e) => {
+                let v = e.eval_batch(batch, schema)?;
+                let truthy = v.truthy_mask();
+                let mut nulls = NullBitmap::new();
+                let mut out = Vec::with_capacity(n);
+                for (i, t) in truthy.iter().enumerate() {
+                    let is_null = v.is_null(i);
+                    nulls.push(is_null);
+                    out.push(!is_null && !t);
+                }
+                Ok(ColumnVector::from_parts(ColumnData::Bool(out), nulls))
+            }
+            Expr::Neg(e) => {
+                let v = e.eval_batch(batch, schema)?;
+                match v.data() {
+                    ColumnData::Int(xs) => Ok(ColumnVector::from_parts(
+                        ColumnData::Int(xs.iter().map(|x| -x).collect()),
+                        v.nulls().clone(),
+                    )),
+                    ColumnData::Float(xs) => Ok(ColumnVector::from_parts(
+                        ColumnData::Float(xs.iter().map(|x| -x).collect()),
+                        v.nulls().clone(),
+                    )),
+                    _ => {
+                        let mut out = Vec::with_capacity(n);
+                        for i in 0..n {
+                            out.push(match v.value(i) {
+                                Value::Int(x) => Value::Int(-x),
+                                Value::Float(x) => Value::Float(-x),
+                                Value::Null => Value::Null,
+                                other => {
+                                    return Err(StorageError::Eval(format!(
+                                        "cannot negate {other:?}"
+                                    )))
+                                }
+                            });
+                        }
+                        Ok(ColumnVector::from_values(out))
+                    }
+                }
+            }
+            Expr::IsNull(e) => {
+                let v = e.eval_batch(batch, schema)?;
+                let out: Vec<bool> = (0..n).map(|i| v.is_null(i)).collect();
+                Ok(ColumnVector::from_parts(
+                    ColumnData::Bool(out),
+                    NullBitmap::all_valid(n),
+                ))
+            }
+            Expr::Call(name, args) => {
+                let cols: Vec<ColumnVector> = args
+                    .iter()
+                    .map(|a| a.eval_batch(batch, schema))
+                    .collect::<Result<_, _>>()?;
+                let mut out = Vec::with_capacity(n);
+                let mut vals: Vec<Value> = Vec::with_capacity(cols.len());
+                for i in 0..n {
+                    vals.clear();
+                    vals.extend(cols.iter().map(|c| c.value(i)));
+                    out.push(eval_call(name, &vals)?);
+                }
+                Ok(ColumnVector::from_values(out))
+            }
+        }
+    }
+
+    /// Row-at-a-time evaluation over a batch (exact-semantics fallback).
+    fn eval_rows(&self, batch: &RowBatch, schema: &Schema) -> Result<ColumnVector, StorageError> {
+        let mut out = Vec::with_capacity(batch.num_rows());
+        for i in 0..batch.num_rows() {
+            out.push(self.eval(&batch.row(i), schema)?);
+        }
+        Ok(ColumnVector::from_values(out))
+    }
+
     /// The set of column names this expression reads (used by the optimizer
     /// for predicate pushdown and column pruning).
     pub fn referenced_columns(&self) -> Vec<String> {
@@ -196,6 +307,208 @@ impl Expr {
             }
         }
     }
+}
+
+/// Element-wise three-valued `AND`/`OR` over two evaluated operand columns.
+/// Mirrors the collapse rules of [`Expr::eval`] exactly.
+fn combine_logical(op: BinOp, l: &ColumnVector, r: &ColumnVector) -> ColumnVector {
+    let n = l.len();
+    let lt = l.truthy_mask();
+    let rt = r.truthy_mask();
+    let mut out = Vec::with_capacity(n);
+    let mut nulls = NullBitmap::new();
+    for i in 0..n {
+        let (ln, rn) = (l.is_null(i), r.is_null(i));
+        let (cell, is_null) = match op {
+            BinOp::And => {
+                if !ln && !lt[i] {
+                    (false, false)
+                } else if ln || rn {
+                    (false, true)
+                } else {
+                    (lt[i] && rt[i], false)
+                }
+            }
+            BinOp::Or => {
+                if lt[i] {
+                    (true, false)
+                } else if ln || rn {
+                    if rt[i] {
+                        (true, false)
+                    } else {
+                        (false, true)
+                    }
+                } else {
+                    (lt[i] || rt[i], false)
+                }
+            }
+            _ => unreachable!("combine_logical only handles AND/OR"),
+        };
+        out.push(cell);
+        nulls.push(is_null);
+    }
+    ColumnVector::from_parts(ColumnData::Bool(out), nulls)
+}
+
+/// Whether a column is purely numeric (Int or Float payload).
+fn is_numeric(c: &ColumnVector) -> bool {
+    matches!(c.data(), ColumnData::Int(_) | ColumnData::Float(_))
+}
+
+/// Element-wise binary operation over two operand columns, with typed fast
+/// paths for Int/Int, numeric, and Str/Str operands; everything else falls
+/// back to [`eval_bin`] per element (identical semantics either way).
+fn eval_bin_batch(
+    op: BinOp,
+    l: &ColumnVector,
+    r: &ColumnVector,
+) -> Result<ColumnVector, StorageError> {
+    use BinOp::*;
+    let n = l.len();
+    debug_assert_eq!(n, r.len());
+
+    let cmp_bool = |ord: std::cmp::Ordering| match op {
+        Eq => ord.is_eq(),
+        Ne => !ord.is_eq(),
+        Lt => ord.is_lt(),
+        Le => ord.is_le(),
+        Gt => ord.is_gt(),
+        Ge => ord.is_ge(),
+        _ => unreachable!(),
+    };
+    let is_cmp = matches!(op, Eq | Ne | Lt | Le | Gt | Ge);
+
+    // Int ⊗ Int: integral arithmetic and total comparisons.
+    if let (Some(a), Some(b)) = (l.as_ints(), r.as_ints()) {
+        let mut nulls = NullBitmap::new();
+        if is_cmp {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let null = l.is_null(i) || r.is_null(i);
+                nulls.push(null);
+                out.push(!null && cmp_bool(a[i].cmp(&b[i])));
+            }
+            return Ok(ColumnVector::from_parts(ColumnData::Bool(out), nulls));
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let null = l.is_null(i) || r.is_null(i);
+            nulls.push(null);
+            if null {
+                out.push(0);
+                continue;
+            }
+            out.push(match op {
+                Add => a[i].wrapping_add(b[i]),
+                Sub => a[i].wrapping_sub(b[i]),
+                Mul => a[i].wrapping_mul(b[i]),
+                Div => {
+                    if b[i] == 0 {
+                        return Err(StorageError::Eval("division by zero".into()));
+                    }
+                    a[i] / b[i]
+                }
+                Mod => {
+                    if b[i] == 0 {
+                        return Err(StorageError::Eval("modulo by zero".into()));
+                    }
+                    a[i] % b[i]
+                }
+                _ => unreachable!(),
+            });
+        }
+        return Ok(ColumnVector::from_parts(ColumnData::Int(out), nulls));
+    }
+
+    // Numeric ⊗ numeric with at least one Float side: f64 kernels.
+    if is_numeric(l) && is_numeric(r) {
+        let mut nulls = NullBitmap::new();
+        if is_cmp {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                match (l.numeric_at(i), r.numeric_at(i)) {
+                    (Some(a), Some(b)) => {
+                        // NaN comparisons are NULL, as in the row path.
+                        match a.partial_cmp(&b) {
+                            Some(ord) => {
+                                nulls.push(false);
+                                out.push(cmp_bool(ord));
+                            }
+                            None => {
+                                nulls.push(true);
+                                out.push(false);
+                            }
+                        }
+                    }
+                    _ => {
+                        nulls.push(true);
+                        out.push(false);
+                    }
+                }
+            }
+            return Ok(ColumnVector::from_parts(ColumnData::Bool(out), nulls));
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match (l.numeric_at(i), r.numeric_at(i)) {
+                (Some(a), Some(b)) => {
+                    nulls.push(false);
+                    out.push(match op {
+                        Add => a + b,
+                        Sub => a - b,
+                        Mul => a * b,
+                        Div => {
+                            if b == 0.0 {
+                                return Err(StorageError::Eval("division by zero".into()));
+                            }
+                            a / b
+                        }
+                        Mod => a % b,
+                        _ => unreachable!(),
+                    });
+                }
+                _ => {
+                    nulls.push(true);
+                    out.push(0.0);
+                }
+            }
+        }
+        return Ok(ColumnVector::from_parts(ColumnData::Float(out), nulls));
+    }
+
+    // Str ⊗ Str: comparisons and `+` concatenation.
+    if let (Some(a), Some(b)) = (l.as_strs(), r.as_strs()) {
+        let mut nulls = NullBitmap::new();
+        if is_cmp {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let null = l.is_null(i) || r.is_null(i);
+                nulls.push(null);
+                out.push(!null && cmp_bool(a[i].cmp(&b[i])));
+            }
+            return Ok(ColumnVector::from_parts(ColumnData::Bool(out), nulls));
+        }
+        if op == Add {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let null = l.is_null(i) || r.is_null(i);
+                nulls.push(null);
+                out.push(if null {
+                    String::new()
+                } else {
+                    format!("{}{}", a[i], b[i])
+                });
+            }
+            return Ok(ColumnVector::from_parts(ColumnData::Str(out), nulls));
+        }
+    }
+
+    // General fallback: exact row-path semantics per element.
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(eval_bin(op, &l.value(i), &r.value(i))?);
+    }
+    Ok(ColumnVector::from_values(out))
 }
 
 fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value, StorageError> {
@@ -357,7 +670,11 @@ fn eval_call(name: &str, args: &[Value]) -> Result<Value, StorageError> {
             let ord = args[0]
                 .sql_cmp(&args[1])
                 .ok_or_else(|| StorageError::Eval("incomparable arguments".into()))?;
-            let pick_first = if name == "min2" { ord.is_le() } else { ord.is_ge() };
+            let pick_first = if name == "min2" {
+                ord.is_le()
+            } else {
+                ord.is_ge()
+            };
             Ok(if pick_first {
                 args[0].clone()
             } else {
@@ -493,7 +810,10 @@ mod tests {
         let e = Expr::col("a")
             .bin(BinOp::Add, Expr::col("b"))
             .bin(BinOp::Mul, Expr::col("a"));
-        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]
@@ -507,5 +827,105 @@ mod tests {
     fn display_round_trips_visually() {
         let e = Expr::col("year").bin(BinOp::Ge, Expr::lit(1990i64));
         assert_eq!(e.to_string(), "(year >= 1990)");
+    }
+
+    fn batch_of(rows: Vec<Row>, arity: usize) -> RowBatch {
+        RowBatch::from_rows(arity, rows)
+    }
+
+    /// Asserts eval_batch agrees with eval on every row.
+    fn assert_parity(e: &Expr, rows: Vec<Row>, schema: &Schema) {
+        let batch = batch_of(rows.clone(), schema.arity());
+        let col = e.eval_batch(&batch, schema).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(col.value(i), e.eval(row, schema).unwrap(), "row {i}: {e}");
+        }
+    }
+
+    #[test]
+    fn batch_eval_matches_row_eval() {
+        let s = Schema::of(&[
+            ("year", DataType::Int),
+            ("score", DataType::Float),
+            ("title", DataType::Str),
+        ]);
+        let rows = vec![
+            vec![Value::Int(1991), Value::Float(0.7), "Guilty".into()],
+            vec![Value::Null, Value::Float(0.2), "Calm".into()],
+            vec![Value::Int(1975), Value::Null, Value::Null],
+        ];
+        let exprs = vec![
+            Expr::col("year").bin(BinOp::Ge, Expr::lit(1988i64)),
+            Expr::col("year").bin(BinOp::Add, Expr::lit(9i64)),
+            Expr::col("score").bin(BinOp::Mul, Expr::lit(10.0)),
+            Expr::col("year").bin(BinOp::Gt, Expr::col("score")),
+            Expr::col("title").eq(Expr::lit("Guilty")),
+            Expr::col("title").bin(BinOp::Add, Expr::lit("!")),
+            Expr::Not(Box::new(Expr::col("year").eq(Expr::lit(1991i64)))),
+            Expr::Neg(Box::new(Expr::col("score"))),
+            Expr::Neg(Box::new(Expr::col("year"))),
+            Expr::IsNull(Box::new(Expr::col("title"))),
+            Expr::Call("lower".into(), vec![Expr::col("title")]),
+            Expr::Call("coalesce".into(), vec![Expr::col("score"), Expr::lit(0.0)]),
+            Expr::col("year")
+                .eq(Expr::lit(1991i64))
+                .and(Expr::col("score").bin(BinOp::Gt, Expr::lit(0.5))),
+            Expr::col("year")
+                .bin(BinOp::Lt, Expr::lit(1980i64))
+                .bin(BinOp::Or, Expr::col("score").bin(BinOp::Gt, Expr::lit(0.5))),
+            Expr::lit(Value::Null).and(Expr::col("year").eq(Expr::lit(1991i64))),
+        ];
+        for e in &exprs {
+            assert_parity(e, rows.clone(), &s);
+        }
+    }
+
+    #[test]
+    fn batch_short_circuit_protects_erroring_right_side() {
+        // x = 0 rows are short-circuited past the division; the batch path
+        // must not error where the row path does not.
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let rows = vec![vec![Value::Int(0)], vec![Value::Int(2)]];
+        let e = Expr::col("x").bin(BinOp::Gt, Expr::lit(0i64)).and(
+            Expr::lit(10i64)
+                .bin(BinOp::Div, Expr::col("x"))
+                .bin(BinOp::Gt, Expr::lit(1i64)),
+        );
+        assert_parity(&e, rows, &s);
+    }
+
+    #[test]
+    fn batch_division_by_zero_still_errors() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let batch = batch_of(vec![vec![Value::Int(0)]], 1);
+        let e = Expr::lit(1i64).bin(BinOp::Div, Expr::col("x"));
+        assert!(e.eval_batch(&batch, &s).is_err());
+        // But NULL divisor propagates NULL before the zero check, as in the
+        // row path.
+        let batch = batch_of(vec![vec![Value::Null]], 1);
+        assert_eq!(e.eval_batch(&batch, &s).unwrap().value(0), Value::Null);
+    }
+
+    #[test]
+    fn batch_eval_on_mixed_type_column_falls_back() {
+        let s = Schema::of(&[("v", DataType::Any)]);
+        let rows = vec![
+            vec![Value::Int(3)],
+            vec![Value::Float(1.5)],
+            vec![Value::Null],
+        ];
+        assert_parity(
+            &Expr::col("v").bin(BinOp::Gt, Expr::lit(2i64)),
+            rows.clone(),
+            &s,
+        );
+        assert_parity(&Expr::col("v").bin(BinOp::Add, Expr::lit(1i64)), rows, &s);
+    }
+
+    #[test]
+    fn batch_unknown_column_errors() {
+        let s = Schema::of(&[("x", DataType::Int)]);
+        let batch = batch_of(vec![vec![Value::Int(1)]], 1);
+        assert!(Expr::col("missing").eval_batch(&batch, &s).is_err());
     }
 }

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod catalog;
 mod error;
 mod expr;
@@ -21,13 +22,15 @@ mod stats;
 mod table;
 mod value;
 
+pub use batch::{ColumnData, ColumnVector, ExecMode, NullBitmap, RowBatch, DEFAULT_BATCH_SIZE};
 pub use catalog::{Catalog, Joinability};
 pub use error::StorageError;
 pub use expr::{BinOp, Expr};
 pub use index::{HashIndex, SortedIndex};
 pub use ops::{
-    col_cmp, collect, AggFunc, Aggregate, Distinct, Filter, HashAggregate, HashJoin, JoinKind,
-    Limit, NestedLoopJoin, Operator, Project, Sort, SortKey, TableScan, UnionAll,
+    col_cmp, collect, collect_batched, AggFunc, Aggregate, Distinct, Filter, HashAggregate,
+    HashJoin, IndexScan, JoinKind, Limit, NestedLoopJoin, Operator, Project, Sort, SortKey,
+    TableScan, UnionAll,
 };
 pub use persist::{decode_table, encode_table, load_table, save_table};
 pub use schema::{Column, Schema};

@@ -5,17 +5,51 @@
 //! high efficiency" of a traditional DBMS (§1) underneath the model-driven
 //! layer.
 
+use crate::batch::{ColumnVector, RowBatch, DEFAULT_BATCH_SIZE};
 use crate::{BinOp, Expr, Row, Schema, StorageError, Table, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A pull-based relational operator.
+///
+/// Operators can be driven tuple-at-a-time via [`Operator::next`] (the
+/// classical Volcano protocol) or batch-at-a-time via
+/// [`Operator::next_batch`]. The default `next_batch` adapts `next()`, so
+/// every operator supports both; the hot operators ([`TableScan`],
+/// [`Filter`], [`Project`], [`HashJoin`], [`Limit`], [`Distinct`])
+/// override it with native columnar implementations. Both protocols
+/// advance the same stream — switching mid-stream (as [`Limit`] does for
+/// its row-wise tail) continues where the other left off.
 pub trait Operator {
     /// Output schema.
     fn schema(&self) -> &Schema;
     /// Produces the next row, or `None` when exhausted.
     fn next(&mut self) -> Result<Option<Row>, StorageError>;
+
+    /// Produces the next batch of up to [`Operator::batch_capacity`] rows,
+    /// or `None` when exhausted. Returned batches are never empty.
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        let cap = self.batch_capacity();
+        let mut rows = Vec::with_capacity(cap);
+        while rows.len() < cap {
+            match self.next()? {
+                Some(row) => rows.push(row),
+                None => break,
+            }
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch::from_rows(self.schema().arity(), rows)))
+        }
+    }
+
+    /// Target rows per batch. Source operators own the setting; pass-through
+    /// operators delegate to their input so one knob drives the pipeline.
+    fn batch_capacity(&self) -> usize {
+        DEFAULT_BATCH_SIZE
+    }
 }
 
 /// Drains an operator into a materialized [`Table`].
@@ -27,16 +61,44 @@ pub fn collect(name: &str, mut op: Box<dyn Operator>) -> Result<Table, StorageEr
     Ok(out)
 }
 
+/// Drains an operator batch-at-a-time into a materialized [`Table`],
+/// returning the table and the number of batches produced.
+pub fn collect_batched(
+    name: &str,
+    mut op: Box<dyn Operator>,
+) -> Result<(Table, usize), StorageError> {
+    let mut out = Table::new(name, op.schema().clone());
+    let mut batches = 0;
+    while let Some(batch) = op.next_batch()? {
+        batches += 1;
+        for row in batch.into_rows() {
+            out.push(row)?;
+        }
+    }
+    Ok((out, batches))
+}
+
 /// Full scan over a shared table.
 pub struct TableScan {
     table: Arc<Table>,
     cursor: usize,
+    batch_size: usize,
 }
 
 impl TableScan {
     /// Scans `table` from the first row.
     pub fn new(table: Arc<Table>) -> Self {
-        Self { table, cursor: 0 }
+        Self {
+            table,
+            cursor: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Sets the rows-per-batch capacity for batched execution (min 1).
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
     }
 }
 
@@ -51,6 +113,96 @@ impl Operator for TableScan {
             self.cursor += 1;
         }
         Ok(row)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        let rows = self.table.rows();
+        if self.cursor >= rows.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(rows.len());
+        let slice = &rows[self.cursor..end];
+        self.cursor = end;
+        // Build columns directly from the row slice: one Value clone per
+        // cell, no intermediate row vector.
+        let arity = self.table.schema().arity();
+        let columns: Vec<ColumnVector> = (0..arity)
+            .map(|c| ColumnVector::from_values(slice.iter().map(|r| r[c].clone()).collect()))
+            .collect();
+        Ok(Some(
+            RowBatch::from_columns(columns).expect("columns share the slice length"),
+        ))
+    }
+
+    fn batch_capacity(&self) -> usize {
+        self.batch_size
+    }
+}
+
+/// Scan over an explicit list of row positions of a table — the access path
+/// a secondary index produces for equality predicates. Positions must be in
+/// ascending order when scan-equivalent output order matters.
+pub struct IndexScan {
+    table: Arc<Table>,
+    positions: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl IndexScan {
+    /// Scans `table` at `positions`, in the given order.
+    pub fn new(table: Arc<Table>, positions: Vec<usize>) -> Self {
+        Self {
+            table,
+            positions,
+            cursor: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Sets the rows-per-batch capacity for batched execution (min 1).
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
+    }
+}
+
+impl Operator for IndexScan {
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        let Some(&pos) = self.positions.get(self.cursor) else {
+            return Ok(None);
+        };
+        self.cursor += 1;
+        self.table
+            .row(pos)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| StorageError::Eval(format!("index position {pos} out of bounds")))
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        if self.cursor >= self.positions.len() {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.batch_size).min(self.positions.len());
+        let mut rows = Vec::with_capacity(end - self.cursor);
+        for &pos in &self.positions[self.cursor..end] {
+            let row =
+                self.table.row(pos).cloned().ok_or_else(|| {
+                    StorageError::Eval(format!("index position {pos} out of bounds"))
+                })?;
+            rows.push(row);
+        }
+        self.cursor = end;
+        Ok(Some(RowBatch::from_rows(self.table.schema().arity(), rows)))
+    }
+
+    fn batch_capacity(&self) -> usize {
+        self.batch_size
     }
 }
 
@@ -81,6 +233,27 @@ impl Operator for Filter {
             }
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        while let Some(batch) = self.input.next_batch()? {
+            let keep = self
+                .predicate
+                .eval_batch(&batch, self.input.schema())?
+                .truthy_mask();
+            if keep.iter().all(|k| *k) {
+                // Everything passed: hand the batch through untouched.
+                return Ok(Some(batch));
+            }
+            if keep.iter().any(|k| *k) {
+                return Ok(Some(batch.filter(&keep)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn batch_capacity(&self) -> usize {
+        self.input.batch_capacity()
     }
 }
 
@@ -139,6 +312,33 @@ impl Operator for Project {
             }
         }
     }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        match self.input.next_batch()? {
+            None => Ok(None),
+            Some(batch) => {
+                if self.exprs.is_empty() {
+                    // Degenerate arity-0 projection: keep the row count.
+                    return Ok(Some(RowBatch::from_rows(
+                        0,
+                        vec![Vec::new(); batch.num_rows()],
+                    )));
+                }
+                let columns: Vec<_> = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval_batch(&batch, self.input.schema()))
+                    .collect::<Result<_, _>>()?;
+                Ok(Some(
+                    RowBatch::from_columns(columns).expect("expressions evaluate one batch"),
+                ))
+            }
+        }
+    }
+
+    fn batch_capacity(&self) -> usize {
+        self.input.batch_capacity()
+    }
 }
 
 /// Join kind.
@@ -159,6 +359,9 @@ pub struct HashJoin {
     right_arity: usize,
     kind: JoinKind,
     pending: Vec<Row>,
+    // Batched probe state: the current left batch and the next row in it.
+    lbatch: Option<RowBatch>,
+    lcursor: usize,
 }
 
 impl HashJoin {
@@ -176,12 +379,15 @@ impl HashJoin {
         let schema = left.schema().join(right.schema(), "right");
         let right_arity = right.schema().arity();
         let mut built: HashMap<Value, Vec<Row>> = HashMap::new();
-        while let Some(row) = right.next()? {
-            let key = row[right_key].clone();
-            if key.is_null() {
-                continue; // NULL keys never match in SQL equi-joins.
+        // Build side drains batch-wise; all operators support next_batch.
+        while let Some(batch) = right.next_batch()? {
+            for i in 0..batch.num_rows() {
+                let key = batch.column(right_key).value(i);
+                if key.is_null() {
+                    continue; // NULL keys never match in SQL equi-joins.
+                }
+                built.entry(key).or_default().push(batch.row(i));
             }
-            built.entry(key).or_default().push(row);
         }
         Ok(Self {
             left,
@@ -191,6 +397,8 @@ impl HashJoin {
             right_arity,
             kind,
             pending: Vec::new(),
+            lbatch: None,
+            lcursor: 0,
         })
     }
 }
@@ -205,8 +413,24 @@ impl Operator for HashJoin {
             if let Some(row) = self.pending.pop() {
                 return Ok(Some(row));
             }
-            let Some(lrow) = self.left.next()? else {
-                return Ok(None);
+            // Finish any left batch a batched probe started, so switching
+            // protocols mid-stream (e.g. Limit's row-wise tail) loses
+            // nothing.
+            let mut lrow: Option<Row> = None;
+            if let Some(b) = &self.lbatch {
+                if self.lcursor < b.num_rows() {
+                    lrow = Some(b.row(self.lcursor));
+                    self.lcursor += 1;
+                } else {
+                    self.lbatch = None;
+                }
+            }
+            let lrow = match lrow {
+                Some(row) => row,
+                None => match self.left.next()? {
+                    Some(row) => row,
+                    None => return Ok(None),
+                },
             };
             let key = &lrow[self.left_key];
             let matches = if key.is_null() {
@@ -231,6 +455,67 @@ impl Operator for HashJoin {
             }
         }
     }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        let cap = self.batch_capacity();
+        let mut out: Vec<Row> = Vec::new();
+        // Drain rows a prior next() staged, preserving pop order.
+        while let Some(row) = self.pending.pop() {
+            out.push(row);
+        }
+        // Probe left rows one at a time so output batches stay near the
+        // configured capacity even when keys fan out (one row's match list
+        // is the only unbounded unit, exactly as on the row path).
+        while out.len() < cap {
+            let exhausted = match &self.lbatch {
+                Some(b) => self.lcursor >= b.num_rows(),
+                None => true,
+            };
+            if exhausted {
+                match self.left.next_batch()? {
+                    Some(b) => {
+                        self.lbatch = Some(b);
+                        self.lcursor = 0;
+                    }
+                    None => break,
+                }
+            }
+            let lbatch = self.lbatch.as_ref().expect("refilled above");
+            let i = self.lcursor;
+            self.lcursor += 1;
+            let keys = lbatch.column(self.left_key);
+            let matches = if keys.is_null(i) {
+                None
+            } else {
+                self.built.get(&keys.value(i))
+            };
+            match matches {
+                Some(rrows) => {
+                    let lrow = lbatch.row(i);
+                    for rrow in rrows {
+                        let mut joined = lrow.clone();
+                        joined.extend(rrow.iter().cloned());
+                        out.push(joined);
+                    }
+                }
+                None if self.kind == JoinKind::Left => {
+                    let mut joined = lbatch.row(i);
+                    joined.extend(std::iter::repeat_n(Value::Null, self.right_arity));
+                    out.push(joined);
+                }
+                None => {}
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch::from_rows(self.schema.arity(), out)))
+        }
+    }
+
+    fn batch_capacity(&self) -> usize {
+        self.left.batch_capacity()
+    }
 }
 
 /// Nested-loop join with an arbitrary predicate over the concatenated row.
@@ -252,8 +537,8 @@ impl NestedLoopJoin {
     ) -> Result<Self, StorageError> {
         let schema = left.schema().join(right.schema(), "right");
         let mut right_rows = Vec::new();
-        while let Some(row) = right.next()? {
-            right_rows.push(row);
+        while let Some(batch) = right.next_batch()? {
+            right_rows.extend(batch.into_rows());
         }
         Ok(Self {
             left,
@@ -440,16 +725,20 @@ impl HashAggregate {
         // groups is preserved for deterministic output.
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: HashMap<Vec<Value>, (i64, Vec<AggState>)> = HashMap::new();
-        while let Some(row) = input.next()? {
-            let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
-            let entry = groups.entry(key.clone()).or_insert_with(|| {
-                order.push(key);
-                (0, vec![AggState::new(); aggregates.len()])
-            });
-            entry.0 += 1;
-            for (state, idx) in entry.1.iter_mut().zip(&agg_idx) {
-                if let Some(i) = idx {
-                    state.update(&row[*i]);
+        // The aggregate consumes its input batch-at-a-time: group keys and
+        // aggregate inputs are read straight out of the batch columns.
+        while let Some(batch) = input.next_batch()? {
+            for r in 0..batch.num_rows() {
+                let key: Vec<Value> = key_idx.iter().map(|&i| batch.column(i).value(r)).collect();
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (0, vec![AggState::new(); aggregates.len()])
+                });
+                entry.0 += 1;
+                for (state, idx) in entry.1.iter_mut().zip(&agg_idx) {
+                    if let Some(i) = idx {
+                        state.update(&batch.column(*i).value(r));
+                    }
                 }
             }
         }
@@ -508,8 +797,8 @@ impl Sort {
             .map(|k| schema.resolve(&k.column).map(|i| (i, k.desc)))
             .collect::<Result<_, _>>()?;
         let mut rows = Vec::new();
-        while let Some(row) = input.next()? {
-            rows.push(row);
+        while let Some(batch) = input.next_batch()? {
+            rows.extend(batch.into_rows());
         }
         rows.sort_by(|a, b| {
             for &(i, desc) in &key_idx {
@@ -571,6 +860,51 @@ impl Operator for Limit {
             None => Ok(None),
         }
     }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        // While the limit exceeds the batch capacity, whole input batches
+        // are within the limit, so passing them through evaluates exactly
+        // the rows the row path would.
+        if self.remaining >= self.input.batch_capacity() {
+            return match self.input.next_batch()? {
+                None => Ok(None),
+                Some(batch) if batch.num_rows() <= self.remaining => {
+                    self.remaining -= batch.num_rows();
+                    Ok(Some(batch))
+                }
+                Some(batch) => {
+                    // Rare overshoot (join fan-out): keep the first rows.
+                    let mask: Vec<bool> =
+                        (0..batch.num_rows()).map(|i| i < self.remaining).collect();
+                    self.remaining = 0;
+                    Ok(Some(batch.filter(&mask)))
+                }
+            };
+        }
+        // Tail: pull row-wise so nothing past the limit is evaluated —
+        // the lazy semantics a row-driven LIMIT gives (an erroring
+        // expression beyond the limit must stay unreached on both drives).
+        let mut rows = Vec::with_capacity(self.remaining);
+        while rows.len() < self.remaining {
+            match self.input.next()? {
+                Some(row) => rows.push(row),
+                None => break,
+            }
+        }
+        self.remaining -= rows.len();
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch::from_rows(self.input.schema().arity(), rows)))
+        }
+    }
+
+    fn batch_capacity(&self) -> usize {
+        self.input.batch_capacity()
+    }
 }
 
 /// DISTINCT over whole rows.
@@ -601,6 +935,25 @@ impl Operator for Distinct {
             }
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        while let Some(batch) = self.input.next_batch()? {
+            let fresh: Vec<bool> = (0..batch.num_rows())
+                .map(|i| self.seen.insert(batch.row(i)))
+                .collect();
+            if fresh.iter().all(|k| *k) {
+                return Ok(Some(batch));
+            }
+            if fresh.iter().any(|k| *k) {
+                return Ok(Some(batch.filter(&fresh)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn batch_capacity(&self) -> usize {
+        self.input.batch_capacity()
     }
 }
 
@@ -641,6 +994,20 @@ impl Operator for UnionAll {
             self.left_done = true;
         }
         self.right.next()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        if !self.left_done {
+            if let Some(batch) = self.left.next_batch()? {
+                return Ok(Some(batch));
+            }
+            self.left_done = true;
+        }
+        self.right.next_batch()
+    }
+
+    fn batch_capacity(&self) -> usize {
+        self.left.batch_capacity()
     }
 }
 
@@ -743,8 +1110,12 @@ mod tests {
     fn hash_join_skips_null_keys() {
         let schema = Schema::of(&[("k", DataType::Int)]);
         let left = Arc::new(
-            Table::from_rows("l", schema.clone(), vec![vec![Value::Null], vec![1i64.into()]])
-                .unwrap(),
+            Table::from_rows(
+                "l",
+                schema.clone(),
+                vec![vec![Value::Null], vec![1i64.into()]],
+            )
+            .unwrap(),
         );
         let right = Arc::new(
             Table::from_rows("r", schema, vec![vec![Value::Null], vec![1i64.into()]]).unwrap(),
@@ -903,5 +1274,257 @@ mod tests {
             Box::new(TableScan::new(posters())),
         );
         assert!(r.is_err());
+    }
+
+    /// Builds the scan→filter→project pipeline with a given scan batch size.
+    fn pipeline(batch_size: usize) -> Box<dyn Operator> {
+        let scan = Box::new(TableScan::new(films()).with_batch_size(batch_size));
+        let filt = Box::new(Filter::new(scan, col_cmp("year", BinOp::Ge, 1988i64)));
+        Box::new(
+            Project::new(
+                filt,
+                vec![
+                    ("title".into(), Expr::col("title")),
+                    (
+                        "age".into(),
+                        Expr::lit(2026i64).bin(BinOp::Sub, Expr::col("year")),
+                    ),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn batched_pipeline_matches_row_pipeline_at_any_batch_size() {
+        let row_result = collect("r", pipeline(1024)).unwrap();
+        for bs in [1usize, 2, 3, 1024] {
+            let (batched, batches) = collect_batched("r", pipeline(bs)).unwrap();
+            assert_eq!(batched, row_result, "batch size {bs}");
+            assert!(batches >= 1);
+        }
+    }
+
+    #[test]
+    fn batched_join_and_aggregate_match_row_path() {
+        let mk_join = || {
+            Box::new(
+                HashJoin::new(
+                    Box::new(TableScan::new(films()).with_batch_size(2)),
+                    Box::new(TableScan::new(posters())),
+                    "id",
+                    "film_id",
+                    JoinKind::Left,
+                )
+                .unwrap(),
+            )
+        };
+        let row = collect("j", mk_join()).unwrap();
+        let (bat, _) = collect_batched("j", mk_join()).unwrap();
+        assert_eq!(row, bat);
+
+        let mk_agg = || {
+            Box::new(
+                HashAggregate::new(
+                    Box::new(TableScan::new(films()).with_batch_size(3)),
+                    vec!["year".into()],
+                    vec![Aggregate {
+                        func: AggFunc::CountStar,
+                        column: None,
+                        output: "n".into(),
+                    }],
+                )
+                .unwrap(),
+            )
+        };
+        let row = collect("g", mk_agg()).unwrap();
+        let (bat, _) = collect_batched("g", mk_agg()).unwrap();
+        assert_eq!(row, bat);
+    }
+
+    #[test]
+    fn batched_join_bounds_output_batches_under_fanout() {
+        // 40 left rows × 25 matches each = 1000 join rows; with capacity 8
+        // the probe must emit many small batches, not one giant one.
+        let schema = Schema::of(&[("k", DataType::Int)]);
+        let left = Arc::new(
+            Table::from_rows(
+                "l",
+                schema.clone(),
+                (0..40).map(|_| vec![1i64.into()]).collect(),
+            )
+            .unwrap(),
+        );
+        let right = Arc::new(
+            Table::from_rows("r", schema, (0..25).map(|_| vec![1i64.into()]).collect()).unwrap(),
+        );
+        let mk = |bs: usize| {
+            Box::new(
+                HashJoin::new(
+                    Box::new(TableScan::new(Arc::clone(&left)).with_batch_size(bs)),
+                    Box::new(TableScan::new(Arc::clone(&right))),
+                    "k",
+                    "k",
+                    JoinKind::Inner,
+                )
+                .unwrap(),
+            )
+        };
+        let row = collect("j", mk(8)).unwrap();
+        assert_eq!(row.len(), 1000);
+        let (bat, batches) = collect_batched("j", mk(8)).unwrap();
+        assert_eq!(bat, row);
+        // Capacity 8 with 25-row fan-out per probe row: at most one probe
+        // row overshoots per batch, so every batch stays under 8 + 25 rows
+        // and the stream needs many batches.
+        assert!(batches >= 1000 / (8 + 25), "only {batches} batches");
+    }
+
+    #[test]
+    fn batched_limit_stays_lazy_past_the_limit() {
+        // Row 3 divides by zero; LIMIT 2 must never evaluate it, on either
+        // drive and at any batch size.
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let t = Arc::new(
+            Table::from_rows(
+                "t",
+                schema,
+                vec![
+                    vec![1i64.into()],
+                    vec![2i64.into()],
+                    vec![0i64.into()],
+                    vec![4i64.into()],
+                ],
+            )
+            .unwrap(),
+        );
+        let mk = |bs: usize| {
+            let scan = Box::new(TableScan::new(Arc::clone(&t)).with_batch_size(bs));
+            let proj = Box::new(
+                Project::new(
+                    scan,
+                    vec![("q".into(), Expr::lit(10i64).bin(BinOp::Div, Expr::col("x")))],
+                )
+                .unwrap(),
+            );
+            Box::new(Limit::new(proj, 2))
+        };
+        let row = collect("out", mk(1024)).unwrap();
+        assert_eq!(row.len(), 2);
+        for bs in [1usize, 2, 1024] {
+            let (bat, _) = collect_batched("out", mk(bs)).unwrap();
+            assert_eq!(bat, row, "batch size {bs}");
+        }
+        // Without the limit, both drives hit the error.
+        let scan = Box::new(TableScan::new(Arc::clone(&t)));
+        let proj = Box::new(
+            Project::new(
+                scan,
+                vec![("q".into(), Expr::lit(10i64).bin(BinOp::Div, Expr::col("x")))],
+            )
+            .unwrap(),
+        );
+        assert!(collect_batched("out", proj).is_err());
+    }
+
+    #[test]
+    fn batched_limit_switches_protocols_over_a_join() {
+        // LIMIT pulls whole batches while it can, then switches to the
+        // row-wise tail; HashJoin must hand over its in-progress left
+        // batch instead of dropping it.
+        let mk = |n: usize| {
+            let join = Box::new(
+                HashJoin::new(
+                    Box::new(TableScan::new(films()).with_batch_size(2)),
+                    Box::new(TableScan::new(posters())),
+                    "id",
+                    "film_id",
+                    JoinKind::Left,
+                )
+                .unwrap(),
+            );
+            Box::new(Limit::new(join, n))
+        };
+        for n in [0usize, 1, 2, 3, 4, 10] {
+            let row = collect("out", mk(n)).unwrap();
+            let (bat, _) = collect_batched("out", mk(n)).unwrap();
+            assert_eq!(bat, row, "limit {n}");
+        }
+    }
+
+    #[test]
+    fn batched_distinct_dedupes_across_batches() {
+        let mk = || {
+            let u = Box::new(
+                UnionAll::new(
+                    Box::new(TableScan::new(films()).with_batch_size(3)),
+                    Box::new(TableScan::new(films()).with_batch_size(3)),
+                )
+                .unwrap(),
+            );
+            Box::new(Distinct::new(u))
+        };
+        let row = collect("out", mk()).unwrap();
+        let (bat, batches) = collect_batched("out", mk()).unwrap();
+        assert_eq!(bat, row);
+        assert_eq!(bat.len(), 4);
+        assert!(batches >= 2); // second pass is all duplicates, skipped
+    }
+
+    #[test]
+    fn batch_count_tracks_scan_batch_size() {
+        let (_, batches) =
+            collect_batched("r", Box::new(TableScan::new(films()).with_batch_size(2))).unwrap();
+        assert_eq!(batches, 2); // 4 rows / 2 per batch
+        let (_, batches) =
+            collect_batched("r", Box::new(TableScan::new(films()).with_batch_size(1024))).unwrap();
+        assert_eq!(batches, 1);
+    }
+
+    #[test]
+    fn index_scan_yields_positions_in_order() {
+        let t = films();
+        let ix = crate::HashIndex::build(&t, "year").unwrap();
+        let positions = ix.lookup(&Value::Int(1991)).to_vec();
+        let scan = Box::new(IndexScan::new(Arc::clone(&t), positions));
+        let got = collect("hits", scan).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.cell(0, "id").unwrap(), &Value::Int(1));
+        assert_eq!(got.cell(1, "id").unwrap(), &Value::Int(4));
+
+        // Batched drive produces the same table.
+        let ix_positions = ix.lookup(&Value::Int(1991)).to_vec();
+        let scan = Box::new(IndexScan::new(t, ix_positions).with_batch_size(1));
+        let (bat, batches) = collect_batched("hits", scan).unwrap();
+        assert_eq!(bat, got);
+        assert_eq!(batches, 2);
+    }
+
+    #[test]
+    fn batched_filter_skips_empty_batches() {
+        // With batch size 1, three of four batches fail the predicate; the
+        // batched filter must keep pulling rather than report exhaustion.
+        let scan = Box::new(TableScan::new(films()).with_batch_size(1));
+        let filt = Box::new(Filter::new(scan, col_cmp("year", BinOp::Eq, 1975i64)));
+        let (t, batches) = collect_batched("f", filt).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(batches, 1);
+    }
+
+    #[test]
+    fn default_next_batch_adapts_row_operators() {
+        // Sort has no native next_batch; the default adapter chunks next().
+        let sort = Sort::new(
+            Box::new(TableScan::new(films())),
+            vec![SortKey {
+                column: "year".into(),
+                desc: false,
+            }],
+        )
+        .unwrap();
+        let (t, batches) = collect_batched("s", Box::new(sort)).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(batches, 1);
+        assert_eq!(t.cell(0, "year").unwrap(), &Value::Int(1975));
     }
 }

@@ -205,7 +205,9 @@ mod tests {
     #[test]
     fn check_row_validates_arity_and_types() {
         let s = Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]);
-        assert!(s.check_row(&[Value::Int(1), Value::Str("x".into())]).is_ok());
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Str("x".into())])
+            .is_ok());
         assert!(s.check_row(&[Value::Int(1)]).is_err());
         assert!(s
             .check_row(&[Value::Str("bad".into()), Value::Str("x".into())])

@@ -58,16 +58,10 @@ impl TableStats {
                     continue;
                 }
                 distinct[i].insert(v.clone());
-                if mins[i]
-                    .as_ref()
-                    .is_none_or(|m| v.total_cmp(m).is_lt())
-                {
+                if mins[i].as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
                     mins[i] = Some(v.clone());
                 }
-                if maxs[i]
-                    .as_ref()
-                    .is_none_or(|m| v.total_cmp(m).is_gt())
-                {
+                if maxs[i].as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
                     maxs[i] = Some(v.clone());
                 }
             }

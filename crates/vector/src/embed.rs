@@ -133,8 +133,7 @@ impl TextEmbedder {
         match self.lexicon.concept_of(&t) {
             None => noise,
             Some(concept) => {
-                let centroid =
-                    seeded_unit_vector(self.seed ^ fnv1a(concept.as_bytes()) ^ 0xC0FFEE);
+                let centroid = seeded_unit_vector(self.seed ^ fnv1a(concept.as_bytes()) ^ 0xC0FFEE);
                 let a = self.cluster_strength;
                 let mut v: Vec<f32> = centroid
                     .iter()
@@ -180,15 +179,33 @@ pub fn default_lexicon() -> Lexicon {
         .with_concept(
             "violence",
             [
-                "gun", "murder", "weapon", "shootout", "kill", "attack", "fight", "threat",
-                "death", "knife", "explosion", "chase",
+                "gun",
+                "murder",
+                "weapon",
+                "shootout",
+                "kill",
+                "attack",
+                "fight",
+                "threat",
+                "death",
+                "knife",
+                "explosion",
+                "chase",
             ],
         )
         .with_concept(
             "danger",
             [
-                "danger", "jump", "fall", "crash", "fire", "escape", "plane", "cliff",
-                "motorcycle", "storm",
+                "danger",
+                "jump",
+                "fall",
+                "crash",
+                "fire",
+                "escape",
+                "plane",
+                "cliff",
+                "motorcycle",
+                "storm",
             ],
         )
         .with_concept(
@@ -266,7 +283,10 @@ mod tests {
         let l = default_lexicon();
         assert_eq!(l.concept_of("Gun"), Some("violence"));
         assert_eq!(l.concept_of("unknown"), None);
-        assert!(l.terms_of("violence").unwrap().contains(&"murder".to_string()));
+        assert!(l
+            .terms_of("violence")
+            .unwrap()
+            .contains(&"murder".to_string()));
         assert!(l.concepts().count() >= 4);
     }
 

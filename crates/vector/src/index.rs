@@ -88,9 +88,7 @@ impl FlatIndex {
     /// Exact top-k by cosine similarity.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         top_k(
-            self.entries
-                .iter()
-                .map(|(id, v)| (*id, cosine(query, v))),
+            self.entries.iter().map(|(id, v)| (*id, cosine(query, v))),
             k,
         )
     }
@@ -115,12 +113,11 @@ impl IvfIndex {
         // Deterministic init: spread over the data by a seeded stride.
         let mut centroids: Vec<Vec<f32>> = (0..nlist)
             .map(|i| {
-                let idx = ((seed as usize).wrapping_mul(2654435761).wrapping_add(i * 97))
+                let idx = ((seed as usize)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(i * 97))
                     % entries.len().max(1);
-                entries
-                    .get(idx)
-                    .map(|(_, v)| v.clone())
-                    .unwrap_or_default()
+                entries.get(idx).map(|(_, v)| v.clone()).unwrap_or_default()
             })
             .collect();
         // A few Lloyd iterations are enough for recall purposes.
@@ -182,11 +179,7 @@ impl IvfIndex {
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         let probe = ranked.iter().take(self.nprobe).map(|(i, _)| *i);
         top_k(
-            probe.flat_map(|i| {
-                self.lists[i]
-                    .iter()
-                    .map(|(id, v)| (*id, cosine(query, v)))
-            }),
+            probe.flat_map(|i| self.lists[i].iter().map(|(id, v)| (*id, cosine(query, v)))),
             k,
         )
     }
@@ -233,10 +226,7 @@ mod tests {
         }
         let hits = ix.search(&v, 3);
         assert_eq!(hits.len(), 3);
-        assert_eq!(
-            hits.iter().map(|h| h.id).collect::<Vec<_>>(),
-            vec![0, 1, 2]
-        );
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

@@ -65,12 +65,18 @@ fn main() {
         );
     }
     for c in &result.compile.critiques {
-        println!("critique: {} v{} -> v{} ({})", c.func_id, c.from_ver, c.to_ver, c.hint);
+        println!(
+            "critique: {} v{} -> v{} ({})",
+            c.func_id, c.from_ver, c.to_ver, c.hint
+        );
     }
 
     println!("\n== Execution ==");
     for t in &result.exec.timings {
-        println!("{:<24} {:>8.2} ms  {:>5} rows", t.func_id, t.elapsed_ms, t.rows_out);
+        println!(
+            "{:<24} {:>8.2} ms  {:>5} rows",
+            t.func_id, t.elapsed_ms, t.rows_out
+        );
     }
 
     println!("\n== Final result (Fig. 6) ==");

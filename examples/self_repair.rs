@@ -26,7 +26,11 @@ fn main() {
         .iter()
         .filter(|i| !i.format.is_supported())
         .count();
-    println!("corpus: {} movies, {} HEIC poster(s)\n", corpus.movies.len(), heic);
+    println!(
+        "corpus: {} movies, {} HEIC poster(s)\n",
+        corpus.movies.len(),
+        heic
+    );
 
     let mut db = KathDB::new(42);
     db.load_corpus(&corpus).expect("corpus loads");

@@ -81,7 +81,9 @@ fn main() {
     // ("below"/"inside" transitions of a tracked subject)?
     let mut catalog = Catalog::new();
     catalog.register(views.objects.clone()).expect("register");
-    catalog.register(views.relationships.clone()).expect("register");
+    catalog
+        .register(views.relationships.clone())
+        .expect("register");
     let per_video = kath_sql::execute(
         &mut catalog,
         "SELECT vid, COUNT(*) AS n_relationships FROM scene_relationships \

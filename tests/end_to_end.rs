@@ -76,7 +76,11 @@ fn fig6_final_ranking_and_flags() {
     let titles: Vec<&str> = display
         .rows()
         .iter()
-        .map(|r| r[display.schema().index_of("title").unwrap()].as_str().unwrap())
+        .map(|r| {
+            r[display.schema().index_of("title").unwrap()]
+                .as_str()
+                .unwrap()
+        })
         .collect();
     assert!(!titles.contains(&"Night Chase"), "{titles:?}");
     assert!(!titles.contains(&"Garden Letters"), "{titles:?}");
@@ -131,8 +135,16 @@ fn accuracy_against_planted_ground_truth() {
             .iter()
             .position(|r| r[tidx].as_str() == Some(title))
     };
-    for exciting in corpus.truth.iter().filter(|t| t.exciting_plot && t.boring_poster) {
-        for calm in corpus.truth.iter().filter(|t| !t.exciting_plot && t.boring_poster) {
+    for exciting in corpus
+        .truth
+        .iter()
+        .filter(|t| t.exciting_plot && t.boring_poster)
+    {
+        for calm in corpus
+            .truth
+            .iter()
+            .filter(|t| !t.exciting_plot && t.boring_poster)
+        {
             let (Some(re), Some(rc)) = (rank_of(&exciting.title), rank_of(&calm.title)) else {
                 continue;
             };
@@ -169,10 +181,14 @@ fn sketch_tags_cover_the_full_pipeline() {
     let (_db, result, _) = run_flagship();
     let tags: Vec<&StepTag> = result.parse.sketch.steps.iter().map(|s| &s.tag).collect();
     assert!(matches!(tags[0], StepTag::PopulateViews));
-    assert!(tags.iter().any(|t| matches!(t, StepTag::ConceptScore { .. })));
+    assert!(tags
+        .iter()
+        .any(|t| matches!(t, StepTag::ConceptScore { .. })));
     assert!(tags.iter().any(|t| matches!(t, StepTag::RecencyScore)));
     assert!(tags.iter().any(|t| matches!(t, StepTag::CombineScores)));
-    assert!(tags.iter().any(|t| matches!(t, StepTag::VisualClassify { .. })));
+    assert!(tags
+        .iter()
+        .any(|t| matches!(t, StepTag::VisualClassify { .. })));
     assert!(tags.iter().any(|t| matches!(t, StepTag::FilterFlag { .. })));
     assert!(matches!(tags.last().unwrap(), StepTag::FinalRank));
 }
@@ -193,5 +209,8 @@ fn without_recency_correction_the_plan_is_smaller() {
     let display = result.display_table();
     assert!(display.len() >= 2);
     let tidx = display.schema().index_of("title").unwrap();
-    assert_eq!(display.rows()[0][tidx].as_str(), Some("Guilty by Suspicion"));
+    assert_eq!(
+        display.rows()[0][tidx].as_str(),
+        Some("Guilty by Suspicion")
+    );
 }

@@ -50,11 +50,7 @@ fn heic_corpus_triggers_repairs_and_still_answers() {
     // very trade-off of §4.)
     let display = result.display_table();
     let tidx = display.schema().index_of("title").unwrap();
-    let got: Vec<String> = display
-        .rows()
-        .iter()
-        .map(|r| r[tidx].render())
-        .collect();
+    let got: Vec<String> = display.rows().iter().map(|r| r[tidx].render()).collect();
     let correct = corpus
         .truth
         .iter()

@@ -62,11 +62,7 @@ fn cross_modal_join_movies_to_detected_weapons() {
         "weapon_movies",
     )
     .unwrap();
-    let titles: Vec<&str> = t
-        .rows()
-        .iter()
-        .map(|r| r[0].as_str().unwrap())
-        .collect();
+    let titles: Vec<&str> = t.rows().iter().map(|r| r[0].as_str().unwrap()).collect();
     // Exactly the vivid-poster movies (Night Chase, Garden Letters).
     assert!(titles.contains(&"Night Chase"), "{titles:?}");
     assert!(!titles.contains(&"Quiet Days"), "{titles:?}");
@@ -93,7 +89,10 @@ fn text_entities_view_finds_the_director() {
         "director_rels",
     )
     .unwrap();
-    assert!(!rels.is_empty(), "director_of relationship must be extracted");
+    assert!(
+        !rels.is_empty(),
+        "director_of relationship must be extracted"
+    );
     assert_eq!(rels.cell(0, "did").unwrap(), &Value::Int(1));
 }
 
@@ -111,7 +110,10 @@ fn mentions_have_valid_spans_into_texts() {
         );
         let doc_row = texts.find("did", did).unwrap().expect("doc exists");
         let chars = texts.cell(doc_row, "chars").unwrap().as_str().unwrap();
-        assert!(s2 <= chars.len() && s1 < s2, "span [{s1},{s2}) out of range");
+        assert!(
+            s2 <= chars.len() && s1 < s2,
+            "span [{s1},{s2}) out of range"
+        );
         // Spans cut on character boundaries and are non-empty.
         assert!(!chars[s1..s2].trim().is_empty());
     }

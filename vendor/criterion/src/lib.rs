@@ -22,12 +22,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Builds a parameter-only id.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -120,7 +124,10 @@ impl BenchmarkGroup<'_> {
         ID: IntoBenchmarkId,
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut bencher);
         report(&self.name, &id.into_id(), &mut bencher.samples);
         self
@@ -173,12 +180,19 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== {name} ==");
-        BenchmarkGroup { name, sample_size: 10, _criterion: self }
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
     }
 
     /// Runs a single ungrouped benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: 10 };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
         f(&mut bencher);
         report("bench", id, &mut bencher.samples);
         self

@@ -37,7 +37,10 @@ fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
     match node {
         Node::Lit(c) => out.push(*c),
         Node::Class(ranges) => {
-            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
             let mut pick = rng.usize_below(total as usize) as u32;
             for (lo, hi) in ranges {
                 let span = *hi as u32 - *lo as u32 + 1;
@@ -71,11 +74,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(pattern: &'a str) -> Self {
-        Parser { pattern, chars: pattern.chars().peekable() }
+        Parser {
+            pattern,
+            chars: pattern.chars().peekable(),
+        }
     }
 
     fn unsupported(&self, what: &str) -> ! {
-        panic!("regex strategy: unsupported {what} in pattern {:?}", self.pattern);
+        panic!(
+            "regex strategy: unsupported {what} in pattern {:?}",
+            self.pattern
+        );
     }
 
     /// Parses a sequence of quantified atoms, optionally splitting on `|`
@@ -123,9 +132,7 @@ impl<'a> Parser<'a> {
                 }
             }
             '.' => Node::NonControl,
-            c @ ('*' | '+' | '?' | '{') => {
-                self.unsupported(&format!("dangling quantifier '{c}'"))
-            }
+            c @ ('*' | '+' | '?' | '{') => self.unsupported(&format!("dangling quantifier '{c}'")),
             c => Node::Lit(c),
         }
     }
@@ -217,7 +224,9 @@ impl<'a> Parser<'a> {
                 while self.chars.peek().is_some_and(|c| c.is_ascii_digit()) {
                     min.push(self.chars.next().expect("peeked"));
                 }
-                let min: u32 = min.parse().unwrap_or_else(|_| self.unsupported("quantifier"));
+                let min: u32 = min
+                    .parse()
+                    .unwrap_or_else(|_| self.unsupported("quantifier"));
                 let max = match self.chars.next() {
                     Some('}') => min,
                     Some(',') => {
@@ -268,17 +277,17 @@ mod tests {
         let mut r = rng();
         for _ in 0..50 {
             let s = generate("(lower|upper|abs|coalesce)", &mut r);
-            assert!(["lower", "upper", "abs", "coalesce"].contains(&s.as_str()), "{s:?}");
+            assert!(
+                ["lower", "upper", "abs", "coalesce"].contains(&s.as_str()),
+                "{s:?}"
+            );
         }
     }
 
     #[test]
     fn escapes_in_class() {
         let mut r = rng();
-        let allowed = |c: char| {
-            c.is_ascii_alphanumeric()
-                || " _-\n\t\"\\".contains(c)
-        };
+        let allowed = |c: char| c.is_ascii_alphanumeric() || " _-\n\t\"\\".contains(c);
         for _ in 0..300 {
             let s = generate("[a-zA-Z0-9 _\\-\\n\\t\"\\\\]{0,20}", &mut r);
             assert!(s.chars().all(allowed), "{s:?}");

@@ -22,7 +22,10 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> T,
     {
-        Map { source: self, map: f }
+        Map {
+            source: self,
+            map: f,
+        }
     }
 
     /// Builds a recursive strategy: `recurse` receives a strategy for the
@@ -141,7 +144,9 @@ impl<T> Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Union { arms: self.arms.clone() }
+        Union {
+            arms: self.arms.clone(),
+        }
     }
 }
 
@@ -182,7 +187,11 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         let v = self.start + rng.f64_unit() * (self.end - self.start);
         // Interpolation can round up to the exclusive bound; keep half-open.
-        if v >= self.end { self.start } else { v }
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
     }
 }
 
@@ -191,7 +200,11 @@ impl Strategy for Range<f32> {
     fn generate(&self, rng: &mut TestRng) -> f32 {
         assert!(self.start < self.end, "empty range strategy");
         let v = self.start + (rng.f64_unit() as f32) * (self.end - self.start);
-        if v >= self.end { self.start } else { v }
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
     }
 }
 

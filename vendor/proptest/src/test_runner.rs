@@ -81,8 +81,8 @@ impl TestRng {
     /// A printable scalar: mostly ASCII, sometimes wider Unicode.
     pub fn printable_char(&mut self) -> char {
         const WIDE: &[char] = &[
-            'é', 'ß', 'Ø', 'λ', 'Ω', 'ж', 'ü', '€', '¥', '±', '∑', '√',
-            '日', '本', '語', '中', '文', '한', '글', '🙂', '🦀', '🌍',
+            'é', 'ß', 'Ø', 'λ', 'Ω', 'ж', 'ü', '€', '¥', '±', '∑', '√', '日', '本', '語', '中',
+            '文', '한', '글', '🙂', '🦀', '🌍',
         ];
         if self.usize_below(5) == 0 {
             WIDE[self.usize_below(WIDE.len())]
