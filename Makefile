@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench bench-no-run clippy fmt examples figures
+.PHONY: verify build test bench bench-no-run bench-smoke clippy fmt examples figures
 
 EXAMPLES := $(basename $(notdir $(wildcard examples/*.rs)))
 
@@ -22,6 +22,12 @@ bench:
 
 bench-no-run:
 	$(CARGO) bench --no-run
+
+# Quick end-to-end run of the parallel perf bench (small corpus, few reps):
+# proves the morsel-parallel path still runs and refreshes
+# BENCH_parallel.json's schema without the full 100k-row sweep.
+bench-smoke:
+	$(CARGO) run -q --release -p kath_bench --bin parallel_bench -- --quick
 
 fmt:
 	$(CARGO) fmt --all --check

@@ -14,6 +14,8 @@
 //! - `\tokens` — simulated token usage,
 //! - `\batch <n>` / `\batch off` / `\batch auto` — tune the execution
 //!   batch size (columnar batch-at-a-time vs row-at-a-time Volcano),
+//! - `\threads <n>` / `\threads auto` — tune morsel-driven intra-query
+//!   parallelism (results are identical at any setting),
 //! - `\quit`.
 //!
 //! ```sh
@@ -71,7 +73,8 @@ fn main() {
             _ if line == "\\help" || line == "help" => {
                 println!(
                     "commands: \\sql <query> | \\explain <question> | \\lineage | \
-                     \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \\quit\n\
+                     \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \
+                     \\threads <n>|auto | \\quit\n\
                      anything else is parsed as a natural-language query"
                 );
             }
@@ -147,17 +150,42 @@ fn main() {
                     _ => println!("usage: \\batch <rows> | \\batch off | \\batch auto"),
                 },
             },
+            _ if line == "\\threads" => {
+                println!("parallelism: {} worker(s)", db.threads());
+            }
+            Some(("\\threads", rest)) if !rest.is_empty() => match rest {
+                "auto" => {
+                    db.auto_parallelism();
+                    println!("parallelism: auto (currently {} worker(s))", db.threads());
+                }
+                n => match n.parse::<usize>() {
+                    Ok(n) if n > 0 => {
+                        db.set_parallelism(n);
+                        println!("parallelism: {} worker(s)", db.threads());
+                    }
+                    _ => println!("usage: \\threads <workers> | \\threads auto"),
+                },
+            },
             _ if line.starts_with('\\') => {
                 println!("unknown command {line}; \\help lists commands");
             }
             _ => match db.query(line, &channel) {
                 Ok(result) => {
                     println!("{}", result.display_table().render());
-                    println!("plan timings ({}):", mode_label(db.context().exec_mode));
+                    println!(
+                        "plan timings ({}, {} worker(s)):",
+                        mode_label(db.context().exec_mode),
+                        db.context().threads
+                    );
                     for t in &result.exec.timings {
+                        let parallel = if t.workers > 1 {
+                            format!("  [{}w, merge {:.2} ms]", t.workers, t.merge_ms)
+                        } else {
+                            String::new()
+                        };
                         println!(
-                            "  {:<28} {:>9.2} ms  {:>6} rows  {:>4} batches",
-                            t.func_id, t.elapsed_ms, t.rows_out, t.batches_out
+                            "  {:<28} {:>9.2} ms  {:>6} rows  {:>4} batches{}",
+                            t.func_id, t.elapsed_ms, t.rows_out, t.batches_out, parallel
                         );
                     }
                     if !result.exec.repairs.is_empty() {

@@ -178,12 +178,25 @@ pub struct KathDB {
     pub semantic_checks: bool,
     /// Pinned execution mode; `None` lets the cost model pick per query.
     pinned_exec_mode: Option<ExecMode>,
+    /// Pinned degree of parallelism; `None` lets the cost model pick per
+    /// query (startup cost per worker vs per-morsel win, capped at the
+    /// host's cores).
+    pinned_threads: Option<usize>,
 }
 
 impl KathDB {
     /// A fresh instance with the given model seed.
+    ///
+    /// The `KATHDB_THREADS` environment variable, when set, pins the degree
+    /// of parallelism for the instance (`auto` or `0` keep cost-model
+    /// selection) — the knob CI uses to run the whole suite serially and
+    /// 4-wide.
     pub fn new(seed: u64) -> Self {
         let meter = TokenMeter::new();
+        let pinned_threads = std::env::var("KATHDB_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n > 0);
         Self {
             ctx: ExecContext::new(SimLlm::new(seed, meter)),
             registry: FunctionRegistry::new(),
@@ -191,6 +204,7 @@ impl KathDB {
             compile_options: CompileOptions::default(),
             semantic_checks: true,
             pinned_exec_mode: None,
+            pinned_threads,
         }
     }
 
@@ -212,23 +226,75 @@ impl KathDB {
         self.pinned_exec_mode = None;
     }
 
+    /// Pins the degree of intra-query parallelism: SQL pipelines run their
+    /// streaming phase with `n` morsel workers (min 1). Results are
+    /// identical to serial execution at any setting.
+    pub fn set_parallelism(&mut self, n: usize) {
+        self.pinned_threads = Some(n.max(1));
+    }
+
+    /// Reverts to cost-model-driven parallelism (the default): each query
+    /// weighs per-worker startup cost against the per-morsel win over its
+    /// own input cardinality, capped at the host's cores.
+    pub fn auto_parallelism(&mut self) {
+        self.pinned_threads = None;
+    }
+
+    /// The degree of parallelism the next query will run with. Under auto
+    /// selection this previews the choice from current catalog
+    /// cardinalities; the per-query decision uses the compiled plan's own
+    /// input cardinality.
+    pub fn threads(&self) -> usize {
+        self.pinned_threads.unwrap_or_else(|| {
+            let max_rows = self.max_catalog_rows();
+            match self.exec_mode() {
+                ExecMode::Volcano => 1,
+                batched => kath_optimizer::preferred_parallelism(max_rows, batched),
+            }
+        })
+    }
+
+    fn max_catalog_rows(&self) -> usize {
+        self.ctx
+            .catalog
+            .table_names()
+            .iter()
+            .filter_map(|n| self.ctx.catalog.get(n).ok())
+            .map(|t| t.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Degree-of-parallelism selection for one compiled plan: the pinned
+    /// value, or the cost model's break-even worker count for the plan's
+    /// largest input cardinality in the chosen mode.
+    fn select_parallelism(&self, plan: &PhysicalPlan, mode: ExecMode) -> usize {
+        if let Some(n) = self.pinned_threads {
+            return n;
+        }
+        if matches!(mode, ExecMode::Volcano) {
+            return 1;
+        }
+        let mut max_input_rows = 0usize;
+        for node in &plan.nodes {
+            if let Ok(entry) = self.registry.get(&node.func_id) {
+                for input in entry.active_version().body.inputs() {
+                    if let Ok(t) = self.ctx.catalog.get(&input) {
+                        max_input_rows = max_input_rows.max(t.len());
+                    }
+                }
+            }
+        }
+        kath_optimizer::preferred_parallelism(max_input_rows, mode)
+    }
+
     /// The execution mode the next query will run with. Under auto
     /// selection this previews the choice from current catalog
     /// cardinalities; the per-query decision additionally weighs the
     /// compiled plan's own cost estimates (see [`KathDB::query`]).
     pub fn exec_mode(&self) -> ExecMode {
-        self.pinned_exec_mode.unwrap_or_else(|| {
-            let max_rows = self
-                .ctx
-                .catalog
-                .table_names()
-                .iter()
-                .filter_map(|n| self.ctx.catalog.get(n).ok())
-                .map(|t| t.len())
-                .max()
-                .unwrap_or(0);
-            preferred_exec_mode(max_rows)
-        })
+        self.pinned_exec_mode
+            .unwrap_or_else(|| preferred_exec_mode(self.max_catalog_rows()))
     }
 
     /// Physical execution-mode selection for one compiled plan: compares
@@ -323,10 +389,12 @@ impl KathDB {
             &self.compile_options,
         )?;
 
-        // 4. Execute under the monitor, in the selected execution mode
-        //    (pinned, or the cost model's mode-aware estimate for this
-        //    plan's profiled functions and input cardinalities).
+        // 4. Execute under the monitor, in the selected execution strategy
+        //    (pinned, or the cost model's mode- and parallelism-aware
+        //    estimate for this plan's profiled functions and input
+        //    cardinalities).
         self.ctx.exec_mode = self.select_exec_mode(&compile_report.physical);
+        self.ctx.threads = self.select_parallelism(&compile_report.physical, self.ctx.exec_mode);
         let engine = ExecutionEngine {
             semantic_checks: self.semantic_checks,
             ..ExecutionEngine::new()
@@ -528,6 +596,53 @@ mod tests {
         assert_eq!(db.exec_mode(), ExecMode::Batched(32));
         db.auto_exec_mode();
         assert!(matches!(db.exec_mode(), ExecMode::Batched(_)));
+    }
+
+    #[test]
+    fn parallel_and_serial_queries_agree_end_to_end() {
+        let (_db, baseline) = run_flagship();
+        for threads in [1usize, 4] {
+            let mut db = KathDB::new(42);
+            db.load_corpus(&mmqa_small()).unwrap();
+            db.set_parallelism(threads);
+            assert_eq!(db.threads(), threads);
+            let channel = ScriptedChannel::new([
+                "The movie plot contains scenes that are uncommon in real life",
+                "Oh I prefer a more recent movie as well when scoring",
+                "OK",
+            ]);
+            let result = db.query(FLAGSHIP, channel.as_ref()).unwrap();
+            assert_eq!(
+                result.display_table(),
+                baseline.display_table(),
+                "threads={threads} diverged from the serial baseline"
+            );
+            // Every timing row reports its worker count (≥ 1); serial and
+            // non-relational nodes report exactly 1.
+            for t in &result.exec.timings {
+                assert!(t.workers >= 1);
+                if t.workers == 1 {
+                    assert!(t.worker_ms.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_parallelism_follows_cardinality_and_pinning_wins() {
+        let mut db = KathDB::new(42);
+        // Neutralize any KATHDB_THREADS pin from the environment (the CI
+        // matrix runs the suite under 1 and 4).
+        db.auto_parallelism();
+        // Empty catalog: nothing to parallelize.
+        assert_eq!(db.threads(), 1);
+        db.set_parallelism(6);
+        assert_eq!(db.threads(), 6);
+        db.auto_parallelism();
+        // Auto never exceeds the host's cores, and Volcano pins it to 1.
+        assert!(db.threads() <= kath_storage::host_parallelism());
+        db.set_exec_mode(ExecMode::Volcano);
+        assert_eq!(db.threads(), 1);
     }
 
     #[test]

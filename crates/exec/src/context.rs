@@ -24,6 +24,11 @@ pub struct ExecContext {
     /// lineage is unaffected — SQL bodies record table-level edges, and the
     /// narrow per-row transforms stay row-accurate regardless of mode.
     pub exec_mode: ExecMode,
+    /// Degree of intra-query parallelism for relational pipelines: workers
+    /// that claim morsels of a SQL body's streaming phase. `1` (the
+    /// default) runs serially; higher values only take effect in batched
+    /// mode, and results are identical to serial execution at any setting.
+    pub threads: usize,
 }
 
 impl ExecContext {
@@ -36,6 +41,7 @@ impl ExecContext {
             lineage: LineageStore::new(),
             table_lids: HashMap::new(),
             exec_mode: ExecMode::default(),
+            threads: 1,
         }
     }
 

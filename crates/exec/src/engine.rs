@@ -44,6 +44,12 @@ pub struct NodeTiming {
     /// Batches the node's operator pipeline produced (0 when the node ran
     /// tuple-at-a-time or is not relational).
     pub batches_out: usize,
+    /// Workers that drove the node's streaming phase (1 when serial).
+    pub workers: usize,
+    /// Busy milliseconds per worker, in worker order (empty when serial).
+    pub worker_ms: Vec<f64>,
+    /// Milliseconds the deterministic merge step took (0.0 when serial).
+    pub merge_ms: f64,
 }
 
 /// The engine's report for one query.
@@ -105,6 +111,9 @@ impl ExecutionEngine {
             repairs.extend(node_repairs);
             let mut rows_out = outcome.table.len();
             let mut batches_out = outcome.batches_out;
+            let mut workers = outcome.workers;
+            let mut worker_ms = outcome.worker_ms;
+            let mut merge_ms = outcome.merge_ms;
             let mut table = outcome.table;
 
             if self.semantic_checks && is_join_sql(registry, &node.func_id) {
@@ -119,6 +128,9 @@ impl ExecutionEngine {
                     if let Some(fixed) = reexec {
                         rows_out = fixed.table.len();
                         batches_out = fixed.batches_out;
+                        workers = fixed.workers;
+                        worker_ms = fixed.worker_ms;
+                        merge_ms = fixed.merge_ms;
                         table = fixed.table;
                     }
                 }
@@ -129,6 +141,9 @@ impl ExecutionEngine {
                 elapsed_ms: started.elapsed().as_secs_f64() * 1000.0,
                 rows_out,
                 batches_out,
+                workers,
+                worker_ms,
+                merge_ms,
             });
             final_table = Some(table);
         }

@@ -30,6 +30,13 @@ pub struct ExecOutcome {
     /// Batches the body's operator pipeline produced (0 when the body ran
     /// tuple-at-a-time or is not relational).
     pub batches_out: usize,
+    /// Workers that drove the body's streaming phase (1 when serial).
+    pub workers: usize,
+    /// Per-worker busy milliseconds (empty when serial).
+    pub worker_ms: Vec<f64>,
+    /// Milliseconds spent in the deterministic parallel merge step (0.0
+    /// when serial).
+    pub merge_ms: f64,
 }
 
 /// Executes `body` as function `func_id` version `ver_id`, materializing
@@ -235,8 +242,23 @@ fn exec_sql(
         .iter()
         .map(|t| ctx.catalog.get(t).map(|t| t.len()).unwrap_or(0))
         .sum();
-    let (mut table, batches_out) =
-        kath_sql::run_select_with(&ctx.catalog, &select, output_name, ctx.exec_mode)?;
+    // Morsel-driven parallel drive when the context asks for it (results
+    // are identical to serial by construction; the driver falls back to
+    // serial for plans where parallelism cannot help or would break lazy
+    // LIMIT semantics).
+    let (mut table, stats) = if ctx.threads > 1 {
+        kath_sql::run_select_parallel(
+            &ctx.catalog,
+            &select,
+            output_name,
+            ctx.exec_mode,
+            ctx.threads,
+        )?
+    } else {
+        let (table, batches) =
+            kath_sql::run_select_with(&ctx.catalog, &select, output_name, ctx.exec_mode)?;
+        (table, kath_sql::SelectStats::serial(batches))
+    };
 
     if let Some(key) = dedup_key {
         table = dedup_by_key(&table, key)?;
@@ -268,7 +290,10 @@ fn exec_sql(
         output_lid,
         failed_rows: Vec::new(),
         rows_in,
-        batches_out,
+        batches_out: stats.batches,
+        workers: stats.workers.max(1),
+        worker_ms: stats.worker_ms,
+        merge_ms: stats.merge_ms,
     })
 }
 
@@ -357,6 +382,9 @@ fn narrow_transform(
         rows_in,
         // Narrow transforms run row-at-a-time so lineage stays row-accurate.
         batches_out: 0,
+        workers: 1,
+        worker_ms: Vec::new(),
+        merge_ms: 0.0,
     })
 }
 
@@ -483,6 +511,9 @@ fn exec_view_populate(
         failed_rows,
         rows_in,
         batches_out: 0,
+        workers: 1,
+        worker_ms: Vec::new(),
+        merge_ms: 0.0,
     })
 }
 
@@ -550,6 +581,37 @@ mod tests {
         assert_eq!(edges.len(), 1);
         assert_eq!(edges[0].data_type, DataKind::Table);
         assert_eq!(edges[0].parent_lid, c.table_lid("films"));
+    }
+
+    #[test]
+    fn parallel_sql_body_matches_serial_and_reports_workers() {
+        let mk = || {
+            let mut c = ExecContext::new(SimLlm::new(42, TokenMeter::new()));
+            let mut films = Table::new(
+                "films",
+                Schema::of(&[("id", DataType::Int), ("year", DataType::Int)]),
+            );
+            for i in 0..20_000i64 {
+                films.push(vec![i.into(), (1950 + i % 70).into()]).unwrap();
+            }
+            c.ingest_table(films, "bench://films").unwrap();
+            c
+        };
+        let body = FunctionBody::Sql {
+            query: "SELECT year, COUNT(*) AS n FROM films WHERE year >= 1990 \
+                    GROUP BY year ORDER BY year"
+                .into(),
+            dedup_key: None,
+        };
+        let mut serial_ctx = mk();
+        let serial = execute_body(&mut serial_ctx, "agg", 1, &body, "out").unwrap();
+        assert_eq!(serial.workers, 1);
+        let mut par_ctx = mk();
+        par_ctx.threads = 4;
+        let parallel = execute_body(&mut par_ctx, "agg", 1, &body, "out").unwrap();
+        assert_eq!(parallel.table, serial.table, "parallel must match serial");
+        assert!(parallel.workers > 1, "expected a parallel run");
+        assert_eq!(parallel.worker_ms.len(), parallel.workers);
     }
 
     #[test]

@@ -68,6 +68,65 @@ pub fn preferred_exec_mode(rows: usize) -> ExecMode {
     }
 }
 
+/// Fixed cost of enlisting one extra worker for a morsel-parallel pipeline,
+/// in milliseconds: a scoped-thread spawn, its thread-local partial state,
+/// and its share of the deterministic merge step. This startup term is what
+/// keeps small pipelines serial — a worker must amortize its spawn over
+/// enough morsels to pay for itself.
+pub const WORKER_STARTUP_MS: f64 = 0.05;
+
+/// Estimated overhead of pushing `rows` rows through a relational pipeline
+/// in `mode` with `workers`-way morsel parallelism: the per-morsel work
+/// divides across workers; each worker past the first adds
+/// [`WORKER_STARTUP_MS`]. `workers == 1` degenerates to
+/// [`relational_overhead_ms`] exactly.
+pub fn parallel_overhead_ms(rows: usize, mode: ExecMode, workers: usize) -> f64 {
+    let w = workers.max(1) as f64;
+    relational_overhead_ms(rows, mode) / w + (w - 1.0) * WORKER_STARTUP_MS
+}
+
+/// A physical execution strategy: how the pipeline spine is driven, and by
+/// how many workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStrategy {
+    /// Tuple-at-a-time vs batch-at-a-time.
+    pub mode: ExecMode,
+    /// Degree of morsel parallelism (1 = serial).
+    pub workers: usize,
+}
+
+/// The cheapest degree of parallelism for `rows` rows in `mode`, searched
+/// up to `max_workers` (the host's cores, typically). The curve is convex —
+/// per-worker startup cost against the divided per-morsel win — so the
+/// argmin is the break-even point the morsel literature predicts: 1 for
+/// small inputs, rising with cardinality.
+pub fn preferred_parallelism_capped(rows: usize, mode: ExecMode, max_workers: usize) -> usize {
+    (1..=max_workers.max(1))
+        .min_by(|a, b| {
+            parallel_overhead_ms(rows, mode, *a).total_cmp(&parallel_overhead_ms(rows, mode, *b))
+        })
+        .unwrap_or(1)
+}
+
+/// [`preferred_parallelism_capped`] with the host's available parallelism
+/// as the cap.
+pub fn preferred_parallelism(rows: usize, mode: ExecMode) -> usize {
+    preferred_parallelism_capped(rows, mode, kath_storage::host_parallelism())
+}
+
+/// Generalizes [`preferred_exec_mode`] to a `(mode, workers)` choice from
+/// cardinality: pick the cheaper spine protocol, then the break-even worker
+/// count for it (capped at `max_workers`). Volcano pipelines never
+/// parallelize — the row protocol is the serial compatibility baseline.
+pub fn preferred_exec_strategy(rows: usize, max_workers: usize) -> ExecStrategy {
+    let mode = preferred_exec_mode(rows);
+    let workers = match mode {
+        ExecMode::Volcano => 1,
+        batched => preferred_parallelism_capped(rows, batched, max_workers),
+    };
+    ExecStrategy { mode, workers }
+}
+
 /// Estimates the cost of executing a function's active version over its
 /// full inputs, by scaling the sample profile linearly in input rows (model
 /// calls in KathDB are per-row, so linear scaling is the right first-order
@@ -110,20 +169,40 @@ pub fn estimate_function_in_mode(
     func_id: &str,
     mode: ExecMode,
 ) -> Option<CostEstimate> {
+    estimate_function_in_strategy(
+        registry,
+        catalog,
+        func_id,
+        ExecStrategy { mode, workers: 1 },
+    )
+}
+
+/// [`estimate_function_in_mode`] generalized to a full [`ExecStrategy`]:
+/// for SQL bodies — the only ones the parallel driver runs — the
+/// relational overhead divides across the strategy's workers (plus
+/// per-worker startup); map/filter bodies stay row-at-a-time for row-level
+/// lineage and are priced serially. Token cost and accuracy are unaffected
+/// — parallelism changes wall-clock, never results.
+pub fn estimate_function_in_strategy(
+    registry: &FunctionRegistry,
+    catalog: &Catalog,
+    func_id: &str,
+    strategy: ExecStrategy,
+) -> Option<CostEstimate> {
     let mut est = estimate_function(registry, catalog, func_id)?;
     let entry = registry.get(func_id).ok()?;
     let body = &entry.active_version().body;
-    if matches!(
-        body,
-        FunctionBody::Sql { .. } | FunctionBody::MapExpr { .. } | FunctionBody::FilterExpr { .. }
-    ) {
-        let rows: usize = body
-            .inputs()
-            .iter()
-            .map(|t| catalog.get(t).map(|t| t.len()).unwrap_or(0))
-            .sum();
-        est.runtime_ms += relational_overhead_ms(rows, mode);
-    }
+    let workers = match body {
+        FunctionBody::Sql { .. } => strategy.workers,
+        FunctionBody::MapExpr { .. } | FunctionBody::FilterExpr { .. } => 1,
+        _ => return Some(est),
+    };
+    let rows: usize = body
+        .inputs()
+        .iter()
+        .map(|t| catalog.get(t).map(|t| t.len()).unwrap_or(0))
+        .sum();
+    est.runtime_ms += parallel_overhead_ms(rows, strategy.mode, workers);
     Some(est)
 }
 
@@ -244,6 +323,77 @@ mod tests {
         assert_eq!(preferred_exec_mode(100_000), ExecMode::Batched(1024));
         // A one-row pipeline is not worth a batch.
         assert_eq!(preferred_exec_mode(1), ExecMode::Volcano);
+    }
+
+    #[test]
+    fn parallelism_pays_at_scale_but_not_for_small_inputs() {
+        let batched = ExecMode::Batched(1024);
+        // 100k rows: four workers beat one by well over the startup cost.
+        let serial = parallel_overhead_ms(100_000, batched, 1);
+        let four = parallel_overhead_ms(100_000, batched, 4);
+        assert_eq!(serial, relational_overhead_ms(100_000, batched));
+        assert!(four < serial / 2.0, "four={four}ms serial={serial}ms");
+        assert!(preferred_parallelism_capped(100_000, batched, 8) > 1);
+        // A handful of rows cannot amortize a thread spawn.
+        assert_eq!(preferred_parallelism_capped(10, batched, 8), 1);
+        // The cap is respected.
+        assert!(preferred_parallelism_capped(10_000_000, batched, 4) <= 4);
+        assert!(preferred_parallelism(100, batched) >= 1);
+    }
+
+    #[test]
+    fn strategy_generalizes_mode_choice() {
+        let s = preferred_exec_strategy(100_000, 8);
+        assert!(matches!(s.mode, ExecMode::Batched(_)));
+        assert!(s.workers > 1, "large scans should parallelize: {s:?}");
+        let tiny = preferred_exec_strategy(1, 8);
+        assert_eq!(tiny.mode, ExecMode::Volcano);
+        assert_eq!(tiny.workers, 1, "Volcano stays serial");
+    }
+
+    #[test]
+    fn strategy_aware_estimate_divides_sql_overhead_only() {
+        let (mut registry, catalog) = setup();
+        registry.register(
+            FunctionSignature::new("q", "selects", vec!["t".into()], "o_sql"),
+            FunctionBody::Sql {
+                query: "SELECT x FROM t".into(),
+                dedup_key: None,
+            },
+            "initial",
+        );
+        registry
+            .set_profile(
+                "q",
+                1,
+                ProfileStats {
+                    runtime_ms: 2.0,
+                    tokens: 0,
+                    rows_in: 4,
+                    rows_out: 4,
+                    accuracy: Some(1.0),
+                },
+            )
+            .unwrap();
+        let strat = |workers| ExecStrategy {
+            mode: ExecMode::Batched(1024),
+            workers,
+        };
+        // workers == 1 is exactly the mode-only estimate.
+        let serial = estimate_function_in_strategy(&registry, &catalog, "q", strat(1)).unwrap();
+        let mode_only =
+            estimate_function_in_mode(&registry, &catalog, "q", ExecMode::Batched(1024)).unwrap();
+        assert!((serial.runtime_ms - mode_only.runtime_ms).abs() < 1e-12);
+        // SQL bodies divide their relational overhead across workers…
+        let wide = estimate_function_in_strategy(&registry, &catalog, "q", strat(4)).unwrap();
+        assert_eq!(wide.tokens, serial.tokens);
+        assert_eq!(wide.accuracy, serial.accuracy);
+        assert!(wide.runtime_ms != serial.runtime_ms);
+        // …but map/filter bodies stay row-at-a-time (row-level lineage) and
+        // are priced serially at any worker count.
+        let map_serial = estimate_function_in_strategy(&registry, &catalog, "f", strat(1)).unwrap();
+        let map_wide = estimate_function_in_strategy(&registry, &catalog, "f", strat(4)).unwrap();
+        assert_eq!(map_wide.runtime_ms, map_serial.runtime_ms);
     }
 
     #[test]

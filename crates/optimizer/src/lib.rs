@@ -18,7 +18,9 @@ mod rewrite;
 pub use coder::{synthesize, CoderContext, CoderFaults};
 pub use compile::{compile, CompileOptions, CompileReport, CritiqueEvent, SelectionEvent};
 pub use cost::{
-    estimate_function, estimate_function_in_mode, estimate_plan, preferred_exec_mode,
-    relational_overhead_ms, CostEstimate, BATCH_OVERHEAD_MS, ROW_OVERHEAD_MS, VALUE_TOUCH_MS,
+    estimate_function, estimate_function_in_mode, estimate_function_in_strategy, estimate_plan,
+    parallel_overhead_ms, preferred_exec_mode, preferred_exec_strategy, preferred_parallelism,
+    preferred_parallelism_capped, relational_overhead_ms, CostEstimate, ExecStrategy,
+    BATCH_OVERHEAD_MS, ROW_OVERHEAD_MS, VALUE_TOUCH_MS, WORKER_STARTUP_MS,
 };
 pub use rewrite::{eliminate_dead_nodes, predicate_pushdown, rewrite_plan, RewriteEvent};

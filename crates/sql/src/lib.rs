@@ -18,4 +18,7 @@ mod plan;
 pub use ast::{AggCall, JoinClause, OrderKey, Select, SelectItem, SqlBinOp, SqlExpr, Statement};
 pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_expr, parse_select, parse_statement, SqlParseError};
-pub use plan::{execute, execute_with, run_select, run_select_with, to_expr, SqlError};
+pub use plan::{
+    execute, execute_with, run_select, run_select_parallel, run_select_with, to_expr, SelectStats,
+    SqlError,
+};

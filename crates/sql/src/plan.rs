@@ -11,6 +11,7 @@ use kath_storage::{
     Schema, Sort, SortKey, StorageError, Table, TableScan, Value,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from SQL execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,46 +146,18 @@ pub fn run_select_with(
     }
 
     // Aggregation vs plain projection.
-    let has_agg = select.items.iter().any(|i| match i {
-        SelectItem::Expr(e, _) => contains_agg(e),
-        SelectItem::Wildcard => false,
-    });
-
-    let sort_keys: Vec<SortKey> = select
-        .order_by
-        .iter()
-        .map(|k| SortKey {
-            column: k.column.clone(),
-            desc: k.desc,
-        })
-        .collect();
+    let has_agg = select_has_agg(select);
+    let sort_keys = select_sort_keys(select);
 
     if has_agg || !select.group_by.is_empty() {
         op = plan_aggregate(op, select)?;
         if !sort_keys.is_empty() {
             op = Box::new(Sort::new(op, sort_keys)?);
         }
-    } else if !(select.items.len() == 1 && select.items[0] == SelectItem::Wildcard) {
-        let mut outputs = Vec::new();
-        for item in &select.items {
-            match item {
-                SelectItem::Wildcard => {
-                    for name in op.schema().names() {
-                        outputs.push((name.to_string(), Expr::col(name)));
-                    }
-                }
-                SelectItem::Expr(e, alias) => {
-                    let name = alias.clone().unwrap_or_else(|| default_name(e));
-                    outputs.push((name, to_expr(e, op.schema())?));
-                }
-            }
-        }
+    } else if let Some(outputs) = projection_outputs(select, op.schema())? {
         // ORDER BY may reference input columns the projection drops; in that
         // case sort before projecting (standard SQL behaviour).
-        let sort_before = !sort_keys.is_empty()
-            && sort_keys
-                .iter()
-                .any(|k| !outputs.iter().any(|(n, _)| *n == k.column));
+        let sort_before = sort_before_project(&sort_keys, &outputs);
         if sort_before {
             op = Box::new(Sort::new(op, sort_keys.clone())?);
         }
@@ -208,6 +181,386 @@ pub fn run_select_with(
         ExecMode::Volcano => Ok((collect(output_name, op)?, 0)),
         ExecMode::Batched(_) => Ok(collect_batched(output_name, op)?),
     }
+}
+
+/// Execution statistics of one (possibly parallel) SELECT.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectStats {
+    /// Batches the streaming pipelines produced (0 in Volcano mode).
+    pub batches: usize,
+    /// Workers that ran the streaming phase (1 for serial execution).
+    pub workers: usize,
+    /// Wall-clock milliseconds each worker spent in its morsel loop
+    /// (empty for serial execution).
+    pub worker_ms: Vec<f64>,
+    /// Milliseconds the deterministic merge step (partial-aggregate merge,
+    /// sorted-run merge, distinct/limit finishing) took.
+    pub merge_ms: f64,
+}
+
+impl SelectStats {
+    /// Stats of a serial run that produced `batches` batches.
+    pub fn serial(batches: usize) -> Self {
+        Self {
+            batches,
+            workers: 1,
+            worker_ms: Vec::new(),
+            merge_ms: 0.0,
+        }
+    }
+}
+
+/// One pre-built hash-join stage of a parallel pipeline: the shared build
+/// side plus how the streaming (left) side probes it.
+struct JoinStage {
+    build: Arc<kath_storage::JoinBuild>,
+    left_col: String,
+    kind: JoinKind,
+}
+
+/// Runs a SELECT with morsel-driven intra-query parallelism over `threads`
+/// workers, returning results **identical to serial execution** (same rows,
+/// same order; see below).
+///
+/// The plan is broken at its pipeline breakers:
+///
+/// - Hash-join **build** sides are materialized once, serially, and shared
+///   (`Arc<JoinBuild>`) across workers.
+/// - The **streaming phase** — scan → join probes → filter → projection —
+///   runs per worker: workers claim fixed-size morsels from an atomic
+///   cursor ([`MorselSource`]) and drive an independent operator pipeline
+///   over each claimed range.
+/// - **Aggregation** keeps one thread-local [`PartialAggregate`] per
+///   morsel; partials merge in morsel order, reproducing the serial group
+///   order. **Sorts** become per-morsel sorted runs joined by a stable
+///   k-way merge ([`kath_storage::merge_sorted_runs`]). DISTINCT and LIMIT
+///   finish serially on the merged stream.
+///
+/// Because every merge step consumes per-morsel outputs in scan order, the
+/// result is independent of worker count and scheduling. Falls back to
+/// serial execution when there is nothing to win: one thread, Volcano
+/// mode, a source smaller than two morsels — or a lazy `LIMIT` plan (no
+/// aggregate/sort), where serial short-circuit evaluation is part of the
+/// observable semantics.
+pub fn run_select_parallel(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    mode: ExecMode,
+    threads: usize,
+) -> Result<(Table, SelectStats), SqlError> {
+    use kath_storage::{
+        merge_sorted_runs, resolve_sort_keys, run_morsels, sort_rows, JoinBuild, Morsel,
+        MorselSource, PartialAggregate, Row,
+    };
+    use std::time::Instant;
+
+    let serial = |catalog: &Catalog| -> Result<(Table, SelectStats), SqlError> {
+        let (t, batches) = run_select_with(catalog, select, output_name, mode)?;
+        Ok((t, SelectStats::serial(batches)))
+    };
+
+    let Some(batch) = mode.batch_size() else {
+        return serial(catalog); // Volcano is the serial baseline by definition.
+    };
+    let has_agg = select_has_agg(select);
+    let sort_keys = select_sort_keys(select);
+    let blocking = has_agg || !select.group_by.is_empty() || !sort_keys.is_empty();
+    // A lazy LIMIT plan must not evaluate rows past the limit (an erroring
+    // expression beyond it stays unreached); only a blocking operator, which
+    // consumes everything anyway, makes eager parallel evaluation safe.
+    if threads <= 1 || (select.limit.is_some() && !blocking) {
+        return serial(catalog);
+    }
+
+    // The morsel source: the FROM table's row range, or the candidate
+    // positions of an index hit (same access-path rule as serial planning).
+    let table = catalog.get(&select.from)?;
+    let positions: Option<Arc<Vec<usize>>> = select
+        .where_clause
+        .as_ref()
+        .and_then(|w| equality_target(w, &select.from, table.schema()))
+        .and_then(|(column, value)| {
+            catalog
+                .index_on(&select.from, &column)
+                .map(|ix| (ix, value))
+        })
+        .map(|(ix, value)| Arc::new(ix.lookup(&value).to_vec()));
+    let total = positions.as_ref().map(|p| p.len()).unwrap_or(table.len());
+    let source = MorselSource::with_batch_size(total, batch);
+    if source.morsel_count() < 2 {
+        return serial(catalog); // Not enough work to split.
+    }
+
+    // Pipeline breakers first: materialize every join build side once.
+    let mut left_schema = table.schema().clone();
+    let mut stages: Vec<JoinStage> = Vec::new();
+    for j in &select.joins {
+        let right = catalog.get(&j.table)?;
+        let right_schema = right.schema().clone();
+        let (left_col, right_col) =
+            orient_on(&left_schema, &right_schema, &j.on_left, &j.on_right)?;
+        let build = Arc::new(JoinBuild::build(
+            Box::new(TableScan::new(right)),
+            &right_col,
+        )?);
+        left_schema = left_schema.join(&right_schema, "right");
+        stages.push(JoinStage {
+            build,
+            left_col,
+            kind: if j.left_outer {
+                JoinKind::Left
+            } else {
+                JoinKind::Inner
+            },
+        });
+    }
+    let pred: Option<Expr> = select
+        .where_clause
+        .as_ref()
+        .map(|w| to_expr(w, &left_schema))
+        .transpose()?;
+
+    // The streaming pipeline one worker drives over one claimed morsel.
+    let make_stream = |m: Morsel| -> Result<Box<dyn Operator>, StorageError> {
+        let mut op: Box<dyn Operator> = match &positions {
+            Some(pos) => Box::new(
+                IndexScan::new(Arc::clone(&table), pos[m.start..m.end].to_vec())
+                    .with_batch_size(batch),
+            ),
+            None => Box::new(
+                TableScan::new(Arc::clone(&table))
+                    .with_range(m.start, m.end)
+                    .with_batch_size(batch),
+            ),
+        };
+        for s in &stages {
+            op = Box::new(HashJoin::from_build(
+                op,
+                Arc::clone(&s.build),
+                &s.left_col,
+                s.kind,
+            )?);
+        }
+        if let Some(p) = &pred {
+            op = Box::new(Filter::new(op, p.clone()));
+        }
+        Ok(op)
+    };
+    let drain = |op: &mut dyn Operator| -> Result<(Vec<Row>, usize), StorageError> {
+        let mut rows = Vec::new();
+        let mut batches = 0;
+        while let Some(b) = op.next_batch()? {
+            batches += 1;
+            rows.extend(b.into_rows());
+        }
+        Ok((rows, batches))
+    };
+
+    let (schema, mut rows, batches, run_stats) = if has_agg || !select.group_by.is_empty() {
+        // Pipeline breaker: aggregation. One thread-local partial per
+        // morsel, merged in morsel order.
+        let spec = aggregate_spec(select)?;
+        let run = run_morsels(&source, threads, |m| {
+            let mut op = make_stream(m)?;
+            let mut partial =
+                PartialAggregate::new(op.schema(), &spec.group_names, spec.aggregates.clone())?;
+            let batches = partial.consume(op.as_mut())?;
+            Ok((partial, batches))
+        })
+        .map_err(SqlError::Storage)?;
+        let worker_ms = run.worker_ms.clone();
+        let merge_started = Instant::now();
+        let mut outputs = run.outputs.into_iter();
+        let (mut acc, mut batches) = outputs.next().expect("at least two morsels");
+        for (partial, b) in outputs {
+            acc.merge(partial);
+            batches += b;
+        }
+        let (schema, mut rows) = acc.finish();
+        if !sort_keys.is_empty() {
+            let key_idx = resolve_sort_keys(&schema, &sort_keys)?;
+            sort_rows(&mut rows, &key_idx);
+        }
+        (schema, rows, batches, (worker_ms, merge_started))
+    } else if let Some(outputs) = projection_outputs(select, &left_schema)? {
+        let out_schema = kath_storage::Project::output_schema(&left_schema, &outputs)?;
+        if sort_before_project(&sort_keys, &outputs) {
+            // ORDER BY needs columns the projection drops: sorted runs are
+            // built pre-projection, merged, then projected serially in
+            // sorted order (exactly the serial operator order).
+            let key_idx = resolve_sort_keys(&left_schema, &sort_keys)?;
+            let run = run_morsels(&source, threads, |m| {
+                let mut op = make_stream(m)?;
+                let (mut rows, batches) = drain(op.as_mut())?;
+                sort_rows(&mut rows, &key_idx);
+                Ok((rows, batches))
+            })
+            .map_err(SqlError::Storage)?;
+            let worker_ms = run.worker_ms.clone();
+            let merge_started = Instant::now();
+            let mut batches = 0;
+            let mut runs = Vec::with_capacity(run.outputs.len());
+            for (rows, b) in run.outputs {
+                batches += b;
+                runs.push(rows);
+            }
+            let merged = merge_sorted_runs(runs, &key_idx);
+            let sorted = Table::from_rows("sorted", left_schema.clone(), merged)
+                .map_err(SqlError::Storage)?;
+            // The projection comes AFTER the blocking sort here, so under a
+            // LIMIT the serial drive evaluates it only for the first rows
+            // (Limit's lazy row-wise tail). Run the identical operator tail
+            // — Project → Distinct → Limit — instead of projecting
+            // everything eagerly, and return directly: distinct/limit are
+            // already applied.
+            let mut tail: Box<dyn Operator> = Box::new(Project::new(
+                Box::new(TableScan::new(Arc::new(sorted)).with_batch_size(batch)),
+                outputs,
+            )?);
+            if select.distinct {
+                tail = Box::new(Distinct::new(tail));
+            }
+            if let Some(n) = select.limit {
+                tail = Box::new(Limit::new(tail, n));
+            }
+            let (out, tail_batches) =
+                collect_batched(output_name, tail).map_err(SqlError::Storage)?;
+            let stats = SelectStats {
+                batches: batches + tail_batches,
+                workers: worker_ms.len(),
+                worker_ms,
+                merge_ms: merge_started.elapsed().as_secs_f64() * 1000.0,
+            };
+            return Ok((out, stats));
+        } else {
+            // Projection is streaming; an ORDER BY over projected columns
+            // sorts per-morsel runs merged stably.
+            let key_idx = resolve_sort_keys(&out_schema, &sort_keys)?;
+            let run = run_morsels(&source, threads, |m| {
+                let op = make_stream(m)?;
+                let mut op: Box<dyn Operator> = Box::new(Project::new(op, outputs.clone())?);
+                let (mut rows, batches) = drain(op.as_mut())?;
+                if !key_idx.is_empty() {
+                    sort_rows(&mut rows, &key_idx);
+                }
+                Ok((rows, batches))
+            })
+            .map_err(SqlError::Storage)?;
+            let worker_ms = run.worker_ms.clone();
+            let merge_started = Instant::now();
+            let mut batches = 0;
+            let mut runs = Vec::with_capacity(run.outputs.len());
+            for (rows, b) in run.outputs {
+                batches += b;
+                runs.push(rows);
+            }
+            let rows = if key_idx.is_empty() {
+                runs.into_iter().flatten().collect()
+            } else {
+                merge_sorted_runs(runs, &key_idx)
+            };
+            (out_schema, rows, batches, (worker_ms, merge_started))
+        }
+    } else {
+        // Bare SELECT *: stream rows through, optionally via sorted runs.
+        let key_idx = resolve_sort_keys(&left_schema, &sort_keys)?;
+        let run = run_morsels(&source, threads, |m| {
+            let mut op = make_stream(m)?;
+            let (mut rows, batches) = drain(op.as_mut())?;
+            if !key_idx.is_empty() {
+                sort_rows(&mut rows, &key_idx);
+            }
+            Ok((rows, batches))
+        })
+        .map_err(SqlError::Storage)?;
+        let worker_ms = run.worker_ms.clone();
+        let merge_started = Instant::now();
+        let mut batches = 0;
+        let mut runs = Vec::with_capacity(run.outputs.len());
+        for (rows, b) in run.outputs {
+            batches += b;
+            runs.push(rows);
+        }
+        let rows = if key_idx.is_empty() {
+            runs.into_iter().flatten().collect()
+        } else {
+            merge_sorted_runs(runs, &key_idx)
+        };
+        (left_schema, rows, batches, (worker_ms, merge_started))
+    };
+
+    let (worker_ms, merge_started) = run_stats;
+    if select.distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|row| seen.insert(row.clone()));
+    }
+    if let Some(n) = select.limit {
+        rows.truncate(n);
+    }
+    let out = Table::from_rows(output_name, schema, rows).map_err(SqlError::Storage)?;
+    let stats = SelectStats {
+        batches,
+        workers: worker_ms.len(),
+        worker_ms,
+        merge_ms: merge_started.elapsed().as_secs_f64() * 1000.0,
+    };
+    Ok((out, stats))
+}
+
+/// Whether any SELECT item carries an aggregate call.
+fn select_has_agg(select: &Select) -> bool {
+    select.items.iter().any(|i| match i {
+        SelectItem::Expr(e, _) => contains_agg(e),
+        SelectItem::Wildcard => false,
+    })
+}
+
+/// The ORDER BY keys of a SELECT, lowered to storage [`SortKey`]s.
+fn select_sort_keys(select: &Select) -> Vec<SortKey> {
+    select
+        .order_by
+        .iter()
+        .map(|k| SortKey {
+            column: k.column.clone(),
+            desc: k.desc,
+        })
+        .collect()
+}
+
+/// The non-aggregate projection list of a SELECT resolved against the
+/// post-join schema, or `None` for a bare `SELECT *` (no projection node).
+fn projection_outputs(
+    select: &Select,
+    schema: &Schema,
+) -> Result<Option<Vec<(String, Expr)>>, SqlError> {
+    if select.items.len() == 1 && select.items[0] == SelectItem::Wildcard {
+        return Ok(None);
+    }
+    let mut outputs = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                for name in schema.names() {
+                    outputs.push((name.to_string(), Expr::col(name)));
+                }
+            }
+            SelectItem::Expr(e, alias) => {
+                let name = alias.clone().unwrap_or_else(|| default_name(e));
+                outputs.push((name, to_expr(e, schema)?));
+            }
+        }
+    }
+    Ok(Some(outputs))
+}
+
+/// Whether the sort must run before the projection (ORDER BY references a
+/// column the projection drops).
+fn sort_before_project(sort_keys: &[SortKey], outputs: &[(String, Expr)]) -> bool {
+    !sort_keys.is_empty()
+        && sort_keys
+            .iter()
+            .any(|k| !outputs.iter().any(|(n, _)| *n == k.column))
 }
 
 /// The access path for the FROM table: an [`IndexScan`] when an equality
@@ -276,13 +629,18 @@ fn literal_value(e: &SqlExpr) -> Option<Value> {
     }
 }
 
-fn plan_aggregate(
-    input: Box<dyn Operator>,
-    select: &Select,
-) -> Result<Box<dyn Operator>, SqlError> {
+/// The validated aggregation shape of a SELECT: GROUP BY keys and
+/// aggregate outputs. Shared by the serial planner (which wraps it in a
+/// [`HashAggregate`]) and the parallel driver (which builds one
+/// [`PartialAggregate`] per morsel from it).
+struct AggSpec {
+    group_names: Vec<String>,
+    aggregates: Vec<Aggregate>,
+}
+
+fn aggregate_spec(select: &Select) -> Result<AggSpec, SqlError> {
     let mut aggregates = Vec::new();
     let mut group_names = select.group_by.clone();
-    let mut output_order: Vec<String> = Vec::new();
 
     for item in &select.items {
         match item {
@@ -316,14 +674,13 @@ fn plan_aggregate(
                     (AggCall::Min, _) => AggFunc::Min,
                     (AggCall::Max, _) => AggFunc::Max,
                 };
-                output_order.push(output.clone());
                 aggregates.push(Aggregate {
                     func,
                     column,
                     output,
                 });
             }
-            SelectItem::Expr(SqlExpr::Column(_, c), alias) => {
+            SelectItem::Expr(SqlExpr::Column(_, c), _alias) => {
                 if !group_names.contains(c) {
                     // Implicit grouping column (common in generated SQL).
                     if select.group_by.is_empty() {
@@ -335,7 +692,8 @@ fn plan_aggregate(
                         "column '{c}' is not in GROUP BY"
                     )));
                 }
-                output_order.push(alias.clone().unwrap_or_else(|| c.clone()));
+                // The output schema is group keys then aggregates; bare
+                // group columns in the SELECT list are validated only.
             }
             SelectItem::Expr(e, _) => {
                 return Err(SqlError::Unsupported(format!(
@@ -347,7 +705,18 @@ fn plan_aggregate(
 
     // GROUP BY columns not in the SELECT list are still legal keys.
     group_names.dedup();
-    let agg = HashAggregate::new(input, group_names, aggregates)?;
+    Ok(AggSpec {
+        group_names,
+        aggregates,
+    })
+}
+
+fn plan_aggregate(
+    input: Box<dyn Operator>,
+    select: &Select,
+) -> Result<Box<dyn Operator>, SqlError> {
+    let spec = aggregate_spec(select)?;
+    let agg = HashAggregate::new(input, spec.group_names, spec.aggregates)?;
     Ok(Box::new(agg))
 }
 
@@ -726,6 +1095,141 @@ mod tests {
         assert_eq!(batches, 2);
         let (_, batches) = run_select_with(&c, &select, "out", ExecMode::Volcano).unwrap();
         assert_eq!(batches, 0);
+    }
+
+    /// A catalog big enough that parallel runs split into several morsels
+    /// even at small batch sizes.
+    fn wide_catalog() -> Catalog {
+        let mut c = catalog();
+        let mut inserts = String::from("INSERT INTO films VALUES ");
+        for i in 5..400i64 {
+            if i > 5 {
+                inserts.push_str(", ");
+            }
+            inserts.push_str(&format!("({i}, 'film {}', {})", i % 7, 1950 + i % 60));
+        }
+        execute(&mut c, &inserts, "x").unwrap();
+        c
+    }
+
+    #[test]
+    fn parallel_select_matches_serial_for_every_plan_shape() {
+        let c = wide_catalog();
+        let queries = [
+            "SELECT * FROM films",
+            "SELECT title, year FROM films WHERE year >= 1988",
+            "SELECT title, 2030 - year AS age FROM films WHERE year > 1960 ORDER BY age, title",
+            // ORDER BY a column the projection drops (sort-before-project).
+            "SELECT title FROM films WHERE year > 1960 ORDER BY year DESC, id ASC",
+            "SELECT title, boring FROM films JOIN posters ON films.id = posters.film_id",
+            "SELECT title, boring FROM films LEFT JOIN posters ON films.id = posters.film_id \
+             ORDER BY title",
+            "SELECT year, COUNT(*) AS n, AVG(id) AS a FROM films GROUP BY year ORDER BY year",
+            "SELECT COUNT(*) AS n, MIN(title) AS t, MAX(year) AS y FROM films",
+            "SELECT DISTINCT year FROM films",
+            "SELECT DISTINCT year FROM films ORDER BY year DESC LIMIT 5",
+            "SELECT year, COUNT(*) AS n FROM films WHERE id % 2 = 0 GROUP BY year \
+             ORDER BY n DESC, year LIMIT 3",
+        ];
+        for sql in queries {
+            let select = crate::parser::parse_select(sql).unwrap();
+            for batch in [32usize, 1024] {
+                let mode = ExecMode::Batched(batch);
+                let (serial, _) = run_select_with(&c, &select, "out", mode).unwrap();
+                for threads in [1usize, 2, 3, 8] {
+                    let (parallel, stats) =
+                        run_select_parallel(&c, &select, "out", mode, threads).unwrap();
+                    assert_eq!(parallel, serial, "{sql} (batch {batch}, threads {threads})");
+                    if threads > 1 && batch == 32 {
+                        assert!(stats.workers > 1, "{sql}: expected parallel run");
+                        assert_eq!(stats.worker_ms.len(), stats.workers);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_select_uses_index_positions() {
+        let mut c = wide_catalog();
+        c.create_index("films", "year").unwrap();
+        let select =
+            crate::parser::parse_select("SELECT title FROM films WHERE year = 1991 AND id > 1")
+                .unwrap();
+        // The equality conjunct narrows to 8 candidate positions; batch
+        // size 1 keeps the morsels small enough that even this tiny
+        // candidate set still splits across workers.
+        let (serial, _) = run_select_with(&c, &select, "out", ExecMode::Batched(1)).unwrap();
+        let (parallel, stats) =
+            run_select_parallel(&c, &select, "out", ExecMode::Batched(1), 4).unwrap();
+        assert_eq!(parallel, serial);
+        assert!(stats.workers > 1, "index path should still parallelize");
+    }
+
+    #[test]
+    fn parallel_select_falls_back_for_lazy_limit_and_volcano() {
+        let c = wide_catalog();
+        // LIMIT without a blocking operator keeps lazy semantics: rows past
+        // the limit are never evaluated, so this division by zero (id = 0
+        // never occurs; year - 1950 = 0 does) must stay unreached.
+        let select = crate::parser::parse_select(
+            "SELECT 100 / (year - 1950) AS q FROM films WHERE year = 1950 LIMIT 0",
+        )
+        .unwrap();
+        let (t, stats) = run_select_parallel(&c, &select, "out", ExecMode::Batched(16), 8).unwrap();
+        assert_eq!(t.len(), 0);
+        assert_eq!(stats.workers, 1, "lazy LIMIT must stay serial");
+
+        let select = crate::parser::parse_select("SELECT * FROM films").unwrap();
+        let (_, stats) = run_select_parallel(&c, &select, "out", ExecMode::Volcano, 8).unwrap();
+        assert_eq!(stats.workers, 1, "Volcano mode is the serial baseline");
+    }
+
+    #[test]
+    fn parallel_sort_before_project_keeps_limit_lazy() {
+        // ORDER BY references a dropped column (sort-before-project) and
+        // LIMIT 5 covers only safe rows: the projection divides by zero for
+        // year = 1950 rows, which sort after the safe ones. Serial
+        // execution never evaluates them (Limit's lazy tail behind the
+        // blocking sort) — parallel execution must not either.
+        let c = wide_catalog();
+        let select = crate::parser::parse_select(
+            "SELECT 100 / (year - 1950) AS q FROM films ORDER BY year DESC LIMIT 5",
+        )
+        .unwrap();
+        let mode = ExecMode::Batched(32);
+        let (serial, _) = run_select_with(&c, &select, "out", mode).unwrap();
+        for threads in [2usize, 4] {
+            let (parallel, _) = run_select_parallel(&c, &select, "out", mode, threads).unwrap();
+            assert_eq!(parallel, serial, "threads {threads}");
+        }
+        // And with DISTINCT stacked on top (still the serial operator tail).
+        let select = crate::parser::parse_select(
+            "SELECT DISTINCT 100 / (year - 1950) AS q FROM films ORDER BY year DESC LIMIT 3",
+        )
+        .unwrap();
+        let (serial, _) = run_select_with(&c, &select, "out", mode).unwrap();
+        let (parallel, _) = run_select_parallel(&c, &select, "out", mode, 4).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn parallel_select_errors_match_serial() {
+        let c = wide_catalog();
+        let select =
+            crate::parser::parse_select("SELECT MAX(id) AS m FROM films ORDER BY m").unwrap();
+        let serial_ok = run_select_with(&c, &select, "out", ExecMode::Batched(16)).is_ok();
+        let parallel_ok = run_select_parallel(&c, &select, "out", ExecMode::Batched(16), 4).is_ok();
+        assert_eq!(serial_ok, parallel_ok);
+
+        let bad = crate::parser::parse_select(
+            "SELECT title FROM films WHERE 1 / (year - 1950) > 0 ORDER BY title",
+        )
+        .unwrap();
+        let serial = run_select_with(&c, &bad, "out", ExecMode::Batched(16));
+        let parallel = run_select_parallel(&c, &bad, "out", ExecMode::Batched(16), 4);
+        assert!(serial.is_err());
+        assert!(parallel.is_err(), "parallel must fail when serial fails");
     }
 
     #[test]

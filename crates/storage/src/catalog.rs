@@ -6,24 +6,53 @@
 //! tool user invokes (§4).
 
 use crate::{HashIndex, StorageError, Table, TableStats, Value};
-use std::collections::BTreeMap;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Named table registry with statistics and secondary indexes.
 ///
 /// Indexes (created via [`Catalog::create_index`]) and cached statistics
-/// (via [`Catalog::analyze`]) are *maintained*, not just stored: replacing
-/// a table through [`Catalog::register_or_replace`] — the path every SQL
-/// `INSERT` and re-materialization takes — rebuilds its indexes and
-/// refreshes its cached stats, so the optimizer never prices plans off
-/// stale row counts and equality scans never consult a stale index.
-#[derive(Debug, Default, Clone)]
+/// (via [`Catalog::analyze`]) are *maintained*, not just stored — but
+/// **lazily**: replacing a table through [`Catalog::register_or_replace`] —
+/// the path every SQL `INSERT` and re-materialization takes — only marks
+/// the table's derived state stale (O(1)); the rebuild happens on the first
+/// index or statistics consumer. A loop of N single-row INSERTs therefore
+/// costs one rebuild instead of N (the eager scheme made bulk loads
+/// quadratic), while consumers still never observe a stale index or stale
+/// row counts.
+#[derive(Debug, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
-    // table -> column -> index.
-    indexes: BTreeMap<String, BTreeMap<String, Arc<HashIndex>>>,
+    // table -> column -> index. Interior mutability: lazily rebuilt from
+    // read-path consumers (`index_on`, `stats`, …) that take `&self`.
+    indexes: RwLock<BTreeMap<String, BTreeMap<String, Arc<HashIndex>>>>,
     // Cached statistics for analyzed tables.
-    stats_cache: BTreeMap<String, TableStats>,
+    stats_cache: RwLock<BTreeMap<String, TableStats>>,
+    // Tables whose derived state (indexes + cached stats) is out of date.
+    stale: RwLock<BTreeSet<String>>,
+    // Diagnostic: how many lazy rebuilds have run (regression tests assert
+    // bulk-insert loops trigger one, not N).
+    rebuilds: AtomicUsize,
+}
+
+impl Clone for Catalog {
+    fn clone(&self) -> Self {
+        // Each lock is taken and released in turn (never nested) so a clone
+        // can never deadlock against a refresh holding the locks in its own
+        // order.
+        let indexes = self.indexes.read().clone();
+        let stats_cache = self.stats_cache.read().clone();
+        let stale = self.stale.read().clone();
+        Self {
+            tables: self.tables.clone(),
+            indexes: RwLock::new(indexes),
+            stats_cache: RwLock::new(stats_cache),
+            stale: RwLock::new(stale),
+            rebuilds: AtomicUsize::new(self.rebuilds.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Result of the joinability tester utility (§4): how well two columns join.
@@ -58,37 +87,69 @@ impl Catalog {
 
     /// Registers or replaces a table (used when a repaired function version
     /// re-materializes its output, and by SQL `INSERT`). Existing secondary
-    /// indexes are rebuilt and cached statistics refreshed against the new
-    /// contents.
+    /// indexes and cached statistics are **marked stale** and rebuilt
+    /// lazily on their next consumer, so bulk-insert loops pay one rebuild
+    /// instead of one per replacement.
     pub fn register_or_replace(&mut self, table: Table) -> Arc<Table> {
         let name = table.name().to_string();
         let arc = Arc::new(table);
         self.tables.insert(name.clone(), Arc::clone(&arc));
-        self.refresh_derived(&name);
+        let has_derived =
+            self.indexes.read().contains_key(&name) || self.stats_cache.read().contains_key(&name);
+        if has_derived {
+            self.stale.write().insert(name);
+        }
         arc
     }
 
     /// Rebuilds indexes and cached stats of `name` from its current
-    /// contents. Indexes whose column no longer exists are dropped.
-    fn refresh_derived(&mut self, name: &str) {
+    /// contents, if they are stale. Indexes whose column no longer exists
+    /// are dropped. Every derived-state consumer calls this first, so a
+    /// stale index or stale row count is never observable: the stale
+    /// marker stays write-locked for the whole rebuild, making a
+    /// concurrent consumer wait for fresh state instead of racing past a
+    /// cleared flag into the old one.
+    fn refresh_if_stale(&self, name: &str) {
+        let mut stale = self.stale.write();
+        if !stale.remove(name) {
+            return;
+        }
         let Some(table) = self.tables.get(name).cloned() else {
             return;
         };
-        if let Some(cols) = self.indexes.get_mut(name) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        self.rebuild_indexes(name, &table);
+        let mut stats = self.stats_cache.write();
+        if stats.contains_key(name) {
+            stats.insert(name.to_string(), TableStats::collect(&table));
+        }
+    }
+
+    /// Rebuilds every index of `name` against `table`, dropping indexes
+    /// whose column no longer exists.
+    fn rebuild_indexes(&self, name: &str, table: &Table) {
+        if let Some(cols) = self.indexes.write().get_mut(name) {
             let rebuilt: BTreeMap<String, Arc<HashIndex>> = cols
                 .keys()
                 .filter_map(|c| {
-                    HashIndex::build(&table, c)
+                    HashIndex::build(table, c)
                         .ok()
                         .map(|ix| (c.clone(), Arc::new(ix)))
                 })
                 .collect();
             *cols = rebuilt;
         }
-        if self.stats_cache.contains_key(name) {
-            self.stats_cache
-                .insert(name.to_string(), TableStats::collect(&table));
-        }
+    }
+
+    /// Number of tables whose derived state awaits a lazy rebuild.
+    pub fn pending_refreshes(&self) -> usize {
+        self.stale.read().len()
+    }
+
+    /// How many lazy derived-state rebuilds have run so far (diagnostic;
+    /// regression tests assert bulk loads trigger one, not one per INSERT).
+    pub fn derived_rebuilds(&self) -> usize {
+        self.rebuilds.load(Ordering::Relaxed)
     }
 
     /// Fetches a table by name.
@@ -106,8 +167,9 @@ impl Catalog {
 
     /// Drops a table along with its indexes and cached statistics.
     pub fn drop_table(&mut self, name: &str) -> Result<(), StorageError> {
-        self.indexes.remove(name);
-        self.stats_cache.remove(name);
+        self.indexes.write().remove(name);
+        self.stats_cache.write().remove(name);
+        self.stale.write().remove(name);
         self.tables
             .remove(name)
             .map(|_| ())
@@ -120,36 +182,57 @@ impl Catalog {
         let t = self.get(table)?;
         let ix = HashIndex::build(&t, column)?;
         self.indexes
+            .write()
             .entry(table.to_string())
             .or_default()
             .insert(column.to_string(), Arc::new(ix));
         Ok(())
     }
 
-    /// The hash index over `table.column`, if one was created.
+    /// The hash index over `table.column`, if one was created (stale
+    /// indexes are rebuilt first).
     pub fn index_on(&self, table: &str, column: &str) -> Option<Arc<HashIndex>> {
-        self.indexes.get(table)?.get(column).cloned()
+        self.refresh_if_stale(table);
+        self.indexes.read().get(table)?.get(column).cloned()
     }
 
-    /// Columns of `table` that carry a secondary index.
-    pub fn indexed_columns(&self, table: &str) -> Vec<&str> {
+    /// Columns of `table` that carry a secondary index (a pending refresh
+    /// is settled first so indexes over dropped columns are not listed).
+    pub fn indexed_columns(&self, table: &str) -> Vec<String> {
+        self.refresh_if_stale(table);
         self.indexes
+            .read()
             .get(table)
-            .map(|cols| cols.keys().map(String::as_str).collect())
+            .map(|cols| cols.keys().cloned().collect())
             .unwrap_or_default()
     }
 
     /// Collects and caches statistics for `table`. Subsequent catalog
-    /// mutations of the table keep the cache fresh.
+    /// mutations of the table keep the cache fresh (rebuilt lazily on the
+    /// next statistics consumer).
     pub fn analyze(&mut self, table: &str) -> Result<TableStats, StorageError> {
-        let stats = TableStats::collect(self.get(table)?.as_ref());
-        self.stats_cache.insert(table.to_string(), stats.clone());
+        let t = self.get(table)?;
+        // Settle only the index half of any pending refresh — the stats
+        // half would collect the very statistics this call is about to
+        // collect anyway, and a full refresh would scan the table twice.
+        let mut stale = self.stale.write();
+        if stale.remove(table) {
+            self.rebuilds.fetch_add(1, Ordering::Relaxed);
+            self.rebuild_indexes(table, &t);
+        }
+        let stats = TableStats::collect(t.as_ref());
+        self.stats_cache
+            .write()
+            .insert(table.to_string(), stats.clone());
+        drop(stale);
         Ok(stats)
     }
 
-    /// Cached statistics for `table`, if it has been analyzed.
-    pub fn cached_stats(&self, table: &str) -> Option<&TableStats> {
-        self.stats_cache.get(table)
+    /// Cached statistics for `table`, if it has been analyzed (refreshed
+    /// first when the table changed since).
+    pub fn cached_stats(&self, table: &str) -> Option<TableStats> {
+        self.refresh_if_stale(table);
+        self.stats_cache.read().get(table).cloned()
     }
 
     /// All table names, sorted.
@@ -185,8 +268,8 @@ impl Catalog {
     /// Statistics for a table: the maintained cache when the table has been
     /// analyzed, otherwise collected on the spot.
     pub fn stats(&self, name: &str) -> Result<TableStats, StorageError> {
-        if let Some(cached) = self.stats_cache.get(name) {
-            return Ok(cached.clone());
+        if let Some(cached) = self.cached_stats(name) {
+            return Ok(cached);
         }
         Ok(TableStats::collect(self.get(name)?.as_ref()))
     }
@@ -342,6 +425,40 @@ mod tests {
         c.register_or_replace(grown);
         let ix = c.index_on("films", "id").unwrap();
         assert_eq!(ix.lookup(&Value::Int(9)), &[3]);
+    }
+
+    #[test]
+    fn bulk_replace_defers_rebuilds_until_first_consumer() {
+        let mut c = catalog();
+        c.create_index("films", "id").unwrap();
+        c.analyze("films").unwrap();
+        assert_eq!(c.derived_rebuilds(), 0);
+        // A bulk-insert-style loop: N replacements, zero rebuilds.
+        for i in 0..100i64 {
+            let mut grown = (*c.get("films").unwrap()).clone();
+            grown
+                .push(vec![(100 + i).into(), format!("t{i}").into()])
+                .unwrap();
+            c.register_or_replace(grown);
+        }
+        assert_eq!(c.derived_rebuilds(), 0, "replacements must not rebuild");
+        assert_eq!(c.pending_refreshes(), 1);
+        // First consumer settles the debt exactly once and sees fresh state.
+        let ix = c.index_on("films", "id").unwrap();
+        assert_eq!(ix.lookup(&Value::Int(199)), &[102]);
+        assert_eq!(c.derived_rebuilds(), 1);
+        assert_eq!(c.pending_refreshes(), 0);
+        // Stats consumers see the refreshed cache too, without extra work.
+        assert_eq!(c.cached_stats("films").unwrap().rows, 103);
+        assert_eq!(c.derived_rebuilds(), 1);
+    }
+
+    #[test]
+    fn replace_without_derived_state_stays_clean() {
+        let mut c = catalog();
+        let grown = (*c.get("films").unwrap()).clone();
+        c.register_or_replace(grown);
+        assert_eq!(c.pending_refreshes(), 0);
     }
 
     #[test]

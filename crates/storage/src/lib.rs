@@ -15,6 +15,7 @@ mod catalog;
 mod error;
 mod expr;
 mod index;
+mod morsel;
 mod ops;
 mod persist;
 mod schema;
@@ -27,10 +28,11 @@ pub use catalog::{Catalog, Joinability};
 pub use error::StorageError;
 pub use expr::{BinOp, Expr};
 pub use index::{HashIndex, SortedIndex};
+pub use morsel::{host_parallelism, run_morsels, Morsel, MorselRun, MorselSource, MORSEL_BATCHES};
 pub use ops::{
-    col_cmp, collect, collect_batched, AggFunc, Aggregate, Distinct, Filter, HashAggregate,
-    HashJoin, IndexScan, JoinKind, Limit, NestedLoopJoin, Operator, Project, Sort, SortKey,
-    TableScan, UnionAll,
+    cmp_rows, col_cmp, collect, collect_batched, merge_sorted_runs, resolve_sort_keys, sort_rows,
+    AggFunc, Aggregate, Distinct, Filter, HashAggregate, HashJoin, IndexScan, JoinBuild, JoinKind,
+    Limit, NestedLoopJoin, Operator, PartialAggregate, Project, Sort, SortKey, TableScan, UnionAll,
 };
 pub use persist::{decode_table, encode_table, load_table, save_table};
 pub use schema::{Column, Schema};

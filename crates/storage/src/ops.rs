@@ -78,19 +78,23 @@ pub fn collect_batched(
     Ok((out, batches))
 }
 
-/// Full scan over a shared table.
+/// Full scan over a shared table (optionally restricted to a row range, the
+/// unit a [`crate::MorselSource`] hands to parallel workers).
 pub struct TableScan {
     table: Arc<Table>,
     cursor: usize,
+    end: usize,
     batch_size: usize,
 }
 
 impl TableScan {
     /// Scans `table` from the first row.
     pub fn new(table: Arc<Table>) -> Self {
+        let end = table.len();
         Self {
             table,
             cursor: 0,
+            end,
             batch_size: DEFAULT_BATCH_SIZE,
         }
     }
@@ -98,6 +102,13 @@ impl TableScan {
     /// Sets the rows-per-batch capacity for batched execution (min 1).
     pub fn with_batch_size(mut self, n: usize) -> Self {
         self.batch_size = n.max(1);
+        self
+    }
+
+    /// Restricts the scan to rows `[start, end)` (clamped to the table).
+    pub fn with_range(mut self, start: usize, end: usize) -> Self {
+        self.end = end.min(self.table.len());
+        self.cursor = start.min(self.end);
         self
     }
 }
@@ -108,6 +119,9 @@ impl Operator for TableScan {
     }
 
     fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        if self.cursor >= self.end {
+            return Ok(None);
+        }
         let row = self.table.row(self.cursor).cloned();
         if row.is_some() {
             self.cursor += 1;
@@ -116,7 +130,7 @@ impl Operator for TableScan {
     }
 
     fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
-        let rows = self.table.rows();
+        let rows = &self.table.rows()[..self.end];
         if self.cursor >= rows.len() {
             return Ok(None);
         }
@@ -272,25 +286,35 @@ impl Project {
         input: Box<dyn Operator>,
         outputs: Vec<(String, Expr)>,
     ) -> Result<Self, StorageError> {
+        let schema = Self::output_schema(input.schema(), &outputs)?;
+        Ok(Self {
+            input,
+            exprs: outputs.into_iter().map(|(_, e)| e).collect(),
+            schema,
+        })
+    }
+
+    /// The schema a projection of `outputs` over `input` rows produces.
+    /// Exposed so drivers that assemble results away from an operator tree
+    /// (e.g. the parallel pipeline merge) infer the identical schema.
+    pub fn output_schema(
+        input: &Schema,
+        outputs: &[(String, Expr)],
+    ) -> Result<Schema, StorageError> {
         use crate::{Column, DataType};
         let mut cols = Vec::with_capacity(outputs.len());
-        for (name, expr) in &outputs {
+        for (name, expr) in outputs {
             let dtype = match expr {
                 Expr::Col(c) => {
-                    let idx = input.schema().resolve(c)?;
-                    input.schema().column(idx).dtype
+                    let idx = input.resolve(c)?;
+                    input.column(idx).dtype
                 }
                 Expr::Lit(v) if !v.is_null() => v.data_type(),
                 _ => DataType::Any,
             };
             cols.push(Column::new(name.clone(), dtype));
         }
-        let schema = Schema::new(cols)?;
-        Ok(Self {
-            input,
-            exprs: outputs.into_iter().map(|(_, e)| e).collect(),
-            schema,
-        })
+        Schema::new(cols)
     }
 }
 
@@ -350,13 +374,62 @@ pub enum JoinKind {
     Left,
 }
 
+/// The materialized build side of a [`HashJoin`]: the hash table plus the
+/// right schema. Building it once and sharing it behind an `Arc` is what
+/// lets parallel workers probe the same table from independent per-morsel
+/// pipelines (the build is the pipeline breaker; the probe is streaming).
+#[derive(Debug)]
+pub struct JoinBuild {
+    map: HashMap<Value, Vec<Row>>,
+    right_schema: Schema,
+}
+
+impl JoinBuild {
+    /// Drains `right` into the hash table keyed on `right_col`. NULL keys
+    /// are dropped (they never match in SQL equi-joins).
+    pub fn build(mut right: Box<dyn Operator>, right_col: &str) -> Result<Self, StorageError> {
+        let right_key = right.schema().resolve(right_col)?;
+        let right_schema = right.schema().clone();
+        let mut map: HashMap<Value, Vec<Row>> = HashMap::new();
+        // Build side drains batch-wise; all operators support next_batch.
+        while let Some(batch) = right.next_batch()? {
+            for i in 0..batch.num_rows() {
+                let key = batch.column(right_key).value(i);
+                if key.is_null() {
+                    continue;
+                }
+                map.entry(key).or_default().push(batch.row(i));
+            }
+        }
+        Ok(Self { map, right_schema })
+    }
+
+    /// The build rows matching `key` (NULL never matches).
+    pub fn matches(&self, key: &Value) -> Option<&Vec<Row>> {
+        if key.is_null() {
+            None
+        } else {
+            self.map.get(key)
+        }
+    }
+
+    /// Schema of the build (right) side.
+    pub fn right_schema(&self) -> &Schema {
+        &self.right_schema
+    }
+
+    /// Arity of the build side (NULL padding width for left joins).
+    pub fn right_arity(&self) -> usize {
+        self.right_schema.arity()
+    }
+}
+
 /// Hash join on column equality. Builds on the right input, probes the left.
 pub struct HashJoin {
     left: Box<dyn Operator>,
     schema: Schema,
     left_key: usize,
-    built: HashMap<Value, Vec<Row>>,
-    right_arity: usize,
+    built: Arc<JoinBuild>,
     kind: JoinKind,
     pending: Vec<Row>,
     // Batched probe state: the current left batch and the next row in it.
@@ -369,32 +442,29 @@ impl HashJoin {
     /// materialized into the hash table up front.
     pub fn new(
         left: Box<dyn Operator>,
-        mut right: Box<dyn Operator>,
+        right: Box<dyn Operator>,
         left_col: &str,
         right_col: &str,
         kind: JoinKind,
     ) -> Result<Self, StorageError> {
+        let built = Arc::new(JoinBuild::build(right, right_col)?);
+        Self::from_build(left, built, left_col, kind)
+    }
+
+    /// Probes an already-materialized (possibly shared) build side.
+    pub fn from_build(
+        left: Box<dyn Operator>,
+        built: Arc<JoinBuild>,
+        left_col: &str,
+        kind: JoinKind,
+    ) -> Result<Self, StorageError> {
         let left_key = left.schema().resolve(left_col)?;
-        let right_key = right.schema().resolve(right_col)?;
-        let schema = left.schema().join(right.schema(), "right");
-        let right_arity = right.schema().arity();
-        let mut built: HashMap<Value, Vec<Row>> = HashMap::new();
-        // Build side drains batch-wise; all operators support next_batch.
-        while let Some(batch) = right.next_batch()? {
-            for i in 0..batch.num_rows() {
-                let key = batch.column(right_key).value(i);
-                if key.is_null() {
-                    continue; // NULL keys never match in SQL equi-joins.
-                }
-                built.entry(key).or_default().push(batch.row(i));
-            }
-        }
+        let schema = left.schema().join(built.right_schema(), "right");
         Ok(Self {
             left,
             schema,
             left_key,
             built,
-            right_arity,
             kind,
             pending: Vec::new(),
             lbatch: None,
@@ -432,13 +502,7 @@ impl Operator for HashJoin {
                     None => return Ok(None),
                 },
             };
-            let key = &lrow[self.left_key];
-            let matches = if key.is_null() {
-                None
-            } else {
-                self.built.get(key)
-            };
-            match matches {
+            match self.built.matches(&lrow[self.left_key]) {
                 Some(rrows) => {
                     for rrow in rrows.iter().rev() {
                         let mut out = lrow.clone();
@@ -448,7 +512,7 @@ impl Operator for HashJoin {
                 }
                 None if self.kind == JoinKind::Left => {
                     let mut out = lrow.clone();
-                    out.extend(std::iter::repeat_n(Value::Null, self.right_arity));
+                    out.extend(std::iter::repeat_n(Value::Null, self.built.right_arity()));
                     self.pending.push(out);
                 }
                 None => continue,
@@ -484,12 +548,7 @@ impl Operator for HashJoin {
             let i = self.lcursor;
             self.lcursor += 1;
             let keys = lbatch.column(self.left_key);
-            let matches = if keys.is_null(i) {
-                None
-            } else {
-                self.built.get(&keys.value(i))
-            };
-            match matches {
+            match self.built.matches(&keys.value(i)) {
                 Some(rrows) => {
                     let lrow = lbatch.row(i);
                     for rrow in rrows {
@@ -500,7 +559,7 @@ impl Operator for HashJoin {
                 }
                 None if self.kind == JoinKind::Left => {
                     let mut joined = lbatch.row(i);
-                    joined.extend(std::iter::repeat_n(Value::Null, self.right_arity));
+                    joined.extend(std::iter::repeat_n(Value::Null, self.built.right_arity()));
                     out.push(joined);
                 }
                 None => {}
@@ -656,6 +715,33 @@ impl AggState {
         }
     }
 
+    /// Folds a later partial's state into this one. `other` must cover rows
+    /// that come *after* this state's rows in scan order (min/max are order-
+    /// free; sums are added in scan order to keep float results stable
+    /// across worker counts).
+    fn absorb(&mut self, other: &AggState) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(m) = &other.min {
+            let better = self
+                .min
+                .as_ref()
+                .is_none_or(|cur| m.total_cmp(cur) == Ordering::Less);
+            if better {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            let better = self
+                .max
+                .as_ref()
+                .is_none_or(|cur| m.total_cmp(cur) == Ordering::Greater);
+            if better {
+                self.max = Some(m.clone());
+            }
+        }
+    }
+
     fn finish(&self, func: AggFunc, rows_in_group: i64) -> Value {
         match func {
             AggFunc::CountStar => Value::Int(rows_in_group),
@@ -680,17 +766,30 @@ impl AggState {
     }
 }
 
-impl HashAggregate {
-    /// Aggregates `input` grouped by `group_by` columns. Output schema is
-    /// group keys followed by aggregate outputs. With no group keys, emits a
-    /// single global row (even for empty input, as SQL does).
+/// Thread-local partial state of a hash aggregation: group states keyed by
+/// the group tuple, with first-appearance order tracked for deterministic
+/// output. [`HashAggregate`] is one partial consumed serially; a parallel
+/// aggregation builds one partial per morsel and [`PartialAggregate::merge`]s
+/// them **in morsel order**, which reproduces the exact group order (and
+/// float accumulation order) of a serial run.
+pub struct PartialAggregate {
+    key_idx: Vec<usize>,
+    agg_idx: Vec<Option<usize>>,
+    aggregates: Vec<Aggregate>,
+    schema: Schema,
+    global: bool,
+    order: Vec<Vec<Value>>,
+    groups: HashMap<Vec<Value>, (i64, Vec<AggState>)>,
+}
+
+impl PartialAggregate {
+    /// An empty partial aggregating `in_schema` rows grouped by `group_by`.
     pub fn new(
-        mut input: Box<dyn Operator>,
-        group_by: Vec<String>,
+        in_schema: &Schema,
+        group_by: &[String],
         aggregates: Vec<Aggregate>,
     ) -> Result<Self, StorageError> {
         use crate::{Column, DataType};
-        let in_schema = input.schema().clone();
         let key_idx: Vec<usize> = group_by
             .iter()
             .map(|g| in_schema.resolve(g))
@@ -720,42 +819,110 @@ impl HashAggregate {
             cols.push(Column::new(a.output.clone(), dtype));
         }
         let schema = Schema::new(cols)?;
+        Ok(Self {
+            key_idx,
+            agg_idx,
+            aggregates,
+            schema,
+            global: group_by.is_empty(),
+            order: Vec::new(),
+            groups: HashMap::new(),
+        })
+    }
 
-        // Group states, keyed by the group-key tuple. Insertion order of
-        // groups is preserved for deterministic output.
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        let mut groups: HashMap<Vec<Value>, (i64, Vec<AggState>)> = HashMap::new();
-        // The aggregate consumes its input batch-at-a-time: group keys and
-        // aggregate inputs are read straight out of the batch columns.
-        while let Some(batch) = input.next_batch()? {
-            for r in 0..batch.num_rows() {
-                let key: Vec<Value> = key_idx.iter().map(|&i| batch.column(i).value(r)).collect();
-                let entry = groups.entry(key.clone()).or_insert_with(|| {
-                    order.push(key);
-                    (0, vec![AggState::new(); aggregates.len()])
-                });
-                entry.0 += 1;
-                for (state, idx) in entry.1.iter_mut().zip(&agg_idx) {
-                    if let Some(i) = idx {
-                        state.update(&batch.column(*i).value(r));
-                    }
+    /// Output schema: group keys followed by aggregate outputs.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Folds one batch into the partial. Group keys and aggregate inputs
+    /// are read straight out of the batch columns.
+    pub fn absorb(&mut self, batch: &RowBatch) {
+        for r in 0..batch.num_rows() {
+            let key: Vec<Value> = self
+                .key_idx
+                .iter()
+                .map(|&i| batch.column(i).value(r))
+                .collect();
+            let n_aggs = self.aggregates.len();
+            let entry = self.groups.entry(key.clone()).or_insert_with(|| {
+                self.order.push(key);
+                (0, vec![AggState::new(); n_aggs])
+            });
+            entry.0 += 1;
+            for (state, idx) in entry.1.iter_mut().zip(&self.agg_idx) {
+                if let Some(i) = idx {
+                    state.update(&batch.column(*i).value(r));
                 }
             }
         }
-        if group_by.is_empty() && groups.is_empty() {
-            order.push(Vec::new());
-            groups.insert(Vec::new(), (0, vec![AggState::new(); aggregates.len()]));
-        }
+    }
 
-        let mut results = Vec::with_capacity(order.len());
-        for key in order {
-            let (n, states) = &groups[&key];
+    /// Drains an operator into the partial, batch-at-a-time. Returns the
+    /// number of batches consumed.
+    pub fn consume(&mut self, op: &mut dyn Operator) -> Result<usize, StorageError> {
+        let mut batches = 0;
+        while let Some(batch) = op.next_batch()? {
+            batches += 1;
+            self.absorb(&batch);
+        }
+        Ok(batches)
+    }
+
+    /// Merges a partial covering *later* rows (in scan order) into this
+    /// one. Groups first seen in `later` are appended in their order of
+    /// appearance, exactly as a serial pass would have discovered them.
+    pub fn merge(&mut self, later: PartialAggregate) {
+        for key in later.order {
+            let (n, states) = &later.groups[&key];
+            let n_aggs = self.aggregates.len();
+            let entry = self.groups.entry(key.clone()).or_insert_with(|| {
+                self.order.push(key);
+                (0, vec![AggState::new(); n_aggs])
+            });
+            entry.0 += *n;
+            for (mine, theirs) in entry.1.iter_mut().zip(states) {
+                mine.absorb(theirs);
+            }
+        }
+    }
+
+    /// Finalizes into result rows (group keys then aggregate values). With
+    /// no group keys, emits a single global row even for empty input, as
+    /// SQL does.
+    pub fn finish(mut self) -> (Schema, Vec<Row>) {
+        if self.global && self.groups.is_empty() {
+            self.order.push(Vec::new());
+            self.groups.insert(
+                Vec::new(),
+                (0, vec![AggState::new(); self.aggregates.len()]),
+            );
+        }
+        let mut results = Vec::with_capacity(self.order.len());
+        for key in &self.order {
+            let (n, states) = &self.groups[key];
             let mut row = key.clone();
-            for (state, agg) in states.iter().zip(&aggregates) {
+            for (state, agg) in states.iter().zip(&self.aggregates) {
                 row.push(state.finish(agg.func, *n));
             }
             results.push(row);
         }
+        (self.schema, results)
+    }
+}
+
+impl HashAggregate {
+    /// Aggregates `input` grouped by `group_by` columns. Output schema is
+    /// group keys followed by aggregate outputs. With no group keys, emits a
+    /// single global row (even for empty input, as SQL does).
+    pub fn new(
+        mut input: Box<dyn Operator>,
+        group_by: Vec<String>,
+        aggregates: Vec<Aggregate>,
+    ) -> Result<Self, StorageError> {
+        let mut partial = PartialAggregate::new(input.schema(), &group_by, aggregates)?;
+        partial.consume(input.as_mut())?;
+        let (schema, results) = partial.finish();
         Ok(Self {
             schema,
             results: results.into_iter(),
@@ -788,28 +955,78 @@ pub struct Sort {
     rows: std::vec::IntoIter<Row>,
 }
 
+/// Resolves sort keys into `(column index, descending)` pairs.
+pub fn resolve_sort_keys(
+    schema: &Schema,
+    keys: &[SortKey],
+) -> Result<Vec<(usize, bool)>, StorageError> {
+    keys.iter()
+        .map(|k| schema.resolve(&k.column).map(|i| (i, k.desc)))
+        .collect()
+}
+
+/// Compares two rows under resolved sort keys (total value order).
+pub fn cmp_rows(a: &Row, b: &Row, key_idx: &[(usize, bool)]) -> Ordering {
+    for &(i, desc) in key_idx {
+        let ord = a[i].total_cmp(&b[i]);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Stably sorts `rows` in place under resolved sort keys.
+pub fn sort_rows(rows: &mut [Row], key_idx: &[(usize, bool)]) {
+    rows.sort_by(|a, b| cmp_rows(a, b, key_idx));
+}
+
+/// K-way merge of stably-sorted runs into one stably-sorted stream. Runs
+/// must be ordered by the position of their rows in the original input
+/// (run 0 before run 1, …): ties then resolve to the earliest run, which
+/// reproduces exactly the row order of a serial stable sort over the
+/// concatenated input. This is the deterministic merge step of a parallel
+/// sort (each worker sorts its morsel's run; the merge is serial).
+pub fn merge_sorted_runs(runs: Vec<Vec<Row>>, key_idx: &[(usize, bool)]) -> Vec<Row> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::iter::Peekable<std::vec::IntoIter<Row>>> = runs
+        .into_iter()
+        .filter(|r| !r.is_empty())
+        .map(|r| r.into_iter().peekable())
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    while !iters.is_empty() {
+        // Linear scan over run heads: strictly-less keeps the earliest run
+        // on ties (stability). Run counts are small (morsel count), so the
+        // scan beats heap bookkeeping for realistic inputs.
+        let mut best = 0usize;
+        for i in 1..iters.len() {
+            let (head, tail) = iters.split_at_mut(i);
+            let candidate = tail[0].peek().expect("empty iterators are dropped");
+            let current = head[best].peek().expect("empty iterators are dropped");
+            if cmp_rows(candidate, current, key_idx) == Ordering::Less {
+                best = i;
+            }
+        }
+        out.push(iters[best].next().expect("peeked above"));
+        if iters[best].peek().is_none() {
+            let _ = iters.remove(best);
+        }
+    }
+    out
+}
+
 impl Sort {
     /// Sorts `input` by `keys` using the total value order (stable).
     pub fn new(mut input: Box<dyn Operator>, keys: Vec<SortKey>) -> Result<Self, StorageError> {
         let schema = input.schema().clone();
-        let key_idx: Vec<(usize, bool)> = keys
-            .iter()
-            .map(|k| schema.resolve(&k.column).map(|i| (i, k.desc)))
-            .collect::<Result<_, _>>()?;
+        let key_idx = resolve_sort_keys(&schema, &keys)?;
         let mut rows = Vec::new();
         while let Some(batch) = input.next_batch()? {
             rows.extend(batch.into_rows());
         }
-        rows.sort_by(|a, b| {
-            for &(i, desc) in &key_idx {
-                let ord = a[i].total_cmp(&b[i]);
-                let ord = if desc { ord.reverse() } else { ord };
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            Ordering::Equal
-        });
+        sort_rows(&mut rows, &key_idx);
         Ok(Self {
             schema,
             rows: rows.into_iter(),
