@@ -2,11 +2,11 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench bench-no-run bench-smoke clippy fmt examples figures
+.PHONY: verify build test bench bench-no-run bench-smoke recovery-smoke clippy fmt examples figures
 
 EXAMPLES := $(basename $(notdir $(wildcard examples/*.rs)))
 
-verify: fmt build test clippy bench-no-run examples
+verify: fmt build test clippy bench-no-run recovery-smoke examples
 
 build:
 	$(CARGO) build --release
@@ -23,11 +23,19 @@ bench:
 bench-no-run:
 	$(CARGO) bench --no-run
 
-# Quick end-to-end run of the parallel perf bench (small corpus, few reps):
-# proves the morsel-parallel path still runs and refreshes
-# BENCH_parallel.json's schema without the full 100k-row sweep.
+# Quick end-to-end runs of the perf benches (small corpora, few reps):
+# prove the morsel-parallel and durable-recovery paths still run and
+# refresh BENCH_parallel.json / BENCH_recovery.json's schemas without the
+# full sweeps.
 bench-smoke:
 	$(CARGO) run -q --release -p kath_bench --bin parallel_bench -- --quick
+	$(CARGO) run -q --release -p kath_bench --bin recovery_bench -- --quick
+
+# Crash-recovery smoke: a child process populates a durable DB (WAL-logged
+# inserts around a checkpoint) and dies via abort(); the parent reopens and
+# asserts every committed row survived.
+recovery-smoke:
+	$(CARGO) run -q --release -p kath_bench --bin recovery_smoke
 
 fmt:
 	$(CARGO) fmt --all --check

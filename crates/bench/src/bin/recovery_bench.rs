@@ -1,0 +1,138 @@
+//! `recovery_bench` — the machine-readable perf trajectory of durability.
+//!
+//! Two questions, answered in `BENCH_recovery.json` at the repo root:
+//!
+//! 1. **Log-append overhead per INSERT**: the same INSERT workload through
+//!    an in-memory `KathDB` vs a durable one (every statement write-ahead
+//!    logged + fsynced). Reported as µs/INSERT for both, plus the ratio —
+//!    the price of durability on the write path.
+//! 2. **Replay time vs snapshot age**: reopen cost as a function of how
+//!    many WAL records accumulated since the last checkpoint. The curve is
+//!    the argument for checkpointing: replay is linear in the tail length,
+//!    a snapshot resets it.
+//!
+//! ```sh
+//! cargo run --release -p kath_bench --bin recovery_bench            # full
+//! cargo run --release -p kath_bench --bin recovery_bench -- --quick # smoke
+//! cargo run --release -p kath_bench --bin recovery_bench -- --out custom.json
+//! ```
+//!
+//! `--quick` is the `make bench-smoke` setting: enough to prove the
+//! durable path runs end to end and keep the JSON schema stable, fast
+//! enough for CI (fsync dominates, so even quick runs measure real I/O).
+
+use kath_json::{to_string_pretty, Json, JsonMap};
+use kathdb::KathDB;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kathdb_recovery_bench_{}", std::process::id()));
+    dir.join(name)
+}
+
+fn insert_stmt(i: usize) -> String {
+    format!("INSERT INTO kv VALUES ({i}, 'value-{i}')")
+}
+
+/// Median of already-collected samples, in the unit they were taken.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let (inserts, age_points): (usize, Vec<usize>) = if quick {
+        (64, vec![0, 32, 128])
+    } else {
+        (512, vec![0, 256, 1024, 4096])
+    };
+
+    // --- 1. log-append overhead per INSERT ------------------------------
+    eprintln!("measuring {inserts} INSERTs, in-memory vs write-ahead logged…");
+    let mut mem_db = KathDB::new(42);
+    mem_db.sql("CREATE TABLE kv (k INT, v STR)").unwrap();
+    let started = Instant::now();
+    for i in 0..inserts {
+        mem_db.sql(&insert_stmt(i)).unwrap();
+    }
+    let mem_us = started.elapsed().as_secs_f64() * 1e6 / inserts as f64;
+
+    let dir = tmp_dir("append");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut wal_db = KathDB::open(&dir).expect("durable dir opens");
+    wal_db.sql("CREATE TABLE kv (k INT, v STR)").unwrap();
+    let started = Instant::now();
+    for i in 0..inserts {
+        wal_db.sql(&insert_stmt(i)).unwrap();
+    }
+    let wal_us = started.elapsed().as_secs_f64() * 1e6 / inserts as f64;
+    drop(wal_db);
+    let overhead = if mem_us > 0.0 { wal_us / mem_us } else { 1.0 };
+    eprintln!(
+        "  in-memory {mem_us:8.1} µs/INSERT   durable {wal_us:8.1} µs/INSERT   \
+         overhead {overhead:5.1}x (fsync per statement)"
+    );
+
+    // --- 2. replay time vs snapshot age ---------------------------------
+    let mut series = Vec::new();
+    for &age in &age_points {
+        let dir = tmp_dir(&format!("replay_{age}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = KathDB::open(&dir).expect("durable dir opens");
+            db.sql("CREATE TABLE kv (k INT, v STR)").unwrap();
+            db.checkpoint().unwrap();
+            for i in 0..age {
+                db.sql(&insert_stmt(i)).unwrap();
+            }
+            // Crash: drop without close, leaving `age` records in the WAL.
+        }
+        let reps = if quick { 3 } else { 5 };
+        let mut samples = Vec::with_capacity(reps);
+        let mut recovered_rows = 0usize;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let db = KathDB::open(&dir).expect("recovery succeeds");
+            samples.push(started.elapsed().as_secs_f64() * 1000.0);
+            recovered_rows = db.context().catalog.get("kv").unwrap().len();
+        }
+        assert_eq!(recovered_rows, age, "recovery lost rows");
+        let median_ms = median(samples);
+        eprintln!("  wal age {age:>5} records: reopen median {median_ms:8.2} ms");
+        let mut point = JsonMap::new();
+        point.insert("wal_records", Json::Num(age as f64));
+        point.insert("reopen_median_ms", Json::Num(median_ms));
+        series.push(Json::Object(point));
+    }
+
+    let mut report = JsonMap::new();
+    report.insert("bench", Json::Str("durability_recovery".into()));
+    report.insert("quick", Json::Bool(quick));
+    report.insert("inserts", Json::Num(inserts as f64));
+    report.insert("memory_us_per_insert", Json::Num(mem_us));
+    report.insert("durable_us_per_insert", Json::Num(wal_us));
+    report.insert("append_overhead_x", Json::Num(overhead));
+    report.insert("replay_series", Json::Array(series));
+    let rendered = to_string_pretty(&Json::Object(report));
+    std::fs::write(&out_path, rendered + "\n").expect("report writes");
+    let _ = std::fs::remove_dir_all(
+        std::env::temp_dir().join(format!("kathdb_recovery_bench_{}", std::process::id())),
+    );
+    eprintln!("wrote {out_path}");
+}

@@ -6,7 +6,12 @@
 //!
 //! - any natural-language query (the parser will ask clarification
 //!   questions right here on stdin),
-//! - `\sql <query>` — run raw SQL against the catalog,
+//! - `\sql <query>` — run raw SQL against the catalog (CREATE / INSERT /
+//!   DROP are write-ahead logged when a durable directory is open),
+//! - `\open <dir>` — open a durable database directory: crash recovery
+//!   (newest valid snapshot + WAL replay), then WAL-logged mutations,
+//! - `\checkpoint` — snapshot every table + the function registry,
+//! - `\wal` — durability status (snapshot epoch, log records/bytes),
 //! - `\explain <question>` — NL questions over the last query's provenance,
 //! - `\lineage` — the Table-3 lineage relation (tail),
 //! - `\functions` — the versioned function registry,
@@ -16,7 +21,7 @@
 //!   batch size (columnar batch-at-a-time vs row-at-a-time Volcano),
 //! - `\threads <n>` / `\threads auto` — tune morsel-driven intra-query
 //!   parallelism (results are identical at any setting),
-//! - `\quit`.
+//! - `\quit` (checkpoints first when a durable directory is open).
 //!
 //! ```sh
 //! cargo run -p kathdb --bin kathdb-repl
@@ -72,7 +77,8 @@ fn main() {
             _ if line == "\\quit" || line == "\\q" => break,
             _ if line == "\\help" || line == "help" => {
                 println!(
-                    "commands: \\sql <query> | \\explain <question> | \\lineage | \
+                    "commands: \\sql <query> | \\open <dir> | \\checkpoint | \\wal | \
+                     \\explain <question> | \\lineage | \
                      \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \
                      \\threads <n>|auto | \\quit\n\
                      anything else is parsed as a natural-language query"
@@ -115,14 +121,37 @@ fn main() {
                 );
             }
             Some(("\\sql", rest)) if !rest.is_empty() => {
-                // Raw SQL runs against a clone so the repl cannot corrupt
-                // the materialized pipeline state.
-                let mut catalog = db.context().catalog.clone();
-                match kath_sql::execute(&mut catalog, rest, "sql_result") {
+                // SELECTs are read-only; mutations are validated, then
+                // write-ahead logged (when a durable dir is open), then
+                // applied to the live catalog.
+                match db.sql(rest) {
                     Ok(t) => println!("{}", t.render()),
                     Err(e) => println!("sql error: {e}"),
                 }
             }
+            Some(("\\open", rest)) if !rest.is_empty() => match db.open_dir(rest) {
+                Ok(info) => {
+                    println!(
+                        "opened {rest}: {} table(s) from snapshot {}, {} wal record(s) replayed",
+                        info.snapshot_tables, info.snapshot_epoch, info.wal_replayed
+                    );
+                }
+                Err(e) => println!("open failed: {e}"),
+            },
+            _ if line == "\\checkpoint" => match db.checkpoint() {
+                Ok(epoch) => println!("checkpoint written: snapshot epoch {epoch}"),
+                Err(e) => println!("checkpoint failed: {e}"),
+            },
+            _ if line == "\\wal" => match db.durability_status() {
+                Some(s) => println!(
+                    "durable dir {} — snapshot epoch {}, {} wal record(s) ({} bytes) since",
+                    s.dir.display(),
+                    s.snapshot_epoch,
+                    s.wal_records,
+                    s.wal_bytes
+                ),
+                None => println!("no durable directory open; use \\open <dir>"),
+            },
             Some(("\\explain", rest)) if !rest.is_empty() => match db.explain(rest) {
                 Ok(text) => println!("{text}"),
                 Err(e) => println!("error: {e}"),
@@ -200,6 +229,12 @@ fn main() {
                 }
                 Err(e) => println!("query failed: {e}"),
             },
+        }
+    }
+    if db.durability_status().is_some() {
+        match db.close() {
+            Ok(()) => println!("(checkpointed durable state)"),
+            Err(e) => println!("(close failed: {e})"),
         }
     }
     println!("bye");

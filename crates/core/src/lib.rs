@@ -47,14 +47,18 @@ use kath_data::MmqaCorpus;
 use kath_exec::{ExecContext, ExecError, ExecReport, ExecutionEngine, PhysicalPlan};
 use kath_explain::Explainer;
 use kath_fao::FunctionRegistry;
+use kath_json::to_string_pretty;
+use kath_lineage::DataKind;
 use kath_model::{SimLlm, TokenMeter, Usage, UserChannel};
 use kath_optimizer::{compile, preferred_exec_mode, CompileOptions, CompileReport};
 use kath_parser::{
     generate_logical_plan, LogicalPlan, NlParser, ParseOutcome, PlanVerifier, VerifierReport,
 };
-use kath_storage::{ExecMode, Table, Value};
+use kath_sql::{SqlError, Statement};
+use kath_storage::{Durability, DurabilityStatus, ExecMode, StorageError, Table, Value, WalRecord};
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 pub use kath_data as data;
 pub use kath_exec as exec;
@@ -84,6 +88,10 @@ pub enum KathError {
     NoQueryRun,
     /// Registry persistence failure.
     Registry(kath_fao::RegistryError),
+    /// Raw SQL failed (parse, plan, or execution).
+    Sql(SqlError),
+    /// A durability operation was requested but no directory is open.
+    NotDurable,
 }
 
 impl fmt::Display for KathError {
@@ -96,6 +104,10 @@ impl fmt::Display for KathError {
             KathError::Storage(e) => write!(f, "{e}"),
             KathError::NoQueryRun => write!(f, "no query has been executed yet"),
             KathError::Registry(e) => write!(f, "{e}"),
+            KathError::Sql(e) => write!(f, "{e}"),
+            KathError::NotDurable => {
+                write!(f, "no durable directory open (use KathDB::open or \\open)")
+            }
         }
     }
 }
@@ -117,6 +129,12 @@ impl From<kath_storage::StorageError> for KathError {
 impl From<kath_fao::RegistryError> for KathError {
     fn from(e: kath_fao::RegistryError) -> Self {
         KathError::Registry(e)
+    }
+}
+
+impl From<SqlError> for KathError {
+    fn from(e: SqlError) -> Self {
+        KathError::Sql(e)
     }
 }
 
@@ -182,6 +200,27 @@ pub struct KathDB {
     /// query (startup cost per worker vs per-morsel win, capped at the
     /// host's cores).
     pinned_threads: Option<usize>,
+    /// Durable-storage state when a directory is open (`None` = in-memory
+    /// only, the historical behaviour).
+    durability: Option<DurableState>,
+}
+
+/// The attached durability coordinator plus the function-registry payload
+/// as last logged or checkpointed (change detection for `query()`).
+struct DurableState {
+    inner: Durability,
+    functions_json: String,
+}
+
+/// What [`KathDB::open_dir`] recovered from disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryInfo {
+    /// Tables restored from the snapshot.
+    pub snapshot_tables: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_replayed: usize,
+    /// Epoch of the snapshot that was loaded (0 = started empty).
+    pub snapshot_epoch: u64,
 }
 
 impl KathDB {
@@ -205,7 +244,192 @@ impl KathDB {
             semantic_checks: true,
             pinned_exec_mode: None,
             pinned_threads,
+            durability: None,
         }
+    }
+
+    /// Opens (creating if needed) a durable database directory: recovers
+    /// the newest valid snapshot, replays the WAL tail (a torn final record
+    /// is skipped, never an error), and arms write-ahead logging for every
+    /// subsequent mutation. Uses the default model seed; call
+    /// [`KathDB::new`] + [`KathDB::open_dir`] to pick a seed.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, KathError> {
+        let mut db = KathDB::new(42);
+        db.open_dir(dir)?;
+        Ok(db)
+    }
+
+    /// Attaches a durable directory to this instance (the instance method
+    /// behind [`KathDB::open`] and the REPL's `\open`). Any previously
+    /// attached directory is closed (checkpointed) first. Recovered tables
+    /// join the catalog (replacing same-named in-memory tables); if the
+    /// session already holds state, an immediate checkpoint makes that
+    /// state durable too. Returns what was recovered.
+    pub fn open_dir(&mut self, dir: impl AsRef<Path>) -> Result<RecoveryInfo, KathError> {
+        let dir = dir.as_ref();
+        self.close()?;
+        let pre_existing = !self.ctx.catalog.is_empty();
+        let (inner, recovered) = Durability::open(dir)?;
+        let info = RecoveryInfo {
+            snapshot_tables: recovered.tables.len(),
+            wal_replayed: recovered.wal_records.len(),
+            snapshot_epoch: recovered.snapshot_epoch,
+        };
+        // Stage recovery on copies: a failed open must leave the session
+        // exactly as it was, never half-recovered.
+        let mut catalog = self.ctx.catalog.clone();
+        let mut registry = match &recovered.functions_json {
+            Some(json) => Self::registry_from_json(json)?,
+            None => self.registry.clone(),
+        };
+        let mut restored: Vec<String> = Vec::new();
+        for table in recovered.tables {
+            restored.push(table.name().to_string());
+            catalog.register_or_replace(table);
+        }
+        for record in recovered.wal_records {
+            match record {
+                WalRecord::Functions(json) => registry = Self::registry_from_json(&json)?,
+                // Replay tolerates re-creation: the record is newer than
+                // whatever in-memory table holds the name.
+                WalRecord::CreateTable(t) => {
+                    restored.push(t.name().to_string());
+                    catalog.register_or_replace(t);
+                }
+                other => {
+                    kath_sql::apply_mutation(&mut catalog, &other, "recovered").map_err(|e| {
+                        KathError::Storage(StorageError::Corrupt(format!(
+                            "wal record does not apply to recovered state: {e}"
+                        )))
+                    })?;
+                }
+            }
+        }
+        // Commit the staged state, then give every restored table a
+        // lineage ingest root: provenance bottoms out at the durable
+        // directory, whether the table came from the snapshot or the log.
+        self.ctx.catalog = catalog;
+        self.registry = registry;
+        for name in restored {
+            if self.ctx.catalog.contains(&name) && self.ctx.table_lid(&name).is_none() {
+                let uri = format!("kathdb://{}/{name}", dir.display());
+                let lid = self.ctx.lineage.alloc_lid();
+                self.ctx
+                    .lineage
+                    .record(lid, None, Some(uri), "ingest", 1, DataKind::Table)
+                    .map_err(|e| KathError::Exec(ExecError::Lineage(e.to_string())))?;
+                self.ctx.table_lids.insert(name, lid);
+            }
+        }
+        let functions_json = to_string_pretty(&self.registry.to_json());
+        self.durability = Some(DurableState {
+            inner,
+            functions_json,
+        });
+        if pre_existing {
+            self.checkpoint()?;
+        }
+        Ok(info)
+    }
+
+    fn registry_from_json(json: &str) -> Result<FunctionRegistry, KathError> {
+        let value = kath_json::parse(json).map_err(|e| {
+            KathError::Storage(StorageError::Corrupt(format!(
+                "persisted function registry is not valid JSON: {e}"
+            )))
+        })?;
+        Ok(FunctionRegistry::from_json(&value)?)
+    }
+
+    /// Runs one SQL statement against the catalog. SELECTs execute in the
+    /// active execution mode and return the result table; CREATE TABLE /
+    /// INSERT / DROP TABLE are validated, logged write-ahead (fsync) when a
+    /// durable directory is open, and only then applied in memory.
+    pub fn sql(&mut self, sql: &str) -> Result<Table, KathError> {
+        let stmt = kath_sql::parse_statement(sql).map_err(|e| KathError::Sql(e.into()))?;
+        match stmt {
+            Statement::Select(select) => {
+                let mode = self.exec_mode();
+                let (table, _batches) =
+                    kath_sql::run_select_with(&self.ctx.catalog, &select, "sql_result", mode)?;
+                Ok(table)
+            }
+            stmt => {
+                let record = kath_sql::plan_mutation(&self.ctx.catalog, &stmt)?;
+                if let Some(d) = &mut self.durability {
+                    d.inner.log(&record)?;
+                }
+                Ok(kath_sql::apply_mutation(
+                    &mut self.ctx.catalog,
+                    &record,
+                    "sql_result",
+                )?)
+            }
+        }
+    }
+
+    /// Writes a checkpoint: every catalog table plus the function registry
+    /// into a fresh snapshot epoch (atomic rename), then rotates the WAL.
+    /// Returns the new epoch. Errors with [`KathError::NotDurable`] when no
+    /// directory is open.
+    pub fn checkpoint(&mut self) -> Result<u64, KathError> {
+        let durability = self.durability.as_mut().ok_or(KathError::NotDurable)?;
+        let names: Vec<String> = self
+            .ctx
+            .catalog
+            .table_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        let arcs: Vec<Arc<Table>> = names
+            .iter()
+            .map(|n| self.ctx.catalog.get(n).expect("listed table exists"))
+            .collect();
+        let refs: Vec<&Table> = arcs.iter().map(|a| a.as_ref()).collect();
+        let functions_json = to_string_pretty(&self.registry.to_json());
+        let epoch = durability.inner.checkpoint(&refs, Some(&functions_json))?;
+        durability.functions_json = functions_json;
+        Ok(epoch)
+    }
+
+    /// Checkpoints (when a durable directory is open) and detaches it.
+    /// Safe to call repeatedly; a no-op for in-memory instances. Read-only
+    /// sessions skip the snapshot: when no WAL record accumulated and the
+    /// registry is unchanged since the last checkpoint, there is nothing
+    /// to re-encode.
+    pub fn close(&mut self) -> Result<(), KathError> {
+        if let Some(d) = &self.durability {
+            // Replayed tail records are already durable (they replay again
+            // next open); only records appended by *this* session, or an
+            // unlogged registry change, warrant a closing snapshot.
+            let dirty = d.inner.appended_records() > 0
+                || to_string_pretty(&self.registry.to_json()) != d.functions_json;
+            if dirty {
+                self.checkpoint()?;
+            }
+        }
+        self.durability = None;
+        Ok(())
+    }
+
+    /// WAL / snapshot status of the open durable directory, if any.
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        self.durability.as_ref().map(|d| d.inner.status())
+    }
+
+    /// Logs the function registry to the WAL when it changed since the last
+    /// log/checkpoint (called after every NL query; registries mutate
+    /// through compilation and self-repair).
+    fn log_registry_if_changed(&mut self) -> Result<(), KathError> {
+        let Some(d) = &mut self.durability else {
+            return Ok(());
+        };
+        let json = to_string_pretty(&self.registry.to_json());
+        if json != d.functions_json {
+            d.inner.log(&WalRecord::Functions(json.clone()))?;
+            d.functions_json = json;
+        }
+        Ok(())
     }
 
     /// Pins the batch size for relational pipelines (batched execution).
@@ -346,10 +570,16 @@ impl KathDB {
         }
     }
 
-    /// Ingests an MMQA-like corpus: the base table plus its media.
+    /// Ingests an MMQA-like corpus: the base table plus its media. The
+    /// table rides the WAL when a durable directory is open; media
+    /// descriptors are in-memory only until the next checkpoint-capturing
+    /// release (they are re-registered by `load_corpus` on restart: when
+    /// the base table was already recovered from disk, only the media
+    /// registration runs — the recovered rows win).
     pub fn load_corpus(&mut self, corpus: &MmqaCorpus) -> Result<(), KathError> {
-        self.ctx
-            .ingest_table(corpus.movies.clone(), "file://data/movie_table")?;
+        if !self.ctx.catalog.contains(corpus.movies.name()) {
+            self.load_table(corpus.movies.clone(), "file://data/movie_table")?;
+        }
         for d in &corpus.documents {
             self.ctx.media.add_document(d.clone());
         }
@@ -359,8 +589,18 @@ impl KathDB {
         Ok(())
     }
 
-    /// Ingests an arbitrary base table.
+    /// Ingests an arbitrary base table. When a durable directory is open
+    /// the full contents are logged write-ahead, so the ingest survives a
+    /// crash even before the next checkpoint.
     pub fn load_table(&mut self, table: Table, src_uri: &str) -> Result<(), KathError> {
+        if self.ctx.catalog.contains(table.name()) {
+            return Err(KathError::Storage(StorageError::TableExists(
+                table.name().to_string(),
+            )));
+        }
+        if let Some(d) = &mut self.durability {
+            d.inner.log(&WalRecord::CreateTable(table.clone()))?;
+        }
         self.ctx.ingest_table(table, src_uri)?;
         Ok(())
     }
@@ -407,6 +647,9 @@ impl KathDB {
         )?;
 
         self.last_plan = Some(compile_report.physical.clone());
+        // Compilation and self-repair may have added function versions;
+        // make the registry durable before acknowledging the query.
+        self.log_registry_if_changed()?;
         Ok(QueryResult {
             table: exec_report.final_table.clone(),
             parse,
@@ -480,6 +723,219 @@ mod tests {
         ]);
         let result = db.query(FLAGSHIP, channel.as_ref()).unwrap();
         (db, result)
+    }
+
+    fn durable_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kathdb_core_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The newest WAL segment file of a durable directory.
+    fn active_segment(dir: &Path) -> std::path::PathBuf {
+        let mut segs: Vec<_> = std::fs::read_dir(dir.join("wal"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "log"))
+            .collect();
+        segs.sort();
+        segs.pop().expect("at least one wal segment")
+    }
+
+    #[test]
+    fn durable_sql_survives_crash_and_torn_tail() {
+        let dir = durable_dir("crash");
+        let committed;
+        let before_last;
+        {
+            // Populate via SQL, checkpoint mid-stream, keep writing, then
+            // "crash" (drop without close: nothing is flushed beyond what
+            // the WAL already fsynced).
+            let mut db = KathDB::open(&dir).unwrap();
+            db.sql("CREATE TABLE kv (k INT, v STR)").unwrap();
+            db.sql("INSERT INTO kv VALUES (1, 'a'), (2, 'b')").unwrap();
+            assert_eq!(db.checkpoint().unwrap(), 1);
+            db.sql("INSERT INTO kv VALUES (3, 'c')").unwrap();
+            before_last = db.sql("SELECT * FROM kv ORDER BY k").unwrap();
+            db.sql("INSERT INTO kv VALUES (4, 'd')").unwrap();
+            committed = db.sql("SELECT * FROM kv ORDER BY k").unwrap();
+            let status = db.durability_status().unwrap();
+            assert_eq!(status.snapshot_epoch, 1);
+            assert_eq!(status.wal_records, 2);
+        }
+        {
+            // Reopen: byte-identical state.
+            let mut db = KathDB::open(&dir).unwrap();
+            assert_eq!(db.sql("SELECT * FROM kv ORDER BY k").unwrap(), committed);
+        }
+        // Tear the final WAL record (simulates a crash mid-append): the
+        // torn record is skipped, everything before it survives.
+        let seg = active_segment(&dir);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        {
+            let mut db = KathDB::open(&dir).unwrap();
+            assert_eq!(db.sql("SELECT * FROM kv ORDER BY k").unwrap(), before_last);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn durable_drop_table_survives_reopen() {
+        let dir = durable_dir("drop");
+        {
+            let mut db = KathDB::open(&dir).unwrap();
+            db.sql("CREATE TABLE gone (x INT)").unwrap();
+            db.sql("CREATE TABLE kept (x INT)").unwrap();
+            db.sql("INSERT INTO kept VALUES (7)").unwrap();
+            db.sql("DROP TABLE gone").unwrap();
+        }
+        let mut db = KathDB::open(&dir).unwrap();
+        assert!(!db.context().catalog.contains("gone"));
+        assert!(db.sql("SELECT * FROM gone").is_err());
+        let kept = db.sql("SELECT * FROM kept").unwrap();
+        assert_eq!(kept.cell(0, "x").unwrap().as_int(), Some(7));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corpus_and_functions_survive_reopen() {
+        let dir = durable_dir("functions");
+        {
+            let mut db = KathDB::open(&dir).unwrap();
+            db.load_corpus(&mmqa_small()).unwrap();
+            let channel = ScriptedChannel::new([
+                "The movie plot contains scenes that are uncommon in real life",
+                "Oh I prefer a more recent movie as well when scoring",
+                "OK",
+            ]);
+            db.query(FLAGSHIP, channel.as_ref()).unwrap();
+            // Crash: no close, no checkpoint. The corpus ingest and the
+            // registry changes were WAL-logged.
+        }
+        let mut db = KathDB::open(&dir).unwrap();
+        assert!(db.registry().contains("classify_boring"));
+        assert!(db.registry().contains("gen_excitement_score"));
+        assert_eq!(db.context().catalog.get("movie_table").unwrap().len(), 6);
+        // The documented restart workflow: load_corpus again to re-register
+        // the media descriptors. The recovered base table wins (no
+        // TableExists error), and the full NL pipeline runs end to end.
+        db.load_corpus(&mmqa_small()).unwrap();
+        let channel = ScriptedChannel::new([
+            "The movie plot contains scenes that are uncommon in real life",
+            "Oh I prefer a more recent movie as well when scoring",
+            "OK",
+        ]);
+        let result = db.query(FLAGSHIP, channel.as_ref()).unwrap();
+        assert_eq!(
+            result.display_table().cell(0, "title").unwrap().as_str(),
+            Some("Guilty by Suspicion")
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn attaching_a_dir_checkpoints_preexisting_state() {
+        let dir = durable_dir("attach");
+        {
+            let mut db = KathDB::new(42);
+            db.load_corpus(&mmqa_small()).unwrap();
+            let info = db.open_dir(&dir).unwrap();
+            assert_eq!(info.snapshot_tables, 0);
+            // The attach checkpointed the already-loaded corpus.
+            assert_eq!(db.durability_status().unwrap().snapshot_epoch, 1);
+        }
+        let db = KathDB::open(&dir).unwrap();
+        assert_eq!(db.context().catalog.get("movie_table").unwrap().len(), 6);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn close_checkpoints_and_detaches() {
+        let dir = durable_dir("close");
+        let mut db = KathDB::open(&dir).unwrap();
+        db.sql("CREATE TABLE t (x INT)").unwrap();
+        db.close().unwrap();
+        assert!(db.durability_status().is_none());
+        assert!(matches!(db.checkpoint(), Err(KathError::NotDurable)));
+        // Close is idempotent, and further mutations are in-memory only.
+        db.close().unwrap();
+        let db2 = KathDB::open(&dir).unwrap();
+        assert!(db2.context().catalog.contains("t"));
+        drop(db2);
+        // A read-only session writes no new snapshot on close.
+        let mut db3 = KathDB::open(&dir).unwrap();
+        let epoch = db3.durability_status().unwrap().snapshot_epoch;
+        db3.sql("SELECT * FROM t").unwrap();
+        db3.close().unwrap();
+        let db4 = KathDB::open(&dir).unwrap();
+        assert_eq!(db4.durability_status().unwrap().snapshot_epoch, epoch);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn switching_dirs_checkpoints_the_first() {
+        let dir1 = durable_dir("switch1");
+        let dir2 = durable_dir("switch2");
+        let mut db = KathDB::open(&dir1).unwrap();
+        db.sql("CREATE TABLE a (x INT)").unwrap();
+        db.sql("INSERT INTO a VALUES (1)").unwrap();
+        // Switching detaches dir1 with a final checkpoint before attaching
+        // dir2 (which then checkpoints the carried-over state too).
+        db.open_dir(&dir2).unwrap();
+        db.sql("INSERT INTO a VALUES (2)").unwrap();
+        drop(db);
+        let mut db1 = KathDB::open(&dir1).unwrap();
+        assert_eq!(db1.sql("SELECT * FROM a").unwrap().len(), 1);
+        let mut db2 = KathDB::open(&dir2).unwrap();
+        assert_eq!(db2.sql("SELECT * FROM a").unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(dir1);
+        let _ = std::fs::remove_dir_all(dir2);
+    }
+
+    #[test]
+    fn failed_open_leaves_the_session_untouched() {
+        let dir = durable_dir("failedopen");
+        {
+            // A log that disagrees with its (absent) snapshot: an INSERT
+            // into a table that was never created.
+            let (mut d, _) = Durability::open(&dir).unwrap();
+            d.log(&WalRecord::Insert {
+                table: "ghost".into(),
+                rows: vec![vec![Value::Int(1)]],
+            })
+            .unwrap();
+        }
+        let mut db = KathDB::new(42);
+        db.load_corpus(&mmqa_small()).unwrap();
+        let tables_before = db.context().catalog.len();
+        let functions_before = db.registry().len();
+        assert!(db.open_dir(&dir).is_err());
+        // No half-recovered state: catalog, registry, and durability are
+        // exactly as they were.
+        assert_eq!(db.context().catalog.len(), tables_before);
+        assert!(!db.context().catalog.contains("ghost"));
+        assert_eq!(db.registry().len(), functions_before);
+        assert!(db.durability_status().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn wal_recovered_tables_carry_lineage_roots() {
+        let dir = durable_dir("lineage");
+        {
+            let mut db = KathDB::open(&dir).unwrap();
+            db.sql("CREATE TABLE logged (x INT)").unwrap();
+            // Crash before any checkpoint: the table exists only in the WAL.
+        }
+        let db = KathDB::open(&dir).unwrap();
+        let lid = db.context().table_lid("logged").expect("lineage root");
+        let edge = db.context().lineage.edges_of(lid)[0];
+        assert!(edge.parent_lid.is_none());
+        assert!(edge.src_uri.as_deref().unwrap().starts_with("kathdb://"));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -367,12 +367,11 @@ impl FunctionRegistry {
     }
 
     /// Persists the registry to a file ("these functions are persisted
-    /// locally on disk", §1).
+    /// locally on disk", §1). The write is atomic — temp file in the same
+    /// directory, fsync, rename — so a crash mid-save can never leave a
+    /// truncated registry under the target name.
     pub fn save(&self, path: &Path) -> Result<(), RegistryError> {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir).map_err(|e| RegistryError::Io(e.to_string()))?;
-        }
-        std::fs::write(path, to_string_pretty(&self.to_json()))
+        kath_storage::atomic_write(path, to_string_pretty(&self.to_json()).as_bytes())
             .map_err(|e| RegistryError::Io(e.to_string()))
     }
 

@@ -185,6 +185,11 @@ pub enum Statement {
         /// Row literals.
         rows: Vec<Vec<SqlExpr>>,
     },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table to remove.
+        name: String,
+    },
 }
 
 impl fmt::Display for SqlExpr {
@@ -309,6 +314,7 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
+            Statement::DropTable { name } => write!(f, "DROP TABLE {name}"),
         }
     }
 }

@@ -6,7 +6,9 @@
 //! `kath-storage`. The subset covers what KathDB's coder agent emits:
 //! SELECT (projection, computed columns, DISTINCT), equi-JOIN / LEFT JOIN,
 //! WHERE, GROUP BY with COUNT/SUM/AVG/MIN/MAX, ORDER BY, LIMIT, plus
-//! CREATE TABLE and INSERT for setup.
+//! CREATE TABLE, INSERT, and DROP TABLE for setup. Mutating statements
+//! lower to [`kath_storage::WalRecord`]s ([`plan_mutation`] /
+//! [`apply_mutation`]) so the durability layer can log them write-ahead.
 
 #![warn(missing_docs)]
 
@@ -19,6 +21,6 @@ pub use ast::{AggCall, JoinClause, OrderKey, Select, SelectItem, SqlBinOp, SqlEx
 pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_expr, parse_select, parse_statement, SqlParseError};
 pub use plan::{
-    execute, execute_with, run_select, run_select_parallel, run_select_with, to_expr, SelectStats,
-    SqlError,
+    apply_mutation, execute, execute_with, plan_mutation, run_select, run_select_parallel,
+    run_select_with, to_expr, SelectStats, SqlError,
 };

@@ -182,8 +182,12 @@ impl Parser {
                 }
             }
             Ok(Statement::Insert { table, rows })
+        } else if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            Ok(Statement::DropTable { name })
         } else {
-            Err(self.err("expected SELECT, CREATE or INSERT"))
+            Err(self.err("expected SELECT, CREATE, INSERT or DROP"))
         }
     }
 
@@ -526,6 +530,15 @@ mod tests {
             Statement::Insert { rows, .. } => assert_eq!(rows.len(), 2),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_drop_table_and_round_trips() {
+        let d = parse_statement("drop table films").unwrap();
+        assert!(matches!(&d, Statement::DropTable { name } if name == "films"));
+        assert_eq!(parse_statement(&d.to_string()).unwrap(), d);
+        assert!(parse_statement("DROP films").is_err());
+        assert!(parse_statement("DROP TABLE").is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::parser::{parse_statement, SqlParseError};
 use kath_storage::{
     collect, collect_batched, AggFunc, Aggregate, BinOp, Catalog, Column, DataType, Distinct,
     ExecMode, Expr, Filter, HashAggregate, HashJoin, IndexScan, JoinKind, Limit, Operator, Project,
-    Schema, Sort, SortKey, StorageError, Table, TableScan, Value,
+    Schema, Sort, SortKey, StorageError, Table, TableScan, Value, WalRecord,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -67,35 +67,99 @@ pub fn execute_with(
         Statement::Select(select) => {
             run_select_with(catalog, &select, output_name, mode).map(|(table, _batches)| table)
         }
+        stmt => {
+            let record = plan_mutation(catalog, &stmt)?;
+            apply_mutation(catalog, &record, output_name)
+        }
+    }
+}
+
+/// Validates a mutating statement against the catalog and lowers it to the
+/// logical redo record the durability layer logs — **without applying
+/// it**. INSERT row expressions are evaluated here, so the record replays
+/// deterministically; all catalog preconditions (table exists / name free,
+/// rows type-check) are verified so that a record, once logged, can always
+/// be applied. Returns an error for SELECT (not a mutation).
+pub fn plan_mutation(catalog: &Catalog, stmt: &Statement) -> Result<WalRecord, SqlError> {
+    match stmt {
+        Statement::Select(_) => Err(SqlError::Unsupported(
+            "SELECT is not a mutation".to_string(),
+        )),
         Statement::CreateTable { name, columns } => {
+            if catalog.contains(name) {
+                return Err(SqlError::Storage(StorageError::TableExists(name.clone())));
+            }
             let cols = columns
                 .iter()
                 .map(|(c, ty)| Ok(Column::new(c.clone(), parse_type(ty)?)))
                 .collect::<Result<Vec<_>, SqlError>>()?;
             let schema = Schema::new(cols).map_err(SqlError::Storage)?;
-            catalog.register(Table::new(name, schema))?;
-            Ok(Table::new(output_name, Schema::of(&[])))
+            Ok(WalRecord::CreateTable(Table::new(name.clone(), schema)))
         }
         Statement::Insert { table, rows } => {
-            let existing = catalog.get(&table)?;
-            let mut new_table = (*existing).clone();
+            let existing = catalog.get(table)?;
             let empty_schema = Schema::of(&[]);
-            for row in &rows {
+            let mut values_rows = Vec::with_capacity(rows.len());
+            for row in rows {
                 let values: Vec<Value> = row
                     .iter()
                     .map(|e| {
                         to_expr(e, &empty_schema).and_then(|x| Ok(x.eval(&vec![], &empty_schema)?))
                     })
                     .collect::<Result<_, SqlError>>()?;
-                new_table.push(values)?;
+                // The same arity/type validation `Table::push` applies, so
+                // a logged record can never fail to apply — without
+                // cloning the table just to type-check.
+                existing.schema().check_row(&values)?;
+                values_rows.push(values);
             }
-            let n = rows.len();
+            Ok(WalRecord::Insert {
+                table: table.clone(),
+                rows: values_rows,
+            })
+        }
+        Statement::DropTable { name } => {
+            if !catalog.contains(name) {
+                return Err(SqlError::Storage(StorageError::UnknownTable(name.clone())));
+            }
+            Ok(WalRecord::DropTable(name.clone()))
+        }
+    }
+}
+
+/// Applies one logical redo record to the catalog, returning the summary
+/// table `execute` reports. This is the single apply path for live
+/// execution *and* WAL replay, so recovered state is byte-identical to the
+/// pre-crash state by construction.
+pub fn apply_mutation(
+    catalog: &mut Catalog,
+    record: &WalRecord,
+    output_name: &str,
+) -> Result<Table, SqlError> {
+    match record {
+        WalRecord::CreateTable(t) => {
+            catalog.register(t.clone())?;
+            Ok(Table::new(output_name, Schema::of(&[])))
+        }
+        WalRecord::Insert { table, rows } => {
+            let existing = catalog.get(table)?;
+            let mut new_table = (*existing).clone();
+            for row in rows {
+                new_table.push(row.clone())?;
+            }
             catalog.register_or_replace(new_table);
             let mut summary =
                 Table::new(output_name, Schema::of(&[("rows_inserted", DataType::Int)]));
-            summary.push(vec![Value::Int(n as i64)])?;
+            summary.push(vec![Value::Int(rows.len() as i64)])?;
             Ok(summary)
         }
+        WalRecord::DropTable(name) => {
+            catalog.drop_table(name)?;
+            Ok(Table::new(output_name, Schema::of(&[])))
+        }
+        WalRecord::Functions(_) => Err(SqlError::Unsupported(
+            "function-registry records are applied by the facade, not the catalog".to_string(),
+        )),
     }
 }
 
@@ -886,6 +950,46 @@ mod tests {
         )
         .unwrap();
         c
+    }
+
+    #[test]
+    fn drop_table_removes_and_validates() {
+        let mut c = catalog();
+        assert!(c.contains("posters"));
+        execute(&mut c, "DROP TABLE posters", "x").unwrap();
+        assert!(!c.contains("posters"));
+        assert!(matches!(
+            execute(&mut c, "DROP TABLE posters", "x"),
+            Err(SqlError::Storage(StorageError::UnknownTable(_)))
+        ));
+    }
+
+    #[test]
+    fn plan_mutation_validates_without_applying() {
+        let c = catalog();
+        // Planning an INSERT leaves the catalog untouched.
+        let stmt = parse_statement("INSERT INTO films VALUES (9, 'New', 2001)").unwrap();
+        let record = plan_mutation(&c, &stmt).unwrap();
+        assert_eq!(c.get("films").unwrap().len(), 4);
+        assert!(matches!(
+            &record,
+            WalRecord::Insert { table, rows } if table == "films" && rows.len() == 1
+        ));
+        // Bad mutations fail at planning time, before anything is logged.
+        let dup = parse_statement("CREATE TABLE films (id INT)").unwrap();
+        assert!(matches!(
+            plan_mutation(&c, &dup),
+            Err(SqlError::Storage(StorageError::TableExists(_)))
+        ));
+        let missing = parse_statement("INSERT INTO nope VALUES (1)").unwrap();
+        assert!(plan_mutation(&c, &missing).is_err());
+        let bad_type = parse_statement("INSERT INTO films VALUES ('x', 2, 3)").unwrap();
+        assert!(plan_mutation(&c, &bad_type).is_err());
+        // Applying the planned record matches direct execution.
+        let mut c2 = catalog();
+        let summary = apply_mutation(&mut c2, &record, "out").unwrap();
+        assert_eq!(summary.cell(0, "rows_inserted").unwrap().as_int(), Some(1));
+        assert_eq!(c2.get("films").unwrap().len(), 5);
     }
 
     #[test]

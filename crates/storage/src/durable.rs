@@ -1,0 +1,487 @@
+//! Durable storage: checkpointed snapshots + WAL segments + crash recovery.
+//!
+//! On-disk layout of a durable database directory:
+//!
+//! ```text
+//! <dir>/
+//!   wal/
+//!     000000.log      # records logged before the first checkpoint
+//!     000001.log      # records logged after snapshot 000001, …
+//!   snapshots/
+//!     000001/
+//!       MANIFEST      # file list + sizes + CRC32s, self-checksummed
+//!       t0.ktbl …     # every catalog table, KTBL v2 (checksum trailer)
+//!       functions.json
+//! ```
+//!
+//! Checkpoint `N` writes the whole in-memory state into a temp directory,
+//! fsyncs it, renames it to `snapshots/N` (atomic), then rotates the log to
+//! segment `N`. The previous snapshot and its segment are kept, so a
+//! corrupt newest snapshot still recovers from `N-1` plus segments
+//! `N-1` and `N`. Recovery loads the newest snapshot whose manifest and
+//! tables all verify, then replays every segment from that epoch onward —
+//! tolerating (not erroring on) a torn final record, which a live process
+//! could never have applied.
+
+use crate::persist::{decode_table, encode_table};
+use crate::wal::{crc32, Wal, WalRecord};
+use crate::{StorageError, Table};
+use std::path::{Path, PathBuf};
+
+const MANIFEST_MAGIC: &str = "KSNAP 1";
+
+/// What [`Durability::open`] reconstructed from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Tables of the newest valid snapshot (empty for a fresh directory).
+    pub tables: Vec<Table>,
+    /// The function-registry payload persisted with that snapshot.
+    pub functions_json: Option<String>,
+    /// WAL records logged after the snapshot, in commit order. The caller
+    /// applies them on top of `tables` (the storage layer keeps the apply
+    /// semantics with the SQL layer that produced the records).
+    pub wal_records: Vec<WalRecord>,
+    /// Epoch of the snapshot that was loaded (0 = started empty).
+    pub snapshot_epoch: u64,
+}
+
+/// Point-in-time status of a durable directory, for the REPL's `\wal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityStatus {
+    /// The database directory.
+    pub dir: PathBuf,
+    /// Newest snapshot epoch (0 before the first checkpoint).
+    pub snapshot_epoch: u64,
+    /// Complete records in the active segment (replayed + appended).
+    pub wal_records: u64,
+    /// Valid bytes in the active segment.
+    pub wal_bytes: u64,
+}
+
+/// The durability coordinator: owns the active WAL segment and writes
+/// checkpoints. One instance per open database directory.
+#[derive(Debug)]
+pub struct Durability {
+    dir: PathBuf,
+    /// Newest snapshot epoch == index of the active WAL segment.
+    epoch: u64,
+    wal: Wal,
+}
+
+fn epoch_name(e: u64) -> String {
+    format!("{e:06}")
+}
+
+fn segment_path(dir: &Path, e: u64) -> PathBuf {
+    dir.join("wal").join(format!("{}.log", epoch_name(e)))
+}
+
+fn snapshot_dir(dir: &Path, e: u64) -> PathBuf {
+    dir.join("snapshots").join(epoch_name(e))
+}
+
+/// Numeric entries (dirs or `.log` files) under `path`, ascending.
+fn list_epochs(path: &Path, strip_log: bool) -> Result<Vec<u64>, StorageError> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(path) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        let stem = if strip_log {
+            match name.strip_suffix(".log") {
+                Some(s) => s,
+                None => continue,
+            }
+        } else {
+            name.as_ref()
+        };
+        if let Ok(e) = stem.parse::<u64>() {
+            out.push(e);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+impl Durability {
+    /// Opens a durable directory, creating it if absent, and recovers:
+    /// newest valid snapshot + replay of every WAL segment from that epoch
+    /// onward. Falls back to the previous retained snapshot (or, before
+    /// any pruning, to the empty epoch-0 state) when the newest snapshot
+    /// fails verification; errors with [`StorageError::Corrupt`] only when
+    /// no retained state verifies.
+    pub fn open(dir: &Path) -> Result<(Self, Recovered), StorageError> {
+        std::fs::create_dir_all(dir.join("wal"))?;
+        std::fs::create_dir_all(dir.join("snapshots"))?;
+        // Clear interrupted checkpoint attempts.
+        for entry in std::fs::read_dir(dir.join("snapshots"))? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                let _ = std::fs::remove_dir_all(entry.path());
+            }
+        }
+
+        let snaps = list_epochs(&dir.join("snapshots"), false)?;
+        let segments = list_epochs(&dir.join("wal"), true)?;
+        let max_epoch = snaps
+            .iter()
+            .chain(segments.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
+
+        // Candidate start states, newest first; epoch 0 (empty) is only
+        // reachable while segment 0 is still retained or nothing exists.
+        let mut candidates: Vec<u64> = snaps.iter().rev().copied().collect();
+        if snaps.is_empty() || segments.first() == Some(&0) {
+            candidates.push(0);
+        }
+
+        let mut first_error: Option<StorageError> = None;
+        for candidate in candidates {
+            // Every rotated-out segment in [candidate, max_epoch) must be
+            // present — a pruned segment means this start state can no
+            // longer reach the present.
+            let chain_ok = (candidate..max_epoch).all(|e| segments.binary_search(&e).is_ok());
+            if !chain_ok {
+                continue;
+            }
+            let loaded = if candidate == 0 {
+                Ok((Vec::new(), None))
+            } else {
+                load_snapshot(&snapshot_dir(dir, candidate))
+            };
+            let (tables, functions_json) = match loaded {
+                Ok(state) => state,
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+            };
+            let mut wal_records = Vec::new();
+            let mut replay_ok = true;
+            for e in candidate..max_epoch {
+                match Wal::replay_file(&segment_path(dir, e)) {
+                    Ok(records) => wal_records.extend(records),
+                    Err(err) => {
+                        first_error.get_or_insert(err);
+                        replay_ok = false;
+                        break;
+                    }
+                }
+            }
+            if !replay_ok {
+                continue;
+            }
+            // The active segment: replay and truncate any torn tail.
+            let (wal, tail) = Wal::open(&segment_path(dir, max_epoch))?;
+            wal_records.extend(tail);
+            return Ok((
+                Self {
+                    dir: dir.to_path_buf(),
+                    epoch: max_epoch,
+                    wal,
+                },
+                Recovered {
+                    tables,
+                    functions_json,
+                    wal_records,
+                    snapshot_epoch: candidate,
+                },
+            ));
+        }
+        Err(first_error.unwrap_or_else(|| {
+            StorageError::Corrupt("no recoverable snapshot or wal state".to_string())
+        }))
+    }
+
+    /// Appends one record to the active segment and fsyncs it. Call this
+    /// *before* applying the mutation in memory (write-ahead).
+    pub fn log(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        self.wal.append(record)
+    }
+
+    /// Writes a checkpoint: every table plus the function-registry payload
+    /// into a fresh snapshot epoch (temp dir + fsync + atomic rename), then
+    /// rotates the WAL to a new segment and prunes state older than the
+    /// previous epoch. Returns the new epoch.
+    pub fn checkpoint(
+        &mut self,
+        tables: &[&Table],
+        functions_json: Option<&str>,
+    ) -> Result<u64, StorageError> {
+        let next = self.epoch + 1;
+        let snapshots = self.dir.join("snapshots");
+        let tmp = snapshots.join(format!(".tmp-{}", epoch_name(next)));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp)?;
+
+        let mut manifest = format!("{MANIFEST_MAGIC}\nepoch {next}\n");
+        for (i, table) in tables.iter().enumerate() {
+            let file = format!("t{i}.ktbl");
+            let bytes = encode_table(table)?;
+            write_synced(&tmp.join(&file), &bytes)?;
+            manifest.push_str(&format!("table {file} {} {}\n", bytes.len(), crc32(&bytes)));
+        }
+        if let Some(json) = functions_json {
+            let bytes = json.as_bytes();
+            write_synced(&tmp.join("functions.json"), bytes)?;
+            manifest.push_str(&format!(
+                "functions functions.json {} {}\n",
+                bytes.len(),
+                crc32(bytes)
+            ));
+        }
+        manifest.push_str(&format!("crc {}\n", crc32(manifest.as_bytes())));
+        write_synced(&tmp.join("MANIFEST"), manifest.as_bytes())?;
+        let _ = std::fs::File::open(&tmp).and_then(|d| d.sync_all());
+        std::fs::rename(&tmp, snapshot_dir(&self.dir, next))?;
+        let _ = std::fs::File::open(&snapshots).and_then(|d| d.sync_all());
+
+        // Rotate the log: subsequent records belong to the new epoch.
+        let (wal, _) = Wal::open(&segment_path(&self.dir, next))?;
+        self.wal = wal;
+        self.epoch = next;
+
+        // Prune: keep this snapshot and the previous one (plus the WAL
+        // segments needed to roll either forward to the present).
+        for e in list_epochs(&snapshots, false)? {
+            if e + 2 <= next {
+                let _ = std::fs::remove_dir_all(snapshot_dir(&self.dir, e));
+            }
+        }
+        for e in list_epochs(&self.dir.join("wal"), true)? {
+            if e + 2 <= next {
+                let _ = std::fs::remove_file(segment_path(&self.dir, e));
+            }
+        }
+        Ok(next)
+    }
+
+    /// Records appended through this handle since open or the last
+    /// checkpoint (replayed tail records are not counted: they are already
+    /// durable and re-replayable, so a session that only read needs no
+    /// closing snapshot).
+    pub fn appended_records(&self) -> u64 {
+        self.wal.appended()
+    }
+
+    /// Current status (snapshot epoch, active-segment records/bytes).
+    pub fn status(&self) -> DurabilityStatus {
+        DurabilityStatus {
+            dir: self.dir.clone(),
+            snapshot_epoch: self.epoch,
+            wal_records: self.wal.records(),
+            wal_bytes: self.wal.bytes(),
+        }
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Writes `bytes` and fsyncs. Plain (non-atomic) writes are fine here: the
+/// file lives in a temp snapshot directory whose *rename* is the atomic
+/// commit point.
+fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Loads and fully verifies one snapshot directory.
+fn load_snapshot(dir: &Path) -> Result<(Vec<Table>, Option<String>), StorageError> {
+    let corrupt = |m: String| StorageError::Corrupt(m);
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST"))
+        .map_err(|e| corrupt(format!("unreadable manifest in {}: {e}", dir.display())))?;
+    // The manifest authenticates itself: its last line checksums the rest.
+    let body_end = manifest
+        .trim_end_matches('\n')
+        .rfind('\n')
+        .map(|i| i + 1)
+        .ok_or_else(|| corrupt("manifest too short".to_string()))?;
+    let (body, crc_line) = manifest.split_at(body_end);
+    let stored: u32 = crc_line
+        .trim()
+        .strip_prefix("crc ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt("manifest missing crc line".to_string()))?;
+    if crc32(body.as_bytes()) != stored {
+        return Err(corrupt("manifest checksum mismatch".to_string()));
+    }
+    let mut lines = body.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(corrupt("bad manifest magic".to_string()));
+    }
+    let mut tables = Vec::new();
+    let mut functions_json = None;
+    for line in lines {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["epoch", _] => {}
+            ["table", file, len, crc] | ["functions", file, len, crc] => {
+                let want_len: usize = len
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad length in manifest line '{line}'")))?;
+                let want_crc: u32 = crc
+                    .parse()
+                    .map_err(|_| corrupt(format!("bad crc in manifest line '{line}'")))?;
+                let bytes = std::fs::read(dir.join(file))
+                    .map_err(|e| corrupt(format!("unreadable snapshot file {file}: {e}")))?;
+                if bytes.len() != want_len || crc32(&bytes) != want_crc {
+                    return Err(corrupt(format!("snapshot file {file} fails verification")));
+                }
+                if line.starts_with("table ") {
+                    tables.push(decode_table(&bytes)?);
+                } else {
+                    functions_json = Some(String::from_utf8(bytes).map_err(|_| {
+                        corrupt("snapshot functions.json is not utf-8".to_string())
+                    })?);
+                }
+            }
+            _ => return Err(corrupt(format!("unrecognized manifest line '{line}'"))),
+        }
+    }
+    Ok((tables, functions_json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Schema, Value};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kathdb_durable_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn kv_table(rows: &[(i64, &str)]) -> Table {
+        Table::from_rows(
+            "kv",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Str)]),
+            rows.iter()
+                .map(|(k, v)| vec![Value::Int(*k), Value::Str(v.to_string())])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_directory_starts_empty() {
+        let dir = tmp("fresh");
+        let (d, rec) = Durability::open(&dir).unwrap();
+        assert!(rec.tables.is_empty());
+        assert!(rec.wal_records.is_empty());
+        assert_eq!(rec.snapshot_epoch, 0);
+        assert_eq!(d.status().snapshot_epoch, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checkpoint_then_recover_round_trips() {
+        let dir = tmp("roundtrip");
+        let t = kv_table(&[(1, "a"), (2, "b")]);
+        {
+            let (mut d, _) = Durability::open(&dir).unwrap();
+            d.log(&WalRecord::CreateTable(t.clone())).unwrap();
+            let epoch = d.checkpoint(&[&t], Some("{\"functions\": []}")).unwrap();
+            assert_eq!(epoch, 1);
+            d.log(&WalRecord::Insert {
+                table: "kv".into(),
+                rows: vec![vec![3i64.into(), "c".into()]],
+            })
+            .unwrap();
+        }
+        let (d, rec) = Durability::open(&dir).unwrap();
+        assert_eq!(rec.snapshot_epoch, 1);
+        assert_eq!(rec.tables, vec![t]);
+        assert_eq!(rec.functions_json.as_deref(), Some("{\"functions\": []}"));
+        assert_eq!(rec.wal_records.len(), 1);
+        assert_eq!(d.status().wal_records, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous() {
+        let dir = tmp("fallback");
+        let t1 = kv_table(&[(1, "a")]);
+        let t2 = kv_table(&[(1, "a"), (2, "b")]);
+        {
+            let (mut d, _) = Durability::open(&dir).unwrap();
+            d.log(&WalRecord::CreateTable(t1.clone())).unwrap();
+            d.checkpoint(&[&t1], None).unwrap();
+            d.log(&WalRecord::Insert {
+                table: "kv".into(),
+                rows: vec![vec![2i64.into(), "b".into()]],
+            })
+            .unwrap();
+            d.checkpoint(&[&t2], None).unwrap();
+        }
+        // Corrupt every file of snapshot 2.
+        let snap2 = snapshot_dir(&dir, 2);
+        for entry in std::fs::read_dir(&snap2).unwrap() {
+            let p = entry.unwrap().path();
+            let mut bytes = std::fs::read(&p).unwrap();
+            if let Some(b) = bytes.get_mut(10) {
+                *b ^= 0xFF;
+            }
+            std::fs::write(&p, &bytes).unwrap();
+        }
+        // Recovery falls back to snapshot 1 and replays segment 1 (the
+        // insert) + segment 2 (empty): same logical state.
+        let (_, rec) = Durability::open(&dir).unwrap();
+        assert_eq!(rec.snapshot_epoch, 1);
+        assert_eq!(rec.tables, vec![t1]);
+        assert_eq!(rec.wal_records.len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_is_an_error_not_a_panic() {
+        let dir = tmp("allcorrupt");
+        let t1 = kv_table(&[(1, "a")]);
+        {
+            let (mut d, _) = Durability::open(&dir).unwrap();
+            for _ in 0..3 {
+                d.checkpoint(&[&t1], None).unwrap();
+            }
+        }
+        // Segment 0 and snapshot 1 are pruned by now; corrupt snapshots 2+3.
+        for e in [2u64, 3] {
+            let m = snapshot_dir(&dir, e).join("MANIFEST");
+            std::fs::write(&m, "garbage").unwrap();
+        }
+        assert!(matches!(
+            Durability::open(&dir),
+            Err(StorageError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn pruning_keeps_two_snapshots() {
+        let dir = tmp("prune");
+        let t = kv_table(&[(1, "a")]);
+        {
+            let (mut d, _) = Durability::open(&dir).unwrap();
+            for _ in 0..4 {
+                d.checkpoint(&[&t], None).unwrap();
+            }
+        }
+        let snaps = list_epochs(&dir.join("snapshots"), false).unwrap();
+        assert_eq!(snaps, vec![3, 4]);
+        let segs = list_epochs(&dir.join("wal"), true).unwrap();
+        assert_eq!(segs, vec![3, 4]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -34,6 +34,14 @@ pub enum StorageError {
     Eval(String),
     /// Corrupt or truncated persisted data.
     Corrupt(String),
+    /// A string or blob exceeds the 4 GiB (`u32::MAX` bytes) limit of the
+    /// binary formats; encoding refuses instead of silently truncating.
+    TooLarge {
+        /// What was being encoded ("string", "blob", "rows", …).
+        what: String,
+        /// The offending length (bytes or elements).
+        len: u64,
+    },
     /// Underlying I/O failure (message only, to keep the error `Clone`).
     Io(String),
 }
@@ -55,6 +63,9 @@ impl fmt::Display for StorageError {
             } => write!(f, "column '{column}' expects {expected}, got {got}"),
             StorageError::Eval(m) => write!(f, "expression error: {m}"),
             StorageError::Corrupt(m) => write!(f, "corrupt table data: {m}"),
+            StorageError::TooLarge { what, len } => {
+                write!(f, "cannot encode {what} of length {len}: exceeds u32::MAX")
+            }
             StorageError::Io(m) => write!(f, "io error: {m}"),
         }
     }

@@ -6,12 +6,14 @@
 //! writes tables. This crate is that relational foundation: typed values,
 //! schemas, in-memory tables, scalar expressions, volcano-style operators,
 //! secondary indexes, statistics, a system catalog (with the verifier's
-//! database utilities), and binary persistence.
+//! database utilities), binary persistence, and the durability subsystem
+//! (write-ahead log + checkpointed snapshots + crash recovery).
 
 #![warn(missing_docs)]
 
 mod batch;
 mod catalog;
+mod durable;
 mod error;
 mod expr;
 mod index;
@@ -22,9 +24,11 @@ mod schema;
 mod stats;
 mod table;
 mod value;
+mod wal;
 
 pub use batch::{ColumnData, ColumnVector, ExecMode, NullBitmap, RowBatch, DEFAULT_BATCH_SIZE};
 pub use catalog::{Catalog, Joinability};
+pub use durable::{Durability, DurabilityStatus, Recovered};
 pub use error::StorageError;
 pub use expr::{BinOp, Expr};
 pub use index::{HashIndex, SortedIndex};
@@ -34,8 +38,9 @@ pub use ops::{
     AggFunc, Aggregate, Distinct, Filter, HashAggregate, HashJoin, IndexScan, JoinBuild, JoinKind,
     Limit, NestedLoopJoin, Operator, PartialAggregate, Project, Sort, SortKey, TableScan, UnionAll,
 };
-pub use persist::{decode_table, encode_table, load_table, save_table};
+pub use persist::{atomic_write, decode_table, encode_table, load_table, save_table};
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
 pub use value::{DataType, Row, Value};
+pub use wal::{crc32, Wal, WalRecord};

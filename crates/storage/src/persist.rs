@@ -2,48 +2,76 @@
 //!
 //! KathDB materializes intermediate views and persists them so the lineage
 //! browser can show "the materialized view it came from" (§5) across
-//! sessions. The format is a simple length-prefixed layout with a magic
-//! header and version byte.
+//! sessions, and the durability subsystem snapshots every catalog table in
+//! this format at each checkpoint. The format is a simple length-prefixed
+//! layout with a magic header, version byte, and — since format version 2 —
+//! a CRC32 trailer over the entire encoding, so a torn or bit-flipped
+//! snapshot file is detected instead of decoded into wrong rows.
 
+use crate::wal::crc32;
 use crate::{Column, DataType, Row, Schema, StorageError, Table, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"KTBL";
-const FORMAT_VERSION: u8 = 1;
+const FORMAT_VERSION: u8 = 2;
 
-/// Encodes a table into the KathDB binary table format.
-pub fn encode_table(table: &Table) -> Bytes {
+/// Encodes a table into the KathDB binary table format (KTBL v2: the v1
+/// body followed by a CRC32 trailer over everything before it). Fails with
+/// [`StorageError::TooLarge`] if any string or blob exceeds `u32::MAX`
+/// bytes (the length prefix width) instead of silently truncating.
+pub fn encode_table(table: &Table) -> Result<Bytes, StorageError> {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u8(FORMAT_VERSION);
-    put_str(&mut buf, table.name());
+    put_str(&mut buf, table.name())?;
     buf.put_u32(table.schema().arity() as u32);
     for col in table.schema().columns() {
-        put_str(&mut buf, &col.name);
+        put_str(&mut buf, &col.name)?;
         buf.put_u8(dtype_tag(col.dtype));
         buf.put_u8(col.nullable as u8);
     }
     buf.put_u64(table.len() as u64);
     for row in table.rows() {
         for v in row {
-            put_value(&mut buf, v);
+            put_value(&mut buf, v)?;
         }
     }
-    buf.freeze()
+    let checksum = crc32(&buf);
+    buf.put_u32(checksum);
+    Ok(buf.freeze())
 }
 
-/// Decodes a table from the binary format.
-pub fn decode_table(mut data: &[u8]) -> Result<Table, StorageError> {
+/// Decodes a table from the binary format. Accepts both v1 (no trailer,
+/// written by earlier KathDB versions) and v2 (CRC32 trailer, verified
+/// before any byte of the payload is interpreted).
+pub fn decode_table(data: &[u8]) -> Result<Table, StorageError> {
     let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
     if data.len() < 5 || &data[..4] != MAGIC {
         return Err(corrupt("bad magic"));
     }
-    data.advance(4);
-    let version = data.get_u8();
-    if version != FORMAT_VERSION {
-        return Err(corrupt("unsupported format version"));
-    }
+    let version = data[4];
+    let body = match version {
+        1 => &data[5..],
+        2 => {
+            if data.len() < 9 {
+                return Err(corrupt("truncated checksum trailer"));
+            }
+            let (payload, trailer) = data.split_at(data.len() - 4);
+            let stored = u32::from_be_bytes(trailer.try_into().expect("4-byte trailer"));
+            if crc32(payload) != stored {
+                return Err(corrupt("table checksum mismatch"));
+            }
+            &payload[5..]
+        }
+        _ => return Err(corrupt("unsupported format version")),
+    };
+    decode_body(body)
+}
+
+fn decode_body(mut data: &[u8]) -> Result<Table, StorageError> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
     let name = get_str(&mut data)?;
     if data.remaining() < 4 {
         return Err(corrupt("truncated column count"));
@@ -85,13 +113,42 @@ pub fn decode_table(mut data: &[u8]) -> Result<Table, StorageError> {
     Ok(table)
 }
 
-/// Writes a table to `path`.
-pub fn save_table(table: &Table, path: &Path) -> Result<(), StorageError> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
+/// Writes `bytes` to `path` atomically: the data goes to a temp file in the
+/// same directory, is fsynced, and is then renamed into place, so a crash
+/// mid-write can never leave a truncated file under the target name. The
+/// containing directory is fsynced best-effort (required for the rename to
+/// be durable on power loss; not supported on every filesystem).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => {
+            std::fs::create_dir_all(d)?;
+            d.to_path_buf()
+        }
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| StorageError::Io(format!("no file name in {}", path.display())))?;
+    let tmp = dir.join(format!(
+        ".{}.{}.tmp",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
     }
-    std::fs::write(path, encode_table(table))?;
+    let _ = std::fs::File::open(&dir).and_then(|d| d.sync_all());
     Ok(())
+}
+
+/// Writes a table to `path` atomically (temp file + fsync + rename).
+pub fn save_table(table: &Table, path: &Path) -> Result<(), StorageError> {
+    atomic_write(path, &encode_table(table)?)
 }
 
 /// Reads a table from `path`.
@@ -123,12 +180,23 @@ fn dtype_from_tag(t: u8) -> Result<DataType, StorageError> {
     })
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+/// Checks that a length fits the u32 prefix of the binary formats; the
+/// guard every string/blob encoder goes through so oversized payloads fail
+/// loudly instead of round-tripping corrupt.
+pub(crate) fn encodable_len(what: &str, len: usize) -> Result<u32, StorageError> {
+    u32::try_from(len).map_err(|_| StorageError::TooLarge {
+        what: what.to_string(),
+        len: len as u64,
+    })
 }
 
-fn get_str(data: &mut &[u8]) -> Result<String, StorageError> {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) -> Result<(), StorageError> {
+    buf.put_u32(encodable_len("string", s.len())?);
+    buf.put_slice(s.as_bytes());
+    Ok(())
+}
+
+pub(crate) fn get_str(data: &mut &[u8]) -> Result<String, StorageError> {
     if data.remaining() < 4 {
         return Err(StorageError::Corrupt("truncated string length".into()));
     }
@@ -143,7 +211,7 @@ fn get_str(data: &mut &[u8]) -> Result<String, StorageError> {
     Ok(s)
 }
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) -> Result<(), StorageError> {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Int(i) => {
@@ -156,7 +224,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
         }
         Value::Str(s) => {
             buf.put_u8(3);
-            put_str(buf, s);
+            put_str(buf, s)?;
         }
         Value::Bool(b) => {
             buf.put_u8(4);
@@ -164,13 +232,14 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
         }
         Value::Blob(b) => {
             buf.put_u8(5);
-            buf.put_u32(b.len() as u32);
+            buf.put_u32(encodable_len("blob", b.len())?);
             buf.put_slice(b);
         }
     }
+    Ok(())
 }
 
-fn get_value(data: &mut &[u8]) -> Result<Value, StorageError> {
+pub(crate) fn get_value(data: &mut &[u8]) -> Result<Value, StorageError> {
     let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
     if !data.has_remaining() {
         return Err(corrupt("truncated value tag"));
@@ -250,7 +319,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let t = table();
-        let bytes = encode_table(&t);
+        let bytes = encode_table(&t).unwrap();
         let back = decode_table(&bytes).unwrap();
         assert_eq!(back, t);
     }
@@ -267,9 +336,23 @@ mod tests {
     }
 
     #[test]
+    fn atomic_save_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("kathdb_persist_atomic_test");
+        let path = dir.join("films.ktbl");
+        let t = table();
+        save_table(&t, &path).unwrap();
+        // Overwrite in place: still exactly one file, still decodable.
+        save_table(&t, &path).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1, "temp file left behind");
+        assert_eq!(load_table(&path).unwrap(), t);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn rejects_corruption() {
         let t = table();
-        let bytes = encode_table(&t);
+        let bytes = encode_table(&t).unwrap();
         // Bad magic.
         let mut bad = bytes.to_vec();
         bad[0] = b'X';
@@ -285,9 +368,44 @@ mod tests {
     }
 
     #[test]
+    fn any_single_bit_flip_is_detected() {
+        let t = table();
+        let bytes = encode_table(&t).unwrap().to_vec();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                decode_table(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn decodes_v1_tables_without_trailer() {
+        let t = table();
+        // A v1 encoding is the v2 encoding minus the trailer, with the
+        // version byte rewritten.
+        let v2 = encode_table(&t).unwrap();
+        let mut v1 = v2[..v2.len() - 4].to_vec();
+        v1[4] = 1;
+        assert_eq!(decode_table(&v1).unwrap(), t);
+    }
+
+    #[test]
+    fn oversized_payloads_refuse_to_encode() {
+        assert!(encodable_len("string", u32::MAX as usize).is_ok());
+        assert!(matches!(
+            encodable_len("string", u32::MAX as usize + 1),
+            Err(StorageError::TooLarge { ref what, len })
+                if what == "string" && len == u32::MAX as u64 + 1
+        ));
+    }
+
+    #[test]
     fn empty_table_round_trips() {
         let t = Table::new("empty", Schema::of(&[("x", DataType::Any)]));
-        let back = decode_table(&encode_table(&t)).unwrap();
+        let back = decode_table(&encode_table(&t).unwrap()).unwrap();
         assert_eq!(back, t);
     }
 }

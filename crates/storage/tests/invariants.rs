@@ -119,7 +119,7 @@ proptest! {
     /// Persistence round-trips any table.
     #[test]
     fn persistence_round_trip(t in arb_table()) {
-        let back = decode_table(&encode_table(&t)).unwrap();
+        let back = decode_table(&encode_table(&t).unwrap()).unwrap();
         prop_assert_eq!(back, t);
     }
 
