@@ -21,6 +21,11 @@
 //!   batch size (columnar batch-at-a-time vs row-at-a-time Volcano),
 //! - `\threads <n>` / `\threads auto` — tune morsel-driven intra-query
 //!   parallelism (results are identical at any setting),
+//! - `\vindex` — vector-search status; `\vindex auto|off|flat|ivf` picks
+//!   the access path for `ORDER BY SIMILARITY(col, 'text') DESC LIMIT k`
+//!   (auto = cost model chooses exact Flat vs approximate IVF per query);
+//!   `\vindex build <table> <column>` / `\vindex drop <table> <column>`
+//!   warm up or discard a derived vector index,
 //! - `\quit` (checkpoints first when a durable directory is open).
 //!
 //! ```sh
@@ -30,9 +35,19 @@
 
 use kath_data::{generate_corpus, mmqa_small, CorpusSpec};
 use kath_model::StdioChannel;
-use kath_storage::ExecMode;
+use kath_storage::{ExecMode, VectorMode};
 use kathdb::KathDB;
 use std::io::{BufRead, Write};
+
+/// Renders the vector access-path policy the way `\vindex` reports it.
+fn vector_label(mode: VectorMode) -> &'static str {
+    match mode {
+        VectorMode::Auto => "auto (cost model picks flat vs ivf per query)",
+        VectorMode::Off => "off (full-sort fallback plan)",
+        VectorMode::Flat => "flat (exact linear scan)",
+        VectorMode::Ivf => "ivf (approximate cluster probing)",
+    }
+}
 
 /// Renders the active execution mode the way `\batch` reports it.
 fn mode_label(mode: ExecMode) -> String {
@@ -80,7 +95,8 @@ fn main() {
                     "commands: \\sql <query> | \\open <dir> | \\checkpoint | \\wal | \
                      \\explain <question> | \\lineage | \
                      \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \
-                     \\threads <n>|auto | \\quit\n\
+                     \\threads <n>|auto | \
+                     \\vindex [auto|off|flat|ivf | build <t> <c> | drop <t> <c>] | \\quit\n\
                      anything else is parsed as a natural-language query"
                 );
             }
@@ -195,6 +211,47 @@ fn main() {
                     _ => println!("usage: \\threads <workers> | \\threads auto"),
                 },
             },
+            _ if line == "\\vindex" => {
+                println!("vector access path: {}", vector_label(db.vector_mode()));
+                let status = db.vector_index_status();
+                if status.is_empty() {
+                    println!("no derived vector indexes (they build on first similarity query)");
+                } else {
+                    for (table, column, scored, unscored) in status {
+                        println!("  {table}.{column}: {scored} indexed, {unscored} unscored");
+                    }
+                }
+            }
+            Some(("\\vindex", rest)) if !rest.is_empty() => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                match parts.as_slice() {
+                    ["auto"] => db.set_vector_mode(VectorMode::Auto),
+                    ["off"] => db.set_vector_mode(VectorMode::Off),
+                    ["flat"] => db.set_vector_mode(VectorMode::Flat),
+                    ["ivf"] => db.set_vector_mode(VectorMode::Ivf),
+                    ["build", table, column] => match db.build_vector_index(table, column) {
+                        Ok((scored, unscored)) => println!(
+                            "built vector index on {table}.{column}: \
+                             {scored} indexed, {unscored} unscored"
+                        ),
+                        Err(e) => println!("vindex build failed: {e}"),
+                    },
+                    ["drop", table, column] => {
+                        if db.drop_vector_index(table, column) {
+                            println!("dropped vector index on {table}.{column}");
+                        } else {
+                            println!("no vector index on {table}.{column}");
+                        }
+                    }
+                    _ => println!(
+                        "usage: \\vindex [auto|off|flat|ivf | build <table> <column> | \
+                         drop <table> <column>]"
+                    ),
+                }
+                if matches!(parts.as_slice(), ["auto" | "off" | "flat" | "ivf"]) {
+                    println!("vector access path: {}", vector_label(db.vector_mode()));
+                }
+            }
             _ if line.starts_with('\\') => {
                 println!("unknown command {line}; \\help lists commands");
             }

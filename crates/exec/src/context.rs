@@ -4,7 +4,7 @@ use crate::ExecError;
 use kath_lineage::{DataKind, LineageStore};
 use kath_media::MediaRegistry;
 use kath_model::SimLlm;
-use kath_storage::{Catalog, ExecMode, Table};
+use kath_storage::{Catalog, ExecMode, Table, VectorMode};
 use std::collections::HashMap;
 
 /// Everything a function body needs at runtime.
@@ -29,6 +29,15 @@ pub struct ExecContext {
     /// default) runs serially; higher values only take effect in batched
     /// mode, and results are identical to serial execution at any setting.
     pub threads: usize,
+    /// Vector access-path policy for SQL bodies: whether (and how) the
+    /// `ORDER BY SIMILARITY(...) DESC LIMIT k` pattern lowers to the top-k
+    /// vector scan. `Auto` (the default) lets the cost model pick Flat vs
+    /// IVF per query from catalog cardinality. The exact paths (`Off`,
+    /// `Flat`, small-table `Auto`) match the full-sort plan bit for bit;
+    /// the approximate IVF path (`Auto` above the cost crossover) keeps
+    /// the row count and a tested recall floor instead — the §4
+    /// accuracy-for-cost trade, made per query.
+    pub vector_mode: VectorMode,
 }
 
 impl ExecContext {
@@ -42,6 +51,7 @@ impl ExecContext {
             table_lids: HashMap::new(),
             exec_mode: ExecMode::default(),
             threads: 1,
+            vector_mode: VectorMode::default(),
         }
     }
 

@@ -247,16 +247,22 @@ fn exec_sql(
     // serial for plans where parallelism cannot help or would break lazy
     // LIMIT semantics).
     let (mut table, stats) = if ctx.threads > 1 {
-        kath_sql::run_select_parallel(
+        kath_sql::run_select_parallel_opt(
             &ctx.catalog,
             &select,
             output_name,
             ctx.exec_mode,
             ctx.threads,
+            ctx.vector_mode,
         )?
     } else {
-        let (table, batches) =
-            kath_sql::run_select_with(&ctx.catalog, &select, output_name, ctx.exec_mode)?;
+        let (table, batches) = kath_sql::run_select_opt(
+            &ctx.catalog,
+            &select,
+            output_name,
+            ctx.exec_mode,
+            ctx.vector_mode,
+        )?;
         (table, kath_sql::SelectStats::serial(batches))
     };
 

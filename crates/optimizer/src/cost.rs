@@ -5,7 +5,7 @@
 //! classical selectivity estimates from `kath-storage` statistics.
 
 use kath_fao::{FunctionBody, FunctionRegistry};
-use kath_storage::{Catalog, ExecMode, DEFAULT_BATCH_SIZE};
+use kath_storage::{vector_search_cost, Catalog, ExecMode, VectorStrategy, DEFAULT_BATCH_SIZE};
 
 /// A cost estimate for one function or a whole plan.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -125,6 +125,31 @@ pub fn preferred_exec_strategy(rows: usize, max_workers: usize) -> ExecStrategy 
         batched => preferred_parallelism_capped(rows, batched, max_workers),
     };
     ExecStrategy { mode, workers }
+}
+
+/// Milliseconds per scored candidate of a vector similarity search: one
+/// 64-dimension f32 cosine in a tight loop.
+pub const VECTOR_SCORE_MS: f64 = 2e-5;
+
+/// Estimated wall-clock of one top-k similarity query over `rows` indexed
+/// vectors under `strategy` — the paper's flagship physical choice (§4):
+/// the *same* logical operator implemented exactly-but-linearly (Flat) or
+/// approximately-but-sublinearly (IVF). Scales the storage layer's
+/// unit-free scoring-work model ([`kath_storage::vector_search_cost`]) by
+/// [`VECTOR_SCORE_MS`].
+pub fn estimate_vector_search_ms(rows: usize, strategy: VectorStrategy) -> f64 {
+    vector_search_cost(rows, strategy) * VECTOR_SCORE_MS
+}
+
+/// The cheaper vector-search implementation for `rows` vectors: delegates
+/// to the single decision rule in [`kath_storage::preferred_vector_strategy`]
+/// (the one the SQL planner consults), so the planner's per-query choice
+/// and the cost model can never diverge. The consistency test below pins
+/// that the ms estimates' argmin still matches this rule — if the ms model
+/// ever gains a strategy-specific term, that test forces the shared rule
+/// to move with it.
+pub fn preferred_vector_strategy(rows: usize) -> VectorStrategy {
+    kath_storage::preferred_vector_strategy(rows)
 }
 
 /// Estimates the cost of executing a function's active version over its
@@ -339,6 +364,34 @@ mod tests {
         // The cap is respected.
         assert!(preferred_parallelism_capped(10_000_000, batched, 4) <= 4);
         assert!(preferred_parallelism(100, batched) >= 1);
+    }
+
+    #[test]
+    fn vector_cost_model_agrees_with_the_planner_rule() {
+        // Flat is cheap while small, IVF wins at scale…
+        assert_eq!(preferred_vector_strategy(100), VectorStrategy::Flat);
+        assert_eq!(preferred_vector_strategy(100_000), VectorStrategy::Ivf);
+        assert!(
+            estimate_vector_search_ms(100_000, VectorStrategy::Ivf)
+                < estimate_vector_search_ms(100_000, VectorStrategy::Flat) / 2.0
+        );
+        // …and the ms estimates' argmin coincides with the shared decision
+        // rule at every cardinality (guards future strategy-specific terms
+        // in the ms model drifting away from the planner's rule).
+        for rows in (0..300_000).step_by(1111) {
+            let cheaper_ms = if estimate_vector_search_ms(rows, VectorStrategy::Ivf)
+                < estimate_vector_search_ms(rows, VectorStrategy::Flat)
+            {
+                VectorStrategy::Ivf
+            } else {
+                VectorStrategy::Flat
+            };
+            assert_eq!(
+                cheaper_ms,
+                preferred_vector_strategy(rows),
+                "divergence at {rows} rows"
+            );
+        }
     }
 
     #[test]

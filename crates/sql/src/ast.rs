@@ -139,10 +139,31 @@ pub struct JoinClause {
 /// One ORDER BY key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrderKey {
-    /// The sort expression (a column name in this subset).
-    pub column: String,
+    /// The sort expression: a plain column, or any scalar expression
+    /// (computed into a hidden sort column by the planner — the shape
+    /// `SIMILARITY(col, 'query')` additionally unlocks the top-k vector
+    /// scan).
+    pub expr: SqlExpr,
     /// Descending if true.
     pub desc: bool,
+}
+
+impl OrderKey {
+    /// A key sorting on a bare column name.
+    pub fn column(name: impl Into<String>, desc: bool) -> Self {
+        OrderKey {
+            expr: SqlExpr::Column(None, name.into()),
+            desc,
+        }
+    }
+
+    /// The bare column name this key sorts on, if it is one.
+    pub fn as_column(&self) -> Option<&str> {
+        match &self.expr {
+            SqlExpr::Column(None, c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 /// A SELECT statement.
@@ -273,7 +294,7 @@ impl fmt::Display for Select {
                 if i > 0 {
                     write!(f, ", ")?;
                 }
-                write!(f, "{}{}", k.column, if k.desc { " DESC" } else { " ASC" })?;
+                write!(f, "{}{}", k.expr, if k.desc { " DESC" } else { " ASC" })?;
             }
         }
         if let Some(n) = self.limit {

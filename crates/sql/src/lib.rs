@@ -5,10 +5,16 @@
 //! and an executor that lowers SQL onto the relational substrate in
 //! `kath-storage`. The subset covers what KathDB's coder agent emits:
 //! SELECT (projection, computed columns, DISTINCT), equi-JOIN / LEFT JOIN,
-//! WHERE, GROUP BY with COUNT/SUM/AVG/MIN/MAX, ORDER BY, LIMIT, plus
-//! CREATE TABLE, INSERT, and DROP TABLE for setup. Mutating statements
-//! lower to [`kath_storage::WalRecord`]s ([`plan_mutation`] /
-//! [`apply_mutation`]) so the durability layer can log them write-ahead.
+//! WHERE, GROUP BY with COUNT/SUM/AVG/MIN/MAX, ORDER BY (columns or
+//! computed expressions), LIMIT, plus CREATE TABLE, INSERT, and DROP TABLE
+//! for setup. Mutating statements lower to [`kath_storage::WalRecord`]s
+//! ([`plan_mutation`] / [`apply_mutation`]) so the durability layer can
+//! log them write-ahead.
+//!
+//! The `ORDER BY SIMILARITY(col, 'query') DESC LIMIT k` shape is
+//! recognized as the paper's §2.2 similarity search and lowered to a top-k
+//! vector-scan operator whose Flat/IVF implementation the cost model picks
+//! per query ([`vector_plan_choice`]).
 
 #![warn(missing_docs)]
 
@@ -21,6 +27,7 @@ pub use ast::{AggCall, JoinClause, OrderKey, Select, SelectItem, SqlBinOp, SqlEx
 pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_expr, parse_select, parse_statement, SqlParseError};
 pub use plan::{
-    apply_mutation, execute, execute_with, plan_mutation, run_select, run_select_parallel,
-    run_select_with, to_expr, SelectStats, SqlError,
+    apply_mutation, execute, execute_with, plan_mutation, run_select, run_select_opt,
+    run_select_parallel, run_select_parallel_opt, run_select_with, to_expr, vector_plan_choice,
+    vector_topk_pattern, SelectStats, SqlError, VectorPattern,
 };

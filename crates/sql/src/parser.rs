@@ -260,14 +260,16 @@ impl Parser {
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
             loop {
-                let column = self.ident()?;
+                // Full expressions are legal sort keys (most importantly
+                // `SIMILARITY(col, 'query') DESC`, the vector-search shape).
+                let expr = self.expr()?;
                 let desc = if self.eat_kw("DESC") {
                     true
                 } else {
                     self.eat_kw("ASC");
                     false
                 };
-                order_by.push(OrderKey { column, desc });
+                order_by.push(OrderKey { expr, desc });
                 if !self.eat_if(&Token::Comma) {
                     break;
                 }

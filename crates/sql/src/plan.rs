@@ -6,9 +6,10 @@
 use crate::ast::*;
 use crate::parser::{parse_statement, SqlParseError};
 use kath_storage::{
-    collect, collect_batched, AggFunc, Aggregate, BinOp, Catalog, Column, DataType, Distinct,
-    ExecMode, Expr, Filter, HashAggregate, HashJoin, IndexScan, JoinKind, Limit, Operator, Project,
-    Schema, Sort, SortKey, StorageError, Table, TableScan, Value, WalRecord,
+    collect, collect_batched, merge_top_k, preferred_vector_strategy, top_k_entries, AggFunc,
+    Aggregate, BinOp, Catalog, Column, DataType, Distinct, ExecMode, Expr, Filter, HashAggregate,
+    HashJoin, IndexScan, JoinKind, Limit, Operator, Project, Schema, Sort, SortKey, StorageError,
+    Table, TableScan, Value, VectorMode, VectorStrategy, VectorTopK, WalRecord,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -179,12 +180,38 @@ pub fn run_select(
 /// conjunct of the WHERE clause on the FROM table, the leading scan reads
 /// only the index's candidate positions instead of the whole table; the
 /// full predicate is still applied, so results are identical to a scan.
+/// The top-k vector pattern (see [`run_select_opt`]) lowers to the vector
+/// scan under cost-model (`Auto`) strategy selection.
 pub fn run_select_with(
     catalog: &Catalog,
     select: &Select,
     output_name: &str,
     mode: ExecMode,
 ) -> Result<(Table, usize), SqlError> {
+    run_select_opt(catalog, select, output_name, mode, VectorMode::Auto)
+}
+
+/// [`run_select_with`] with an explicit vector access-path mode.
+///
+/// When `vector` permits it and the query matches the top-k vector-search
+/// pattern — `SELECT ... FROM t ORDER BY SIMILARITY(col, 'query') DESC
+/// LIMIT k` with no joins, WHERE, grouping, or DISTINCT — the plan lowers
+/// to a [`VectorTopK`] scan instead of scoring every row and fully sorting.
+/// The physical implementation (exact Flat vs approximate IVF) follows the
+/// cost model's per-query choice from catalog cardinality (§4), unless the
+/// mode forces one. `VectorMode::Off` keeps the classical full-sort plan,
+/// which returns identical rows (the parity contract the proptest suite
+/// pins).
+pub fn run_select_opt(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    mode: ExecMode,
+    vector: VectorMode,
+) -> Result<(Table, usize), SqlError> {
+    if let Some((pattern, strategy)) = vector_plan_choice(catalog, select, vector) {
+        return run_vector_topk(catalog, select, &pattern, strategy, output_name, mode);
+    }
     let mut op: Box<dyn Operator> = leading_scan(catalog, select, mode)?;
 
     // Joins, in order.
@@ -211,26 +238,34 @@ pub fn run_select_with(
 
     // Aggregation vs plain projection.
     let has_agg = select_has_agg(select);
-    let sort_keys = select_sort_keys(select);
 
     if has_agg || !select.group_by.is_empty() {
+        let sort_keys = plain_sort_keys(select).ok_or_else(|| {
+            SqlError::Unsupported("expression ORDER BY keys with aggregation".into())
+        })?;
         op = plan_aggregate(op, select)?;
         if !sort_keys.is_empty() {
             op = Box::new(Sort::new(op, sort_keys)?);
         }
-    } else if let Some(outputs) = projection_outputs(select, op.schema())? {
-        // ORDER BY may reference input columns the projection drops; in that
-        // case sort before projecting (standard SQL behaviour).
-        let sort_before = sort_before_project(&sort_keys, &outputs);
-        if sort_before {
-            op = Box::new(Sort::new(op, sort_keys.clone())?);
-        }
-        op = Box::new(Project::new(op, outputs)?);
-        if !sort_before && !sort_keys.is_empty() {
+    } else if let Some(sort_keys) = plain_sort_keys(select) {
+        if let Some(outputs) = projection_outputs(select, op.schema())? {
+            // ORDER BY may reference input columns the projection drops; in
+            // that case sort before projecting (standard SQL behaviour).
+            let sort_before = sort_before_project(&sort_keys, &outputs);
+            if sort_before {
+                op = Box::new(Sort::new(op, sort_keys.clone())?);
+            }
+            op = Box::new(Project::new(op, outputs)?);
+            if !sort_before && !sort_keys.is_empty() {
+                op = Box::new(Sort::new(op, sort_keys)?);
+            }
+        } else if !sort_keys.is_empty() {
             op = Box::new(Sort::new(op, sort_keys)?);
         }
-    } else if !sort_keys.is_empty() {
-        op = Box::new(Sort::new(op, sort_keys)?);
+    } else {
+        // At least one ORDER BY key is a computed expression (e.g. the
+        // SIMILARITY fallback plan): sort on hidden computed columns.
+        op = plan_expression_sort(op, select)?;
     }
 
     if select.distinct {
@@ -313,14 +348,48 @@ pub fn run_select_parallel(
     mode: ExecMode,
     threads: usize,
 ) -> Result<(Table, SelectStats), SqlError> {
+    run_select_parallel_opt(
+        catalog,
+        select,
+        output_name,
+        mode,
+        threads,
+        VectorMode::Auto,
+    )
+}
+
+/// [`run_select_parallel`] with an explicit vector access-path mode. The
+/// top-k vector pattern takes its own parallel drive (per-morsel top-k
+/// heaps over the index entries, merged deterministically); all other
+/// plans run the general morsel pipeline.
+pub fn run_select_parallel_opt(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    mode: ExecMode,
+    threads: usize,
+    vector: VectorMode,
+) -> Result<(Table, SelectStats), SqlError> {
     use kath_storage::{
         merge_sorted_runs, resolve_sort_keys, run_morsels, sort_rows, JoinBuild, Morsel,
         MorselSource, PartialAggregate, Row,
     };
     use std::time::Instant;
 
+    if let Some((pattern, strategy)) = vector_plan_choice(catalog, select, vector) {
+        return run_vector_topk_parallel(
+            catalog,
+            select,
+            &pattern,
+            strategy,
+            output_name,
+            mode,
+            threads,
+        );
+    }
+
     let serial = |catalog: &Catalog| -> Result<(Table, SelectStats), SqlError> {
-        let (t, batches) = run_select_with(catalog, select, output_name, mode)?;
+        let (t, batches) = run_select_opt(catalog, select, output_name, mode, vector)?;
         Ok((t, SelectStats::serial(batches)))
     };
 
@@ -328,7 +397,11 @@ pub fn run_select_parallel(
         return serial(catalog); // Volcano is the serial baseline by definition.
     };
     let has_agg = select_has_agg(select);
-    let sort_keys = select_sort_keys(select);
+    let Some(sort_keys) = plain_sort_keys(select) else {
+        // Computed ORDER BY keys outside the vector pattern sort on hidden
+        // columns; that plan has no parallel driver — run it serially.
+        return serial(catalog);
+    };
     let blocking = has_agg || !select.group_by.is_empty() || !sort_keys.is_empty();
     // A lazy LIMIT plan must not evaluate rows past the limit (an erroring
     // expression beyond it stays unreached); only a blocking operator, which
@@ -580,16 +653,272 @@ fn select_has_agg(select: &Select) -> bool {
     })
 }
 
-/// The ORDER BY keys of a SELECT, lowered to storage [`SortKey`]s.
-fn select_sort_keys(select: &Select) -> Vec<SortKey> {
+/// The ORDER BY keys lowered to storage [`SortKey`]s when every key is a
+/// bare column; `None` when any key is a computed expression (those plans
+/// sort on hidden computed columns — see [`plan_expression_sort`] — or
+/// take the vector top-k path).
+fn plain_sort_keys(select: &Select) -> Option<Vec<SortKey>> {
     select
         .order_by
         .iter()
-        .map(|k| SortKey {
-            column: k.column.clone(),
-            desc: k.desc,
+        .map(|k| {
+            k.as_column().map(|c| SortKey {
+                column: c.to_string(),
+                desc: k.desc,
+            })
         })
         .collect()
+}
+
+/// A hidden sort-column name that cannot collide with the input schema.
+fn hidden_sort_name(schema: &Schema, i: usize) -> String {
+    let mut name = format!("__sort_{i}");
+    while schema.index_of(&name).is_some() {
+        name.push('_');
+    }
+    name
+}
+
+/// Plans ORDER BY with computed (non-column) keys: the input schema is
+/// extended with one hidden column per expression key, sorted on those,
+/// then projected down to the requested outputs (dropping the hidden
+/// keys). This is the general-sort fallback the vector top-k operator is
+/// benchmarked against — and the semantics it must reproduce exactly.
+fn plan_expression_sort(
+    op: Box<dyn Operator>,
+    select: &Select,
+) -> Result<Box<dyn Operator>, SqlError> {
+    let base = op.schema().clone();
+    let outputs = match projection_outputs(select, &base)? {
+        Some(outputs) => outputs,
+        // SELECT *: project the base columns back out after the sort.
+        None => base
+            .names()
+            .iter()
+            .map(|n| (n.to_string(), Expr::col(*n)))
+            .collect(),
+    };
+    let mut ext: Vec<(String, Expr)> = base
+        .names()
+        .iter()
+        .map(|n| (n.to_string(), Expr::col(*n)))
+        .collect();
+    let mut sort_keys = Vec::with_capacity(select.order_by.len());
+    let mut hidden = |expr: Expr, i: usize, desc: bool, sort_keys: &mut Vec<SortKey>| {
+        let name = hidden_sort_name(&base, i);
+        ext.push((name.clone(), expr));
+        sort_keys.push(SortKey { column: name, desc });
+    };
+    for (i, key) in select.order_by.iter().enumerate() {
+        match key.as_column() {
+            // A bare column may be a SELECT-list alias — which wins, as on
+            // the plain sort-after-project path (for a pass-through column
+            // the aliased expression computes the identical value) — or an
+            // input column the projection drops.
+            Some(c) => match outputs.iter().find(|(n, _)| n == c) {
+                Some((_, aliased)) => hidden(aliased.clone(), i, key.desc, &mut sort_keys),
+                None => sort_keys.push(SortKey {
+                    column: c.to_string(),
+                    desc: key.desc,
+                }),
+            },
+            None => hidden(to_expr(&key.expr, &base)?, i, key.desc, &mut sort_keys),
+        }
+    }
+    let op = Box::new(Project::new(op, ext)?);
+    let op = Box::new(Sort::new(op, sort_keys)?);
+    Ok(Box::new(Project::new(op, outputs)?))
+}
+
+/// A detected top-k vector-search pattern: `SELECT ... FROM table ORDER BY
+/// SIMILARITY(column, 'query') DESC LIMIT k` with no joins, WHERE,
+/// grouping, aggregation, or DISTINCT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorPattern {
+    /// The FROM table.
+    pub table: String,
+    /// The embedding (BLOB) or text (STR) column being searched.
+    pub column: String,
+    /// The query text (embedded through the canonical shared embedder).
+    pub query: String,
+    /// LIMIT — the k of top-k.
+    pub k: usize,
+}
+
+/// Detects the top-k vector-search pattern, if this SELECT matches it and
+/// the FROM table exists with the named column. Queries outside the
+/// pattern (extra sort keys, ASC order, WHERE clauses, joins, DISTINCT)
+/// keep the classical plan — the similarity expression still evaluates
+/// there via the scalar/batched kernels.
+pub fn vector_topk_pattern(catalog: &Catalog, select: &Select) -> Option<VectorPattern> {
+    if !select.joins.is_empty()
+        || select.where_clause.is_some()
+        || !select.group_by.is_empty()
+        || select.distinct
+        || select_has_agg(select)
+    {
+        return None;
+    }
+    let k = select.limit?;
+    let [key] = &select.order_by[..] else {
+        return None;
+    };
+    if !key.desc {
+        return None;
+    }
+    let SqlExpr::Call(name, args) = &key.expr else {
+        return None;
+    };
+    if name != "similarity" || args.len() != 2 {
+        return None;
+    }
+    let SqlExpr::Column(qualifier, column) = &args[0] else {
+        return None;
+    };
+    if qualifier.as_deref().is_some_and(|q| q != select.from) {
+        return None;
+    }
+    let SqlExpr::Str(query) = &args[1] else {
+        return None;
+    };
+    let table = catalog.get(&select.from).ok()?;
+    table.schema().index_of(column)?;
+    Some(VectorPattern {
+        table: select.from.clone(),
+        column: column.clone(),
+        query: query.clone(),
+        k,
+    })
+}
+
+/// The physical plan the optimizer picks for this SELECT's vector
+/// pattern: `None` when the pattern does not apply (or the mode forbids
+/// the vector path), otherwise the detected pattern with its Flat/IVF
+/// choice — forced by the mode, or made by the cost model from the
+/// table's cardinality (§4's exact-vs-approximate trade for the same
+/// logical operator). Exposed so the facade, EXPLAIN surfaces, and tests
+/// can inspect the physical choice without executing.
+pub fn vector_plan_choice(
+    catalog: &Catalog,
+    select: &Select,
+    vector: VectorMode,
+) -> Option<(VectorPattern, VectorStrategy)> {
+    if vector == VectorMode::Off {
+        return None;
+    }
+    let pattern = vector_topk_pattern(catalog, select)?;
+    let strategy = match vector {
+        VectorMode::Flat => VectorStrategy::Flat,
+        VectorMode::Ivf => VectorStrategy::Ivf,
+        VectorMode::Auto | VectorMode::Off => {
+            let rows = catalog.get(&pattern.table).ok()?.len();
+            preferred_vector_strategy(rows)
+        }
+    };
+    Some((pattern, strategy))
+}
+
+/// Lowers a detected vector pattern to the physical plan
+/// `VectorTopK → [Project] → Limit` and runs it.
+fn run_vector_topk(
+    catalog: &Catalog,
+    select: &Select,
+    pattern: &VectorPattern,
+    strategy: VectorStrategy,
+    output_name: &str,
+    mode: ExecMode,
+) -> Result<(Table, usize), SqlError> {
+    let table = catalog.get(&pattern.table)?;
+    let index = catalog.vector_index_for(&pattern.table, &pattern.column)?;
+    let query = kath_vector::embed_query(&pattern.query);
+    let mut op: Box<dyn Operator> = Box::new(VectorTopK::new(
+        Arc::clone(&table),
+        &index,
+        &query,
+        pattern.k,
+        strategy,
+        mode.batch_size(),
+    ));
+    if let Some(outputs) = projection_outputs(select, op.schema())? {
+        op = Box::new(Project::new(op, outputs)?);
+    }
+    op = Box::new(Limit::new(op, pattern.k));
+    match mode {
+        ExecMode::Volcano => Ok((collect(output_name, op)?, 0)),
+        ExecMode::Batched(_) => Ok(collect_batched(output_name, op)?),
+    }
+}
+
+/// The morsel-parallel drive of the vector pattern: workers claim ranges
+/// of the index's scored entries, compute thread-local top-k heaps, and
+/// the candidates merge deterministically (score descending, then row
+/// position) — every global winner survives its own morsel's local top-k,
+/// so the merged result is bit-identical to the serial scan at any worker
+/// count. Falls back to serial when parallelism cannot help: Volcano mode,
+/// one thread, fewer than two morsels, or the IVF strategy (already
+/// sublinear — its probe set is not worth splitting).
+fn run_vector_topk_parallel(
+    catalog: &Catalog,
+    select: &Select,
+    pattern: &VectorPattern,
+    strategy: VectorStrategy,
+    output_name: &str,
+    mode: ExecMode,
+    threads: usize,
+) -> Result<(Table, SelectStats), SqlError> {
+    use kath_storage::{run_morsels, MorselSource};
+    use std::time::Instant;
+
+    let serial = || {
+        run_vector_topk(catalog, select, pattern, strategy, output_name, mode)
+            .map(|(t, batches)| (t, SelectStats::serial(batches)))
+    };
+    let Some(batch) = mode.batch_size() else {
+        return serial();
+    };
+    if threads <= 1 || strategy != VectorStrategy::Flat {
+        return serial();
+    }
+    let table = catalog.get(&pattern.table)?;
+    let index = catalog.vector_index_for(&pattern.table, &pattern.column)?;
+    let entries = index.entries();
+    let source = MorselSource::with_batch_size(entries.len(), batch);
+    if source.morsel_count() < 2 {
+        return serial();
+    }
+    let query = kath_vector::embed_query(&pattern.query);
+    let run = run_morsels(&source, threads, |m| {
+        Ok(top_k_entries(&entries[m.start..m.end], &query, pattern.k))
+    })
+    .map_err(SqlError::Storage)?;
+    let worker_ms = run.worker_ms.clone();
+    let merge_started = Instant::now();
+    let candidates: Vec<(usize, f32)> = run.outputs.into_iter().flatten().collect();
+    let mut positions: Vec<usize> = merge_top_k(candidates, pattern.k)
+        .into_iter()
+        .map(|(pos, _)| pos)
+        .collect();
+    if positions.len() < pattern.k {
+        // Pad with unscored rows in row order, exactly like the serial
+        // search (and the full-sort fallback's NULL-score tail).
+        let missing = pattern.k - positions.len();
+        positions.extend(index.unscored().iter().copied().take(missing));
+    }
+    // The serial tail over k rows: rank-order scan → projection → limit.
+    let mut op: Box<dyn Operator> =
+        Box::new(IndexScan::new(Arc::clone(&table), positions).with_batch_size(batch));
+    if let Some(outputs) = projection_outputs(select, op.schema())? {
+        op = Box::new(Project::new(op, outputs)?);
+    }
+    op = Box::new(Limit::new(op, pattern.k));
+    let (out, batches) = collect_batched(output_name, op).map_err(SqlError::Storage)?;
+    let stats = SelectStats {
+        batches,
+        workers: worker_ms.len(),
+        worker_ms,
+        merge_ms: merge_started.elapsed().as_secs_f64() * 1000.0,
+    };
+    Ok((out, stats))
 }
 
 /// The non-aggregate projection list of a SELECT resolved against the
@@ -1334,6 +1663,205 @@ mod tests {
         let parallel = run_select_parallel(&c, &bad, "out", ExecMode::Batched(16), 4);
         assert!(serial.is_err());
         assert!(parallel.is_err(), "parallel must fail when serial fails");
+    }
+
+    /// A catalog with an embedded-documents table: `body` is raw text,
+    /// `emb` its canonical embedding blob.
+    fn vector_catalog(n: usize) -> Catalog {
+        use kath_storage::encode_embedding;
+        let mut c = Catalog::new();
+        execute(
+            &mut c,
+            "CREATE TABLE docs (id INT, body STR, emb BLOB)",
+            "x",
+        )
+        .unwrap();
+        let phrases = [
+            "gun fight at the warehouse",
+            "a calm walk in the garden",
+            "murder on the night train",
+            "tea and quiet routine",
+            "explosion during the chase",
+            "a peaceful ordinary day",
+        ];
+        let mut table = (*c.get("docs").unwrap()).clone();
+        for i in 0..n {
+            let body = phrases[i % phrases.len()];
+            table
+                .push(vec![
+                    Value::Int(i as i64),
+                    Value::Str(body.to_string()),
+                    Value::Blob(encode_embedding(&kath_vector::embed_query(body))),
+                ])
+                .unwrap();
+        }
+        c.register_or_replace(table);
+        c
+    }
+
+    const VECTOR_SQL: &str =
+        "SELECT id, body FROM docs ORDER BY SIMILARITY(emb, 'shootout weapon') DESC LIMIT 4";
+
+    #[test]
+    fn vector_pattern_detection_and_gates() {
+        let c = vector_catalog(12);
+        let matches = |sql: &str| {
+            vector_topk_pattern(&c, &crate::parser::parse_select(sql).unwrap()).is_some()
+        };
+        assert!(matches(VECTOR_SQL));
+        assert!(matches(
+            "SELECT * FROM docs ORDER BY similarity(body, 'gun') DESC LIMIT 1"
+        ));
+        assert!(matches(
+            "SELECT * FROM docs ORDER BY SIMILARITY(docs.emb, 'gun') DESC LIMIT 2"
+        ));
+        // Shapes outside the pattern keep the classical plan.
+        for sql in [
+            "SELECT * FROM docs ORDER BY SIMILARITY(emb, 'gun') DESC", // no LIMIT
+            "SELECT * FROM docs ORDER BY SIMILARITY(emb, 'gun') ASC LIMIT 2", // ascending
+            "SELECT * FROM docs ORDER BY SIMILARITY(emb, 'gun') DESC, id LIMIT 2", // extra key
+            "SELECT * FROM docs WHERE id > 1 ORDER BY SIMILARITY(emb, 'gun') DESC LIMIT 2",
+            "SELECT DISTINCT body FROM docs ORDER BY SIMILARITY(emb, 'gun') DESC LIMIT 2",
+            "SELECT * FROM docs ORDER BY SIMILARITY(emb, body) DESC LIMIT 2", // non-literal query
+            "SELECT * FROM docs ORDER BY SIMILARITY(nope, 'gun') DESC LIMIT 2", // unknown column
+        ] {
+            assert!(!matches(sql), "must not take the vector path: {sql}");
+        }
+    }
+
+    #[test]
+    fn vector_choice_follows_cardinality_and_mode() {
+        let choice = |c: &Catalog, vector| {
+            let select = crate::parser::parse_select(VECTOR_SQL).unwrap();
+            vector_plan_choice(c, &select, vector).map(|(pattern, strategy)| {
+                assert_eq!(pattern.table, "docs");
+                assert_eq!(pattern.column, "emb");
+                assert_eq!(pattern.k, 4);
+                strategy
+            })
+        };
+        let small = vector_catalog(12);
+        assert_eq!(choice(&small, VectorMode::Auto), Some(VectorStrategy::Flat));
+        assert_eq!(choice(&small, VectorMode::Ivf), Some(VectorStrategy::Ivf));
+        assert_eq!(choice(&small, VectorMode::Off), None);
+        let large = vector_catalog(5000);
+        assert_eq!(
+            choice(&large, VectorMode::Auto),
+            Some(VectorStrategy::Ivf),
+            "the cost model must pick IVF above the crossover"
+        );
+    }
+
+    #[test]
+    fn vector_topk_matches_full_sort_fallback() {
+        let c = vector_catalog(60);
+        let select = crate::parser::parse_select(VECTOR_SQL).unwrap();
+        for mode in [
+            ExecMode::Volcano,
+            ExecMode::Batched(7),
+            ExecMode::Batched(1024),
+        ] {
+            let (fallback, _) = run_select_opt(&c, &select, "out", mode, VectorMode::Off).unwrap();
+            assert_eq!(fallback.len(), 4);
+            for vector in [VectorMode::Auto, VectorMode::Flat] {
+                let (fast, _) = run_select_opt(&c, &select, "out", mode, vector).unwrap();
+                assert_eq!(fast, fallback, "{mode:?} {vector:?}");
+            }
+        }
+        // The winners are actually the violent documents.
+        let (t, _) = run_select_with(&c, &select, "out", ExecMode::default()).unwrap();
+        for row in t.rows() {
+            let body = row[1].as_str().unwrap();
+            assert!(
+                !body.contains("calm") && !body.contains("peaceful") && !body.contains("tea"),
+                "calm doc ranked in the violent top-k: {body}"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_topk_pads_unscored_rows_like_the_fallback() {
+        let mut c = vector_catalog(3);
+        // A NULL and a corrupt embedding: no-matches that still appear
+        // (ranked last, in row order) when k exceeds the scored rows.
+        execute(
+            &mut c,
+            "INSERT INTO docs VALUES (100, 'null emb', NULL)",
+            "x",
+        )
+        .unwrap();
+        let select = crate::parser::parse_select(
+            "SELECT id FROM docs ORDER BY SIMILARITY(emb, 'gun') DESC LIMIT 10",
+        )
+        .unwrap();
+        let mode = ExecMode::default();
+        let (fallback, _) = run_select_opt(&c, &select, "out", mode, VectorMode::Off).unwrap();
+        let (fast, _) = run_select_opt(&c, &select, "out", mode, VectorMode::Flat).unwrap();
+        assert_eq!(fast, fallback);
+        assert_eq!(fast.len(), 4);
+        assert_eq!(fast.cell(3, "id").unwrap(), &Value::Int(100));
+    }
+
+    #[test]
+    fn vector_topk_parallel_matches_serial() {
+        let c = vector_catalog(300);
+        let select = crate::parser::parse_select(VECTOR_SQL).unwrap();
+        let mode = ExecMode::Batched(32);
+        let (serial, _) = run_select_opt(&c, &select, "out", mode, VectorMode::Flat).unwrap();
+        for threads in [2usize, 4, 8] {
+            let (parallel, stats) =
+                run_select_parallel_opt(&c, &select, "out", mode, threads, VectorMode::Flat)
+                    .unwrap();
+            assert_eq!(parallel, serial, "threads {threads}");
+            assert!(stats.workers > 1, "expected a parallel run");
+            assert_eq!(stats.worker_ms.len(), stats.workers);
+        }
+        // IVF and Volcano fall back to the serial driver.
+        let (_, stats) =
+            run_select_parallel_opt(&c, &select, "out", mode, 4, VectorMode::Ivf).unwrap();
+        assert_eq!(stats.workers, 1);
+        let (_, stats) =
+            run_select_parallel_opt(&c, &select, "out", ExecMode::Volcano, 4, VectorMode::Flat)
+                .unwrap();
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn expression_order_by_outside_the_pattern_still_works() {
+        let c = vector_catalog(10);
+        // WHERE breaks the pattern; the hidden-sort-column fallback must
+        // still rank by similarity under the filter.
+        let select = crate::parser::parse_select(
+            "SELECT id FROM docs WHERE id < 4 ORDER BY SIMILARITY(emb, 'gun fight') DESC LIMIT 2",
+        )
+        .unwrap();
+        let (t, _) = run_select_with(&c, &select, "out", ExecMode::default()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, "id").unwrap(), &Value::Int(0)); // the gun-fight doc
+        assert!(!t.schema().names().iter().any(|n| n.starts_with("__sort")));
+        // Arithmetic expression keys work too.
+        let select =
+            crate::parser::parse_select("SELECT id FROM docs ORDER BY 0 - id ASC LIMIT 3").unwrap();
+        let (t, _) = run_select_with(&c, &select, "out", ExecMode::default()).unwrap();
+        assert_eq!(t.cell(0, "id").unwrap(), &Value::Int(9));
+        // A SELECT-list alias mixed with an expression key resolves to the
+        // aliased expression (as it would on the plain sort path alone).
+        let select = crate::parser::parse_select(
+            "SELECT id + 1 AS d FROM docs ORDER BY d ASC, 0 - id DESC LIMIT 3",
+        )
+        .unwrap();
+        let (t, _) = run_select_with(&c, &select, "out", ExecMode::default()).unwrap();
+        assert_eq!(t.cell(0, "d").unwrap(), &Value::Int(1));
+        assert_eq!(t.schema().names(), vec!["d"]);
+        // And aggregation rejects expression keys loudly.
+        let select = crate::parser::parse_select(
+            "SELECT COUNT(*) AS n FROM docs GROUP BY body ORDER BY SIMILARITY(body, 'x') DESC",
+        )
+        .unwrap();
+        assert!(matches!(
+            run_select_with(&c, &select, "out", ExecMode::default()),
+            Err(SqlError::Unsupported(_))
+        ));
     }
 
     #[test]

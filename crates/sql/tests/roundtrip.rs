@@ -64,7 +64,7 @@ fn arb_select() -> impl Strategy<Value = Select> {
                 group_by: vec![],
                 order_by: order
                     .into_iter()
-                    .map(|(column, desc)| OrderKey { column, desc })
+                    .map(|(column, desc)| OrderKey::column(column, desc))
                     .collect(),
                 limit,
             },

@@ -5,11 +5,15 @@
 //! utilities — row sampler, joinability tester — that the plan verifier's
 //! tool user invokes (§4).
 
-use crate::{HashIndex, StorageError, Table, TableStats, Value};
+use crate::{HashIndex, StorageError, Table, TableStats, Value, VectorIndex};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Per-table vector-index registrations: column → fresh index, or `None`
+/// when invalidated and awaiting its lazy rebuild.
+type VectorIndexSlots = BTreeMap<String, Option<Arc<VectorIndex>>>;
 
 /// Named table registry with statistics and secondary indexes.
 ///
@@ -28,6 +32,15 @@ pub struct Catalog {
     // table -> column -> index. Interior mutability: lazily rebuilt from
     // read-path consumers (`index_on`, `stats`, …) that take `&self`.
     indexes: RwLock<BTreeMap<String, BTreeMap<String, Arc<HashIndex>>>>,
+    // table -> column -> vector similarity index. Derived state like the
+    // hash indexes: built on first use (`vector_index_for`), marked stale
+    // on replace — and *invalidated* (value set to None), not eagerly
+    // rebuilt, by the stale refresh: re-embedding a column is O(n·dim), so
+    // only the next similarity query pays for it, never an unrelated
+    // stats/index consumer. Purely in-memory, so crash recovery needs no
+    // on-disk vector format (the first query after a restart rebuilds
+    // from the recovered rows).
+    vindexes: RwLock<BTreeMap<String, VectorIndexSlots>>,
     // Cached statistics for analyzed tables.
     stats_cache: RwLock<BTreeMap<String, TableStats>>,
     // Tables whose derived state (indexes + cached stats) is out of date.
@@ -43,11 +56,13 @@ impl Clone for Catalog {
         // can never deadlock against a refresh holding the locks in its own
         // order.
         let indexes = self.indexes.read().clone();
+        let vindexes = self.vindexes.read().clone();
         let stats_cache = self.stats_cache.read().clone();
         let stale = self.stale.read().clone();
         Self {
             tables: self.tables.clone(),
             indexes: RwLock::new(indexes),
+            vindexes: RwLock::new(vindexes),
             stats_cache: RwLock::new(stats_cache),
             stale: RwLock::new(stale),
             rebuilds: AtomicUsize::new(self.rebuilds.load(Ordering::Relaxed)),
@@ -94,8 +109,9 @@ impl Catalog {
         let name = table.name().to_string();
         let arc = Arc::new(table);
         self.tables.insert(name.clone(), Arc::clone(&arc));
-        let has_derived =
-            self.indexes.read().contains_key(&name) || self.stats_cache.read().contains_key(&name);
+        let has_derived = self.indexes.read().contains_key(&name)
+            || self.vindexes.read().contains_key(&name)
+            || self.stats_cache.read().contains_key(&name);
         if has_derived {
             self.stale.write().insert(name);
         }
@@ -119,6 +135,7 @@ impl Catalog {
         };
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
         self.rebuild_indexes(name, &table);
+        self.invalidate_vector_indexes(name);
         let mut stats = self.stats_cache.write();
         if stats.contains_key(name) {
             stats.insert(name.to_string(), TableStats::collect(&table));
@@ -138,6 +155,19 @@ impl Catalog {
                 })
                 .collect();
             *cols = rebuilt;
+        }
+    }
+
+    /// Invalidates every vector index of `name`, keeping the registrations
+    /// so the next similarity query (the only consumer that needs them)
+    /// rebuilds on demand. Rebuilding here eagerly would charge the full
+    /// O(rows·dim) re-embedding to whatever unrelated stats or hash-index
+    /// consumer happened to settle the stale marker.
+    fn invalidate_vector_indexes(&self, name: &str) {
+        if let Some(cols) = self.vindexes.write().get_mut(name) {
+            for slot in cols.values_mut() {
+                *slot = None;
+            }
         }
     }
 
@@ -168,6 +198,7 @@ impl Catalog {
     /// Drops a table along with its indexes and cached statistics.
     pub fn drop_table(&mut self, name: &str) -> Result<(), StorageError> {
         self.indexes.write().remove(name);
+        self.vindexes.write().remove(name);
         self.stats_cache.write().remove(name);
         self.stale.write().remove(name);
         self.tables
@@ -207,6 +238,75 @@ impl Catalog {
             .unwrap_or_default()
     }
 
+    /// Builds (or refreshes) the vector similarity index over
+    /// `table.column`, deriving it on first use: the planner calls this
+    /// when it lowers an `ORDER BY SIMILARITY(...) DESC LIMIT k` pattern,
+    /// so no explicit DDL is needed. The index is catalog derived state —
+    /// marked stale by inserts/replacements, rebuilt lazily, dropped with
+    /// the table, and rebuilt from recovered rows after a crash.
+    pub fn vector_index_for(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Result<Arc<VectorIndex>, StorageError> {
+        self.refresh_if_stale(table);
+        if let Some(Some(ix)) = self
+            .vindexes
+            .read()
+            .get(table)
+            .and_then(|cols| cols.get(column))
+        {
+            return Ok(Arc::clone(ix));
+        }
+        let t = self.get(table)?;
+        let built = Arc::new(VectorIndex::build(&t, column)?);
+        let mut w = self.vindexes.write();
+        let slot = w
+            .entry(table.to_string())
+            .or_default()
+            .entry(column.to_string())
+            .or_insert(None);
+        // A racing builder may have won; keep the first fresh one.
+        if slot.is_none() {
+            *slot = Some(built);
+        }
+        Ok(Arc::clone(slot.as_ref().expect("slot filled above")))
+    }
+
+    /// The vector index over `table.column` if one has been derived and
+    /// is fresh (stale state settled first); never builds — an
+    /// invalidated registration reports `None` until the next similarity
+    /// query rebuilds it.
+    pub fn vector_index_on(&self, table: &str, column: &str) -> Option<Arc<VectorIndex>> {
+        self.refresh_if_stale(table);
+        self.vindexes.read().get(table)?.get(column)?.clone()
+    }
+
+    /// Drops the derived vector index over `table.column`; returns whether
+    /// one existed.
+    pub fn drop_vector_index(&mut self, table: &str, column: &str) -> bool {
+        let mut w = self.vindexes.write();
+        let Some(cols) = w.get_mut(table) else {
+            return false;
+        };
+        let existed = cols.remove(column).is_some();
+        if cols.is_empty() {
+            w.remove(table);
+        }
+        existed
+    }
+
+    /// Columns of `table` with a vector-index registration (fresh or
+    /// awaiting lazy rebuild).
+    pub fn vector_indexed_columns(&self, table: &str) -> Vec<String> {
+        self.refresh_if_stale(table);
+        self.vindexes
+            .read()
+            .get(table)
+            .map(|cols| cols.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
     /// Collects and caches statistics for `table`. Subsequent catalog
     /// mutations of the table keep the cache fresh (rebuilt lazily on the
     /// next statistics consumer).
@@ -219,6 +319,7 @@ impl Catalog {
         if stale.remove(table) {
             self.rebuilds.fetch_add(1, Ordering::Relaxed);
             self.rebuild_indexes(table, &t);
+            self.invalidate_vector_indexes(table);
         }
         let stats = TableStats::collect(t.as_ref());
         self.stats_cache
@@ -473,6 +574,74 @@ mod tests {
         assert_eq!(c.cached_stats("films").unwrap().rows, 4);
         assert_eq!(c.stats("films").unwrap().rows, 4);
         assert_eq!(c.stats("films").unwrap().column("id").unwrap().ndv, 4);
+    }
+
+    fn docs_catalog() -> Catalog {
+        use crate::encode_embedding;
+        use kath_vector::seeded_unit_vector;
+        let mut c = Catalog::new();
+        let mut t = Table::new(
+            "docs",
+            Schema::of(&[("id", DataType::Int), ("emb", DataType::Blob)]),
+        );
+        for i in 0..20u64 {
+            t.push(vec![
+                Value::Int(i as i64),
+                Value::Blob(encode_embedding(&seeded_unit_vector(i % 3 + 50))),
+            ])
+            .unwrap();
+        }
+        c.register(t).unwrap();
+        c
+    }
+
+    #[test]
+    fn vector_index_derives_on_first_use_and_rebuilds_after_insert() {
+        use crate::{encode_embedding, VectorStrategy};
+        use kath_vector::seeded_unit_vector;
+        let mut c = docs_catalog();
+        assert!(c.vector_index_on("docs", "emb").is_none());
+        let ix = c.vector_index_for("docs", "emb").unwrap();
+        assert_eq!(ix.rows(), 20);
+        assert_eq!(c.vector_indexed_columns("docs"), vec!["emb"]);
+        // Replacing the table marks the derived index stale; the next
+        // consumer sees the new row without an explicit rebuild call.
+        let mut grown = (*c.get("docs").unwrap()).clone();
+        grown
+            .push(vec![
+                Value::Int(99),
+                Value::Blob(encode_embedding(&seeded_unit_vector(51))),
+            ])
+            .unwrap();
+        c.register_or_replace(grown);
+        assert_eq!(c.pending_refreshes(), 1);
+        // Settling the stale marker only *invalidates* the vector index —
+        // the O(rows·dim) rebuild is deferred to the next similarity
+        // consumer, not charged to whoever touches derived state first.
+        assert!(c.vector_index_on("docs", "emb").is_none());
+        assert_eq!(c.vector_indexed_columns("docs"), vec!["emb"]);
+        let ix = c.vector_index_for("docs", "emb").unwrap();
+        assert_eq!(ix.rows(), 21);
+        assert!(c.vector_index_on("docs", "emb").is_some());
+        let top = ix.search(&seeded_unit_vector(51), 21, VectorStrategy::Flat);
+        assert!(top.contains(&20), "new row must be indexed: {top:?}");
+    }
+
+    #[test]
+    fn vector_index_errors_and_drops() {
+        let mut c = docs_catalog();
+        assert!(c.vector_index_for("docs", "id").is_err());
+        assert!(c.vector_index_for("docs", "nope").is_err());
+        assert!(c.vector_index_for("missing", "emb").is_err());
+        c.vector_index_for("docs", "emb").unwrap();
+        assert!(c.drop_vector_index("docs", "emb"));
+        assert!(!c.drop_vector_index("docs", "emb"));
+        assert!(c.vector_index_on("docs", "emb").is_none());
+        // Dropping the table clears any derived vector state.
+        c.vector_index_for("docs", "emb").unwrap();
+        c.drop_table("docs").unwrap();
+        assert!(c.vector_index_on("docs", "emb").is_none());
+        assert!(c.vector_indexed_columns("docs").is_empty());
     }
 
     #[test]

@@ -255,6 +255,35 @@ impl Expr {
                     NullBitmap::all_valid(n),
                 ))
             }
+            Expr::Call(name, args) if name == "similarity" && args.len() == 2 => {
+                // Batched similarity kernel: the query side is typically a
+                // literal — decode/embed it once per batch, not once per row.
+                let query: Option<Option<Vec<f32>>> = match &args[1] {
+                    Expr::Lit(v) => Some(similarity_arg(v)?),
+                    _ => None,
+                };
+                let a = args[0].eval_batch(batch, schema)?;
+                let b = match &query {
+                    Some(_) => None,
+                    None => Some(args[1].eval_batch(batch, schema)?),
+                };
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let av = similarity_arg(&a.value(i))?;
+                    let score = match (&av, &query, &b) {
+                        (None, _, _) => Value::Null,
+                        (Some(x), Some(Some(q)), _) => similarity_score(x, q),
+                        (Some(_), Some(None), _) => Value::Null,
+                        (Some(x), None, Some(col)) => match similarity_arg(&col.value(i))? {
+                            Some(y) => similarity_score(x, &y),
+                            None => Value::Null,
+                        },
+                        (Some(_), None, None) => unreachable!("query or column is set"),
+                    };
+                    out.push(score);
+                }
+                Ok(ColumnVector::from_values(out))
+            }
             Expr::Call(name, args) => {
                 let cols: Vec<ColumnVector> = args
                     .iter()
@@ -418,6 +447,41 @@ fn eval_bin_batch(
             });
         }
         return Ok(ColumnVector::from_parts(ColumnData::Int(out), nulls));
+    }
+
+    // Int ⊗ Float comparisons: the exact integer-aware compare, element by
+    // element — widening ints through `numeric_at` would collapse values
+    // above 2^53 and disagree with the row path's `sql_cmp`.
+    if is_cmp {
+        let int_float: Option<Vec<Option<std::cmp::Ordering>>> =
+            if let (Some(a), Some(b)) = (l.as_ints(), r.as_floats()) {
+                Some((0..n).map(|i| crate::cmp_int_f64(a[i], b[i])).collect())
+            } else if let (Some(a), Some(b)) = (l.as_floats(), r.as_ints()) {
+                Some(
+                    (0..n)
+                        .map(|i| crate::cmp_int_f64(b[i], a[i]).map(std::cmp::Ordering::reverse))
+                        .collect(),
+                )
+            } else {
+                None
+            };
+        if let Some(ords) = int_float {
+            let mut nulls = NullBitmap::new();
+            let mut out = Vec::with_capacity(n);
+            for (i, ord) in ords.into_iter().enumerate() {
+                match ord.filter(|_| !l.is_null(i) && !r.is_null(i)) {
+                    Some(o) => {
+                        nulls.push(false);
+                        out.push(cmp_bool(o));
+                    }
+                    None => {
+                        nulls.push(true);
+                        out.push(false);
+                    }
+                }
+            }
+            return Ok(ColumnVector::from_parts(ColumnData::Bool(out), nulls));
+        }
     }
 
     // Numeric ⊗ numeric with at least one Float side: f64 kernels.
@@ -689,7 +753,55 @@ fn eval_call(name: &str, args: &[Value]) -> Result<Value, StorageError> {
                 None => Err(StorageError::Eval("clamp01 expects number".into())),
             }
         }
+        "similarity" => {
+            need(2)?;
+            match (similarity_arg(&args[0])?, similarity_arg(&args[1])?) {
+                (Some(a), Some(b)) => Ok(similarity_score(&a, &b)),
+                _ => Ok(Value::Null),
+            }
+        }
+        "embed" => {
+            need(1)?;
+            match &args[0] {
+                Value::Str(s) => Ok(Value::Blob(crate::vecindex::encode_embedding(
+                    &kath_vector::embed_query(s),
+                ))),
+                Value::Null => Ok(Value::Null),
+                v => Err(StorageError::Eval(format!("embed expects STR, got {v:?}"))),
+            }
+        }
         other => Err(StorageError::Eval(format!("unknown function '{other}'"))),
+    }
+}
+
+/// Resolves one `similarity` argument to an embedding: BLOB cells decode
+/// (corrupt ones to `None` = no match, never an error — one bad cell must
+/// not kill the query), STR cells embed through the canonical shared
+/// embedder, NULL is unknown. Anything else is a type error.
+fn similarity_arg(v: &Value) -> Result<Option<Vec<f32>>, StorageError> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Blob(b) => Ok(crate::vecindex::decode_embedding(b)),
+        Value::Str(s) => Ok(Some(kath_vector::embed_query(s))),
+        v => Err(StorageError::Eval(format!(
+            "similarity expects BLOB or STR, got {v:?}"
+        ))),
+    }
+}
+
+/// Cosine similarity as a SQL value: mismatched dimensionalities and
+/// non-finite scores (corrupt embeddings) are NULL — no match, never a
+/// truncated-dot garbage score — so they rank last under `ORDER BY ...
+/// DESC`, exactly where the vector index's top-k padding puts them.
+fn similarity_score(a: &[f32], b: &[f32]) -> Value {
+    if a.len() != b.len() {
+        return Value::Null;
+    }
+    let c = kath_vector::cosine(a, b);
+    if c.is_finite() {
+        Value::Float(c as f64)
+    } else {
+        Value::Null
     }
 }
 
@@ -920,6 +1032,112 @@ mod tests {
             &s,
         );
         assert_parity(&Expr::col("v").bin(BinOp::Add, Expr::lit(1i64)), rows, &s);
+    }
+
+    #[test]
+    fn similarity_and_embed_functions() {
+        use crate::encode_embedding;
+        let s = Schema::of(&[("emb", DataType::Blob), ("body", DataType::Str)]);
+        let gun = encode_embedding(&kath_vector::embed_query("gun"));
+        let row: Row = vec![Value::Blob(gun), "murder weapon".into()];
+        // Blob vs query text: related concepts score high.
+        let e = Expr::Call(
+            "similarity".into(),
+            vec![Expr::col("emb"), Expr::lit("weapon")],
+        );
+        let v = e.eval(&row, &s).unwrap().as_f64().unwrap();
+        assert!(v > 0.5, "related terms must be similar, got {v}");
+        // Str column embeds on the fly.
+        let e = Expr::Call(
+            "similarity".into(),
+            vec![Expr::col("body"), Expr::lit("gun")],
+        );
+        assert!(e.eval(&row, &s).unwrap().as_f64().unwrap() > 0.3);
+        // EMBED('text') produces exactly the canonical encoding.
+        let e = Expr::Call("embed".into(), vec![Expr::lit("weapon")]);
+        let Value::Blob(b) = e.eval(&row, &s).unwrap() else {
+            panic!("embed must return a blob")
+        };
+        assert_eq!(b, encode_embedding(&kath_vector::embed_query("weapon")));
+        // NULL and corrupt blobs are no-matches (NULL), not errors.
+        let e = Expr::Call(
+            "similarity".into(),
+            vec![Expr::lit(Value::Null), Expr::lit("x")],
+        );
+        assert_eq!(e.eval(&row, &s).unwrap(), Value::Null);
+        let e = Expr::Call(
+            "similarity".into(),
+            vec![Expr::lit(Value::Blob(vec![1, 2, 3])), Expr::lit("x")],
+        );
+        assert_eq!(e.eval(&row, &s).unwrap(), Value::Null);
+        // Non-embedding operands are type errors.
+        let e = Expr::Call("similarity".into(), vec![Expr::lit(1i64), Expr::lit("x")]);
+        assert!(e.eval(&row, &s).is_err());
+        assert!(Expr::Call("embed".into(), vec![Expr::lit(1i64)])
+            .eval(&row, &s)
+            .is_err());
+    }
+
+    #[test]
+    fn batch_similarity_kernel_matches_row_path() {
+        use crate::encode_embedding;
+        let s = Schema::of(&[("emb", DataType::Blob), ("body", DataType::Str)]);
+        let rows: Vec<Row> = vec![
+            vec![
+                Value::Blob(encode_embedding(&kath_vector::embed_query("gun"))),
+                "murder".into(),
+            ],
+            vec![Value::Null, "tea".into()],
+            vec![Value::Blob(vec![9]), "garden walk".into()], // corrupt blob
+            vec![
+                Value::Blob(encode_embedding(&kath_vector::embed_query("tea"))),
+                Value::Null,
+            ],
+        ];
+        let exprs = vec![
+            Expr::Call(
+                "similarity".into(),
+                vec![Expr::col("emb"), Expr::lit("weapon")],
+            ),
+            Expr::Call(
+                "similarity".into(),
+                vec![Expr::col("body"), Expr::lit("calm")],
+            ),
+            Expr::Call(
+                "similarity".into(),
+                vec![Expr::col("emb"), Expr::col("body")],
+            ),
+            Expr::Call("embed".into(), vec![Expr::col("body")]),
+        ];
+        for e in &exprs {
+            assert_parity(e, rows.clone(), &s);
+        }
+    }
+
+    #[test]
+    fn batch_int_float_comparison_is_exact() {
+        // The typed Int×Float kernel must agree with the (now precise)
+        // row path above 2^53.
+        let s = Schema::of(&[("i", DataType::Int), ("f", DataType::Float)]);
+        let big = (1i64 << 53) + 1;
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(big), Value::Float((1i64 << 53) as f64)],
+            vec![Value::Int(3), Value::Float(3.0)],
+            vec![Value::Int(1), Value::Float(1.5)],
+            vec![Value::Null, Value::Float(0.0)],
+            vec![Value::Int(0), Value::Float(f64::NAN)],
+        ];
+        for op in [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ] {
+            assert_parity(&Expr::col("i").bin(op, Expr::col("f")), rows.clone(), &s);
+            assert_parity(&Expr::col("f").bin(op, Expr::col("i")), rows.clone(), &s);
+        }
     }
 
     #[test]

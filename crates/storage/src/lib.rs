@@ -24,6 +24,7 @@ mod schema;
 mod stats;
 mod table;
 mod value;
+mod vecindex;
 mod wal;
 
 pub use batch::{ColumnData, ColumnVector, ExecMode, NullBitmap, RowBatch, DEFAULT_BATCH_SIZE};
@@ -42,5 +43,10 @@ pub use persist::{atomic_write, decode_table, encode_table, load_table, save_tab
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
-pub use value::{DataType, Row, Value};
+pub use value::{cmp_int_f64, DataType, Row, Value};
+pub use vecindex::{
+    decode_embedding, default_nlist, default_nprobe, encode_embedding, merge_top_k,
+    preferred_vector_strategy, top_k_entries, vector_search_cost, VectorIndex, VectorMode,
+    VectorStrategy, VectorTopK, IVF_FIXED_COST, VECTOR_INDEX_SEED,
+};
 pub use wal::{crc32, Wal, WalRecord};

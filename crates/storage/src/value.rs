@@ -122,15 +122,16 @@ impl Value {
     }
 
     /// SQL-style comparison: NULL compares as unknown (`None`); numeric
-    /// types compare cross-type (Int vs Float); mismatched types are `None`.
+    /// types compare cross-type (Int vs Float, exactly — see
+    /// [`cmp_int_f64`]); mismatched types are `None`.
     pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
         use Value::*;
         match (self, other) {
             (Null, _) | (_, Null) => None,
             (Int(a), Int(b)) => Some(a.cmp(b)),
             (Float(a), Float(b)) => a.partial_cmp(b),
-            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
-            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Int(a), Float(b)) => cmp_int_f64(*a, *b),
+            (Float(a), Int(b)) => cmp_int_f64(*b, *a).map(Ordering::reverse),
             (Str(a), Str(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (Blob(a), Blob(b)) => Some(a.cmp(b)),
@@ -164,8 +165,20 @@ impl Value {
             (Null, Null) => Ordering::Equal,
             (Int(a), Int(b)) => a.cmp(b),
             (Float(a), Float(b)) => norm(*a).total_cmp(&norm(*b)),
-            (Int(a), Float(b)) => (*a as f64).total_cmp(&norm(*b)),
-            (Float(a), Int(b)) => norm(*a).total_cmp(&(*b as f64)),
+            // Int↔Float compares exactly (never through a lossy `as f64`
+            // cast), consistent with `sql_cmp`. Against NaN an integer sits
+            // where its real value would under `f64::total_cmp`: after a
+            // negative NaN, before a positive one.
+            (Int(a), Float(b)) => match cmp_int_f64(*a, *b) {
+                Some(ord) => ord,
+                None if b.is_sign_negative() => Ordering::Greater,
+                None => Ordering::Less,
+            },
+            (Float(a), Int(b)) => match cmp_int_f64(*b, *a).map(Ordering::reverse) {
+                Some(ord) => ord,
+                None if a.is_sign_negative() => Ordering::Less,
+                None => Ordering::Greater,
+            },
             (Str(a), Str(b)) => a.cmp(b),
             (Bool(a), Bool(b)) => a.cmp(b),
             (Blob(a), Blob(b)) => a.cmp(b),
@@ -285,6 +298,35 @@ impl<T: Into<Value>> From<Option<T>> for Value {
     }
 }
 
+/// Exact comparison of an `i64` against an `f64`, `None` iff `b` is NaN.
+///
+/// The obvious `(a as f64).partial_cmp(&b)` silently rounds: every integer
+/// above 2^53 collapses onto its nearest representable double, so e.g.
+/// `2^53 + 1` compared equal to `2^53 as f64`. This version is range- and
+/// fraction-aware: it compares against `b`'s integer part (exact for any
+/// finite double inside the `i64` range) and breaks the tie on `b`'s
+/// fractional part, so distinct values never compare equal.
+pub fn cmp_int_f64(a: i64, b: f64) -> Option<Ordering> {
+    if b.is_nan() {
+        return None;
+    }
+    // 2^63 exactly; i64 spans [-2^63, 2^63). Also catches ±infinity.
+    const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+    let bf = b.floor();
+    if bf >= TWO_POW_63 {
+        return Some(Ordering::Less); // b ≥ 2^63 > every i64
+    }
+    if bf < -TWO_POW_63 {
+        return Some(Ordering::Greater); // b < -2^63 = i64::MIN ≤ a
+    }
+    let bi = bf as i64; // exact: bf is integral and within [-2^63, 2^63)
+    Some(a.cmp(&bi).then(if b > bf {
+        Ordering::Less // a == ⌊b⌋ but b has a fractional part
+    } else {
+        Ordering::Equal
+    }))
+}
+
 /// A row is a vector of values, positionally aligned with a [`crate::Schema`].
 pub type Row = Vec<Value>;
 
@@ -314,6 +356,64 @@ mod tests {
         assert_eq!(
             Value::Float(1.5).sql_cmp(&Value::Int(2)),
             Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn cross_type_comparison_is_exact_above_2_pow_53() {
+        // 2^53 + 1 is not representable as f64; the old `i64 as f64` cast
+        // collapsed it onto 2^53 and reported Equal.
+        let big = (1i64 << 53) + 1;
+        let rounded = (1i64 << 53) as f64;
+        assert_eq!(
+            Value::Int(big).sql_cmp(&Value::Float(rounded)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Float(rounded).sql_cmp(&Value::Int(big)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(big).total_cmp(&Value::Float(rounded)),
+            Ordering::Greater
+        );
+        // Exact equality still holds where the double really is the integer.
+        assert_eq!(
+            Value::Int(1i64 << 53).sql_cmp(&Value::Float(rounded)),
+            Some(Ordering::Equal)
+        );
+        // i64::MAX rounds UP to 2^63 as f64; they must not compare equal.
+        assert_eq!(
+            Value::Int(i64::MAX).sql_cmp(&Value::Float(i64::MAX as f64)),
+            Some(Ordering::Less)
+        );
+        // i64::MIN is exactly -2^63.
+        assert_eq!(
+            Value::Int(i64::MIN).sql_cmp(&Value::Float(i64::MIN as f64)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn cross_type_comparison_handles_range_fraction_and_nan() {
+        assert_eq!(cmp_int_f64(0, f64::INFINITY), Some(Ordering::Less));
+        assert_eq!(cmp_int_f64(0, f64::NEG_INFINITY), Some(Ordering::Greater));
+        assert_eq!(cmp_int_f64(0, f64::NAN), None);
+        assert_eq!(cmp_int_f64(0, 1e300), Some(Ordering::Less));
+        assert_eq!(cmp_int_f64(0, -1e300), Some(Ordering::Greater));
+        assert_eq!(cmp_int_f64(2, 1.5), Some(Ordering::Greater));
+        assert_eq!(cmp_int_f64(1, 1.5), Some(Ordering::Less));
+        assert_eq!(cmp_int_f64(-2, -1.5), Some(Ordering::Less));
+        assert_eq!(cmp_int_f64(-1, -1.5), Some(Ordering::Greater));
+        assert_eq!(cmp_int_f64(0, -0.0), Some(Ordering::Equal));
+        // NaN keeps its total_cmp position relative to integers.
+        assert_eq!(
+            Value::Int(i64::MAX).total_cmp(&Value::Float(f64::NAN)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).total_cmp(&Value::Float(-f64::NAN)),
+            Ordering::Greater
         );
     }
 

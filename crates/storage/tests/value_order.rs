@@ -1,0 +1,117 @@
+//! Property tests for cross-type `Value` ordering.
+//!
+//! `sql_cmp` (the SQL comparison behind `=`, `<`, …) and `total_cmp` (the
+//! total order behind ORDER BY, grouping, and equality) must agree on
+//! Int↔Float comparisons — including integers above 2^53, where the old
+//! `i64 as f64` widening silently collapsed distinct values.
+
+use kath_storage::{cmp_int_f64, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Floats biased toward the interesting region: exact images of random
+/// i64s (often > 2^53), their neighbours, and ordinary magnitudes.
+fn arb_float() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<f64>(),
+        any::<i64>().prop_map(|i| i as f64),
+        any::<i64>().prop_map(|i| (i as f64) + 0.5),
+        (any::<i64>(), 0u8..3).prop_map(|(i, ulps)| {
+            let mut f = i as f64;
+            for _ in 0..ulps {
+                f = f.next_up();
+            }
+            f
+        }),
+        (any::<i64>(), 0u8..3).prop_map(|(i, ulps)| {
+            let mut f = i as f64;
+            for _ in 0..ulps {
+                f = f.next_down();
+            }
+            f
+        }),
+    ]
+}
+
+proptest! {
+    /// The satellite's pin: `sql_cmp` is consistent with the total order on
+    /// mixed Int/Float values of any magnitude (NaN excepted: unknown in
+    /// SQL, positioned in the total order).
+    #[test]
+    fn sql_cmp_matches_total_cmp_on_mixed_numerics(a in any::<i64>(), b in arb_float()) {
+        let int_v = Value::Int(a);
+        let float_v = Value::Float(b);
+        if b.is_nan() {
+            prop_assert_eq!(int_v.sql_cmp(&float_v), None);
+        } else {
+            prop_assert_eq!(
+                int_v.sql_cmp(&float_v),
+                Some(int_v.total_cmp(&float_v)),
+                "Int({}) vs Float({})", a, b
+            );
+            prop_assert_eq!(
+                float_v.sql_cmp(&int_v),
+                Some(float_v.total_cmp(&int_v)),
+                "Float({}) vs Int({})", b, a
+            );
+        }
+    }
+
+    /// Antisymmetry across the Int/Float boundary.
+    #[test]
+    fn cross_type_comparison_is_antisymmetric(a in any::<i64>(), b in arb_float()) {
+        let fwd = Value::Int(a).sql_cmp(&Value::Float(b));
+        let rev = Value::Float(b).sql_cmp(&Value::Int(a));
+        prop_assert_eq!(fwd, rev.map(Ordering::reverse));
+        let fwd_total = Value::Int(a).total_cmp(&Value::Float(b));
+        let rev_total = Value::Float(b).total_cmp(&Value::Int(a));
+        prop_assert_eq!(fwd_total, rev_total.reverse());
+    }
+
+    /// An integer compared against its own (possibly rounded) f64 image:
+    /// the verdict must match exact integer arithmetic. `i as f64` is
+    /// integral and within [-2^63, 2^63] by construction, so truncating it
+    /// to i128 is exact and gives an independent reference.
+    #[test]
+    fn comparison_against_own_rounding_is_exact(a in any::<i64>()) {
+        let r = a as f64;
+        let reference = (a as i128).cmp(&(r as i128));
+        prop_assert_eq!(
+            cmp_int_f64(a, r),
+            Some(reference),
+            "Int({}) vs its f64 image {}", a, r
+        );
+        // Equality must coincide with exact round-tripping.
+        let eq = Value::Int(a) == Value::Float(r);
+        prop_assert_eq!(eq, reference == Ordering::Equal);
+    }
+
+    /// Values that compare equal must hash equal (joins and grouping mix
+    /// Int and Float keys).
+    #[test]
+    fn equal_mixed_values_hash_alike(a in any::<i64>(), b in arb_float()) {
+        let int_v = Value::Int(a);
+        let float_v = Value::Float(b);
+        if int_v == float_v {
+            prop_assert_eq!(hash_of(&int_v), hash_of(&float_v));
+        }
+    }
+
+    /// Offsetting the float by ±1 around an integer always flips the
+    /// comparison the right way for in-range values.
+    #[test]
+    fn unit_offsets_order_correctly(a in -1_000_000_000_000i64..1_000_000_000_000i64) {
+        prop_assert_eq!(cmp_int_f64(a, a as f64 - 1.0), Some(Ordering::Greater));
+        prop_assert_eq!(cmp_int_f64(a, a as f64 + 1.0), Some(Ordering::Less));
+        prop_assert_eq!(cmp_int_f64(a, a as f64 + 0.5), Some(Ordering::Less));
+        prop_assert_eq!(cmp_int_f64(a, a as f64 - 0.5), Some(Ordering::Greater));
+    }
+}

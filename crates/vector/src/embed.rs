@@ -172,6 +172,22 @@ impl TextEmbedder {
     }
 }
 
+/// Seed of the canonical shared embedder behind [`embed_query`]. One fixed
+/// seed means stored `EMBED(...)` blobs, `SIMILARITY(col, 'query')`
+/// expressions, and the catalog's vector indexes all live in the same
+/// embedding space.
+pub const QUERY_EMBED_SEED: u64 = 7;
+
+/// Embeds text with the canonical default-lexicon embedder — the single
+/// embedding convention the SQL surface and the vector indexes share.
+pub fn embed_query(text: &str) -> Embedding {
+    use std::sync::OnceLock;
+    static EMBEDDER: OnceLock<TextEmbedder> = OnceLock::new();
+    EMBEDDER
+        .get_or_init(|| TextEmbedder::new(default_lexicon(), QUERY_EMBED_SEED))
+        .embed(text)
+}
+
 /// A small built-in lexicon for tests and the default pipeline: concepts the
 /// flagship query needs ("excitement" keywords from §6 plus contrast sets).
 pub fn default_lexicon() -> Lexicon {

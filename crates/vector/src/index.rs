@@ -45,6 +45,12 @@ fn top_k(candidates: impl Iterator<Item = (u64, f32)>, k: usize) -> Vec<Hit> {
     }
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (id, score) in candidates {
+        // Non-finite scores are no-matches: `total_cmp` would rank NaN
+        // above every real score, letting one corrupt embedding win every
+        // query. Skip them instead.
+        if !score.is_finite() {
+            continue;
+        }
         heap.push(HeapEntry(score, id));
         if heap.len() > k {
             heap.pop();
@@ -110,16 +116,28 @@ impl IvfIndex {
     /// `seed` fixes the k-means initialization.
     pub fn build(entries: Vec<(u64, Vec<f32>)>, nlist: usize, nprobe: usize, seed: u64) -> Self {
         let nlist = nlist.clamp(1, entries.len().max(1));
-        // Deterministic init: spread over the data by a seeded stride.
-        let mut centroids: Vec<Vec<f32>> = (0..nlist)
-            .map(|i| {
-                let idx = ((seed as usize)
+        // Deterministic init: spread over the data by a seeded stride,
+        // linear-probing past already-used entries so every centroid starts
+        // from a *distinct* vector (the raw stride can collide, which used
+        // to seed duplicate centroids and permanently empty clusters).
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(nlist);
+        if entries.is_empty() {
+            centroids.push(Vec::new());
+        } else {
+            let n = entries.len();
+            let mut used = vec![false; n];
+            for i in 0..nlist {
+                let mut idx = ((seed as usize)
                     .wrapping_mul(2654435761)
                     .wrapping_add(i * 97))
-                    % entries.len().max(1);
-                entries.get(idx).map(|(_, v)| v.clone()).unwrap_or_default()
-            })
-            .collect();
+                    % n;
+                while used[idx] {
+                    idx = (idx + 1) % n;
+                }
+                used[idx] = true;
+                centroids.push(entries[idx].1.clone());
+            }
+        }
         // A few Lloyd iterations are enough for recall purposes.
         for _ in 0..4 {
             if entries.is_empty() {
@@ -128,8 +146,10 @@ impl IvfIndex {
             let dim = entries[0].1.len();
             let mut sums = vec![vec![0.0f32; dim]; nlist];
             let mut counts = vec![0usize; nlist];
-            for (_, v) in &entries {
+            let mut assign = vec![0usize; entries.len()];
+            for (e, (_, v)) in entries.iter().enumerate() {
                 let c = nearest_centroid(&centroids, v);
+                assign[e] = c;
                 counts[c] += 1;
                 for (s, x) in sums[c].iter_mut().zip(v) {
                     *s += x;
@@ -138,6 +158,41 @@ impl IvfIndex {
             for (c, sum) in sums.into_iter().enumerate() {
                 if counts[c] > 0 {
                     centroids[c] = sum.into_iter().map(|x| x / counts[c] as f32).collect();
+                }
+            }
+            // Repair empty clusters: an unrepaired empty cluster keeps its
+            // stale centroid forever, wasting a probe slot and degrading
+            // recall. Reseed each from the largest cluster's farthest
+            // member (deterministic tie-breaks: lowest index).
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    continue;
+                }
+                let mut donor = 0usize;
+                for d in 1..nlist {
+                    if counts[d] > counts[donor] {
+                        donor = d;
+                    }
+                }
+                if counts[donor] <= 1 {
+                    continue; // nothing left to split
+                }
+                let mut farthest: Option<(usize, f32)> = None;
+                for (e, (_, v)) in entries.iter().enumerate() {
+                    if assign[e] != donor {
+                        continue;
+                    }
+                    let s = cosine(&centroids[donor], v);
+                    let s = if s.is_finite() { s } else { f32::NEG_INFINITY };
+                    if farthest.is_none_or(|(_, best)| s < best) {
+                        farthest = Some((e, s));
+                    }
+                }
+                if let Some((e, _)) = farthest {
+                    centroids[c] = entries[e].1.clone();
+                    assign[e] = c;
+                    counts[c] += 1;
+                    counts[donor] -= 1;
                 }
             }
         }
@@ -166,6 +221,11 @@ impl IvfIndex {
     /// Number of clusters.
     pub fn nlist(&self) -> usize {
         self.centroids.len()
+    }
+
+    /// Vectors per cluster (diagnostics; empty clusters waste probe slots).
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(Vec::len).collect()
     }
 
     /// Approximate top-k: probes the `nprobe` closest clusters.
@@ -268,6 +328,64 @@ mod tests {
             }
         }
         assert!(agree >= 16, "IVF top-1 agreement too low: {agree}/20");
+    }
+
+    #[test]
+    fn top_k_skips_non_finite_scores() {
+        // One corrupt (NaN) embedding must never win a query; it is a
+        // no-match, not the best match.
+        let mut ix = FlatIndex::new();
+        ix.insert(1, vec![f32::NAN; 4]);
+        ix.insert(2, vec![1.0, 0.0, 0.0, 0.0]);
+        ix.insert(3, vec![0.9, 0.1, 0.0, 0.0]);
+        let hits = ix.search(&[1.0, 0.0, 0.0, 0.0], 3);
+        assert_eq!(hits.len(), 2, "corrupt entry must be dropped: {hits:?}");
+        assert_eq!(hits[0].id, 2);
+        assert!(hits.iter().all(|h| h.score.is_finite()));
+        // An all-corrupt index matches nothing.
+        let mut bad = FlatIndex::new();
+        bad.insert(1, vec![f32::INFINITY; 4]);
+        assert!(bad.search(&[1.0, 0.0, 0.0, 0.0], 1).is_empty());
+    }
+
+    #[test]
+    fn ivf_init_deduplicates_and_repairs_empty_clusters() {
+        // 4 tight, well-separated clusters of 25 points each. Any seed —
+        // including ones whose raw stride collides — must leave every one
+        // of 4 cluster lists populated: duplicate initial picks are
+        // linear-probed apart and empty clusters are reseeded.
+        for seed in 0..16u64 {
+            let mut entries = Vec::new();
+            for i in 0..100u64 {
+                let base = seeded_unit_vector(i % 4 + 500);
+                let noise = seeded_unit_vector(i + 9000);
+                let mut v: Vec<f32> = base
+                    .iter()
+                    .zip(&noise)
+                    .map(|(b, n)| 0.97 * b + 0.03 * n)
+                    .collect();
+                crate::embed::normalize(&mut v);
+                entries.push((i, v));
+            }
+            let ivf = IvfIndex::build(entries, 4, 1, seed);
+            let sizes = ivf.list_sizes();
+            assert!(
+                sizes.iter().all(|&s| s > 0),
+                "seed {seed}: empty cluster in {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ivf_duplicate_entries_build_distinct_centroid_seeds() {
+        // All-identical data cannot split into distinct clusters, but the
+        // build must stay well-formed: no panic, all vectors indexed.
+        let v = seeded_unit_vector(3);
+        let entries: Vec<_> = (0..10u64).map(|i| (i, v.clone())).collect();
+        let ivf = IvfIndex::build(entries, 4, 4, 7);
+        assert_eq!(ivf.len(), 10);
+        let hits = ivf.search(&v, 3);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

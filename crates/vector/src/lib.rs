@@ -12,7 +12,8 @@ mod index;
 mod sim;
 
 pub use embed::{
-    default_lexicon, fnv1a, normalize, seeded_unit_vector, Embedding, Lexicon, TextEmbedder, DIM,
+    default_lexicon, embed_query, fnv1a, normalize, seeded_unit_vector, Embedding, Lexicon,
+    TextEmbedder, DIM, QUERY_EMBED_SEED,
 };
 pub use index::{FlatIndex, Hit, IvfIndex};
 pub use sim::{cosine, dot, l2};

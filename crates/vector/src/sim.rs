@@ -1,14 +1,27 @@
 //! Vector similarity measures.
 
 /// Cosine similarity in `[-1, 1]`; zero vectors yield 0.
+///
+/// Non-finite inputs (a NaN or infinite component, or an overflowing
+/// norm/dot) yield `NaN` — the "no match" sentinel. Rankers must treat a
+/// non-finite score as no-match (the index `top_k` skips them), so one
+/// corrupt embedding can never outrank every real one. `-0.0` results are
+/// normalized to `0.0` so score ties break deterministically.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
     let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
     if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    if !(dot.is_finite() && na.is_finite() && nb.is_finite()) {
+        return f32::NAN;
+    }
+    let c = (dot / (na * nb)).clamp(-1.0, 1.0);
+    if c == 0.0 {
         0.0
     } else {
-        (dot / (na * nb)).clamp(-1.0, 1.0)
+        c
     }
 }
 
@@ -46,6 +59,15 @@ mod tests {
     #[test]
     fn cosine_orthogonal() {
         assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_non_finite_is_no_match() {
+        // A corrupt (NaN/∞) component must yield NaN — never a real score
+        // that could outrank genuine matches.
+        assert!(cosine(&[f32::NAN, 1.0], &[1.0, 1.0]).is_nan());
+        assert!(cosine(&[1.0, 1.0], &[f32::INFINITY, 1.0]).is_nan());
+        assert!(cosine(&[f32::NEG_INFINITY], &[1.0]).is_nan());
     }
 
     #[test]
