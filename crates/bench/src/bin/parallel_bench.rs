@@ -14,8 +14,10 @@
 //! `--quick` is the `make bench-smoke` setting: small corpus, few reps —
 //! enough to prove the parallel path runs and the JSON schema is stable,
 //! fast enough for CI. Speedups are relative to the 1-thread run at the
-//! same batch size; on a single-core host expect ≈ 1.0 (the report records
-//! `host_parallelism` so readers can tell).
+//! same batch size. The report leads with `host_parallelism`, and on a
+//! single-core host speedup figures are suppressed entirely (`null` in the
+//! JSON, `speedups_meaningful: false`): threads time-slicing one core
+//! cannot support a parallel-speedup claim.
 
 use kath_data::{generate_corpus, CorpusSpec};
 use kath_json::{to_string_pretty, Json, JsonMap};
@@ -52,6 +54,14 @@ fn main() {
         .unwrap_or_else(|| "BENCH_parallel.json".to_string());
     let (rows, reps) = if quick { (10_000, 3) } else { (100_000, 5) };
 
+    // State the host's parallelism up front: every speedup below is only
+    // meaningful relative to it, and on a single-core host there is no
+    // parallel win to claim at all.
+    let hp = host_parallelism();
+    eprintln!("host parallelism: {hp} core(s)");
+    if hp == 1 {
+        eprintln!("single-core host: speedup figures suppressed (threads time-slice one core)");
+    }
     eprintln!("generating the {rows}-row scale corpus…");
     let corpus = generate_corpus(&CorpusSpec {
         movies: rows,
@@ -91,20 +101,28 @@ fn main() {
                 .find(|(b, _)| *b == batch)
                 .map(|(_, ms)| *ms)
                 .unwrap_or(median_ms);
-            let speedup = if median_ms > 0.0 {
-                baseline / median_ms
+            // A speedup is only a claim when the host can actually run
+            // workers concurrently; with one core the ratio is noise.
+            let speedup = if hp > 1 && median_ms > 0.0 {
+                Some(baseline / median_ms)
             } else {
-                1.0
+                None
             };
-            eprintln!(
-                "threads {threads} × batch {batch:>4}: median {median_ms:8.2} ms \
-                 (speedup {speedup:4.2}x, {check_rows} result rows)"
-            );
+            match speedup {
+                Some(s) => eprintln!(
+                    "threads {threads} × batch {batch:>4}: median {median_ms:8.2} ms \
+                     (speedup {s:4.2}x, {check_rows} result rows)"
+                ),
+                None => eprintln!(
+                    "threads {threads} × batch {batch:>4}: median {median_ms:8.2} ms \
+                     ({check_rows} result rows)"
+                ),
+            }
             let mut point = JsonMap::new();
             point.insert("threads", Json::Num(threads as f64));
             point.insert("batch", Json::Num(batch as f64));
             point.insert("median_ms", Json::Num(median_ms));
-            point.insert("speedup", Json::Num(speedup));
+            point.insert("speedup", speedup.map(Json::Num).unwrap_or(Json::Null));
             series.push(Json::Object(point));
         }
     }
@@ -115,7 +133,8 @@ fn main() {
     report.insert("corpus_rows", Json::Num(rows as f64));
     report.insert("reps", Json::Num(reps as f64));
     report.insert("quick", Json::Bool(quick));
-    report.insert("host_parallelism", Json::Num(host_parallelism() as f64));
+    report.insert("host_parallelism", Json::Num(hp as f64));
+    report.insert("speedups_meaningful", Json::Bool(hp > 1));
     report.insert("series", Json::Array(series));
     let rendered = to_string_pretty(&Json::Object(report));
     std::fs::write(&out_path, rendered + "\n").expect("report writes");

@@ -11,7 +11,10 @@
 //! - `\open <dir>` — open a durable database directory: crash recovery
 //!   (newest valid snapshot + WAL replay), then WAL-logged mutations,
 //! - `\checkpoint` — snapshot every table + the function registry,
-//! - `\wal` — durability status (snapshot epoch, log records/bytes),
+//! - `\wal` — durability status (snapshot epoch, log records/bytes, what
+//!   the last incremental checkpoint wrote vs reused),
+//! - `\pool` — buffer-pool status (budget, residency, hit/miss/eviction
+//!   counters, zone-map skips, dirty pages); `\pool <n>` re-budgets it,
 //! - `\explain <question>` — NL questions over the last query's provenance,
 //! - `\lineage` — the Table-3 lineage relation (tail),
 //! - `\functions` — the versioned function registry,
@@ -93,7 +96,7 @@ fn main() {
             _ if line == "\\help" || line == "help" => {
                 println!(
                     "commands: \\sql <query> | \\open <dir> | \\checkpoint | \\wal | \
-                     \\explain <question> | \\lineage | \
+                     \\pool [<pages>] | \\explain <question> | \\lineage | \
                      \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \
                      \\threads <n>|auto | \
                      \\vindex [auto|off|flat|ivf | build <t> <c> | drop <t> <c>] | \\quit\n\
@@ -155,18 +158,66 @@ fn main() {
                 Err(e) => println!("open failed: {e}"),
             },
             _ if line == "\\checkpoint" => match db.checkpoint() {
-                Ok(epoch) => println!("checkpoint written: snapshot epoch {epoch}"),
+                Ok(epoch) => {
+                    print!("checkpoint written: snapshot epoch {epoch}");
+                    if let Some(c) = db.durability_status().and_then(|s| s.last_checkpoint) {
+                        print!(
+                            " ({} page(s) written, {} reused, {} of {} bytes)",
+                            c.pages_written, c.pages_reused, c.bytes_written, c.bytes_total
+                        );
+                    }
+                    println!();
+                }
                 Err(e) => println!("checkpoint failed: {e}"),
             },
             _ if line == "\\wal" => match db.durability_status() {
-                Some(s) => println!(
-                    "durable dir {} — snapshot epoch {}, {} wal record(s) ({} bytes) since",
-                    s.dir.display(),
-                    s.snapshot_epoch,
-                    s.wal_records,
-                    s.wal_bytes
-                ),
+                Some(s) => {
+                    println!(
+                        "durable dir {} — snapshot epoch {}, {} wal record(s) ({} bytes) since",
+                        s.dir.display(),
+                        s.snapshot_epoch,
+                        s.wal_records,
+                        s.wal_bytes
+                    );
+                    if let Some(c) = s.last_checkpoint {
+                        println!(
+                            "last checkpoint: epoch {} — {} table(s), {} page(s) written, \
+                             {} reused, {} of {} bytes",
+                            c.epoch,
+                            c.tables,
+                            c.pages_written,
+                            c.pages_reused,
+                            c.bytes_written,
+                            c.bytes_total
+                        );
+                    }
+                }
                 None => println!("no durable directory open; use \\open <dir>"),
+            },
+            _ if line == "\\pool" => {
+                let p = db.pool_status();
+                println!(
+                    "buffer pool: {}/{} page(s) resident (~{} bytes), {} dirty page(s)",
+                    p.resident_pages,
+                    p.budget_pages,
+                    p.resident_bytes,
+                    db.dirty_pages()
+                );
+                println!(
+                    "counters: {} hit(s), {} miss(es), {} eviction(s), {} zone-map skip(s)",
+                    p.hits, p.misses, p.evictions, p.zone_skips
+                );
+            }
+            Some(("\\pool", rest)) if !rest.is_empty() => match rest.parse::<usize>() {
+                Ok(pages) => {
+                    db.set_pool_budget(pages);
+                    let p = db.pool_status();
+                    println!(
+                        "buffer pool re-budgeted to {} page(s); {} resident",
+                        p.budget_pages, p.resident_pages
+                    );
+                }
+                Err(_) => println!("usage: \\pool            show buffer-pool status\n       \\pool <pages>    re-budget the pool (results identical at any size)"),
             },
             Some(("\\explain", rest)) if !rest.is_empty() => match db.explain(rest) {
                 Ok(text) => println!("{text}"),

@@ -56,7 +56,8 @@ use kath_parser::{
 };
 use kath_sql::{SqlError, Statement};
 use kath_storage::{
-    Durability, DurabilityStatus, ExecMode, StorageError, Table, Value, VectorMode, WalRecord,
+    Durability, DurabilityStatus, ExecMode, PoolStatus, StorageError, Table, Value, VectorMode,
+    WalRecord, DEFAULT_PAGE_ROWS,
 };
 use std::fmt;
 use std::path::Path;
@@ -231,7 +232,9 @@ impl KathDB {
     /// The `KATHDB_THREADS` environment variable, when set, pins the degree
     /// of parallelism for the instance (`auto` or `0` keep cost-model
     /// selection) — the knob CI uses to run the whole suite serially and
-    /// 4-wide.
+    /// 4-wide. `KATHDB_POOL_PAGES` caps the buffer pool at that many
+    /// decoded column pages (minimum 1) — the knob CI uses for its
+    /// low-memory leg; results are identical at any budget.
     pub fn new(seed: u64) -> Self {
         let meter = TokenMeter::new();
         let pinned_threads = std::env::var("KATHDB_THREADS")
@@ -271,7 +274,7 @@ impl KathDB {
         let dir = dir.as_ref();
         self.close()?;
         let pre_existing = !self.ctx.catalog.is_empty();
-        let (inner, recovered) = Durability::open(dir)?;
+        let (inner, recovered) = Durability::open(dir, self.ctx.catalog.pool())?;
         let info = RecoveryInfo {
             snapshot_tables: recovered.tables.len(),
             wal_replayed: recovered.wal_records.len(),
@@ -392,10 +395,19 @@ impl KathDB {
             .iter()
             .map(|n| self.ctx.catalog.get(n).expect("listed table exists"))
             .collect();
-        let refs: Vec<&Table> = arcs.iter().map(|a| a.as_ref()).collect();
         let functions_json = to_string_pretty(&self.registry.to_json());
-        let epoch = durability.inner.checkpoint(&refs, Some(&functions_json))?;
+        let pool = Arc::clone(self.ctx.catalog.pool());
+        let (epoch, paged) = durability
+            .inner
+            .checkpoint(&arcs, &pool, Some(&functions_json))?;
         durability.functions_json = functions_json;
+        // The checkpoint returned each table in its paged form — identical
+        // rows, page-backed representation. Swapping them in means the
+        // catalog now serves scans from the same pages the snapshot
+        // references (and the next checkpoint rewrites only dirty pages).
+        for table in paged {
+            self.ctx.catalog.swap_in_identical(table);
+        }
         Ok(epoch)
     }
 
@@ -422,6 +434,40 @@ impl KathDB {
     /// WAL / snapshot status of the open durable directory, if any.
     pub fn durability_status(&self) -> Option<DurabilityStatus> {
         self.durability.as_ref().map(|d| d.inner.status())
+    }
+
+    /// Buffer-pool counters for this instance: budget, residency, hit /
+    /// miss / eviction totals, and zone-map page skips.
+    pub fn pool_status(&self) -> PoolStatus {
+        self.ctx.catalog.pool().status()
+    }
+
+    /// Re-budgets the buffer pool to `pages` decoded column pages (minimum
+    /// 1), evicting down immediately if over. Results are unaffected at any
+    /// budget — only how much decoded data stays cached.
+    pub fn set_pool_budget(&self, pages: usize) {
+        self.ctx.catalog.set_pool_budget(pages);
+    }
+
+    /// Converts a catalog table to the out-of-core paged representation
+    /// (compressed column pages served through the buffer pool). Contents
+    /// are identical afterwards; returns whether a conversion happened
+    /// (`false` if the table was already paged). Checkpoints do this
+    /// automatically for every table.
+    pub fn page_table(&mut self, name: &str) -> Result<bool, KathError> {
+        Ok(self.ctx.catalog.page_table(name, DEFAULT_PAGE_ROWS)?)
+    }
+
+    /// Total dirty (not yet checkpointed) pages across paged catalog
+    /// tables; resident tables are entirely "dirty" but not counted here.
+    pub fn dirty_pages(&self) -> usize {
+        self.ctx
+            .catalog
+            .table_names()
+            .into_iter()
+            .filter_map(|n| self.ctx.catalog.get(n).ok())
+            .filter_map(|t| t.paged().map(|p| p.dirty_pages()))
+            .sum()
     }
 
     /// Logs the function registry to the WAL when it changed since the last
@@ -962,13 +1008,89 @@ mod tests {
         let _ = std::fs::remove_dir_all(dir2);
     }
 
+    /// The out-of-core acceptance demo: a table larger than the buffer-pool
+    /// budget streams through evictions byte-identically, a one-row INSERT
+    /// makes the next checkpoint incremental (strictly fewer bytes), and a
+    /// crash recovers exactly the committed state.
+    #[test]
+    fn out_of_core_workload_is_byte_identical_and_incremental() {
+        let dir = durable_dir("outofcore");
+        let mut db = KathDB::new(42);
+        db.sql("CREATE TABLE big (id INT, grp STR, score FLOAT)")
+            .unwrap();
+        // 5000 rows → two pages per column at the default page size; the
+        // x.5 floats keep every SUM exact regardless of addition order.
+        for chunk in 0..10i64 {
+            let rows: Vec<String> = (0..500i64)
+                .map(|i| {
+                    let id = chunk * 500 + i;
+                    format!("({id}, 'g{}', {}.5)", id % 7, id % 100)
+                })
+                .collect();
+            db.sql(&format!("INSERT INTO big VALUES {}", rows.join(", ")))
+                .unwrap();
+        }
+        let queries = [
+            "SELECT grp, COUNT(*) AS n, SUM(score) AS s FROM big GROUP BY grp ORDER BY grp",
+            "SELECT id, score FROM big WHERE id >= 4990 ORDER BY id",
+            "SELECT COUNT(*) AS n FROM big WHERE grp = 'g3'",
+        ];
+        let resident: Vec<Table> = queries.iter().map(|q| db.sql(q).unwrap()).collect();
+
+        // Attaching a durable dir checkpoints the pre-existing state, which
+        // swaps every table to its paged representation.
+        db.open_dir(&dir).unwrap();
+        assert!(db.context().catalog.get("big").unwrap().is_paged());
+        let first = db.durability_status().unwrap().last_checkpoint.unwrap();
+        assert!(first.pages_written >= 6, "3 columns x 2 pages: {first:?}");
+
+        // Cap the pool below the table's page count: the same workload must
+        // stream pages through evictions and still match byte for byte.
+        db.set_pool_budget(2);
+        for (q, want) in queries.iter().zip(&resident) {
+            let got = db.sql(q).unwrap();
+            assert_eq!(got.rows(), want.rows(), "paged result diverged: {q}");
+        }
+        let status = db.pool_status();
+        assert!(status.evictions > 0, "no evictions under a 2-page budget");
+        assert!(status.resident_pages <= 2, "{status:?}");
+
+        // One appended row dirties only the tail page of each column, so
+        // the second checkpoint is incremental: strictly fewer bytes.
+        db.sql("INSERT INTO big VALUES (5000, 'g0', 1.5)").unwrap();
+        db.checkpoint().unwrap();
+        let second = db.durability_status().unwrap().last_checkpoint.unwrap();
+        assert!(second.bytes_written > 0);
+        assert!(
+            second.bytes_written < first.bytes_written,
+            "second checkpoint not incremental: {second:?} vs {first:?}"
+        );
+        assert!(second.pages_written < first.pages_written);
+        assert!(second.pages_reused > 0);
+
+        // Crash (no close): one more WAL-only insert, then recovery must
+        // reproduce exactly the committed result set.
+        db.sql("INSERT INTO big VALUES (5001, 'g1', 2.5)").unwrap();
+        let committed: Vec<Table> = queries.iter().map(|q| db.sql(q).unwrap()).collect();
+        drop(db);
+        let mut db2 = KathDB::open(&dir).unwrap();
+        for (q, want) in queries.iter().zip(&committed) {
+            let got = db2.sql(q).unwrap();
+            assert_eq!(got.rows(), want.rows(), "recovered result diverged: {q}");
+        }
+        let n = db2.sql("SELECT COUNT(*) AS n FROM big").unwrap();
+        assert_eq!(n.rows()[0][0], Value::Int(5002));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
     #[test]
     fn failed_open_leaves_the_session_untouched() {
         let dir = durable_dir("failedopen");
         {
             // A log that disagrees with its (absent) snapshot: an INSERT
             // into a table that was never created.
-            let (mut d, _) = Durability::open(&dir).unwrap();
+            let pool = std::sync::Arc::new(kath_storage::BufferPool::with_budget(16));
+            let (mut d, _) = Durability::open(&dir, &pool).unwrap();
             d.log(&WalRecord::Insert {
                 table: "ghost".into(),
                 rows: vec![vec![Value::Int(1)]],

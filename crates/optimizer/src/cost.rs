@@ -127,6 +127,29 @@ pub fn preferred_exec_strategy(rows: usize, max_workers: usize) -> ExecStrategy 
     ExecStrategy { mode, workers }
 }
 
+/// Milliseconds to decode one compressed column page into its in-memory
+/// columnar form on a buffer-pool miss: CRC verification, dictionary /
+/// run-length / bit-packing expansion, and the `ColumnVector` build. Pool
+/// hits skip this entirely, so this constant prices the **cold** path — the
+/// conservative bound physical selection should plan against.
+pub const PAGE_DECODE_MS: f64 = 0.02;
+
+/// Estimated wall-clock of scanning a paged table: the relational overhead
+/// of the rows that survive zone-map pruning, plus one [`PAGE_DECODE_MS`]
+/// per column page that must actually be decoded. `pages` counts the total
+/// column pages the scan would touch; `pruned` of them are skipped via zone
+/// maps *before* decompression, so they cost nothing — which is exactly why
+/// the estimate rewards predicates the zone maps can prune on.
+pub fn paged_scan_ms(rows: usize, pages: usize, pruned: usize, mode: ExecMode) -> f64 {
+    let live = pages.saturating_sub(pruned);
+    let live_rows = if pages == 0 {
+        rows
+    } else {
+        ((rows as f64) * (live as f64) / (pages as f64)).ceil() as usize
+    };
+    relational_overhead_ms(live_rows, mode) + live as f64 * PAGE_DECODE_MS
+}
+
 /// Milliseconds per scored candidate of a vector similarity search: one
 /// 64-dimension f32 cosine in a tight loop.
 pub const VECTOR_SCORE_MS: f64 = 2e-5;
@@ -222,12 +245,21 @@ pub fn estimate_function_in_strategy(
         FunctionBody::MapExpr { .. } | FunctionBody::FilterExpr { .. } => 1,
         _ => return Some(est),
     };
-    let rows: usize = body
-        .inputs()
-        .iter()
-        .map(|t| catalog.get(t).map(|t| t.len()).unwrap_or(0))
-        .sum();
-    est.runtime_ms += parallel_overhead_ms(rows, strategy.mode, workers);
+    let mut rows = 0usize;
+    let mut cold_pages = 0usize;
+    for name in body.inputs() {
+        if let Ok(t) = catalog.get(&name) {
+            rows += t.len();
+            if let Some(pt) = t.paged() {
+                // A pipeline over a paged input may have to decode every
+                // column page of that table on a cold buffer pool; resident
+                // tables contribute nothing here.
+                cold_pages += pt.page_count() * pt.schema().arity();
+            }
+        }
+    }
+    est.runtime_ms += parallel_overhead_ms(rows, strategy.mode, workers)
+        + (cold_pages as f64 * PAGE_DECODE_MS) / workers.max(1) as f64;
     Some(est)
 }
 
@@ -461,6 +493,84 @@ mod tests {
         assert!(batched.runtime_ms > base.runtime_ms);
         assert!(batched.runtime_ms < volcano.runtime_ms);
         assert_eq!(volcano.tokens, base.tokens);
+    }
+
+    #[test]
+    fn paged_scan_estimate_rewards_zone_map_pruning() {
+        let batched = ExecMode::Batched(1024);
+        // Pruning pages strictly lowers the estimate…
+        let cold = paged_scan_ms(100_000, 25, 0, batched);
+        let pruned = paged_scan_ms(100_000, 25, 20, batched);
+        assert!(pruned < cold / 2.0, "pruned={pruned}ms cold={cold}ms");
+        // …and an all-pruned scan costs essentially nothing.
+        let none = paged_scan_ms(100_000, 25, 25, batched);
+        assert!(none <= relational_overhead_ms(0, batched) + 1e-12);
+        // A paged scan is never cheaper than the pure in-memory overhead of
+        // the rows it actually produces: decoding has a price.
+        assert!(cold > relational_overhead_ms(100_000, batched));
+        // Degenerate page counts do not divide by zero.
+        assert!(paged_scan_ms(10, 0, 0, batched).is_finite());
+    }
+
+    #[test]
+    fn paged_inputs_add_decode_cost_that_parallelism_divides() {
+        let (mut registry, catalog) = setup();
+        registry.register(
+            FunctionSignature::new("q", "selects", vec!["t".into()], "o_sql"),
+            FunctionBody::Sql {
+                query: "SELECT x FROM t".into(),
+                dedup_key: None,
+            },
+            "initial",
+        );
+        registry
+            .set_profile(
+                "q",
+                1,
+                ProfileStats {
+                    runtime_ms: 2.0,
+                    tokens: 0,
+                    rows_in: 4,
+                    rows_out: 4,
+                    accuracy: Some(1.0),
+                },
+            )
+            .unwrap();
+        let strat = |workers| ExecStrategy {
+            mode: ExecMode::Batched(1024),
+            workers,
+        };
+        let resident = estimate_function_in_strategy(&registry, &catalog, "q", strat(1)).unwrap();
+
+        // Re-register the same table paged with tiny pages: same rows, but
+        // the estimate must now carry a per-page decode term.
+        let mut paged_catalog = Catalog::new();
+        let t = catalog.get("t").unwrap();
+        let paged = t.to_paged(paged_catalog.pool(), 16).unwrap();
+        let pages = paged.paged().unwrap().page_count();
+        assert!(pages > 1);
+        paged_catalog.register(paged).unwrap();
+        let cold = estimate_function_in_strategy(&registry, &paged_catalog, "q", strat(1)).unwrap();
+        let expected_extra = pages as f64 * PAGE_DECODE_MS; // one Int column
+        assert!(
+            (cold.runtime_ms - resident.runtime_ms - expected_extra).abs() < 1e-9,
+            "cold={} resident={} extra={}",
+            cold.runtime_ms,
+            resident.runtime_ms,
+            expected_extra
+        );
+        // Workers decode distinct pages concurrently, so the decode term
+        // (the paged-minus-resident delta at a fixed worker count) divides.
+        let wide = estimate_function_in_strategy(&registry, &paged_catalog, "q", strat(4)).unwrap();
+        let resident_wide =
+            estimate_function_in_strategy(&registry, &catalog, "q", strat(4)).unwrap();
+        let wide_decode = wide.runtime_ms - resident_wide.runtime_ms;
+        assert!(
+            (wide_decode - expected_extra / 4.0).abs() < 1e-9,
+            "4-way decode term {wide_decode} != {}",
+            expected_extra / 4.0
+        );
+        assert_eq!(wide.tokens, cold.tokens);
     }
 
     #[test]

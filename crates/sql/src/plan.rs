@@ -424,7 +424,14 @@ pub fn run_select_parallel_opt(
         })
         .map(|(ix, value)| Arc::new(ix.lookup(&value).to_vec()));
     let total = positions.as_ref().map(|p| p.len()).unwrap_or(table.len());
-    let source = MorselSource::with_batch_size(total, batch);
+    // Full scans of a paged table align morsels to page boundaries so no
+    // two workers decode the same column page.
+    let source = match table.paged() {
+        Some(pt) if positions.is_none() => {
+            MorselSource::with_batch_size_aligned(total, batch, pt.page_rows())
+        }
+        _ => MorselSource::with_batch_size(total, batch),
+    };
     if source.morsel_count() < 2 {
         return serial(catalog); // Not enough work to split.
     }
@@ -457,6 +464,11 @@ pub fn run_select_parallel_opt(
         .as_ref()
         .map(|w| to_expr(w, &left_schema))
         .transpose()?;
+    // Zone-map prune hints, join-free plans only (see `prune_conjuncts`).
+    let prune_hints: Vec<(String, BinOp, Value)> = match &select.where_clause {
+        Some(w) if select.joins.is_empty() => prune_conjuncts(w, &select.from, table.schema()),
+        _ => Vec::new(),
+    };
 
     // The streaming pipeline one worker drives over one claimed morsel.
     let make_stream = |m: Morsel| -> Result<Box<dyn Operator>, StorageError> {
@@ -468,6 +480,7 @@ pub fn run_select_parallel_opt(
             None => Box::new(
                 TableScan::new(Arc::clone(&table))
                     .with_range(m.start, m.end)
+                    .with_prune_hint(&prune_hints)
                     .with_batch_size(batch),
             ),
         };
@@ -979,7 +992,15 @@ fn leading_scan(
             }
         }
     }
-    let scan = TableScan::new(table);
+    let mut scan = TableScan::new(table);
+    // Zone-map prune hints are safe only on join-free plans (see
+    // `prune_conjuncts`).
+    if select.joins.is_empty() {
+        if let Some(w) = &select.where_clause {
+            let schema = catalog.get(&select.from)?.schema().clone();
+            scan = scan.with_prune_hint(&prune_conjuncts(w, &select.from, &schema));
+        }
+    }
     Ok(match batch {
         Some(n) => Box::new(scan.with_batch_size(n)),
         None => Box::new(scan),
@@ -1010,6 +1031,63 @@ fn equality_target(predicate: &SqlExpr, from: &str, schema: &Schema) -> Option<(
         }
         _ => None,
     }
+}
+
+/// Collects sargable `column <op> literal` conjuncts of the WHERE clause
+/// over the FROM table, as zone-map prune hints for a paged [`TableScan`].
+/// Pruning drops whole pages before the filter runs, so hints are only
+/// attached to join-free plans — there the WHERE clause applies directly
+/// to scan output, and a page no conjunct can match contributes no rows.
+/// (After a join, column names bind ambiguously and a dropped left row
+/// could still matter to a LEFT OUTER result shape.)
+fn prune_conjuncts(
+    predicate: &SqlExpr,
+    from: &str,
+    schema: &Schema,
+) -> Vec<(String, BinOp, Value)> {
+    fn walk(e: &SqlExpr, from: &str, schema: &Schema, out: &mut Vec<(String, BinOp, Value)>) {
+        let SqlExpr::Binary(op, l, r) = e else {
+            return;
+        };
+        if *op == SqlBinOp::And {
+            walk(l, from, schema, out);
+            walk(r, from, schema, out);
+            return;
+        }
+        let bin = match op {
+            SqlBinOp::Eq => BinOp::Eq,
+            SqlBinOp::Ne => BinOp::Ne,
+            SqlBinOp::Lt => BinOp::Lt,
+            SqlBinOp::Le => BinOp::Le,
+            SqlBinOp::Gt => BinOp::Gt,
+            SqlBinOp::Ge => BinOp::Ge,
+            _ => return,
+        };
+        let col_side = |a: &SqlExpr, b: &SqlExpr, op: BinOp| {
+            let SqlExpr::Column(qualifier, column) = a else {
+                return None;
+            };
+            if qualifier.as_deref().is_some_and(|q| q != from) {
+                return None;
+            }
+            schema.index_of(column)?;
+            literal_value(b).map(|v| (column.clone(), op, v))
+        };
+        // `lit <op> col` reads as `col <flipped-op> lit`.
+        let flipped = match bin {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        };
+        if let Some(hint) = col_side(l, r, bin).or_else(|| col_side(r, l, flipped)) {
+            out.push(hint);
+        }
+    }
+    let mut out = Vec::new();
+    walk(predicate, from, schema, &mut out);
+    out
 }
 
 fn literal_value(e: &SqlExpr) -> Option<Value> {

@@ -5,6 +5,7 @@
 //! utilities — row sampler, joinability tester — that the plan verifier's
 //! tool user invokes (§4).
 
+use crate::pool::BufferPool;
 use crate::{HashIndex, StorageError, Table, TableStats, Value, VectorIndex};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet};
@@ -26,9 +27,13 @@ type VectorIndexSlots = BTreeMap<String, Option<Arc<VectorIndex>>>;
 /// costs one rebuild instead of N (the eager scheme made bulk loads
 /// quadratic), while consumers still never observe a stale index or stale
 /// row counts.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
+    // The buffer pool every paged table of this catalog reads through;
+    // shared (not deep-cloned) across catalog clones so staged recovery
+    // and the live catalog see one set of counters and one budget.
+    pool: Arc<BufferPool>,
     // table -> column -> index. Interior mutability: lazily rebuilt from
     // read-path consumers (`index_on`, `stats`, …) that take `&self`.
     indexes: RwLock<BTreeMap<String, BTreeMap<String, Arc<HashIndex>>>>,
@@ -61,6 +66,7 @@ impl Clone for Catalog {
         let stale = self.stale.read().clone();
         Self {
             tables: self.tables.clone(),
+            pool: Arc::clone(&self.pool),
             indexes: RwLock::new(indexes),
             vindexes: RwLock::new(vindexes),
             stats_cache: RwLock::new(stats_cache),
@@ -83,10 +89,55 @@ pub struct Joinability {
     pub estimated_rows: f64,
 }
 
+impl Default for Catalog {
+    fn default() -> Self {
+        Self {
+            tables: BTreeMap::new(),
+            pool: Arc::new(BufferPool::from_env()),
+            indexes: RwLock::default(),
+            vindexes: RwLock::default(),
+            stats_cache: RwLock::default(),
+            stale: RwLock::default(),
+            rebuilds: AtomicUsize::new(0),
+        }
+    }
+}
+
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The buffer pool shared by this catalog's paged tables.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Re-budgets the buffer pool (in pages), evicting down immediately.
+    pub fn set_pool_budget(&self, pages: usize) {
+        self.pool.set_budget(pages);
+    }
+
+    /// Converts `name` to the paged representation in place. Contents are
+    /// unchanged, so derived state (indexes, stats) is *not* marked stale.
+    /// Returns whether a conversion happened (false if already paged).
+    pub fn page_table(&mut self, name: &str, page_rows: usize) -> Result<bool, StorageError> {
+        let table = self.get(name)?;
+        if table.is_paged() {
+            return Ok(false);
+        }
+        let paged = table.to_paged(&self.pool, page_rows)?;
+        self.tables.insert(name.to_string(), Arc::new(paged));
+        Ok(true)
+    }
+
+    /// Swaps in a logically-identical replacement for an existing table
+    /// (e.g. the paged version produced by a checkpoint). Unlike
+    /// [`Catalog::register_or_replace`] this does not mark derived state
+    /// stale — the contents are the same rows, so indexes stay valid.
+    pub fn swap_in_identical(&mut self, table: Arc<Table>) {
+        self.tables.insert(table.name().to_string(), table);
     }
 
     /// Registers a table; fails if the name is taken.

@@ -1,4 +1,4 @@
-//! Durable storage: checkpointed snapshots + WAL segments + crash recovery.
+//! Durable storage: incremental checkpoints + WAL segments + crash recovery.
 //!
 //! On-disk layout of a durable database directory:
 //!
@@ -7,33 +7,52 @@
 //!   wal/
 //!     000000.log      # records logged before the first checkpoint
 //!     000001.log      # records logged after snapshot 000001, …
+//!   pages/
+//!     <crc><fnv>.kpg  # content-addressed compressed column pages,
+//!                     # shared by every snapshot that references them
 //!   snapshots/
 //!     000001/
 //!       MANIFEST      # file list + sizes + CRC32s, self-checksummed
-//!       t0.ktbl …     # every catalog table, KTBL v2 (checksum trailer)
+//!       t0.kmeta …    # per-table page descriptors (schema + page list)
 //!       functions.json
 //! ```
 //!
-//! Checkpoint `N` writes the whole in-memory state into a temp directory,
-//! fsyncs it, renames it to `snapshots/N` (atomic), then rotates the log to
-//! segment `N`. The previous snapshot and its segment are kept, so a
-//! corrupt newest snapshot still recovers from `N-1` plus segments
-//! `N-1` and `N`. Recovery loads the newest snapshot whose manifest and
-//! tables all verify, then replays every segment from that epoch onward —
-//! tolerating (not erroring on) a torn final record, which a live process
-//! could never have applied.
+//! Checkpoint `N` converts every table to its paged representation and
+//! writes only the pages whose content-addressed file does not already
+//! exist — unchanged pages from earlier checkpoints are referenced, not
+//! rewritten, which makes checkpoints incremental: after a small INSERT
+//! only the dirty tail pages hit disk. The per-snapshot `tN.kmeta`
+//! descriptors and the self-checksummed manifest then commit atomically
+//! via temp-dir rename, the WAL rotates to segment `N`, state older than
+//! `N-1` is pruned, and pages no retained snapshot references are swept.
+//!
+//! Recovery loads the newest snapshot whose manifest, descriptors, and
+//! referenced page files all verify (falling back to the previous retained
+//! snapshot otherwise), builds file-backed paged tables — pages stay on
+//! disk until first touch — and replays every WAL segment from that epoch
+//! onward, tolerating a torn final record.
 
-use crate::persist::{decode_table, encode_table};
+use crate::page::ZoneMap;
+use crate::paged::{PagedTable, RecoveredPage};
+use crate::persist::{decode_table, dtype_from_tag, dtype_tag, get_str, put_str};
+use crate::pool::BufferPool;
 use crate::wal::{crc32, Wal, WalRecord};
-use crate::{StorageError, Table};
+use crate::{Column, Schema, StorageError, Table, DEFAULT_PAGE_ROWS};
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MANIFEST_MAGIC: &str = "KSNAP 1";
+const KMETA_MAGIC: &[u8; 4] = b"KPGM";
+const KMETA_VERSION: u8 = 1;
 
 /// What [`Durability::open`] reconstructed from disk.
 #[derive(Debug)]
 pub struct Recovered {
     /// Tables of the newest valid snapshot (empty for a fresh directory).
+    /// Checkpointed tables come back *paged* — column pages stay on disk
+    /// until first touch.
     pub tables: Vec<Table>,
     /// The function-registry payload persisted with that snapshot.
     pub functions_json: Option<String>,
@@ -43,6 +62,24 @@ pub struct Recovered {
     pub wal_records: Vec<WalRecord>,
     /// Epoch of the snapshot that was loaded (0 = started empty).
     pub snapshot_epoch: u64,
+}
+
+/// What one checkpoint wrote (and avoided writing), for `\wal` and
+/// the incremental-checkpoint regression tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// The snapshot epoch this checkpoint created.
+    pub epoch: u64,
+    /// Tables included.
+    pub tables: usize,
+    /// Pages newly written (dirty pages).
+    pub pages_written: usize,
+    /// Pages already durable from earlier checkpoints (clean pages).
+    pub pages_reused: usize,
+    /// Bytes of page data written this checkpoint.
+    pub bytes_written: u64,
+    /// Total bytes of page data the snapshot references.
+    pub bytes_total: u64,
 }
 
 /// Point-in-time status of a durable directory, for the REPL's `\wal`.
@@ -56,6 +93,9 @@ pub struct DurabilityStatus {
     pub wal_records: u64,
     /// Valid bytes in the active segment.
     pub wal_bytes: u64,
+    /// What the most recent checkpoint of this session wrote (None before
+    /// the first checkpoint).
+    pub last_checkpoint: Option<CheckpointStats>,
 }
 
 /// The durability coordinator: owns the active WAL segment and writes
@@ -66,6 +106,7 @@ pub struct Durability {
     /// Newest snapshot epoch == index of the active WAL segment.
     epoch: u64,
     wal: Wal,
+    last_checkpoint: Option<CheckpointStats>,
 }
 
 fn epoch_name(e: u64) -> String {
@@ -78,6 +119,10 @@ fn segment_path(dir: &Path, e: u64) -> PathBuf {
 
 fn snapshot_dir(dir: &Path, e: u64) -> PathBuf {
     dir.join("snapshots").join(epoch_name(e))
+}
+
+fn pages_dir(dir: &Path) -> PathBuf {
+    dir.join("pages")
 }
 
 /// Numeric entries (dirs or `.log` files) under `path`, ascending.
@@ -113,10 +158,12 @@ impl Durability {
     /// onward. Falls back to the previous retained snapshot (or, before
     /// any pruning, to the empty epoch-0 state) when the newest snapshot
     /// fails verification; errors with [`StorageError::Corrupt`] only when
-    /// no retained state verifies.
-    pub fn open(dir: &Path) -> Result<(Self, Recovered), StorageError> {
+    /// no retained state verifies. Recovered paged tables read their pages
+    /// through `pool`.
+    pub fn open(dir: &Path, pool: &Arc<BufferPool>) -> Result<(Self, Recovered), StorageError> {
         std::fs::create_dir_all(dir.join("wal"))?;
         std::fs::create_dir_all(dir.join("snapshots"))?;
+        std::fs::create_dir_all(pages_dir(dir))?;
         // Clear interrupted checkpoint attempts.
         for entry in std::fs::read_dir(dir.join("snapshots"))? {
             let entry = entry?;
@@ -153,7 +200,7 @@ impl Durability {
             let loaded = if candidate == 0 {
                 Ok((Vec::new(), None))
             } else {
-                load_snapshot(&snapshot_dir(dir, candidate))
+                load_snapshot(dir, candidate, pool)
             };
             let (tables, functions_json) = match loaded {
                 Ok(state) => state,
@@ -185,6 +232,7 @@ impl Durability {
                     dir: dir.to_path_buf(),
                     epoch: max_epoch,
                     wal,
+                    last_checkpoint: None,
                 },
                 Recovered {
                     tables,
@@ -205,28 +253,66 @@ impl Durability {
         self.wal.append(record)
     }
 
-    /// Writes a checkpoint: every table plus the function-registry payload
-    /// into a fresh snapshot epoch (temp dir + fsync + atomic rename), then
-    /// rotates the WAL to a new segment and prunes state older than the
-    /// previous epoch. Returns the new epoch.
+    /// Writes an incremental checkpoint: every table is converted to its
+    /// paged representation (a cheap no-op for tables still paged from the
+    /// last checkpoint), dirty pages land in the shared content-addressed
+    /// `pages/` store, and the per-table descriptors + manifest commit via
+    /// temp dir + fsync + atomic rename. The WAL then rotates to a new
+    /// segment, state older than the previous epoch is pruned, and
+    /// unreferenced pages are swept.
+    ///
+    /// Returns the new epoch and the paged form of each input table (same
+    /// order) so the caller can swap them into its catalog — the rows are
+    /// identical, only the representation changed.
     pub fn checkpoint(
         &mut self,
-        tables: &[&Table],
+        tables: &[Arc<Table>],
+        pool: &Arc<BufferPool>,
         functions_json: Option<&str>,
-    ) -> Result<u64, StorageError> {
+    ) -> Result<(u64, Vec<Arc<Table>>), StorageError> {
         let next = self.epoch + 1;
         let snapshots = self.dir.join("snapshots");
+        let pages = pages_dir(&self.dir);
+        std::fs::create_dir_all(&pages)?;
         let tmp = snapshots.join(format!(".tmp-{}", epoch_name(next)));
         let _ = std::fs::remove_dir_all(&tmp);
         std::fs::create_dir_all(&tmp)?;
 
+        let mut stats = CheckpointStats {
+            epoch: next,
+            tables: tables.len(),
+            pages_written: 0,
+            pages_reused: 0,
+            bytes_written: 0,
+            bytes_total: 0,
+        };
         let mut manifest = format!("{MANIFEST_MAGIC}\nepoch {next}\n");
+        let mut paged_out = Vec::with_capacity(tables.len());
         for (i, table) in tables.iter().enumerate() {
-            let file = format!("t{i}.ktbl");
-            let bytes = encode_table(table)?;
+            let paged = if table.is_paged() {
+                Arc::clone(table)
+            } else {
+                Arc::new(table.to_paged(pool, DEFAULT_PAGE_ROWS)?)
+            };
+            let pt = paged.paged().expect("to_paged returns a paged table");
+            let w = pt.write_durable(&pages)?;
+            stats.pages_written += w.pages_written;
+            stats.pages_reused += w.pages_reused;
+            stats.bytes_written += w.bytes_written;
+            stats.bytes_total += w.bytes_total;
+            let file = format!("t{i}.kmeta");
+            let bytes = encode_kmeta(paged.name(), pt)?;
             write_synced(&tmp.join(&file), &bytes)?;
-            manifest.push_str(&format!("table {file} {} {}\n", bytes.len(), crc32(&bytes)));
+            manifest.push_str(&format!(
+                "ptable {file} {} {}\n",
+                bytes.len(),
+                crc32(&bytes)
+            ));
+            paged_out.push(paged);
         }
+        // Page files (and their directory entry) must be durable before the
+        // manifest that references them commits.
+        let _ = std::fs::File::open(&pages).and_then(|d| d.sync_all());
         if let Some(json) = functions_json {
             let bytes = json.as_bytes();
             write_synced(&tmp.join("functions.json"), bytes)?;
@@ -259,7 +345,9 @@ impl Durability {
                 let _ = std::fs::remove_file(segment_path(&self.dir, e));
             }
         }
-        Ok(next)
+        sweep_orphan_pages(&self.dir)?;
+        self.last_checkpoint = Some(stats);
+        Ok((next, paged_out))
     }
 
     /// Records appended through this handle since open or the last
@@ -270,13 +358,15 @@ impl Durability {
         self.wal.appended()
     }
 
-    /// Current status (snapshot epoch, active-segment records/bytes).
+    /// Current status (snapshot epoch, active-segment records/bytes, what
+    /// the last checkpoint wrote).
     pub fn status(&self) -> DurabilityStatus {
         DurabilityStatus {
             dir: self.dir.clone(),
             snapshot_epoch: self.epoch,
             wal_records: self.wal.records(),
             wal_bytes: self.wal.bytes(),
+            last_checkpoint: self.last_checkpoint,
         }
     }
 
@@ -297,8 +387,218 @@ fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
     Ok(())
 }
 
-/// Loads and fully verifies one snapshot directory.
-fn load_snapshot(dir: &Path) -> Result<(Vec<Table>, Option<String>), StorageError> {
+// ---- kmeta: per-table page descriptors ------------------------------------
+
+/// One page's entry in a kmeta descriptor: file name, encoded length,
+/// CRC32, FNV-1a 64, and the page's zone map.
+type KmetaPage = (String, u32, u32, u64, ZoneMap);
+
+/// Parsed form of a `tN.kmeta` descriptor.
+struct KmetaDoc {
+    name: String,
+    schema: Schema,
+    rows: u64,
+    page_rows: u32,
+    // columns[c][p] = one page descriptor
+    columns: Vec<Vec<KmetaPage>>,
+}
+
+/// Serializes one paged table's descriptor: schema, shape, and the
+/// content-addressed page list with per-page verification data and zone
+/// maps. CRC32 trailer, like every binary format in this crate.
+fn encode_kmeta(name: &str, pt: &PagedTable) -> Result<Vec<u8>, StorageError> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(KMETA_MAGIC);
+    buf.put_u8(KMETA_VERSION);
+    put_str(&mut buf, name)?;
+    let schema = pt.schema();
+    buf.put_u32(schema.arity() as u32);
+    for col in schema.columns() {
+        put_str(&mut buf, &col.name)?;
+        buf.put_u8(dtype_tag(col.dtype));
+        buf.put_u8(col.nullable as u8);
+    }
+    buf.put_u64(pt.len() as u64);
+    buf.put_u32(pt.page_rows() as u32);
+    buf.put_u32(pt.page_count() as u32);
+    for c in 0..schema.arity() {
+        for p in 0..pt.page_count() {
+            let slot = pt.slot(c, p);
+            put_str(&mut buf, &slot.file_name())?;
+            buf.put_u32(slot.encoded_len() as u32);
+            buf.put_u32(slot.crc());
+            buf.put_u64(slot.fnv());
+            slot.zone().encode(&mut buf)?;
+        }
+    }
+    let checksum = crc32(&buf);
+    buf.put_u32(checksum);
+    Ok(buf.to_vec())
+}
+
+/// Parses (and checksum-verifies) a `tN.kmeta` descriptor.
+fn parse_kmeta(data: &[u8]) -> Result<KmetaDoc, StorageError> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if data.len() < 9 || data[..4] != *KMETA_MAGIC {
+        return Err(corrupt("bad kmeta magic"));
+    }
+    if data[4] != KMETA_VERSION {
+        return Err(corrupt("unsupported kmeta version"));
+    }
+    let (payload, trailer) = data.split_at(data.len() - 4);
+    let stored = u32::from_be_bytes(trailer.try_into().expect("4-byte trailer"));
+    if crc32(payload) != stored {
+        return Err(corrupt("kmeta checksum mismatch"));
+    }
+    let mut data = &payload[5..];
+    let name = get_str(&mut data)?;
+    if data.remaining() < 4 {
+        return Err(corrupt("truncated kmeta schema"));
+    }
+    let arity = data.get_u32() as usize;
+    if arity > 1 << 16 {
+        return Err(corrupt("implausible kmeta arity"));
+    }
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let cname = get_str(&mut data)?;
+        if data.remaining() < 2 {
+            return Err(corrupt("truncated kmeta column"));
+        }
+        let dtype = dtype_from_tag(data.get_u8())?;
+        let col = if data.get_u8() != 0 {
+            Column::new(cname, dtype)
+        } else {
+            Column::required(cname, dtype)
+        };
+        cols.push(col);
+    }
+    let schema = Schema::new(cols)?;
+    if data.remaining() < 16 {
+        return Err(corrupt("truncated kmeta shape"));
+    }
+    let rows = data.get_u64();
+    let page_rows = data.get_u32();
+    let page_count = data.get_u32() as usize;
+    if page_rows == 0 && page_count > 0 {
+        return Err(corrupt("kmeta page_rows is zero"));
+    }
+    let mut columns = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let mut pages = Vec::with_capacity(page_count);
+        for _ in 0..page_count {
+            let file = get_str(&mut data)?;
+            if data.remaining() < 16 {
+                return Err(corrupt("truncated kmeta page entry"));
+            }
+            let len = data.get_u32();
+            let crc = data.get_u32();
+            let fnv = data.get_u64();
+            let zone = ZoneMap::decode(&mut data)?;
+            pages.push((file, len, crc, fnv, zone));
+        }
+        columns.push(pages);
+    }
+    if data.has_remaining() {
+        return Err(corrupt("trailing bytes after kmeta"));
+    }
+    Ok(KmetaDoc {
+        name,
+        schema,
+        rows,
+        page_rows,
+        columns,
+    })
+}
+
+impl KmetaDoc {
+    /// Builds the file-backed paged table this descriptor describes,
+    /// verifying every referenced page file (length + CRC32) first —
+    /// one file at a time, so recovery verification is O(data) I/O but
+    /// bounded memory.
+    fn into_table(self, root: &Path, pool: &Arc<BufferPool>) -> Result<Table, StorageError> {
+        let pages = pages_dir(root);
+        let mut recovered: Vec<Vec<RecoveredPage>> = Vec::with_capacity(self.columns.len());
+        for col in self.columns {
+            let mut out = Vec::with_capacity(col.len());
+            for (file, len, crc, fnv, zone) in col {
+                let path = pages.join(&file);
+                let bytes = std::fs::read(&path).map_err(|e| {
+                    StorageError::Corrupt(format!("unreadable page file {file}: {e}"))
+                })?;
+                if bytes.len() != len as usize || crc32(&bytes) != crc {
+                    return Err(StorageError::Corrupt(format!(
+                        "page file {file} fails verification"
+                    )));
+                }
+                out.push(RecoveredPage {
+                    path,
+                    len,
+                    crc,
+                    fnv,
+                    zone,
+                });
+            }
+            recovered.push(out);
+        }
+        let pt = PagedTable::from_recovered(
+            self.schema,
+            self.rows as usize,
+            self.page_rows as usize,
+            recovered,
+            Arc::clone(pool),
+        )?;
+        Ok(Table::from_paged(self.name, Arc::new(pt)))
+    }
+}
+
+/// Deletes page files no retained snapshot references. If any retained
+/// descriptor fails to parse the sweep is skipped entirely — an orphaned
+/// page is harmless, a deleted referenced page is not.
+fn sweep_orphan_pages(dir: &Path) -> Result<(), StorageError> {
+    let pages = pages_dir(dir);
+    if !pages.exists() {
+        return Ok(());
+    }
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for e in list_epochs(&dir.join("snapshots"), false)? {
+        let snap = snapshot_dir(dir, e);
+        for entry in std::fs::read_dir(&snap)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|x| x == "kmeta") {
+                let Ok(bytes) = std::fs::read(&path) else {
+                    return Ok(());
+                };
+                let Ok(doc) = parse_kmeta(&bytes) else {
+                    return Ok(());
+                };
+                for col in &doc.columns {
+                    for (file, ..) in col {
+                        referenced.insert(file.clone());
+                    }
+                }
+            }
+        }
+    }
+    for entry in std::fs::read_dir(&pages)? {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        if let Some(name) = name {
+            if name.ends_with(".kpg") && !referenced.contains(&name) {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Loads and fully verifies snapshot `epoch` under `root`.
+fn load_snapshot(
+    root: &Path,
+    epoch: u64,
+    pool: &Arc<BufferPool>,
+) -> Result<(Vec<Table>, Option<String>), StorageError> {
+    let dir = snapshot_dir(root, epoch);
     let corrupt = |m: String| StorageError::Corrupt(m);
     let manifest = std::fs::read_to_string(dir.join("MANIFEST"))
         .map_err(|e| corrupt(format!("unreadable manifest in {}: {e}", dir.display())))?;
@@ -327,7 +627,9 @@ fn load_snapshot(dir: &Path) -> Result<(Vec<Table>, Option<String>), StorageErro
         let fields: Vec<&str> = line.split_whitespace().collect();
         match fields.as_slice() {
             ["epoch", _] => {}
-            ["table", file, len, crc] | ["functions", file, len, crc] => {
+            ["table", file, len, crc]
+            | ["ptable", file, len, crc]
+            | ["functions", file, len, crc] => {
                 let want_len: usize = len
                     .parse()
                     .map_err(|_| corrupt(format!("bad length in manifest line '{line}'")))?;
@@ -339,7 +641,10 @@ fn load_snapshot(dir: &Path) -> Result<(Vec<Table>, Option<String>), StorageErro
                 if bytes.len() != want_len || crc32(&bytes) != want_crc {
                     return Err(corrupt(format!("snapshot file {file} fails verification")));
                 }
-                if line.starts_with("table ") {
+                if line.starts_with("ptable ") {
+                    tables.push(parse_kmeta(&bytes)?.into_table(root, pool)?);
+                } else if line.starts_with("table ") {
+                    // Legacy whole-table snapshots (pre-paged format).
                     tables.push(decode_table(&bytes)?);
                 } else {
                     functions_json = Some(String::from_utf8(bytes).map_err(|_| {
@@ -356,13 +661,18 @@ fn load_snapshot(dir: &Path) -> Result<(Vec<Table>, Option<String>), StorageErro
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DataType, Schema, Value};
+    use crate::persist::encode_table;
+    use crate::{DataType, Value};
 
     fn tmp(name: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("kathdb_durable_{}_{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::with_budget(64))
     }
 
     fn kv_table(rows: &[(i64, &str)]) -> Table {
@@ -379,32 +689,39 @@ mod tests {
     #[test]
     fn fresh_directory_starts_empty() {
         let dir = tmp("fresh");
-        let (d, rec) = Durability::open(&dir).unwrap();
+        let (d, rec) = Durability::open(&dir, &pool()).unwrap();
         assert!(rec.tables.is_empty());
         assert!(rec.wal_records.is_empty());
         assert_eq!(rec.snapshot_epoch, 0);
         assert_eq!(d.status().snapshot_epoch, 0);
+        assert_eq!(d.status().last_checkpoint, None);
         let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
     fn checkpoint_then_recover_round_trips() {
         let dir = tmp("roundtrip");
+        let pl = pool();
         let t = kv_table(&[(1, "a"), (2, "b")]);
         {
-            let (mut d, _) = Durability::open(&dir).unwrap();
+            let (mut d, _) = Durability::open(&dir, &pl).unwrap();
             d.log(&WalRecord::CreateTable(t.clone())).unwrap();
-            let epoch = d.checkpoint(&[&t], Some("{\"functions\": []}")).unwrap();
+            let (epoch, paged) = d
+                .checkpoint(&[Arc::new(t.clone())], &pl, Some("{\"functions\": []}"))
+                .unwrap();
             assert_eq!(epoch, 1);
+            assert_eq!(paged.len(), 1);
+            assert!(paged[0].is_paged());
             d.log(&WalRecord::Insert {
                 table: "kv".into(),
                 rows: vec![vec![3i64.into(), "c".into()]],
             })
             .unwrap();
         }
-        let (d, rec) = Durability::open(&dir).unwrap();
+        let (d, rec) = Durability::open(&dir, &pl).unwrap();
         assert_eq!(rec.snapshot_epoch, 1);
         assert_eq!(rec.tables, vec![t]);
+        assert!(rec.tables[0].is_paged());
         assert_eq!(rec.functions_json.as_deref(), Some("{\"functions\": []}"));
         assert_eq!(rec.wal_records.len(), 1);
         assert_eq!(d.status().wal_records, 1);
@@ -412,20 +729,84 @@ mod tests {
     }
 
     #[test]
+    fn second_checkpoint_writes_only_dirty_pages() {
+        let dir = tmp("incremental");
+        let pl = pool();
+        // Large enough for several pages per column at the default height.
+        let rows: Vec<(i64, String)> = (0..10_000)
+            .map(|i| (i, format!("value-{}", i % 50)))
+            .collect();
+        let refs: Vec<(i64, &str)> = rows.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let t1 = kv_table(&refs);
+        let (mut d, _) = Durability::open(&dir, &pl).unwrap();
+        let (_, paged) = d.checkpoint(&[Arc::new(t1)], &pl, None).unwrap();
+        let first = d.status().last_checkpoint.unwrap();
+        assert!(first.pages_written > 2);
+        assert_eq!(first.pages_reused, 0);
+        // A small INSERT dirties only the tail page of each column.
+        let mut t2 = (*paged[0]).clone();
+        t2.push(vec![Value::Int(10_000), Value::Str("tail".into())])
+            .unwrap();
+        d.checkpoint(&[Arc::new(t2)], &pl, None).unwrap();
+        let second = d.status().last_checkpoint.unwrap();
+        assert_eq!(second.pages_written, 2, "only the tail page per column");
+        assert!(second.pages_reused >= first.pages_written - 2);
+        assert!(
+            second.bytes_written < first.bytes_written,
+            "incremental checkpoint must write strictly fewer bytes \
+             ({} vs {})",
+            second.bytes_written,
+            first.bytes_written
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn orphaned_pages_are_swept() {
+        let dir = tmp("sweep");
+        let pl = pool();
+        let (mut d, _) = Durability::open(&dir, &pl).unwrap();
+        let t1 = kv_table(&[(1, "first")]);
+        d.checkpoint(&[Arc::new(t1)], &pl, None).unwrap();
+        let t2 = kv_table(&[(2, "second")]);
+        d.checkpoint(&[Arc::new(t2)], &pl, None).unwrap();
+        // Both snapshots retained: both page sets must exist.
+        let count = || {
+            std::fs::read_dir(pages_dir(&dir))
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .path()
+                        .extension()
+                        .is_some_and(|x| x == "kpg")
+                })
+                .count()
+        };
+        assert_eq!(count(), 4); // 2 columns × 2 distinct snapshots
+        let t3 = kv_table(&[(3, "third")]);
+        d.checkpoint(&[Arc::new(t3)], &pl, None).unwrap();
+        // Snapshot 1 was pruned; its pages are no longer referenced.
+        assert_eq!(count(), 4); // snapshots 2 and 3 remain
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn corrupt_newest_snapshot_falls_back_to_previous() {
         let dir = tmp("fallback");
+        let pl = pool();
         let t1 = kv_table(&[(1, "a")]);
         let t2 = kv_table(&[(1, "a"), (2, "b")]);
         {
-            let (mut d, _) = Durability::open(&dir).unwrap();
+            let (mut d, _) = Durability::open(&dir, &pl).unwrap();
             d.log(&WalRecord::CreateTable(t1.clone())).unwrap();
-            d.checkpoint(&[&t1], None).unwrap();
+            d.checkpoint(&[Arc::new(t1.clone())], &pl, None).unwrap();
             d.log(&WalRecord::Insert {
                 table: "kv".into(),
                 rows: vec![vec![2i64.into(), "b".into()]],
             })
             .unwrap();
-            d.checkpoint(&[&t2], None).unwrap();
+            d.checkpoint(&[Arc::new(t2)], &pl, None).unwrap();
         }
         // Corrupt every file of snapshot 2.
         let snap2 = snapshot_dir(&dir, 2);
@@ -439,7 +820,7 @@ mod tests {
         }
         // Recovery falls back to snapshot 1 and replays segment 1 (the
         // insert) + segment 2 (empty): same logical state.
-        let (_, rec) = Durability::open(&dir).unwrap();
+        let (_, rec) = Durability::open(&dir, &pl).unwrap();
         assert_eq!(rec.snapshot_epoch, 1);
         assert_eq!(rec.tables, vec![t1]);
         assert_eq!(rec.wal_records.len(), 1);
@@ -447,13 +828,57 @@ mod tests {
     }
 
     #[test]
+    fn missing_page_file_fails_verification_and_falls_back() {
+        let dir = tmp("missingpage");
+        let pl = pool();
+        let t1 = kv_table(&[(1, "a")]);
+        let t2 = kv_table(&[(1, "a"), (2, "b")]);
+        {
+            let (mut d, _) = Durability::open(&dir, &pl).unwrap();
+            d.log(&WalRecord::CreateTable(t1.clone())).unwrap();
+            d.checkpoint(&[Arc::new(t1.clone())], &pl, None).unwrap();
+            d.log(&WalRecord::Insert {
+                table: "kv".into(),
+                rows: vec![vec![2i64.into(), "b".into()]],
+            })
+            .unwrap();
+            d.checkpoint(&[Arc::new(t2.clone())], &pl, None).unwrap();
+        }
+        // Delete a page referenced only by snapshot 2 (t2's "k" column
+        // differs from t1's, so its page file is unique to snapshot 2).
+        let kmeta = std::fs::read(snapshot_dir(&dir, 2).join("t0.kmeta")).unwrap();
+        let doc2 = parse_kmeta(&kmeta).unwrap();
+        let kmeta1 = std::fs::read(snapshot_dir(&dir, 1).join("t0.kmeta")).unwrap();
+        let doc1 = parse_kmeta(&kmeta1).unwrap();
+        let files1: BTreeSet<String> = doc1
+            .columns
+            .iter()
+            .flatten()
+            .map(|(f, ..)| f.clone())
+            .collect();
+        let only2 = doc2
+            .columns
+            .iter()
+            .flatten()
+            .map(|(f, ..)| f.clone())
+            .find(|f| !files1.contains(f))
+            .expect("snapshot 2 must own at least one new page");
+        std::fs::remove_file(pages_dir(&dir).join(only2)).unwrap();
+        let (_, rec) = Durability::open(&dir, &pl).unwrap();
+        assert_eq!(rec.snapshot_epoch, 1);
+        assert_eq!(rec.tables, vec![t1]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn all_snapshots_corrupt_is_an_error_not_a_panic() {
         let dir = tmp("allcorrupt");
+        let pl = pool();
         let t1 = kv_table(&[(1, "a")]);
         {
-            let (mut d, _) = Durability::open(&dir).unwrap();
+            let (mut d, _) = Durability::open(&dir, &pl).unwrap();
             for _ in 0..3 {
-                d.checkpoint(&[&t1], None).unwrap();
+                d.checkpoint(&[Arc::new(t1.clone())], &pl, None).unwrap();
             }
         }
         // Segment 0 and snapshot 1 are pruned by now; corrupt snapshots 2+3.
@@ -462,7 +887,7 @@ mod tests {
             std::fs::write(&m, "garbage").unwrap();
         }
         assert!(matches!(
-            Durability::open(&dir),
+            Durability::open(&dir, &pl),
             Err(StorageError::Corrupt(_))
         ));
         let _ = std::fs::remove_dir_all(dir);
@@ -471,11 +896,12 @@ mod tests {
     #[test]
     fn pruning_keeps_two_snapshots() {
         let dir = tmp("prune");
+        let pl = pool();
         let t = kv_table(&[(1, "a")]);
         {
-            let (mut d, _) = Durability::open(&dir).unwrap();
+            let (mut d, _) = Durability::open(&dir, &pl).unwrap();
             for _ in 0..4 {
-                d.checkpoint(&[&t], None).unwrap();
+                d.checkpoint(&[Arc::new(t.clone())], &pl, None).unwrap();
             }
         }
         let snaps = list_epochs(&dir.join("snapshots"), false).unwrap();
@@ -483,5 +909,54 @@ mod tests {
         let segs = list_epochs(&dir.join("wal"), true).unwrap();
         assert_eq!(segs, vec![3, 4]);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn legacy_table_manifest_lines_still_load() {
+        // A snapshot written in the pre-paged whole-table format must still
+        // recover (mixed-version directories after an upgrade).
+        let dir = tmp("legacy");
+        std::fs::create_dir_all(dir.join("wal")).unwrap();
+        std::fs::create_dir_all(dir.join("snapshots").join("000001")).unwrap();
+        let t = kv_table(&[(7, "legacy")]);
+        let bytes = encode_table(&t).unwrap();
+        let snap = dir.join("snapshots").join("000001");
+        std::fs::write(snap.join("t0.ktbl"), &bytes).unwrap();
+        let mut manifest = format!("{MANIFEST_MAGIC}\nepoch 1\n");
+        manifest.push_str(&format!(
+            "table t0.ktbl {} {}\n",
+            bytes.len(),
+            crc32(&bytes)
+        ));
+        manifest.push_str(&format!("crc {}\n", crc32(manifest.as_bytes())));
+        std::fs::write(snap.join("MANIFEST"), manifest).unwrap();
+        std::fs::write(segment_path(&dir, 1), b"").unwrap();
+        let (_, rec) = Durability::open(&dir, &pool()).unwrap();
+        assert_eq!(rec.snapshot_epoch, 1);
+        assert_eq!(rec.tables, vec![t]);
+        assert!(!rec.tables[0].is_paged());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn kmeta_round_trips() {
+        let pl = pool();
+        let t = kv_table(&[(1, "a"), (2, "b"), (3, "c")]);
+        let paged = t.to_paged(&pl, 2).unwrap();
+        let pt = paged.paged().unwrap();
+        let bytes = encode_kmeta("kv", pt).unwrap();
+        let doc = parse_kmeta(&bytes).unwrap();
+        assert_eq!(doc.name, "kv");
+        assert_eq!(doc.schema, *t.schema());
+        assert_eq!(doc.rows, 3);
+        assert_eq!(doc.page_rows, 2);
+        assert_eq!(doc.columns.len(), 2);
+        assert_eq!(doc.columns[0].len(), 2);
+        // Every bit flip is caught.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            assert!(parse_kmeta(&bad).is_err(), "bit flip at {i} undetected");
+        }
     }
 }

@@ -15,15 +15,15 @@ pub struct HashIndex {
 
 impl HashIndex {
     /// Builds the index over one column of `table`. NULLs are not indexed.
+    /// Streams page by page on paged tables (bounded by the pool budget).
     pub fn build(table: &Table, column: &str) -> Result<Self, StorageError> {
-        let idx = table.schema().resolve(column)?;
         let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
-        for (pos, row) in table.rows().iter().enumerate() {
-            let v = &row[idx];
+        table.for_each_in_column(column, |pos, v| {
             if !v.is_null() {
                 map.entry(v.clone()).or_default().push(pos);
             }
-        }
+            Ok(())
+        })?;
         Ok(Self {
             column: column.to_string(),
             map,
@@ -56,15 +56,15 @@ pub struct SortedIndex {
 
 impl SortedIndex {
     /// Builds the index over one column of `table`. NULLs are not indexed.
+    /// Streams page by page on paged tables (bounded by the pool budget).
     pub fn build(table: &Table, column: &str) -> Result<Self, StorageError> {
-        let idx = table.schema().resolve(column)?;
-        let mut entries: Vec<(Value, usize)> = table
-            .rows()
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| !r[idx].is_null())
-            .map(|(pos, r)| (r[idx].clone(), pos))
-            .collect();
+        let mut entries: Vec<(Value, usize)> = Vec::new();
+        table.for_each_in_column(column, |pos, v| {
+            if !v.is_null() {
+                entries.push((v.clone(), pos));
+            }
+            Ok(())
+        })?;
         entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         Ok(Self {
             column: column.to_string(),

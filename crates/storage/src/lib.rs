@@ -19,7 +19,10 @@ mod expr;
 mod index;
 mod morsel;
 mod ops;
+mod page;
+mod paged;
 mod persist;
+mod pool;
 mod schema;
 mod stats;
 mod table;
@@ -29,7 +32,7 @@ mod wal;
 
 pub use batch::{ColumnData, ColumnVector, ExecMode, NullBitmap, RowBatch, DEFAULT_BATCH_SIZE};
 pub use catalog::{Catalog, Joinability};
-pub use durable::{Durability, DurabilityStatus, Recovered};
+pub use durable::{CheckpointStats, Durability, DurabilityStatus, Recovered};
 pub use error::StorageError;
 pub use expr::{BinOp, Expr};
 pub use index::{HashIndex, SortedIndex};
@@ -39,7 +42,10 @@ pub use ops::{
     AggFunc, Aggregate, Distinct, Filter, HashAggregate, HashJoin, IndexScan, JoinBuild, JoinKind,
     Limit, NestedLoopJoin, Operator, PartialAggregate, Project, Sort, SortKey, TableScan, UnionAll,
 };
+pub use page::{decode_page, encode_page, page_encoding_name, ZoneMap, DEFAULT_PAGE_ROWS};
+pub use paged::{PageBacking, PageSlot, PageWriteStats, PagedTable, RecoveredPage};
 pub use persist::{atomic_write, decode_table, encode_table, load_table, save_table};
+pub use pool::{BufferPool, PageKey, PoolStatus, DEFAULT_POOL_PAGES, POOL_PAGES_ENV};
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

@@ -79,6 +79,15 @@ impl MorselSource {
         Self::new(total, batch_size.max(1).saturating_mul(MORSEL_BATCHES))
     }
 
+    /// Like [`MorselSource::with_batch_size`], but rounds the morsel size
+    /// up to a multiple of `align` — paged scans align morsels to page
+    /// boundaries so no two workers decode the same column page.
+    pub fn with_batch_size_aligned(total: usize, batch_size: usize, align: usize) -> Self {
+        let base = batch_size.max(1).saturating_mul(MORSEL_BATCHES);
+        let align = align.max(1);
+        Self::new(total, base.div_ceil(align).max(1).saturating_mul(align))
+    }
+
     /// Claims the next morsel, or `None` when the scan is exhausted.
     pub fn claim(&self) -> Option<Morsel> {
         let start = self.cursor.fetch_add(self.morsel_rows, Ordering::Relaxed);

@@ -80,11 +80,18 @@ pub fn collect_batched(
 
 /// Full scan over a shared table (optionally restricted to a row range, the
 /// unit a [`crate::MorselSource`] hands to parallel workers).
+///
+/// On a paged table the scan walks page by page through the buffer pool,
+/// and prune hints (sargable `column <op> literal` conjuncts from the WHERE
+/// clause above) let it skip whole pages whose zone map proves no row can
+/// match — before the page is ever decoded.
 pub struct TableScan {
     table: Arc<Table>,
     cursor: usize,
     end: usize,
     batch_size: usize,
+    // (column ordinal, op, literal) conjuncts for zone-map pruning.
+    prune: Vec<(usize, BinOp, Value)>,
 }
 
 impl TableScan {
@@ -96,6 +103,7 @@ impl TableScan {
             cursor: 0,
             end,
             batch_size: DEFAULT_BATCH_SIZE,
+            prune: Vec::new(),
         }
     }
 
@@ -111,6 +119,26 @@ impl TableScan {
         self.cursor = start.min(self.end);
         self
     }
+
+    /// Attaches zone-map prune hints: `column <op> literal` conjuncts that
+    /// the plan's filter will apply anyway. Pages a hint proves empty are
+    /// skipped without decoding. Unknown columns are ignored (no hint).
+    /// Only meaningful on paged tables; resident scans ignore hints.
+    pub fn with_prune_hint(mut self, hints: &[(String, BinOp, Value)]) -> Self {
+        let schema = self.table.schema();
+        self.prune = hints
+            .iter()
+            .filter_map(|(col, op, lit)| schema.index_of(col).map(|c| (c, *op, lit.clone())))
+            .collect();
+        self
+    }
+
+    /// Whether page `p` is provably empty under the prune hints.
+    fn page_pruned(&self, pages: &crate::PagedTable, p: usize) -> bool {
+        self.prune
+            .iter()
+            .any(|(c, op, lit)| !pages.zone(*c, p).may_match(*op, lit))
+    }
 }
 
 impl Operator for TableScan {
@@ -119,6 +147,24 @@ impl Operator for TableScan {
     }
 
     fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        if let Some(pages) = self.table.paged().cloned() {
+            loop {
+                if self.cursor >= self.end {
+                    return Ok(None);
+                }
+                let p = self.cursor / pages.page_rows();
+                let (_, pend) = pages.page_bounds(p);
+                let upper = pend.min(self.end);
+                if self.page_pruned(&pages, p) {
+                    pages.note_zone_skip();
+                    self.cursor = upper;
+                    continue;
+                }
+                let row = pages.row_at(self.cursor)?;
+                self.cursor += 1;
+                return Ok(row);
+            }
+        }
         if self.cursor >= self.end {
             return Ok(None);
         }
@@ -130,6 +176,42 @@ impl Operator for TableScan {
     }
 
     fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        if let Some(pages) = self.table.paged().cloned() {
+            loop {
+                if self.cursor >= self.end {
+                    return Ok(None);
+                }
+                let p = self.cursor / pages.page_rows();
+                let (pstart, pend) = pages.page_bounds(p);
+                let upper = pend.min(self.end);
+                if self.page_pruned(&pages, p) {
+                    pages.note_zone_skip();
+                    self.cursor = upper;
+                    continue;
+                }
+                // Batches never span pages, so a batch is a slice of one
+                // decoded page per column (or the whole page, zero-slice).
+                let take_end = (self.cursor + self.batch_size).min(upper);
+                let arity = pages.schema().arity();
+                let mut columns = Vec::with_capacity(arity);
+                for c in 0..arity {
+                    let page = pages.column_page(c, p)?;
+                    columns.push(if self.cursor == pstart && take_end == pend {
+                        (*page).clone()
+                    } else {
+                        ColumnVector::from_values(
+                            (self.cursor - pstart..take_end - pstart)
+                                .map(|i| page.value(i))
+                                .collect(),
+                        )
+                    });
+                }
+                self.cursor = take_end;
+                return Ok(Some(
+                    RowBatch::from_columns(columns).expect("columns share the page slice length"),
+                ));
+            }
+        }
         let rows = &self.table.rows()[..self.end];
         if self.cursor >= rows.len() {
             return Ok(None);
@@ -192,8 +274,7 @@ impl Operator for IndexScan {
         };
         self.cursor += 1;
         self.table
-            .row(pos)
-            .cloned()
+            .row_at(pos)?
             .map(Some)
             .ok_or_else(|| StorageError::Eval(format!("index position {pos} out of bounds")))
     }
@@ -205,10 +286,10 @@ impl Operator for IndexScan {
         let end = (self.cursor + self.batch_size).min(self.positions.len());
         let mut rows = Vec::with_capacity(end - self.cursor);
         for &pos in &self.positions[self.cursor..end] {
-            let row =
-                self.table.row(pos).cloned().ok_or_else(|| {
-                    StorageError::Eval(format!("index position {pos} out of bounds"))
-                })?;
+            let row = self
+                .table
+                .row_at(pos)?
+                .ok_or_else(|| StorageError::Eval(format!("index position {pos} out of bounds")))?;
             rows.push(row);
         }
         self.cursor = end;

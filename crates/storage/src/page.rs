@@ -1,0 +1,779 @@
+//! Fixed-size compressed column pages with embedded zone maps.
+//!
+//! A *page* is the unit of the out-of-core storage layer: one column of one
+//! fixed-size row group, compressed with an encoding chosen from the actual
+//! values — frame-of-reference bit-packed integers, dictionary or run-length
+//! strings, packed booleans, raw `f64` floats — plus a packed null bitmap
+//! and a CRC32 trailer. Every page carries a [`ZoneMap`] (min/max/null
+//! count) so scans can skip whole pages against a predicate *before* paying
+//! for decompression. Decoding reconstructs the exact [`ColumnVector`] the
+//! resident path would have built from the same values, which is what keeps
+//! paged execution byte-identical to fully-resident execution.
+
+use crate::persist::{encodable_len, get_str, get_value, put_str, put_value};
+use crate::wal::crc32;
+use crate::{BinOp, ColumnVector, StorageError, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::cmp::Ordering;
+
+/// Default rows per page (row-group height). Small enough that one decoded
+/// page of any column stays cache-friendly, large enough to amortize the
+/// per-page header, CRC, and buffer-pool bookkeeping.
+pub const DEFAULT_PAGE_ROWS: usize = 4096;
+
+const PAGE_MAGIC: &[u8; 4] = b"KPAG";
+const PAGE_VERSION: u8 = 1;
+
+const ENC_RAW: u8 = 0;
+const ENC_INT_FOR: u8 = 1;
+const ENC_FLOAT: u8 = 2;
+const ENC_STR_DICT: u8 = 3;
+const ENC_STR_RLE: u8 = 4;
+const ENC_BOOL_BITMAP: u8 = 5;
+
+/// Per-page summary statistics embedded at encode time: row/null counts and
+/// the min/max of the non-NULL values when they share one comparable type.
+/// Scans consult zone maps to prove "no row of this page can satisfy this
+/// conjunct" and skip the page without decompressing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    /// Rows in the page.
+    pub rows: u32,
+    /// NULL slots in the page.
+    pub null_count: u32,
+    /// Minimum non-NULL value, when all non-NULL values are mutually
+    /// comparable under [`Value::sql_cmp`]; `None` for mixed-type pages.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value under the same conditions.
+    pub max: Option<Value>,
+}
+
+impl ZoneMap {
+    /// Computes the zone map of one page of values.
+    pub fn compute(values: &[Value]) -> Self {
+        let mut null_count = 0u32;
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        let mut bounded = true;
+        for v in values {
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            if !bounded {
+                continue;
+            }
+            match (&min, &max) {
+                (None, None) => {
+                    min = Some(v.clone());
+                    max = Some(v.clone());
+                }
+                (Some(lo), Some(hi)) => {
+                    match v.sql_cmp(lo) {
+                        Some(Ordering::Less) => min = Some(v.clone()),
+                        Some(_) => {}
+                        None => {
+                            bounded = false;
+                            continue;
+                        }
+                    }
+                    match v.sql_cmp(hi) {
+                        Some(Ordering::Greater) => max = Some(v.clone()),
+                        Some(_) => {}
+                        None => bounded = false,
+                    }
+                }
+                _ => unreachable!("min and max are set together"),
+            }
+        }
+        if !bounded {
+            min = None;
+            max = None;
+        }
+        Self {
+            rows: values.len() as u32,
+            null_count,
+            min,
+            max,
+        }
+    }
+
+    /// Whether any row of the page *may* satisfy `column <op> literal`.
+    /// Returns `false` only when the zone map proves no row can: skipping
+    /// is then safe because a WHERE conjunct that is false or NULL drops
+    /// the row either way. Conservative on mixed-type pages and
+    /// incomparable literals (always `true`).
+    pub fn may_match(&self, op: BinOp, lit: &Value) -> bool {
+        if self.null_count >= self.rows {
+            // All-NULL page: every comparison is unknown, no row passes.
+            return false;
+        }
+        let (Some(min), Some(max)) = (&self.min, &self.max) else {
+            return true; // Mixed-type page: no provable bound.
+        };
+        let (Some(lo), Some(hi)) = (lit.sql_cmp(min), lit.sql_cmp(max)) else {
+            return true; // Incomparable literal: let the filter decide.
+        };
+        match op {
+            BinOp::Eq => lo != Ordering::Less && hi != Ordering::Greater,
+            // Skippable only when every value equals the literal.
+            BinOp::Ne => !(lo == Ordering::Equal && hi == Ordering::Equal),
+            BinOp::Lt => lo == Ordering::Greater, // some value < lit ⇔ min < lit
+            BinOp::Le => lo != Ordering::Less,
+            BinOp::Gt => hi == Ordering::Less, // some value > lit ⇔ max > lit
+            BinOp::Ge => hi != Ordering::Greater,
+            _ => true,
+        }
+    }
+
+    /// Serializes the zone map (for checkpoint metadata).
+    pub(crate) fn encode(&self, buf: &mut BytesMut) -> Result<(), StorageError> {
+        buf.put_u32(self.rows);
+        buf.put_u32(self.null_count);
+        match (&self.min, &self.max) {
+            (Some(min), Some(max)) => {
+                buf.put_u8(1);
+                put_value(buf, min)?;
+                put_value(buf, max)?;
+            }
+            _ => buf.put_u8(0),
+        }
+        Ok(())
+    }
+
+    /// Deserializes a zone map written by [`ZoneMap::encode`].
+    pub(crate) fn decode(data: &mut &[u8]) -> Result<Self, StorageError> {
+        let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+        if data.remaining() < 9 {
+            return Err(corrupt("truncated zone map"));
+        }
+        let rows = data.get_u32();
+        let null_count = data.get_u32();
+        let (min, max) = if data.get_u8() != 0 {
+            (Some(get_value(data)?), Some(get_value(data)?))
+        } else {
+            (None, None)
+        };
+        Ok(Self {
+            rows,
+            null_count,
+            min,
+            max,
+        })
+    }
+}
+
+/// Encodes one page of column values, returning the framed bytes (magic,
+/// version, row count, encoding, null bitmap, payload, CRC32 trailer) and
+/// the page's zone map. The encoding is chosen per page from the values:
+/// uniform Int pages bit-pack frame-of-reference deltas, Str pages take the
+/// smaller of dictionary / run-length / raw, Bool pages pack to bits,
+/// Float pages store raw `f64`s, and everything else (mixed types, blobs,
+/// all-NULL) falls back to tagged raw values.
+pub fn encode_page(values: &[Value]) -> Result<(Bytes, ZoneMap), StorageError> {
+    let zone = ZoneMap::compute(values);
+    let rows = encodable_len("page rows", values.len())?;
+    let (enc, payload) = choose_payload(values)?;
+    let mut buf = BytesMut::with_capacity(payload.len() + 32 + values.len() / 8);
+    buf.put_slice(PAGE_MAGIC);
+    buf.put_u8(PAGE_VERSION);
+    buf.put_u32(rows);
+    buf.put_u8(enc);
+    buf.put_u32(zone.null_count);
+    if zone.null_count > 0 {
+        for word in null_words(values) {
+            buf.put_u64(word);
+        }
+    }
+    buf.put_slice(&payload);
+    let checksum = crc32(&buf);
+    buf.put_u32(checksum);
+    Ok((buf.freeze(), zone))
+}
+
+/// Decodes a page back to the exact [`ColumnVector`] the resident path
+/// would build from the original values. The CRC32 trailer is verified
+/// before any payload byte is interpreted.
+pub fn decode_page(data: &[u8]) -> Result<ColumnVector, StorageError> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if data.len() < 18 || data[..4] != *PAGE_MAGIC {
+        return Err(corrupt("bad page magic"));
+    }
+    if data[4] != PAGE_VERSION {
+        return Err(corrupt("unsupported page version"));
+    }
+    let (payload, trailer) = data.split_at(data.len() - 4);
+    let stored = u32::from_be_bytes(trailer.try_into().expect("4-byte trailer"));
+    if crc32(payload) != stored {
+        return Err(corrupt("page checksum mismatch"));
+    }
+    let mut data = &payload[5..];
+    let rows = data.get_u32() as usize;
+    if rows > 1 << 28 {
+        return Err(corrupt("implausible page row count"));
+    }
+    let enc = data.get_u8();
+    if data.remaining() < 4 {
+        return Err(corrupt("truncated null count"));
+    }
+    let null_count = data.get_u32() as usize;
+    if null_count > rows {
+        return Err(corrupt("null count exceeds row count"));
+    }
+    let mut nulls = vec![false; rows];
+    if null_count > 0 {
+        let words = rows.div_ceil(64);
+        if data.remaining() < words * 8 {
+            return Err(corrupt("truncated null bitmap"));
+        }
+        for w in 0..words {
+            let word = data.get_u64();
+            for b in 0..64 {
+                let i = w * 64 + b;
+                if i < rows {
+                    nulls[i] = word & (1u64 << b) != 0;
+                }
+            }
+        }
+    }
+    let values = decode_payload(enc, rows, &nulls, &mut data)?;
+    if data.has_remaining() {
+        return Err(corrupt("trailing bytes after page payload"));
+    }
+    Ok(ColumnVector::from_values(values))
+}
+
+/// The human-readable encoding name of a framed page (for benchmarks and
+/// diagnostics). Does not verify the CRC.
+pub fn page_encoding_name(data: &[u8]) -> Option<&'static str> {
+    if data.len() < 10 || data[..4] != *PAGE_MAGIC {
+        return None;
+    }
+    Some(match data[9] {
+        ENC_RAW => "raw",
+        ENC_INT_FOR => "int-for",
+        ENC_FLOAT => "float64",
+        ENC_STR_DICT => "str-dict",
+        ENC_STR_RLE => "str-rle",
+        ENC_BOOL_BITMAP => "bool-bitmap",
+        _ => return None,
+    })
+}
+
+fn null_words(values: &[Value]) -> Vec<u64> {
+    let mut words = vec![0u64; values.len().div_ceil(64)];
+    for (i, v) in values.iter().enumerate() {
+        if v.is_null() {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// The uniform non-NULL payload type of a page, if any.
+fn uniform_type(values: &[Value]) -> Option<crate::DataType> {
+    let mut tag = None;
+    for v in values {
+        if v.is_null() {
+            continue;
+        }
+        let t = v.data_type();
+        match tag {
+            None => tag = Some(t),
+            Some(prev) if prev == t => {}
+            Some(_) => return None,
+        }
+    }
+    tag
+}
+
+fn choose_payload(values: &[Value]) -> Result<(u8, Vec<u8>), StorageError> {
+    use crate::DataType;
+    match uniform_type(values) {
+        Some(DataType::Int) => Ok((ENC_INT_FOR, encode_int_for(values))),
+        Some(DataType::Float) => Ok((ENC_FLOAT, encode_floats(values))),
+        Some(DataType::Bool) => Ok((ENC_BOOL_BITMAP, encode_bools(values))),
+        Some(DataType::Str) => {
+            let dict = encode_str_dict(values)?;
+            let rle = encode_str_rle(values)?;
+            let raw = encode_raw(values)?;
+            let mut best = (ENC_RAW, raw);
+            if dict.as_ref().is_some_and(|d| d.len() < best.1.len()) {
+                best = (ENC_STR_DICT, dict.expect("checked above"));
+            }
+            if rle.len() < best.1.len() {
+                best = (ENC_STR_RLE, rle);
+            }
+            Ok(best)
+        }
+        // Mixed types, blobs, Any, or all-NULL pages: tagged raw values.
+        _ => Ok((ENC_RAW, encode_raw(values)?)),
+    }
+}
+
+fn decode_payload(
+    enc: u8,
+    rows: usize,
+    nulls: &[bool],
+    data: &mut &[u8],
+) -> Result<Vec<Value>, StorageError> {
+    match enc {
+        ENC_RAW => decode_raw(rows, data),
+        ENC_INT_FOR => decode_int_for(rows, nulls, data),
+        ENC_FLOAT => decode_floats(rows, nulls, data),
+        ENC_BOOL_BITMAP => decode_bools(rows, nulls, data),
+        ENC_STR_DICT => decode_str_dict(rows, nulls, data),
+        ENC_STR_RLE => decode_str_rle(rows, data),
+        t => Err(StorageError::Corrupt(format!("unknown page encoding {t}"))),
+    }
+}
+
+// ---- bit packing ----------------------------------------------------------
+
+fn pack_bits(vals: &[u64], width: u32) -> Vec<u8> {
+    if width == 0 {
+        return Vec::new();
+    }
+    let bits = vals.len() * width as usize;
+    let mut out = vec![0u8; bits.div_ceil(8)];
+    let mut pos = 0usize;
+    for &v in vals {
+        for b in 0..width {
+            if (v >> b) & 1 == 1 {
+                out[pos / 8] |= 1 << (pos % 8);
+            }
+            pos += 1;
+        }
+    }
+    out
+}
+
+fn unpack_bits(data: &mut &[u8], width: u32, count: usize) -> Result<Vec<u64>, StorageError> {
+    if width == 0 {
+        return Ok(vec![0u64; count]);
+    }
+    let bits = count
+        .checked_mul(width as usize)
+        .ok_or_else(|| StorageError::Corrupt("bit-pack overflow".into()))?;
+    let bytes = bits.div_ceil(8);
+    if data.remaining() < bytes {
+        return Err(StorageError::Corrupt("truncated bit-packed payload".into()));
+    }
+    let packed = &data[..bytes];
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 0usize;
+    for _ in 0..count {
+        let mut v = 0u64;
+        for b in 0..width {
+            if packed[pos / 8] & (1 << (pos % 8)) != 0 {
+                v |= 1u64 << b;
+            }
+            pos += 1;
+        }
+        out.push(v);
+    }
+    data.advance(bytes);
+    Ok(out)
+}
+
+// ---- per-encoding payloads ------------------------------------------------
+
+fn encode_raw(values: &[Value]) -> Result<Vec<u8>, StorageError> {
+    let mut buf = BytesMut::new();
+    for v in values {
+        put_value(&mut buf, v)?;
+    }
+    Ok(buf.to_vec())
+}
+
+fn decode_raw(rows: usize, data: &mut &[u8]) -> Result<Vec<Value>, StorageError> {
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        out.push(get_value(data)?);
+    }
+    Ok(out)
+}
+
+/// Frame-of-reference: `min` plus bit-packed unsigned deltas. NULL slots
+/// pack delta 0.
+fn encode_int_for(values: &[Value]) -> Vec<u8> {
+    let min = values
+        .iter()
+        .filter_map(Value::as_int)
+        .min()
+        .unwrap_or_default();
+    let deltas: Vec<u64> = values
+        .iter()
+        .map(|v| match v.as_int() {
+            Some(i) => (i as u64).wrapping_sub(min as u64),
+            None => 0,
+        })
+        .collect();
+    let max_delta = deltas.iter().copied().max().unwrap_or(0);
+    let width = 64 - max_delta.leading_zeros();
+    let mut buf = BytesMut::with_capacity(9 + deltas.len() * width as usize / 8);
+    buf.put_i64(min);
+    buf.put_u8(width as u8);
+    buf.put_slice(&pack_bits(&deltas, width));
+    buf.to_vec()
+}
+
+fn decode_int_for(
+    rows: usize,
+    nulls: &[bool],
+    data: &mut &[u8],
+) -> Result<Vec<Value>, StorageError> {
+    if data.remaining() < 9 {
+        return Err(StorageError::Corrupt("truncated int-for header".into()));
+    }
+    let min = data.get_i64();
+    let width = data.get_u8() as u32;
+    if width > 64 {
+        return Err(StorageError::Corrupt("implausible int-for width".into()));
+    }
+    let deltas = unpack_bits(data, width, rows)?;
+    Ok(deltas
+        .iter()
+        .zip(nulls)
+        .map(|(d, is_null)| {
+            if *is_null {
+                Value::Null
+            } else {
+                Value::Int((min as u64).wrapping_add(*d) as i64)
+            }
+        })
+        .collect())
+}
+
+fn encode_floats(values: &[Value]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(values.len() * 8);
+    for v in values {
+        buf.put_f64(v.as_f64().unwrap_or_default());
+    }
+    buf.to_vec()
+}
+
+fn decode_floats(
+    rows: usize,
+    nulls: &[bool],
+    data: &mut &[u8],
+) -> Result<Vec<Value>, StorageError> {
+    if data.remaining() < rows * 8 {
+        return Err(StorageError::Corrupt("truncated float payload".into()));
+    }
+    Ok((0..rows)
+        .map(|i| {
+            let f = data.get_f64();
+            if nulls[i] {
+                Value::Null
+            } else {
+                Value::Float(f)
+            }
+        })
+        .collect())
+}
+
+fn encode_bools(values: &[Value]) -> Vec<u8> {
+    let bits: Vec<u64> = values
+        .iter()
+        .map(|v| v.as_bool().unwrap_or_default() as u64)
+        .collect();
+    pack_bits(&bits, 1)
+}
+
+fn decode_bools(rows: usize, nulls: &[bool], data: &mut &[u8]) -> Result<Vec<Value>, StorageError> {
+    let bits = unpack_bits(data, 1, rows)?;
+    Ok(bits
+        .iter()
+        .zip(nulls)
+        .map(|(b, is_null)| {
+            if *is_null {
+                Value::Null
+            } else {
+                Value::Bool(*b != 0)
+            }
+        })
+        .collect())
+}
+
+/// Dictionary encoding: sorted distinct strings plus bit-packed codes.
+/// `None` when the dictionary would not be usable (no non-NULL strings).
+fn encode_str_dict(values: &[Value]) -> Result<Option<Vec<u8>>, StorageError> {
+    use std::collections::BTreeSet;
+    let dict: BTreeSet<&str> = values
+        .iter()
+        .filter_map(|v| match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    if dict.is_empty() {
+        return Ok(None);
+    }
+    // BTreeSet iteration is sorted: codes are assigned in sorted order so
+    // the encoding is deterministic regardless of first-occurrence order.
+    let sorted: Vec<&str> = dict.into_iter().collect();
+    let codes_by_str: std::collections::HashMap<&str, u64> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (*s, i as u64))
+        .collect();
+    let codes: Vec<u64> = values
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => codes_by_str[s.as_str()],
+            _ => 0,
+        })
+        .collect();
+    let width = 64 - (sorted.len() as u64 - 1).leading_zeros();
+    let mut buf = BytesMut::new();
+    buf.put_u32(encodable_len("dictionary", sorted.len())?);
+    for s in &sorted {
+        put_str(&mut buf, s)?;
+    }
+    buf.put_u8(width as u8);
+    buf.put_slice(&pack_bits(&codes, width));
+    Ok(Some(buf.to_vec()))
+}
+
+fn decode_str_dict(
+    rows: usize,
+    nulls: &[bool],
+    data: &mut &[u8],
+) -> Result<Vec<Value>, StorageError> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if data.remaining() < 4 {
+        return Err(corrupt("truncated dictionary length"));
+    }
+    let n = data.get_u32() as usize;
+    if n == 0 || n > rows.max(1) {
+        return Err(corrupt("implausible dictionary size"));
+    }
+    let mut dict = Vec::with_capacity(n);
+    for _ in 0..n {
+        dict.push(get_str(data)?);
+    }
+    if !data.has_remaining() {
+        return Err(corrupt("truncated dictionary code width"));
+    }
+    let width = data.get_u8() as u32;
+    if width > 64 {
+        return Err(corrupt("implausible dictionary code width"));
+    }
+    let codes = unpack_bits(data, width, rows)?;
+    codes
+        .iter()
+        .zip(nulls)
+        .map(|(c, is_null)| {
+            if *is_null {
+                return Ok(Value::Null);
+            }
+            dict.get(*c as usize)
+                .map(|s| Value::Str(s.clone()))
+                .ok_or_else(|| corrupt("dictionary code out of range"))
+        })
+        .collect()
+}
+
+/// Run-length encoding over (nullness, string) runs.
+fn encode_str_rle(values: &[Value]) -> Result<Vec<u8>, StorageError> {
+    let mut runs: Vec<(u32, Option<&str>)> = Vec::new();
+    for v in values {
+        let key = match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        };
+        match runs.last_mut() {
+            Some((len, prev)) if *prev == key && *len < u32::MAX => *len += 1,
+            _ => runs.push((1, key)),
+        }
+    }
+    let mut buf = BytesMut::new();
+    buf.put_u32(encodable_len("rle runs", runs.len())?);
+    for (len, key) in &runs {
+        buf.put_u32(*len);
+        match key {
+            Some(s) => {
+                buf.put_u8(0);
+                put_str(&mut buf, s)?;
+            }
+            None => buf.put_u8(1),
+        }
+    }
+    Ok(buf.to_vec())
+}
+
+fn decode_str_rle(rows: usize, data: &mut &[u8]) -> Result<Vec<Value>, StorageError> {
+    let corrupt = |m: &str| StorageError::Corrupt(m.to_string());
+    if data.remaining() < 4 {
+        return Err(corrupt("truncated rle run count"));
+    }
+    let runs = data.get_u32() as usize;
+    if runs > rows {
+        return Err(corrupt("implausible rle run count"));
+    }
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..runs {
+        if data.remaining() < 5 {
+            return Err(corrupt("truncated rle run"));
+        }
+        let len = data.get_u32() as usize;
+        let is_null = data.get_u8() != 0;
+        if out.len() + len > rows {
+            return Err(corrupt("rle runs exceed row count"));
+        }
+        if is_null {
+            out.extend(std::iter::repeat_n(Value::Null, len));
+        } else {
+            let s = get_str(data)?;
+            out.extend(std::iter::repeat_n(Value::Str(s), len));
+        }
+    }
+    if out.len() != rows {
+        return Err(corrupt("rle runs do not cover the page"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: Vec<Value>) {
+        let (bytes, zone) = encode_page(&values).unwrap();
+        assert_eq!(zone.rows as usize, values.len());
+        let back = decode_page(&bytes).unwrap();
+        assert_eq!(back.to_values(), values);
+        // The decoded vector must equal the one the resident path builds.
+        assert_eq!(back, ColumnVector::from_values(values));
+    }
+
+    #[test]
+    fn int_pages_round_trip_and_bit_pack() {
+        round_trip((0..1000i64).map(Value::Int).collect());
+        round_trip(vec![Value::Int(i64::MIN), Value::Int(i64::MAX)]);
+        round_trip(vec![Value::Int(7); 100]);
+        round_trip(vec![Value::Int(5), Value::Null, Value::Int(-5)]);
+        // Narrow-range ints compress well below raw (9 bytes/slot).
+        let vals: Vec<Value> = (0..1024i64)
+            .map(|i| Value::Int(1_000_000 + i % 16))
+            .collect();
+        let (bytes, _) = encode_page(&vals).unwrap();
+        assert!(bytes.len() < vals.len() * 2, "{} bytes", bytes.len());
+        assert_eq!(page_encoding_name(&bytes), Some("int-for"));
+    }
+
+    #[test]
+    fn string_pages_pick_the_smaller_encoding() {
+        // Low cardinality: dictionary wins.
+        let dicty: Vec<Value> = (0..512)
+            .map(|i| Value::Str(format!("tag{}", i % 4)))
+            .collect();
+        let (bytes, _) = encode_page(&dicty).unwrap();
+        assert_eq!(page_encoding_name(&bytes), Some("str-dict"));
+        assert!(bytes.len() < 512);
+        round_trip(dicty);
+        // Long runs: RLE wins.
+        let runny: Vec<Value> = (0..512)
+            .map(|i| Value::Str(format!("run{}", i / 256)))
+            .collect();
+        let (bytes, _) = encode_page(&runny).unwrap();
+        assert_eq!(page_encoding_name(&bytes), Some("str-rle"));
+        round_trip(runny);
+        // High cardinality strings still round-trip.
+        round_trip(
+            (0..100)
+                .map(|i| Value::Str(format!("unique-{i}")))
+                .collect(),
+        );
+    }
+
+    #[test]
+    fn float_bool_mixed_and_null_pages() {
+        round_trip(vec![
+            Value::Float(0.5),
+            Value::Null,
+            Value::Float(f64::NAN.min(3.0)),
+        ]);
+        round_trip(vec![Value::Bool(true), Value::Bool(false), Value::Null]);
+        round_trip(vec![Value::Int(1), Value::Str("x".into())]); // mixed -> raw
+        round_trip(vec![Value::Null; 64]); // all-NULL
+        round_trip(vec![]); // empty page
+        round_trip(vec![Value::Blob(vec![1, 2, 3]), Value::Null]);
+    }
+
+    #[test]
+    fn zone_maps_bound_and_prune() {
+        let z = ZoneMap::compute(&[Value::Int(10), Value::Int(20), Value::Null]);
+        assert_eq!(z.min, Some(Value::Int(10)));
+        assert_eq!(z.max, Some(Value::Int(20)));
+        assert_eq!(z.null_count, 1);
+        assert!(z.may_match(BinOp::Eq, &Value::Int(15)));
+        assert!(!z.may_match(BinOp::Eq, &Value::Int(5)));
+        assert!(!z.may_match(BinOp::Eq, &Value::Int(25)));
+        assert!(z.may_match(BinOp::Lt, &Value::Int(11)));
+        assert!(!z.may_match(BinOp::Lt, &Value::Int(10)));
+        assert!(z.may_match(BinOp::Le, &Value::Int(10)));
+        assert!(!z.may_match(BinOp::Le, &Value::Int(9)));
+        assert!(z.may_match(BinOp::Gt, &Value::Int(19)));
+        assert!(!z.may_match(BinOp::Gt, &Value::Int(20)));
+        assert!(z.may_match(BinOp::Ge, &Value::Int(20)));
+        assert!(!z.may_match(BinOp::Ge, &Value::Int(21)));
+        assert!(z.may_match(BinOp::Ne, &Value::Int(10)));
+        // Cross-numeric comparison works (Int zone, Float literal).
+        assert!(!z.may_match(BinOp::Eq, &Value::Float(5.0)));
+        assert!(z.may_match(BinOp::Eq, &Value::Float(10.0)));
+        // Incomparable literal: conservative keep.
+        assert!(z.may_match(BinOp::Eq, &Value::Str("x".into())));
+    }
+
+    #[test]
+    fn degenerate_zone_maps() {
+        // All-NULL page can never satisfy a comparison conjunct.
+        let z = ZoneMap::compute(&[Value::Null, Value::Null]);
+        assert!(!z.may_match(BinOp::Eq, &Value::Int(1)));
+        assert!(!z.may_match(BinOp::Ne, &Value::Int(1)));
+        // Single-value page: Ne prunes when the literal equals it…
+        let z = ZoneMap::compute(&[Value::Int(7), Value::Int(7)]);
+        assert!(!z.may_match(BinOp::Ne, &Value::Int(7)));
+        assert!(z.may_match(BinOp::Ne, &Value::Int(8)));
+        // …unless NULLs are present (they fail the filter anyway: still safe).
+        let z = ZoneMap::compute(&[Value::Int(7), Value::Null]);
+        assert!(!z.may_match(BinOp::Ne, &Value::Int(7)));
+        // Mixed-type page is unbounded: everything may match.
+        let z = ZoneMap::compute(&[Value::Int(1), Value::Str("a".into())]);
+        assert!(z.may_match(BinOp::Eq, &Value::Int(999)));
+        // Empty page has no matching rows.
+        let z = ZoneMap::compute(&[]);
+        assert!(!z.may_match(BinOp::Eq, &Value::Int(1)));
+    }
+
+    #[test]
+    fn zone_map_encode_decode() {
+        for z in [
+            ZoneMap::compute(&[Value::Int(1), Value::Int(5), Value::Null]),
+            ZoneMap::compute(&[Value::Str("a".into()), Value::Str("z".into())]),
+            ZoneMap::compute(&[Value::Null]),
+            ZoneMap::compute(&[Value::Int(1), Value::Str("x".into())]),
+        ] {
+            let mut buf = BytesMut::new();
+            z.encode(&mut buf).unwrap();
+            let mut data = &buf[..];
+            assert_eq!(ZoneMap::decode(&mut data).unwrap(), z);
+            assert!(data.is_empty());
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (bytes, _) = encode_page(&(0..100i64).map(Value::Int).collect::<Vec<_>>()).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 1 << (i % 8);
+            assert!(decode_page(&bad).is_err(), "bit flip at {i} undetected");
+        }
+        for cut in 0..bytes.len() {
+            assert!(decode_page(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

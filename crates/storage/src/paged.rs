@@ -1,0 +1,539 @@
+//! Page-backed tables: the out-of-core representation behind [`Table`].
+//!
+//! A [`PagedTable`] holds one compressed page per (column, row group)
+//! instead of resident rows. Pages live either in memory ([`PageBacking::Mem`],
+//! freshly encoded and not yet checkpointed — the *dirty* state) or on disk
+//! ([`PageBacking::File`], durable and content-addressed). Decoded pages are
+//! cached in the shared [`BufferPool`]; dropping a paged table evicts its
+//! pages. Checkpoints call [`PagedTable::write_durable`], which writes only
+//! pages whose content-addressed file does not already exist — that is the
+//! whole incremental-checkpoint mechanism: unchanged pages are recognized by
+//! name (`{crc32}{fnv1a64}.kpg`) and skipped.
+
+use crate::page::{decode_page, encode_page, ZoneMap};
+use crate::pool::{BufferPool, PageKey};
+use crate::wal::crc32;
+use crate::{ColumnVector, Row, Schema, StorageError, Value};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// FNV-1a 64-bit hash; paired with CRC32 to content-address page files.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Where one page's encoded bytes live right now.
+#[derive(Debug, Clone)]
+pub enum PageBacking {
+    /// Encoded in memory, not yet checkpointed (dirty).
+    Mem(Bytes),
+    /// Durable in a content-addressed `.kpg` file.
+    File(PathBuf),
+}
+
+/// One compressed column page plus the metadata needed to find, verify,
+/// and prune it without decoding.
+#[derive(Debug)]
+pub struct PageSlot {
+    zone: ZoneMap,
+    rows: u32,
+    len: u32,
+    crc: u32,
+    fnv: u64,
+    backing: RwLock<PageBacking>,
+}
+
+impl PageSlot {
+    fn from_bytes(bytes: Bytes, zone: ZoneMap) -> Self {
+        let crc = crc32(&bytes);
+        let fnv = fnv1a64(&bytes);
+        Self {
+            rows: zone.rows,
+            len: bytes.len() as u32,
+            crc,
+            fnv,
+            zone,
+            backing: RwLock::new(PageBacking::Mem(bytes)),
+        }
+    }
+
+    /// The content-addressed durable file name of this page.
+    pub fn file_name(&self) -> String {
+        format!("{:08x}{:016x}.kpg", self.crc, self.fnv)
+    }
+
+    /// Zone map of the page.
+    pub fn zone(&self) -> &ZoneMap {
+        &self.zone
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Rows in the page.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// CRC32 of the encoded page bytes.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// FNV-1a 64 of the encoded page bytes.
+    pub fn fnv(&self) -> u64 {
+        self.fnv
+    }
+
+    /// Whether the page is only in memory (not yet written durably).
+    pub fn is_dirty(&self) -> bool {
+        matches!(*self.backing.read(), PageBacking::Mem(_))
+    }
+
+    fn encoded_bytes(&self) -> Result<Bytes, StorageError> {
+        let backing = self.backing.read();
+        match &*backing {
+            PageBacking::Mem(bytes) => Ok(bytes.clone()),
+            PageBacking::File(path) => {
+                let data = std::fs::read(path)?;
+                if crc32(&data) != self.crc || data.len() != self.len as usize {
+                    return Err(StorageError::Corrupt(format!(
+                        "page file {} does not match its descriptor",
+                        path.display()
+                    )));
+                }
+                Ok(Bytes::from(data))
+            }
+        }
+    }
+}
+
+/// Metadata for one durable page, as read back from checkpoint metadata.
+#[derive(Debug, Clone)]
+pub struct RecoveredPage {
+    /// Path of the content-addressed `.kpg` file.
+    pub path: PathBuf,
+    /// Encoded length in bytes.
+    pub len: u32,
+    /// CRC32 of the encoded bytes.
+    pub crc: u32,
+    /// FNV-1a 64 of the encoded bytes.
+    pub fnv: u64,
+    /// Zone map of the page.
+    pub zone: ZoneMap,
+}
+
+/// Outcome of one [`PagedTable::write_durable`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageWriteStats {
+    /// Pages newly written this checkpoint.
+    pub pages_written: usize,
+    /// Pages whose content-addressed file already existed (clean pages).
+    pub pages_reused: usize,
+    /// Bytes written this checkpoint (dirty pages only).
+    pub bytes_written: u64,
+    /// Total encoded bytes referenced by the table (written + reused).
+    pub bytes_total: u64,
+}
+
+/// A table stored as fixed-size compressed column pages, read through the
+/// shared buffer pool.
+#[derive(Debug)]
+pub struct PagedTable {
+    id: u64,
+    schema: Schema,
+    rows: usize,
+    page_rows: usize,
+    // columns[c][p] = page p of column c.
+    columns: Vec<Vec<PageSlot>>,
+    pool: Arc<BufferPool>,
+}
+
+impl PagedTable {
+    /// Pages `rows` under `schema` into compressed column pages of
+    /// `page_rows` rows each.
+    pub fn from_rows(
+        schema: Schema,
+        rows: &[Row],
+        pool: Arc<BufferPool>,
+        page_rows: usize,
+    ) -> Result<Self, StorageError> {
+        let page_rows = page_rows.max(1);
+        let ncols = schema.columns().len();
+        let page_count = rows.len().div_ceil(page_rows);
+        let mut columns: Vec<Vec<PageSlot>> =
+            (0..ncols).map(|_| Vec::with_capacity(page_count)).collect();
+        let mut scratch: Vec<Value> = Vec::with_capacity(page_rows);
+        for p in 0..page_count {
+            let start = p * page_rows;
+            let end = (start + page_rows).min(rows.len());
+            for (c, slots) in columns.iter_mut().enumerate() {
+                scratch.clear();
+                scratch.extend(rows[start..end].iter().map(|r| r[c].clone()));
+                let (bytes, zone) = encode_page(&scratch)?;
+                slots.push(PageSlot::from_bytes(bytes, zone));
+            }
+        }
+        Ok(Self {
+            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            schema,
+            rows: rows.len(),
+            page_rows,
+            columns,
+            pool,
+        })
+    }
+
+    /// Rebuilds a paged table from checkpoint metadata; pages stay on disk
+    /// until first touch, so recovery is O(metadata), not O(data).
+    pub fn from_recovered(
+        schema: Schema,
+        rows: usize,
+        page_rows: usize,
+        columns: Vec<Vec<RecoveredPage>>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, StorageError> {
+        let page_rows = page_rows.max(1);
+        let expect_pages = rows.div_ceil(page_rows);
+        if columns.len() != schema.columns().len()
+            || columns.iter().any(|c| c.len() != expect_pages)
+        {
+            return Err(StorageError::Corrupt(
+                "checkpoint page layout does not match table shape".into(),
+            ));
+        }
+        let columns = columns
+            .into_iter()
+            .map(|slots| {
+                slots
+                    .into_iter()
+                    .map(|r| PageSlot {
+                        rows: r.zone.rows,
+                        len: r.len,
+                        crc: r.crc,
+                        fnv: r.fnv,
+                        zone: r.zone,
+                        backing: RwLock::new(PageBacking::File(r.path)),
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            schema,
+            rows,
+            page_rows,
+            columns,
+            pool,
+        })
+    }
+
+    /// Process-unique table id (the buffer-pool namespace).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total rows across all pages.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Rows per page.
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Pages per column.
+    pub fn page_count(&self) -> usize {
+        self.rows.div_ceil(self.page_rows)
+    }
+
+    /// The shared buffer pool this table reads through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Row range `[start, end)` of page `p`.
+    pub fn page_bounds(&self, p: usize) -> (usize, usize) {
+        let start = p * self.page_rows;
+        (start, (start + self.page_rows).min(self.rows))
+    }
+
+    /// Zone map of page `p` of column `c`.
+    pub fn zone(&self, c: usize, p: usize) -> &ZoneMap {
+        self.columns[c][p].zone()
+    }
+
+    /// The page slot for column `c`, page `p`.
+    pub fn slot(&self, c: usize, p: usize) -> &PageSlot {
+        &self.columns[c][p]
+    }
+
+    /// Sum of encoded page sizes in bytes.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.columns.iter().flatten().map(|s| s.len as u64).sum()
+    }
+
+    /// Pages held only in memory (dirty: not yet written durably).
+    pub fn dirty_pages(&self) -> usize {
+        self.columns
+            .iter()
+            .flatten()
+            .filter(|s| s.is_dirty())
+            .count()
+    }
+
+    /// Records that the scan skipped a page via its zone map.
+    pub fn note_zone_skip(&self) {
+        self.pool.note_zone_skip();
+    }
+
+    /// The decoded page `p` of column `c`, via the buffer pool.
+    pub fn column_page(&self, c: usize, p: usize) -> Result<Arc<ColumnVector>, StorageError> {
+        let slot = &self.columns[c][p];
+        let key = PageKey {
+            table: self.id,
+            column: c as u32,
+            page: p as u32,
+        };
+        self.pool.get_or_load(key, || {
+            let bytes = slot.encoded_bytes()?;
+            Ok(Arc::new(decode_page(&bytes)?))
+        })
+    }
+
+    /// The row at position `i`, or `None` past the end. Touches one page
+    /// per column through the pool.
+    pub fn row_at(&self, i: usize) -> Result<Option<Row>, StorageError> {
+        if i >= self.rows {
+            return Ok(None);
+        }
+        let p = i / self.page_rows;
+        let off = i - p * self.page_rows;
+        let mut row = Vec::with_capacity(self.columns.len());
+        for c in 0..self.columns.len() {
+            row.push(self.column_page(c, p)?.value(off));
+        }
+        Ok(Some(row))
+    }
+
+    /// Decodes every page back into resident rows (page by page, so peak
+    /// extra memory beyond the output is one row group).
+    pub fn materialize(&self) -> Result<Vec<Row>, StorageError> {
+        let mut rows: Vec<Row> = Vec::with_capacity(self.rows);
+        for p in 0..self.page_count() {
+            let (start, end) = self.page_bounds(p);
+            let cols: Vec<Arc<ColumnVector>> = (0..self.columns.len())
+                .map(|c| self.column_page(c, p))
+                .collect::<Result<_, _>>()?;
+            for off in 0..end - start {
+                rows.push(cols.iter().map(|col| col.value(off)).collect());
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Streams one column's values as `(row position, value)` without
+    /// materializing rows — the index builders' access path.
+    pub fn for_each_in_column<F>(&self, c: usize, mut f: F) -> Result<(), StorageError>
+    where
+        F: FnMut(usize, &Value) -> Result<(), StorageError>,
+    {
+        for p in 0..self.page_count() {
+            let (start, end) = self.page_bounds(p);
+            let col = self.column_page(c, p)?;
+            for off in 0..end - start {
+                f(start + off, &col.value(off))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty page into `pages_dir` under its content-addressed
+    /// name, fsynced, and flips its backing to [`PageBacking::File`]. Pages
+    /// whose file already exists (identical content from an earlier
+    /// checkpoint) are skipped — this is what makes checkpoints incremental.
+    pub fn write_durable(&self, pages_dir: &Path) -> Result<PageWriteStats, StorageError> {
+        let mut stats = PageWriteStats::default();
+        for slots in &self.columns {
+            for slot in slots {
+                stats.bytes_total += slot.len as u64;
+                let path = pages_dir.join(slot.file_name());
+                if path.exists() {
+                    stats.pages_reused += 1;
+                } else {
+                    let bytes = slot.encoded_bytes()?;
+                    crate::persist::atomic_write(&path, &bytes)?;
+                    stats.pages_written += 1;
+                    stats.bytes_written += slot.len as u64;
+                }
+                let mut backing = slot.backing.write();
+                if matches!(*backing, PageBacking::Mem(_)) {
+                    *backing = PageBacking::File(path);
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+impl Drop for PagedTable {
+    fn drop(&mut self) {
+        self.pool.evict_table(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::of(&[("id", DataType::Int), ("tag", DataType::Str)])
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Str(format!("tag{}", i % 3))
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_through_pages() {
+        let pool = Arc::new(BufferPool::with_budget(64));
+        let data = rows(1000);
+        let pt = PagedTable::from_rows(schema(), &data, pool, 128).unwrap();
+        assert_eq!(pt.len(), 1000);
+        assert_eq!(pt.page_count(), 8);
+        assert_eq!(pt.materialize().unwrap(), data);
+        assert_eq!(pt.row_at(999).unwrap().unwrap(), data[999]);
+        assert_eq!(pt.row_at(1000).unwrap(), None);
+    }
+
+    #[test]
+    fn identical_under_tiny_pool() {
+        let pool = Arc::new(BufferPool::with_budget(1));
+        let data = rows(500);
+        let pt = PagedTable::from_rows(schema(), &data, Arc::clone(&pool), 64).unwrap();
+        assert_eq!(pt.materialize().unwrap(), data);
+        assert!(pool.status().evictions > 0);
+    }
+
+    #[test]
+    fn drop_evicts_pool_entries() {
+        let pool = Arc::new(BufferPool::with_budget(64));
+        let data = rows(100);
+        let pt = PagedTable::from_rows(schema(), &data, Arc::clone(&pool), 32).unwrap();
+        pt.materialize().unwrap();
+        assert!(pool.status().resident_pages > 0);
+        drop(pt);
+        assert_eq!(pool.status().resident_pages, 0);
+    }
+
+    #[test]
+    fn write_durable_is_incremental() {
+        let dir = tempdir();
+        let pool = Arc::new(BufferPool::with_budget(64));
+        let data = rows(256);
+        let pt = PagedTable::from_rows(schema(), &data, Arc::clone(&pool), 64).unwrap();
+        assert_eq!(pt.dirty_pages(), pt.page_count() * 2);
+        let first = pt.write_durable(&dir).unwrap();
+        assert_eq!(first.pages_written, pt.page_count() * 2);
+        assert_eq!(first.pages_reused, 0);
+        assert_eq!(pt.dirty_pages(), 0);
+        // Re-paging identical content reuses every file.
+        let pt2 = PagedTable::from_rows(schema(), &data, Arc::clone(&pool), 64).unwrap();
+        let second = pt2.write_durable(&dir).unwrap();
+        assert_eq!(second.pages_written, 0);
+        assert_eq!(second.pages_reused, pt.page_count() * 2);
+        assert_eq!(second.bytes_written, 0);
+        // One appended row dirties only the last page of each column.
+        let mut more = data.clone();
+        more.push(vec![Value::Int(256), Value::Str("tag0".into())]);
+        let pt3 = PagedTable::from_rows(schema(), &more, Arc::clone(&pool), 64).unwrap();
+        let third = pt3.write_durable(&dir).unwrap();
+        assert_eq!(third.pages_written, 2); // last page of each of 2 columns
+        assert!(third.bytes_written < first.bytes_written);
+        // File-backed pages still materialize correctly.
+        assert_eq!(pt3.materialize().unwrap(), more);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_tables_read_lazily() {
+        let dir = tempdir();
+        let pool = Arc::new(BufferPool::with_budget(64));
+        let data = rows(200);
+        let pt = PagedTable::from_rows(schema(), &data, Arc::clone(&pool), 64).unwrap();
+        pt.write_durable(&dir).unwrap();
+        let recovered: Vec<Vec<RecoveredPage>> = (0..2)
+            .map(|c| {
+                (0..pt.page_count())
+                    .map(|p| {
+                        let s = pt.slot(c, p);
+                        RecoveredPage {
+                            path: dir.join(s.file_name()),
+                            len: s.encoded_len() as u32,
+                            crc: s.crc(),
+                            fnv: s.fnv(),
+                            zone: s.zone().clone(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let back =
+            PagedTable::from_recovered(schema(), 200, 64, recovered, Arc::clone(&pool)).unwrap();
+        assert_eq!(back.dirty_pages(), 0);
+        assert_eq!(back.materialize().unwrap(), data);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_corrupt() {
+        let pool = Arc::new(BufferPool::with_budget(4));
+        let err = PagedTable::from_recovered(schema(), 10, 4, vec![], pool).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "kathdb-paged-test-{}-{}",
+            std::process::id(),
+            NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

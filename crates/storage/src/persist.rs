@@ -157,7 +157,7 @@ pub fn load_table(path: &Path) -> Result<Table, StorageError> {
     decode_table(&data)
 }
 
-fn dtype_tag(d: DataType) -> u8 {
+pub(crate) fn dtype_tag(d: DataType) -> u8 {
     match d {
         DataType::Int => 0,
         DataType::Float => 1,
@@ -168,7 +168,7 @@ fn dtype_tag(d: DataType) -> u8 {
     }
 }
 
-fn dtype_from_tag(t: u8) -> Result<DataType, StorageError> {
+pub(crate) fn dtype_from_tag(t: u8) -> Result<DataType, StorageError> {
     Ok(match t {
         0 => DataType::Int,
         1 => DataType::Float,

@@ -1,0 +1,341 @@
+//! Buffer pool: a bounded LRU cache of decoded column pages.
+//!
+//! Every paged table reads its column pages through a shared
+//! [`BufferPool`]. The pool caches *decoded* pages (`Arc<ColumnVector>`)
+//! under a page-count budget; when the budget is exceeded the
+//! least-recently-used unpinned page is evicted and must be re-decoded (or
+//! re-read from disk) on the next touch. The budget comes from
+//! `KATHDB_POOL_PAGES` (default 4096 pages) or [`BufferPool::set_budget`].
+//! Hit/miss/eviction and zone-map-skip counters feed `\pool` in the REPL
+//! and `durability_status()` in the facade.
+
+use crate::ColumnVector;
+use crate::{StorageError, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Environment variable naming the pool budget in pages.
+pub const POOL_PAGES_ENV: &str = "KATHDB_POOL_PAGES";
+
+/// Default pool budget in pages when `KATHDB_POOL_PAGES` is unset.
+pub const DEFAULT_POOL_PAGES: usize = 4096;
+
+/// Identity of one column page of one paged table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// Process-unique id of the owning [`crate::PagedTable`].
+    pub table: u64,
+    /// Column ordinal within the table.
+    pub column: u32,
+    /// Page ordinal within the column.
+    pub page: u32,
+}
+
+struct Entry {
+    col: Arc<ColumnVector>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<PageKey, Entry>,
+    tick: u64,
+}
+
+/// Point-in-time snapshot of pool occupancy and counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStatus {
+    /// Budget in pages.
+    pub budget_pages: usize,
+    /// Decoded pages currently resident.
+    pub resident_pages: usize,
+    /// Estimated bytes held by resident pages.
+    pub resident_bytes: usize,
+    /// Lookups served from the pool.
+    pub hits: u64,
+    /// Lookups that had to decode (or read) the page.
+    pub misses: u64,
+    /// Pages evicted to stay within budget.
+    pub evictions: u64,
+    /// Pages skipped by zone-map pruning before any decode.
+    pub zone_skips: u64,
+}
+
+/// A bounded LRU cache of decoded column pages, shared by all paged tables
+/// of one catalog.
+#[derive(Debug)]
+pub struct BufferPool {
+    budget: AtomicUsize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    zone_skips: AtomicU64,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("resident", &self.map.len())
+            .finish()
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl BufferPool {
+    /// A pool with an explicit page budget (min 1).
+    pub fn with_budget(pages: usize) -> Self {
+        Self {
+            budget: AtomicUsize::new(pages.max(1)),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            zone_skips: AtomicU64::new(0),
+        }
+    }
+
+    /// A pool budgeted from `KATHDB_POOL_PAGES` (default
+    /// [`DEFAULT_POOL_PAGES`]).
+    pub fn from_env() -> Self {
+        let pages = std::env::var(POOL_PAGES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_POOL_PAGES);
+        Self::with_budget(pages)
+    }
+
+    /// Current budget in pages.
+    pub fn budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Re-budgets the pool, evicting down to the new cap immediately.
+    pub fn set_budget(&self, pages: usize) {
+        self.budget.store(pages.max(1), Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        self.evict_to_budget(&mut inner, None);
+    }
+
+    /// Returns the decoded page for `key`, loading it with `loader` on a
+    /// miss. The just-loaded page is never evicted by its own insertion,
+    /// so the pool makes progress even with a 1-page budget.
+    pub fn get_or_load<F>(&self, key: PageKey, loader: F) -> Result<Arc<ColumnVector>, StorageError>
+    where
+        F: FnOnce() -> Result<Arc<ColumnVector>, StorageError>,
+    {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.col));
+            }
+        }
+        // Decode outside the lock: concurrent scans of distinct pages
+        // should not serialize on the pool mutex.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let col = loader()?;
+        let bytes = estimate_bytes(&col);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                col: Arc::clone(&col),
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.evict_to_budget(&mut inner, Some(key));
+        Ok(col)
+    }
+
+    fn evict_to_budget(&self, inner: &mut Inner, keep: Option<PageKey>) {
+        let budget = self.budget();
+        while inner.map.len() > budget {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| Some(**k) != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break, // only the pinned page remains
+            }
+        }
+    }
+
+    /// Drops every resident page of `table` (called when a paged table is
+    /// dropped so its slots are not stranded in the pool).
+    pub fn evict_table(&self, table: u64) {
+        let mut inner = self.inner.lock();
+        inner.map.retain(|k, _| k.table != table);
+    }
+
+    /// Records a page skipped via its zone map (pruned before decode).
+    pub fn note_zone_skip(&self) {
+        self.zone_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of occupancy and counters.
+    pub fn status(&self) -> PoolStatus {
+        let inner = self.inner.lock();
+        PoolStatus {
+            budget_pages: self.budget(),
+            resident_pages: inner.map.len(),
+            resident_bytes: inner.map.values().map(|e| e.bytes).sum(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            zone_skips: self.zone_skips.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the hit/miss/eviction/zone-skip counters (occupancy is kept).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.zone_skips.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Rough heap footprint of a decoded page, for `resident_bytes` reporting.
+fn estimate_bytes(col: &ColumnVector) -> usize {
+    let mut bytes = std::mem::size_of::<ColumnVector>() + col.len() / 8;
+    for i in 0..col.len() {
+        bytes += match col.value(i) {
+            Value::Null => 8,
+            Value::Int(_) | Value::Float(_) | Value::Bool(_) => 8,
+            Value::Str(s) => std::mem::size_of::<String>() + s.len(),
+            Value::Blob(b) => std::mem::size_of::<Vec<u8>>() + b.len(),
+        };
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(vals: &[i64]) -> Arc<ColumnVector> {
+        Arc::new(ColumnVector::from_values(
+            vals.iter().map(|&i| Value::Int(i)).collect(),
+        ))
+    }
+
+    fn key(p: u32) -> PageKey {
+        PageKey {
+            table: 1,
+            column: 0,
+            page: p,
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let pool = BufferPool::with_budget(8);
+        for _ in 0..3 {
+            pool.get_or_load(key(0), || Ok(page(&[1, 2]))).unwrap();
+        }
+        let s = pool.status();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.resident_pages, 1);
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_page() {
+        let pool = BufferPool::with_budget(2);
+        pool.get_or_load(key(0), || Ok(page(&[0]))).unwrap();
+        pool.get_or_load(key(1), || Ok(page(&[1]))).unwrap();
+        pool.get_or_load(key(0), || Ok(page(&[0]))).unwrap(); // refresh 0
+        pool.get_or_load(key(2), || Ok(page(&[2]))).unwrap(); // evicts 1
+        let s = pool.status();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident_pages, 2);
+        // Page 1 must reload; pages 0 and 2 are hits.
+        pool.get_or_load(key(0), || panic!("0 should be resident"))
+            .unwrap();
+        pool.get_or_load(key(2), || panic!("2 should be resident"))
+            .unwrap();
+        let mut reloaded = false;
+        pool.get_or_load(key(1), || {
+            reloaded = true;
+            Ok(page(&[1]))
+        })
+        .unwrap();
+        assert!(reloaded);
+    }
+
+    #[test]
+    fn one_page_budget_still_progresses() {
+        let pool = BufferPool::with_budget(1);
+        for p in 0..4 {
+            let got = pool.get_or_load(key(p), || Ok(page(&[p as i64]))).unwrap();
+            assert_eq!(got.value(0), Value::Int(p as i64));
+        }
+        let s = pool.status();
+        assert_eq!(s.resident_pages, 1);
+        assert_eq!(s.evictions, 3);
+    }
+
+    #[test]
+    fn set_budget_evicts_down() {
+        let pool = BufferPool::with_budget(4);
+        for p in 0..4 {
+            pool.get_or_load(key(p), || Ok(page(&[p as i64]))).unwrap();
+        }
+        pool.set_budget(2);
+        assert_eq!(pool.status().resident_pages, 2);
+        assert_eq!(pool.budget(), 2);
+    }
+
+    #[test]
+    fn evict_table_clears_only_that_table() {
+        let pool = BufferPool::with_budget(8);
+        pool.get_or_load(key(0), || Ok(page(&[1]))).unwrap();
+        pool.get_or_load(
+            PageKey {
+                table: 2,
+                column: 0,
+                page: 0,
+            },
+            || Ok(page(&[2])),
+        )
+        .unwrap();
+        pool.evict_table(1);
+        let s = pool.status();
+        assert_eq!(s.resident_pages, 1);
+    }
+
+    #[test]
+    fn loader_error_is_propagated_and_not_cached() {
+        let pool = BufferPool::with_budget(2);
+        let err = pool
+            .get_or_load(key(0), || Err(StorageError::Corrupt("boom".into())))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+        assert_eq!(pool.status().resident_pages, 0);
+        pool.get_or_load(key(0), || Ok(page(&[1]))).unwrap();
+        assert_eq!(pool.status().resident_pages, 1);
+    }
+}

@@ -1,17 +1,63 @@
-//! In-memory tables: the materialization unit of KathDB.
+//! Tables: the materialization unit of KathDB.
 //!
 //! Every intermediate result in a KathDB pipeline is materialized as a table
 //! so that lineage can reference it (§3) and the explainer can show it (§5).
+//!
+//! A table is either *resident* (plain `Vec<Row>`, the shape every operator
+//! was written against) or *paged* (a [`PagedTable`] of compressed column
+//! pages read through the buffer pool). Tables become paged at checkpoint
+//! and recovery; mutation materializes them back to resident. The legacy
+//! `rows()`/`row()` accessors stay infallible by lazily materializing a
+//! paged table's row cache on first use — hot paths (scans, index builds)
+//! use the page-aware fallible accessors instead and never pay for that.
 
+use crate::paged::PagedTable;
+use crate::pool::BufferPool;
 use crate::{Row, Schema, StorageError, Value};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
-/// A named, schema-checked collection of rows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
+enum Repr {
+    Resident(Vec<Row>),
+    Paged {
+        pages: Arc<PagedTable>,
+        // Lazily materialized rows for the legacy `rows()` accessor.
+        cache: OnceLock<Vec<Row>>,
+    },
+}
+
+impl Clone for Repr {
+    fn clone(&self) -> Self {
+        match self {
+            Repr::Resident(rows) => Repr::Resident(rows.clone()),
+            // Cloning a paged table shares the page set; the row cache is
+            // per-clone so an un-materialized clone stays lightweight.
+            Repr::Paged { pages, .. } => Repr::Paged {
+                pages: Arc::clone(pages),
+                cache: OnceLock::new(),
+            },
+        }
+    }
+}
+
+/// A named, schema-checked collection of rows, resident or page-backed.
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    repr: Repr,
+}
+
+impl PartialEq for Table {
+    /// Logical equality: same name, schema, and row contents — a paged
+    /// table equals its resident counterpart.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.schema == other.schema
+            && self.len() == other.len()
+            && self.rows() == other.rows()
+    }
 }
 
 impl Table {
@@ -20,7 +66,7 @@ impl Table {
         Self {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            repr: Repr::Resident(Vec::new()),
         }
     }
 
@@ -35,6 +81,18 @@ impl Table {
             t.push(row)?;
         }
         Ok(t)
+    }
+
+    /// Wraps an existing paged representation as a table.
+    pub fn from_paged(name: impl Into<String>, pages: Arc<PagedTable>) -> Self {
+        Self {
+            name: name.into(),
+            schema: pages.schema().clone(),
+            repr: Repr::Paged {
+                pages,
+                cache: OnceLock::new(),
+            },
+        }
     }
 
     /// Table name.
@@ -55,28 +113,130 @@ impl Table {
 
     /// Row count.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.repr {
+            Repr::Resident(rows) => rows.len(),
+            Repr::Paged { pages, .. } => pages.len(),
+        }
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// All rows.
+    /// Whether the table is page-backed (vs fully resident).
+    pub fn is_paged(&self) -> bool {
+        matches!(self.repr, Repr::Paged { .. })
+    }
+
+    /// The paged representation, when the table is page-backed.
+    pub fn paged(&self) -> Option<&Arc<PagedTable>> {
+        match &self.repr {
+            Repr::Paged { pages, .. } => Some(pages),
+            Repr::Resident(_) => None,
+        }
+    }
+
+    /// Converts to the paged representation (no-op if already paged).
+    pub fn to_paged(
+        &self,
+        pool: &Arc<BufferPool>,
+        page_rows: usize,
+    ) -> Result<Table, StorageError> {
+        match &self.repr {
+            Repr::Paged { .. } => Ok(self.clone()),
+            Repr::Resident(rows) => {
+                let pages =
+                    PagedTable::from_rows(self.schema.clone(), rows, Arc::clone(pool), page_rows)?;
+                Ok(Table::from_paged(self.name.clone(), Arc::new(pages)))
+            }
+        }
+    }
+
+    /// All rows. On a paged table this materializes (and caches) every row
+    /// on first use — hot paths should prefer [`Table::row_at`],
+    /// [`Table::for_each_in_column`], or page-level access via
+    /// [`Table::paged`].
+    ///
+    /// # Panics
+    /// Panics if a paged table's backing pages cannot be read (missing or
+    /// corrupt page files). Fallible callers should use [`Table::row_at`].
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        match &self.repr {
+            Repr::Resident(rows) => rows,
+            Repr::Paged { pages, cache } => cache.get_or_init(|| {
+                pages
+                    .materialize()
+                    .expect("paged table backing pages unreadable")
+            }),
+        }
     }
 
-    /// A row by position.
+    /// A row by position (legacy infallible accessor; see [`Table::rows`]).
     pub fn row(&self, idx: usize) -> Option<&Row> {
-        self.rows.get(idx)
+        self.rows().get(idx)
     }
 
-    /// Appends a validated row.
+    /// A row by position without forcing full materialization; reads
+    /// through the buffer pool on a paged table.
+    pub fn row_at(&self, idx: usize) -> Result<Option<Row>, StorageError> {
+        match &self.repr {
+            Repr::Resident(rows) => Ok(rows.get(idx).cloned()),
+            Repr::Paged { pages, cache } => match cache.get() {
+                Some(rows) => Ok(rows.get(idx).cloned()),
+                None => pages.row_at(idx),
+            },
+        }
+    }
+
+    /// Streams `(row position, value)` over one column without
+    /// materializing rows; on a paged table this touches one page at a
+    /// time, so index builds stay within the pool budget.
+    pub fn for_each_in_column<F>(&self, column: &str, mut f: F) -> Result<(), StorageError>
+    where
+        F: FnMut(usize, &Value) -> Result<(), StorageError>,
+    {
+        let c = self.schema.resolve(column)?;
+        match &self.repr {
+            Repr::Resident(rows) => {
+                for (pos, row) in rows.iter().enumerate() {
+                    f(pos, &row[c])?;
+                }
+                Ok(())
+            }
+            Repr::Paged { pages, cache } => match cache.get() {
+                Some(rows) => {
+                    for (pos, row) in rows.iter().enumerate() {
+                        f(pos, &row[c])?;
+                    }
+                    Ok(())
+                }
+                None => pages.for_each_in_column(c, f),
+            },
+        }
+    }
+
+    /// Ensures the table is resident, materializing pages if needed.
+    fn make_resident(&mut self) -> Result<&mut Vec<Row>, StorageError> {
+        if let Repr::Paged { pages, cache } = &mut self.repr {
+            let rows = match cache.take() {
+                Some(rows) => rows,
+                None => pages.materialize()?,
+            };
+            self.repr = Repr::Resident(rows);
+        }
+        match &mut self.repr {
+            Repr::Resident(rows) => Ok(rows),
+            Repr::Paged { .. } => unreachable!("made resident above"),
+        }
+    }
+
+    /// Appends a validated row. A paged table materializes back to
+    /// resident first: mutation works on rows, and the next checkpoint
+    /// re-pages the result.
     pub fn push(&mut self, row: Row) -> Result<(), StorageError> {
         self.schema.check_row(&row)?;
-        self.rows.push(row);
+        self.make_resident()?.push(row);
         Ok(())
     }
 
@@ -91,7 +251,7 @@ impl Table {
     /// Reads one cell by row index and column name.
     pub fn cell(&self, row: usize, column: &str) -> Result<&Value, StorageError> {
         let c = self.schema.resolve(column)?;
-        self.rows
+        self.rows()
             .get(row)
             .map(|r| &r[c])
             .ok_or_else(|| StorageError::Eval(format!("row {row} out of bounds")))
@@ -100,7 +260,7 @@ impl Table {
     /// All values of one column.
     pub fn column_values(&self, column: &str) -> Result<Vec<&Value>, StorageError> {
         let c = self.schema.resolve(column)?;
-        Ok(self.rows.iter().map(|r| &r[c]).collect())
+        Ok(self.rows().iter().map(|r| &r[c]).collect())
     }
 
     /// The first `n` rows, as a new table (the "rows sampler" database
@@ -109,14 +269,14 @@ impl Table {
         Table {
             name: format!("{}_sample", self.name),
             schema: self.schema.clone(),
-            rows: self.rows.iter().take(n).cloned().collect(),
+            repr: Repr::Resident(self.rows().iter().take(n).cloned().collect()),
         }
     }
 
     /// Finds the first row index where `column == value`.
     pub fn find(&self, column: &str, value: &Value) -> Result<Option<usize>, StorageError> {
         let c = self.schema.resolve(column)?;
-        Ok(self.rows.iter().position(|r| &r[c] == value))
+        Ok(self.rows().iter().position(|r| &r[c] == value))
     }
 
     /// Renders the table as an aligned ASCII grid, the way the paper's
@@ -125,7 +285,7 @@ impl Table {
         let headers: Vec<String> = self.schema.names().iter().map(|s| s.to_string()).collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let rendered: Vec<Vec<String>> = self
-            .rows
+            .rows()
             .iter()
             .map(|r| r.iter().map(Value::render).collect())
             .collect();
@@ -219,5 +379,55 @@ mod tests {
         assert!(r.contains("Guilty by Suspicion"));
         assert!(r.contains("1988"));
         assert!(r.contains("title"));
+    }
+
+    #[test]
+    fn paged_table_is_logically_equal() {
+        let t = movies();
+        let pool = Arc::new(BufferPool::with_budget(8));
+        let paged = t.to_paged(&pool, 1).unwrap();
+        assert!(paged.is_paged());
+        assert!(!t.is_paged());
+        assert_eq!(paged, t);
+        assert_eq!(t, paged);
+        assert_eq!(paged.len(), 2);
+        assert_eq!(paged.rows(), t.rows());
+        assert_eq!(paged.row_at(1).unwrap().unwrap(), t.rows()[1]);
+        assert_eq!(paged.row_at(2).unwrap(), None);
+        assert_eq!(paged.render(), t.render());
+    }
+
+    #[test]
+    fn push_on_paged_materializes() {
+        let t = movies();
+        let pool = Arc::new(BufferPool::with_budget(8));
+        let mut paged = t.to_paged(&pool, 1).unwrap();
+        paged.push(vec!["New".into(), Value::Int(2000)]).unwrap();
+        assert!(!paged.is_paged());
+        assert_eq!(paged.len(), 3);
+        assert_eq!(paged.rows()[..2], t.rows()[..]);
+    }
+
+    #[test]
+    fn for_each_in_column_streams_both_reprs() {
+        let t = movies();
+        let pool = Arc::new(BufferPool::with_budget(8));
+        let paged = t.to_paged(&pool, 1).unwrap();
+        for table in [&t, &paged] {
+            let mut seen = Vec::new();
+            table
+                .for_each_in_column("year", |pos, v| {
+                    seen.push((pos, v.clone()));
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(
+                seen,
+                vec![(0, Value::Int(1991)), (1, Value::Int(1988))],
+                "repr paged={}",
+                table.is_paged()
+            );
+        }
+        assert!(t.for_each_in_column("nope", |_, _| Ok(())).is_err());
     }
 }

@@ -136,7 +136,6 @@ impl VectorIndex {
     /// Builds the index over `table.column`. Cells must be BLOB (encoded
     /// embeddings), STR (embedded on the fly), or NULL.
     pub fn build(table: &Table, column: &str) -> Result<Self, StorageError> {
-        let idx = table.schema().resolve(column)?;
         let mut entries: Vec<(usize, Vec<f32>)> = Vec::new();
         let mut unscored: Vec<usize> = Vec::new();
         // Usable means the canonical dimensionality (queries come from
@@ -150,8 +149,9 @@ impl VectorIndex {
         let usable = |v: &[f32]| {
             v.len() == kath_vector::DIM && v.iter().map(|x| x * x).sum::<f32>().is_finite()
         };
-        for (pos, row) in table.rows().iter().enumerate() {
-            match &row[idx] {
+        // Streams page by page on paged tables (bounded by the pool budget).
+        table.for_each_in_column(column, |pos, cell| {
+            match cell {
                 Value::Null => unscored.push(pos),
                 Value::Blob(b) => match decode_embedding(b) {
                     Some(v) if usable(&v) => entries.push((pos, v)),
@@ -166,7 +166,8 @@ impl VectorIndex {
                     })
                 }
             }
-        }
+            Ok(())
+        })?;
         Ok(Self {
             column: column.to_string(),
             rows: table.len(),

@@ -10,8 +10,13 @@ use kath_storage::*;
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::with_budget(64))
+}
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -125,8 +130,9 @@ proptest! {
     ) {
         let dir = tmp("snapflip");
         let records = history(&rows);
+        let pl = pool();
         {
-            let (mut d, _) = Durability::open(&dir).unwrap();
+            let (mut d, _) = Durability::open(&dir, &pl).unwrap();
             for r in &records {
                 d.log(r).unwrap();
             }
@@ -135,7 +141,7 @@ proptest! {
             for row in state_after(&records) {
                 table.push(row).unwrap();
             }
-            d.checkpoint(&[&table], Some("{\"functions\": []}")).unwrap();
+            d.checkpoint(&[Arc::new(table)], &pl, Some("{\"functions\": []}")).unwrap();
             for (k, v) in &extra {
                 d.log(&WalRecord::Insert {
                     table: "kv".to_string(),
@@ -160,7 +166,7 @@ proptest! {
         full_rows.extend(
             extra.iter().map(|(k, v)| vec![Value::Int(*k), Value::Str(v.clone())]),
         );
-        match Durability::open(&dir) {
+        match Durability::open(&dir, &pl) {
             Ok((_, rec)) => {
                 // The snapshot failed verification, so recovery fell back
                 // to the empty epoch-0 state plus the full WAL chain: the
@@ -218,8 +224,9 @@ fn checkpoint_plus_tail_reconstructs_committed_state() {
     let dir = tmp("reconstruct");
     let base = [(1i64, "a".to_string()), (2, "b".to_string())];
     let records = history(&base);
+    let pl = pool();
     {
-        let (mut d, _) = Durability::open(&dir).unwrap();
+        let (mut d, _) = Durability::open(&dir, &pl).unwrap();
         for r in &records {
             d.log(r).unwrap();
         }
@@ -227,14 +234,14 @@ fn checkpoint_plus_tail_reconstructs_committed_state() {
         for row in state_after(&records) {
             table.push(row).unwrap();
         }
-        d.checkpoint(&[&table], None).unwrap();
+        d.checkpoint(&[Arc::new(table)], &pl, None).unwrap();
         d.log(&WalRecord::Insert {
             table: "kv".to_string(),
             rows: vec![vec![Value::Int(3), Value::Str("c".into())]],
         })
         .unwrap();
     }
-    let (_, rec) = Durability::open(&dir).unwrap();
+    let (_, rec) = Durability::open(&dir, &pl).unwrap();
     assert_eq!(rec.snapshot_epoch, 1);
     assert_eq!(rec.tables.len(), 1);
     assert_eq!(rec.tables[0].len(), 2);
