@@ -24,15 +24,17 @@ bench-no-run:
 	$(CARGO) bench --no-run
 
 # Quick end-to-end runs of the perf benches (small corpora, few reps):
-# prove the morsel-parallel, durable-recovery, vector-search, and paged
-# out-of-core storage paths still run and refresh BENCH_parallel.json /
-# BENCH_recovery.json / BENCH_vector.json / BENCH_storage.json's schemas
-# without the full sweeps.
+# prove the morsel-parallel, durable-recovery, vector-search, paged
+# out-of-core storage, and compiled-pipeline paths still run and refresh
+# BENCH_parallel.json / BENCH_recovery.json / BENCH_vector.json /
+# BENCH_storage.json / BENCH_compiled.json's schemas without the full
+# sweeps.
 bench-smoke:
 	$(CARGO) run -q --release -p kath_bench --bin parallel_bench -- --quick
 	$(CARGO) run -q --release -p kath_bench --bin recovery_bench -- --quick
 	$(CARGO) run -q --release -p kath_bench --bin vector_bench -- --quick
 	$(CARGO) run -q --release -p kath_bench --bin storage_bench -- --quick
+	$(CARGO) run -q --release -p kath_bench --bin compiled_bench -- --quick
 
 # Crash-recovery smoke: a child process populates a durable DB (WAL-logged
 # inserts around a checkpoint) and dies via abort(); the parent reopens and

@@ -24,6 +24,10 @@
 //!   batch size (columnar batch-at-a-time vs row-at-a-time Volcano),
 //! - `\threads <n>` / `\threads auto` — tune morsel-driven intra-query
 //!   parallelism (results are identical at any setting),
+//! - `\compile on|off|auto` — pipeline compilation policy: fuse eligible
+//!   scan→filter→project pipelines into compiled closures (auto = compile
+//!   when the cost model's break-even rule says the one-time compilation
+//!   amortizes; results are identical in every mode),
 //! - `\vindex` — vector-search status; `\vindex auto|off|flat|ivf` picks
 //!   the access path for `ORDER BY SIMILARITY(col, 'text') DESC LIMIT k`
 //!   (auto = cost model chooses exact Flat vs approximate IVF per query);
@@ -38,7 +42,7 @@
 
 use kath_data::{generate_corpus, mmqa_small, CorpusSpec};
 use kath_model::StdioChannel;
-use kath_storage::{ExecMode, VectorMode};
+use kath_storage::{CompileMode, ExecMode, VectorMode};
 use kathdb::KathDB;
 use std::io::{BufRead, Write};
 
@@ -49,6 +53,15 @@ fn vector_label(mode: VectorMode) -> &'static str {
         VectorMode::Off => "off (full-sort fallback plan)",
         VectorMode::Flat => "flat (exact linear scan)",
         VectorMode::Ivf => "ivf (approximate cluster probing)",
+    }
+}
+
+/// Renders the compilation policy the way `\compile` reports it.
+fn compile_label(mode: CompileMode) -> &'static str {
+    match mode {
+        CompileMode::Auto => "auto (cost model compiles when it amortizes)",
+        CompileMode::On => "on (compile every eligible pipeline)",
+        CompileMode::Off => "off (interpreted operators only)",
     }
 }
 
@@ -98,7 +111,7 @@ fn main() {
                     "commands: \\sql <query> | \\open <dir> | \\checkpoint | \\wal | \
                      \\pool [<pages>] | \\explain <question> | \\lineage | \
                      \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \
-                     \\threads <n>|auto | \
+                     \\threads <n>|auto | \\compile on|off|auto | \
                      \\vindex [auto|off|flat|ivf | build <t> <c> | drop <t> <c>] | \\quit\n\
                      anything else is parsed as a natural-language query"
                 );
@@ -262,6 +275,24 @@ fn main() {
                     _ => println!("usage: \\threads <workers> | \\threads auto"),
                 },
             },
+            _ if line == "\\compile" => {
+                println!("compilation: {}", compile_label(db.compile_mode()));
+            }
+            Some(("\\compile", rest)) if !rest.is_empty() => match rest {
+                "on" => {
+                    db.set_compile_mode(CompileMode::On);
+                    println!("compilation: {}", compile_label(db.compile_mode()));
+                }
+                "off" => {
+                    db.set_compile_mode(CompileMode::Off);
+                    println!("compilation: {}", compile_label(db.compile_mode()));
+                }
+                "auto" => {
+                    db.set_compile_mode(CompileMode::Auto);
+                    println!("compilation: {}", compile_label(db.compile_mode()));
+                }
+                _ => println!("usage: \\compile on | \\compile off | \\compile auto"),
+            },
             _ if line == "\\vindex" => {
                 println!("vector access path: {}", vector_label(db.vector_mode()));
                 let status = db.vector_index_status();
@@ -310,9 +341,10 @@ fn main() {
                 Ok(result) => {
                     println!("{}", result.display_table().render());
                     println!(
-                        "plan timings ({}, {} worker(s)):",
+                        "plan timings ({}, {} worker(s), compile {}):",
                         mode_label(db.context().exec_mode),
-                        db.context().threads
+                        db.context().threads,
+                        db.compile_mode()
                     );
                     for t in &result.exec.timings {
                         let parallel = if t.workers > 1 {
@@ -320,9 +352,14 @@ fn main() {
                         } else {
                             String::new()
                         };
+                        let compiled = if t.compiled {
+                            format!("  [compiled in {:.2} ms]", t.compile_ms)
+                        } else {
+                            String::new()
+                        };
                         println!(
-                            "  {:<28} {:>9.2} ms  {:>6} rows  {:>4} batches{}",
-                            t.func_id, t.elapsed_ms, t.rows_out, t.batches_out, parallel
+                            "  {:<28} {:>9.2} ms  {:>6} rows  {:>4} batches{}{}",
+                            t.func_id, t.elapsed_ms, t.rows_out, t.batches_out, parallel, compiled
                         );
                     }
                     if !result.exec.repairs.is_empty() {

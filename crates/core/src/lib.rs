@@ -56,8 +56,8 @@ use kath_parser::{
 };
 use kath_sql::{SqlError, Statement};
 use kath_storage::{
-    Durability, DurabilityStatus, ExecMode, PoolStatus, StorageError, Table, Value, VectorMode,
-    WalRecord, DEFAULT_PAGE_ROWS,
+    CompileMode, Durability, DurabilityStatus, ExecMode, PoolStatus, StorageError, Table, Value,
+    VectorMode, WalRecord, DEFAULT_PAGE_ROWS,
 };
 use std::fmt;
 use std::path::Path;
@@ -235,6 +235,10 @@ impl KathDB {
     /// 4-wide. `KATHDB_POOL_PAGES` caps the buffer pool at that many
     /// decoded column pages (minimum 1) — the knob CI uses for its
     /// low-memory leg; results are identical at any budget.
+    /// `KATHDB_COMPILE` (`on`/`off`/`auto`) sets the default
+    /// pipeline-compilation policy — the knob CI uses to keep the
+    /// interpreted operators independently exercised; results are
+    /// identical in every mode.
     pub fn new(seed: u64) -> Self {
         let meter = TokenMeter::new();
         let pinned_threads = std::env::var("KATHDB_THREADS")
@@ -355,12 +359,15 @@ impl KathDB {
         match stmt {
             Statement::Select(select) => {
                 let mode = self.exec_mode();
-                let (table, _batches) = kath_sql::run_select_opt(
+                let threads = self.threads();
+                let (table, _stats) = kath_sql::run_select_auto(
                     &self.ctx.catalog,
                     &select,
                     "sql_result",
                     mode,
+                    threads,
                     self.ctx.vector_mode,
+                    self.ctx.compile,
                 )?;
                 Ok(table)
             }
@@ -517,6 +524,24 @@ impl KathDB {
     /// The active vector access-path policy.
     pub fn vector_mode(&self) -> VectorMode {
         self.ctx.vector_mode
+    }
+
+    /// Sets the pipeline-compilation policy for SQL queries: `Auto` (the
+    /// default — compile exactly when the cost model's break-even rule says
+    /// the one-time kernel compilation amortizes over the input
+    /// cardinality), `On` (compile every eligible plan), or `Off` (always
+    /// the interpreted operators). Plans the compiler cannot express —
+    /// aggregates, ORDER BY, DISTINCT, LIMIT, vector top-k, index-hit
+    /// scans, model-backed calls — fall back to interpreted execution under
+    /// every policy, and compiled results are byte-identical to interpreted
+    /// ones at any batch size or worker count.
+    pub fn set_compile_mode(&mut self, mode: CompileMode) {
+        self.ctx.compile = mode;
+    }
+
+    /// The active pipeline-compilation policy.
+    pub fn compile_mode(&self) -> CompileMode {
+        self.ctx.compile
     }
 
     /// Builds (or refreshes) the derived vector index over `table.column`,

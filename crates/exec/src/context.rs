@@ -4,7 +4,7 @@ use crate::ExecError;
 use kath_lineage::{DataKind, LineageStore};
 use kath_media::MediaRegistry;
 use kath_model::SimLlm;
-use kath_storage::{Catalog, ExecMode, Table, VectorMode};
+use kath_storage::{Catalog, CompileMode, ExecMode, Table, VectorMode};
 use std::collections::HashMap;
 
 /// Everything a function body needs at runtime.
@@ -38,6 +38,15 @@ pub struct ExecContext {
     /// the row count and a tested recall floor instead — the §4
     /// accuracy-for-cost trade, made per query.
     pub vector_mode: VectorMode,
+    /// Whether SQL bodies may lower eligible scan→filter→project (and
+    /// post-join-build) pipelines into fused compiled closures. `Auto` (the
+    /// default) compiles only when the cost model's break-even rule says
+    /// compilation amortizes over the table's cardinality; `On`/`Off` force
+    /// the choice. Plans the compiler can't express (aggregates, ORDER BY,
+    /// vector top-k, model-backed calls, index hits) always fall back to
+    /// the interpreted operators, and compiled results are byte-identical
+    /// to interpreted ones at any batch size or worker count.
+    pub compile: CompileMode,
 }
 
 impl ExecContext {
@@ -52,6 +61,7 @@ impl ExecContext {
             exec_mode: ExecMode::default(),
             threads: 1,
             vector_mode: VectorMode::default(),
+            compile: CompileMode::from_env(),
         }
     }
 

@@ -50,6 +50,11 @@ pub struct NodeTiming {
     pub worker_ms: Vec<f64>,
     /// Milliseconds the deterministic merge step took (0.0 when serial).
     pub merge_ms: f64,
+    /// Whether the node's streaming phase ran as a fused compiled pipeline.
+    pub compiled: bool,
+    /// Milliseconds spent compiling the node's kernels (0.0 when
+    /// interpreted).
+    pub compile_ms: f64,
 }
 
 /// The engine's report for one query.
@@ -114,6 +119,8 @@ impl ExecutionEngine {
             let mut workers = outcome.workers;
             let mut worker_ms = outcome.worker_ms;
             let mut merge_ms = outcome.merge_ms;
+            let mut compiled = outcome.compiled;
+            let mut compile_ms = outcome.compile_ms;
             let mut table = outcome.table;
 
             if self.semantic_checks && is_join_sql(registry, &node.func_id) {
@@ -131,6 +138,8 @@ impl ExecutionEngine {
                         workers = fixed.workers;
                         worker_ms = fixed.worker_ms;
                         merge_ms = fixed.merge_ms;
+                        compiled = fixed.compiled;
+                        compile_ms = fixed.compile_ms;
                         table = fixed.table;
                     }
                 }
@@ -144,6 +153,8 @@ impl ExecutionEngine {
                 workers,
                 worker_ms,
                 merge_ms,
+                compiled,
+                compile_ms,
             });
             final_table = Some(table);
         }

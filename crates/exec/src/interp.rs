@@ -37,6 +37,12 @@ pub struct ExecOutcome {
     /// Milliseconds spent in the deterministic parallel merge step (0.0
     /// when serial).
     pub merge_ms: f64,
+    /// Whether the body's streaming phase ran as a fused compiled pipeline
+    /// (false for interpreted, non-relational, or fallback plans).
+    pub compiled: bool,
+    /// Milliseconds spent compiling the pipeline's kernels (0.0 when
+    /// interpreted).
+    pub compile_ms: f64,
 }
 
 /// Executes `body` as function `func_id` version `ver_id`, materializing
@@ -242,29 +248,21 @@ fn exec_sql(
         .iter()
         .map(|t| ctx.catalog.get(t).map(|t| t.len()).unwrap_or(0))
         .sum();
-    // Morsel-driven parallel drive when the context asks for it (results
-    // are identical to serial by construction; the driver falls back to
-    // serial for plans where parallelism cannot help or would break lazy
-    // LIMIT semantics).
-    let (mut table, stats) = if ctx.threads > 1 {
-        kath_sql::run_select_parallel_opt(
-            &ctx.catalog,
-            &select,
-            output_name,
-            ctx.exec_mode,
-            ctx.threads,
-            ctx.vector_mode,
-        )?
-    } else {
-        let (table, batches) = kath_sql::run_select_opt(
-            &ctx.catalog,
-            &select,
-            output_name,
-            ctx.exec_mode,
-            ctx.vector_mode,
-        )?;
-        (table, kath_sql::SelectStats::serial(batches))
-    };
+    // The auto driver picks the physical drive from the context's knobs:
+    // a fused compiled pipeline where the plan is compilable and the
+    // compile mode (or its cost rule, under `Auto`) says it pays off, a
+    // morsel-parallel interpreted drive when the context asks for threads,
+    // serial interpreted otherwise. Results are identical across all three
+    // by construction.
+    let (mut table, stats) = kath_sql::run_select_auto(
+        &ctx.catalog,
+        &select,
+        output_name,
+        ctx.exec_mode,
+        ctx.threads,
+        ctx.vector_mode,
+        ctx.compile,
+    )?;
 
     if let Some(key) = dedup_key {
         table = dedup_by_key(&table, key)?;
@@ -300,6 +298,8 @@ fn exec_sql(
         workers: stats.workers.max(1),
         worker_ms: stats.worker_ms,
         merge_ms: stats.merge_ms,
+        compiled: stats.compiled,
+        compile_ms: stats.compile_ms,
     })
 }
 
@@ -391,6 +391,8 @@ fn narrow_transform(
         workers: 1,
         worker_ms: Vec::new(),
         merge_ms: 0.0,
+        compiled: false,
+        compile_ms: 0.0,
     })
 }
 
@@ -520,6 +522,8 @@ fn exec_view_populate(
         workers: 1,
         worker_ms: Vec::new(),
         merge_ms: 0.0,
+        compiled: false,
+        compile_ms: 0.0,
     })
 }
 

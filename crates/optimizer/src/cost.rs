@@ -5,7 +5,9 @@
 //! classical selectivity estimates from `kath-storage` statistics.
 
 use kath_fao::{FunctionBody, FunctionRegistry};
-use kath_storage::{vector_search_cost, Catalog, ExecMode, VectorStrategy, DEFAULT_BATCH_SIZE};
+use kath_storage::{
+    compile_pays_off, vector_search_cost, Catalog, ExecMode, VectorStrategy, DEFAULT_BATCH_SIZE,
+};
 
 /// A cost estimate for one function or a whole plan.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -85,14 +87,18 @@ pub fn parallel_overhead_ms(rows: usize, mode: ExecMode, workers: usize) -> f64 
     relational_overhead_ms(rows, mode) / w + (w - 1.0) * WORKER_STARTUP_MS
 }
 
-/// A physical execution strategy: how the pipeline spine is driven, and by
-/// how many workers.
+/// A physical execution strategy: how the pipeline spine is driven, by how
+/// many workers, and whether its pipelines run closure-compiled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecStrategy {
     /// Tuple-at-a-time vs batch-at-a-time.
     pub mode: ExecMode,
     /// Degree of morsel parallelism (1 = serial).
     pub workers: usize,
+    /// Whether eligible pipelines run as fused compiled kernels instead of
+    /// interpreted operators (only meaningful for batched modes — the
+    /// compiled drive is batch-at-a-time by construction).
+    pub compiled: bool,
 }
 
 /// The cheapest degree of parallelism for `rows` rows in `mode`, searched
@@ -114,17 +120,62 @@ pub fn preferred_parallelism(rows: usize, mode: ExecMode) -> usize {
     preferred_parallelism_capped(rows, mode, kath_storage::host_parallelism())
 }
 
-/// Generalizes [`preferred_exec_mode`] to a `(mode, workers)` choice from
-/// cardinality: pick the cheaper spine protocol, then the break-even worker
-/// count for it (capped at `max_workers`). Volcano pipelines never
-/// parallelize — the row protocol is the serial compatibility baseline.
+/// Generalizes [`preferred_exec_mode`] to a `(mode, workers, compiled)`
+/// choice from cardinality: pick the cheaper spine protocol, the
+/// break-even worker count for it (capped at `max_workers`), and whether
+/// compiling the pipeline's kernels pays for itself. Volcano pipelines
+/// never parallelize or compile — the row protocol is the serial
+/// compatibility baseline. The compile choice delegates to the single
+/// decision rule in [`kath_storage::compile_pays_off`] — the same rule the
+/// SQL driver's `auto` mode consults at runtime — so the cost model and
+/// the executor can never disagree (the consistency test below pins that
+/// the serial ms estimates' argmin still matches the shared rule).
 pub fn preferred_exec_strategy(rows: usize, max_workers: usize) -> ExecStrategy {
     let mode = preferred_exec_mode(rows);
-    let workers = match mode {
-        ExecMode::Volcano => 1,
-        batched => preferred_parallelism_capped(rows, batched, max_workers),
+    let (workers, compiled) = match mode {
+        ExecMode::Volcano => (1, false),
+        batched => (
+            preferred_parallelism_capped(rows, batched, max_workers),
+            compile_pays_off(rows),
+        ),
     };
-    ExecStrategy { mode, workers }
+    ExecStrategy {
+        mode,
+        workers,
+        compiled,
+    }
+}
+
+/// One-time serial cost of compiling a query's expression kernels into
+/// fused pipeline closures, in milliseconds: walking the expression trees,
+/// resolving column ordinals, allocating the closure tree. Paid once per
+/// query regardless of cardinality or worker count — the term that keeps
+/// tiny tables interpreted.
+pub const COMPILE_SETUP_MS: f64 = 0.06;
+
+/// Per-value touch cost of a compiled pipeline, in milliseconds. Compiled
+/// kernels skip the per-batch expression-tree walk and name resolution
+/// that [`VALUE_TOUCH_MS`] folds in, so the per-value price is lower.
+pub const COMPILED_VALUE_TOUCH_MS: f64 = 1e-5;
+
+/// Per-batch overhead of a compiled pipeline, in milliseconds: one fused
+/// `process` call instead of one virtual `next_batch` dispatch per
+/// operator ([`BATCH_OVERHEAD_MS`]).
+pub const COMPILED_BATCH_OVERHEAD_MS: f64 = 1e-3;
+
+/// Estimated overhead of pushing `rows` rows through a **compiled** fused
+/// pipeline at the given batch size with `workers`-way morsel parallelism:
+/// the one-time [`COMPILE_SETUP_MS`] (serial — one compilation serves all
+/// workers), the divided per-value/per-batch work, and the usual
+/// per-worker startup. Compare against [`parallel_overhead_ms`] to price
+/// the compiled-vs-interpreted choice; the serial (`workers == 1`)
+/// crossover is exactly [`kath_storage::COMPILE_BREAK_EVEN_ROWS`].
+pub fn compiled_pipeline_ms(rows: usize, batch: usize, workers: usize) -> f64 {
+    let w = workers.max(1) as f64;
+    let batches = rows.div_ceil(batch.max(1)).max(1) as f64;
+    COMPILE_SETUP_MS
+        + (rows as f64 * COMPILED_VALUE_TOUCH_MS + batches * COMPILED_BATCH_OVERHEAD_MS) / w
+        + (w - 1.0) * WORKER_STARTUP_MS
 }
 
 /// Milliseconds to decode one compressed column page into its in-memory
@@ -221,16 +272,24 @@ pub fn estimate_function_in_mode(
         registry,
         catalog,
         func_id,
-        ExecStrategy { mode, workers: 1 },
+        ExecStrategy {
+            mode,
+            workers: 1,
+            compiled: false,
+        },
     )
 }
 
 /// [`estimate_function_in_mode`] generalized to a full [`ExecStrategy`]:
-/// for SQL bodies — the only ones the parallel driver runs — the
-/// relational overhead divides across the strategy's workers (plus
-/// per-worker startup); map/filter bodies stay row-at-a-time for row-level
-/// lineage and are priced serially. Token cost and accuracy are unaffected
-/// — parallelism changes wall-clock, never results.
+/// for SQL bodies — the only ones the parallel and compiled drivers run —
+/// the relational overhead divides across the strategy's workers (plus
+/// per-worker startup), and a compiled strategy prices the fused-kernel
+/// overhead ([`compiled_pipeline_ms`]) instead. Map/filter bodies stay
+/// row-at-a-time for row-level lineage and are priced serially and
+/// interpreted **regardless of the strategy** — the executor never
+/// compiles or parallelizes them, and the estimate must agree with that
+/// fallback rule. Token cost and accuracy are unaffected — physical
+/// strategy changes wall-clock, never results.
 pub fn estimate_function_in_strategy(
     registry: &FunctionRegistry,
     catalog: &Catalog,
@@ -240,9 +299,9 @@ pub fn estimate_function_in_strategy(
     let mut est = estimate_function(registry, catalog, func_id)?;
     let entry = registry.get(func_id).ok()?;
     let body = &entry.active_version().body;
-    let workers = match body {
-        FunctionBody::Sql { .. } => strategy.workers,
-        FunctionBody::MapExpr { .. } | FunctionBody::FilterExpr { .. } => 1,
+    let (workers, compilable) = match body {
+        FunctionBody::Sql { .. } => (strategy.workers, true),
+        FunctionBody::MapExpr { .. } | FunctionBody::FilterExpr { .. } => (1, false),
         _ => return Some(est),
     };
     let mut rows = 0usize;
@@ -258,8 +317,12 @@ pub fn estimate_function_in_strategy(
             }
         }
     }
-    est.runtime_ms += parallel_overhead_ms(rows, strategy.mode, workers)
-        + (cold_pages as f64 * PAGE_DECODE_MS) / workers.max(1) as f64;
+    est.runtime_ms += match strategy.mode.batch_size() {
+        Some(batch) if strategy.compiled && compilable => {
+            compiled_pipeline_ms(rows, batch, workers)
+        }
+        _ => parallel_overhead_ms(rows, strategy.mode, workers),
+    } + (cold_pages as f64 * PAGE_DECODE_MS) / workers.max(1) as f64;
     Some(est)
 }
 
@@ -431,9 +494,11 @@ mod tests {
         let s = preferred_exec_strategy(100_000, 8);
         assert!(matches!(s.mode, ExecMode::Batched(_)));
         assert!(s.workers > 1, "large scans should parallelize: {s:?}");
+        assert!(s.compiled, "large scans amortize compilation: {s:?}");
         let tiny = preferred_exec_strategy(1, 8);
         assert_eq!(tiny.mode, ExecMode::Volcano);
         assert_eq!(tiny.workers, 1, "Volcano stays serial");
+        assert!(!tiny.compiled, "Volcano never compiles");
     }
 
     #[test]
@@ -463,6 +528,7 @@ mod tests {
         let strat = |workers| ExecStrategy {
             mode: ExecMode::Batched(1024),
             workers,
+            compiled: false,
         };
         // workers == 1 is exactly the mode-only estimate.
         let serial = estimate_function_in_strategy(&registry, &catalog, "q", strat(1)).unwrap();
@@ -539,6 +605,7 @@ mod tests {
         let strat = |workers| ExecStrategy {
             mode: ExecMode::Batched(1024),
             workers,
+            compiled: false,
         };
         let resident = estimate_function_in_strategy(&registry, &catalog, "q", strat(1)).unwrap();
 
@@ -571,6 +638,108 @@ mod tests {
             expected_extra / 4.0
         );
         assert_eq!(wide.tokens, cold.tokens);
+    }
+
+    #[test]
+    fn compile_choice_agrees_with_executor_rule() {
+        use kath_storage::COMPILE_BREAK_EVEN_ROWS;
+        let batched = ExecMode::Batched(DEFAULT_BATCH_SIZE);
+        // The cost model's serial ms comparison and the shared runtime rule
+        // (`compile_pays_off`) must pick the same side at every cardinality
+        // — this is the optimizer↔executor agreement the auto mode relies
+        // on. The sweep's step skips the exact break-even row count, where
+        // the two sides tie in exact arithmetic (checked separately below).
+        for rows in (0..300_000).step_by(1111) {
+            let compiled_ms = compiled_pipeline_ms(rows, DEFAULT_BATCH_SIZE, 1);
+            let interpreted_ms = parallel_overhead_ms(rows, batched, 1);
+            assert_eq!(
+                compiled_ms < interpreted_ms,
+                compile_pays_off(rows),
+                "divergence at {rows} rows: compiled={compiled_ms}ms interpreted={interpreted_ms}ms"
+            );
+            // The full strategy chooser exposes exactly that rule whenever
+            // it picks a batched spine.
+            let s = preferred_exec_strategy(rows, 8);
+            assert_eq!(
+                s.compiled,
+                matches!(s.mode, ExecMode::Batched(_)) && compile_pays_off(rows),
+                "strategy divergence at {rows} rows: {s:?}"
+            );
+        }
+        // At the break-even point the two estimates tie exactly and the
+        // rule stays interpreted (strict `>`): compare approximately, never
+        // by ordering, so float noise can't flip the assertion.
+        let tie_compiled = compiled_pipeline_ms(COMPILE_BREAK_EVEN_ROWS, DEFAULT_BATCH_SIZE, 1);
+        let tie_interp = parallel_overhead_ms(COMPILE_BREAK_EVEN_ROWS, batched, 1);
+        assert!(
+            (tie_compiled - tie_interp).abs() < 1e-9,
+            "break-even should tie: compiled={tie_compiled}ms interpreted={tie_interp}ms"
+        );
+        assert!(!compile_pays_off(COMPILE_BREAK_EVEN_ROWS));
+    }
+
+    #[test]
+    fn compiled_strategies_price_the_executor_fallbacks() {
+        let (mut registry, catalog) = setup();
+        registry.register(
+            FunctionSignature::new("q", "selects", vec!["t".into()], "o_sql"),
+            FunctionBody::Sql {
+                query: "SELECT x FROM t".into(),
+                dedup_key: None,
+            },
+            "initial",
+        );
+        registry
+            .set_profile(
+                "q",
+                1,
+                ProfileStats {
+                    runtime_ms: 2.0,
+                    tokens: 0,
+                    rows_in: 4,
+                    rows_out: 4,
+                    accuracy: Some(1.0),
+                },
+            )
+            .unwrap();
+        let strat = |compiled| ExecStrategy {
+            mode: ExecMode::Batched(1024),
+            workers: 1,
+            compiled,
+        };
+        // SQL bodies are compilable: the compiled strategy swaps the
+        // interpreted overhead for the fused-kernel term exactly.
+        let interp = estimate_function_in_strategy(&registry, &catalog, "q", strat(false)).unwrap();
+        let compiled =
+            estimate_function_in_strategy(&registry, &catalog, "q", strat(true)).unwrap();
+        let rows = catalog.get("t").unwrap().len();
+        let expected = compiled_pipeline_ms(rows, 1024, 1)
+            - parallel_overhead_ms(rows, ExecMode::Batched(1024), 1);
+        assert!(
+            (compiled.runtime_ms - interp.runtime_ms - expected).abs() < 1e-9,
+            "compiled={} interpreted={}",
+            compiled.runtime_ms,
+            interp.runtime_ms
+        );
+        assert_eq!(compiled.tokens, interp.tokens);
+        assert_eq!(compiled.accuracy, interp.accuracy);
+        // Map/filter bodies never compile in the executor (row-level
+        // lineage), so a compiled strategy must price them identically to
+        // the interpreted one — this is the fallback-agreement bugfix.
+        let m_interp = estimate_function_in_strategy(&registry, &catalog, "f", strat(false));
+        let m_compiled = estimate_function_in_strategy(&registry, &catalog, "f", strat(true));
+        assert_eq!(m_interp, m_compiled);
+        // A Volcano strategy flagged compiled is meaningless (the compiled
+        // drive is batch-at-a-time); it must price as plain Volcano.
+        let volcano = |compiled| ExecStrategy {
+            mode: ExecMode::Volcano,
+            workers: 1,
+            compiled,
+        };
+        assert_eq!(
+            estimate_function_in_strategy(&registry, &catalog, "q", volcano(false)),
+            estimate_function_in_strategy(&registry, &catalog, "q", volcano(true)),
+        );
     }
 
     #[test]

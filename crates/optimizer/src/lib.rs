@@ -18,11 +18,12 @@ mod rewrite;
 pub use coder::{synthesize, CoderContext, CoderFaults};
 pub use compile::{compile, CompileOptions, CompileReport, CritiqueEvent, SelectionEvent};
 pub use cost::{
-    estimate_function, estimate_function_in_mode, estimate_function_in_strategy, estimate_plan,
-    estimate_vector_search_ms, paged_scan_ms, parallel_overhead_ms, preferred_exec_mode,
-    preferred_exec_strategy, preferred_parallelism, preferred_parallelism_capped,
-    preferred_vector_strategy, relational_overhead_ms, CostEstimate, ExecStrategy,
-    BATCH_OVERHEAD_MS, PAGE_DECODE_MS, ROW_OVERHEAD_MS, VALUE_TOUCH_MS, VECTOR_SCORE_MS,
+    compiled_pipeline_ms, estimate_function, estimate_function_in_mode,
+    estimate_function_in_strategy, estimate_plan, estimate_vector_search_ms, paged_scan_ms,
+    parallel_overhead_ms, preferred_exec_mode, preferred_exec_strategy, preferred_parallelism,
+    preferred_parallelism_capped, preferred_vector_strategy, relational_overhead_ms, CostEstimate,
+    ExecStrategy, BATCH_OVERHEAD_MS, COMPILED_BATCH_OVERHEAD_MS, COMPILED_VALUE_TOUCH_MS,
+    COMPILE_SETUP_MS, PAGE_DECODE_MS, ROW_OVERHEAD_MS, VALUE_TOUCH_MS, VECTOR_SCORE_MS,
     WORKER_STARTUP_MS,
 };
 pub use rewrite::{eliminate_dead_nodes, predicate_pushdown, rewrite_plan, RewriteEvent};

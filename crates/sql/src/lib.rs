@@ -27,7 +27,7 @@ pub use ast::{AggCall, JoinClause, OrderKey, Select, SelectItem, SqlBinOp, SqlEx
 pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_expr, parse_select, parse_statement, SqlParseError};
 pub use plan::{
-    apply_mutation, execute, execute_with, plan_mutation, run_select, run_select_opt,
-    run_select_parallel, run_select_parallel_opt, run_select_with, to_expr, vector_plan_choice,
-    vector_topk_pattern, SelectStats, SqlError, VectorPattern,
+    apply_mutation, execute, execute_with, plan_mutation, run_select, run_select_auto,
+    run_select_opt, run_select_parallel, run_select_parallel_opt, run_select_with, to_expr,
+    vector_plan_choice, vector_topk_pattern, SelectStats, SqlError, VectorPattern,
 };

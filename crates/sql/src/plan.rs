@@ -6,10 +6,11 @@
 use crate::ast::*;
 use crate::parser::{parse_statement, SqlParseError};
 use kath_storage::{
-    collect, collect_batched, merge_top_k, preferred_vector_strategy, top_k_entries, AggFunc,
-    Aggregate, BinOp, Catalog, Column, DataType, Distinct, ExecMode, Expr, Filter, HashAggregate,
-    HashJoin, IndexScan, JoinKind, Limit, Operator, Project, Schema, Sort, SortKey, StorageError,
-    Table, TableScan, Value, VectorMode, VectorStrategy, VectorTopK, WalRecord,
+    collect, collect_batched, compile_pays_off, merge_top_k, preferred_vector_strategy,
+    top_k_entries, AggFunc, Aggregate, BinOp, Catalog, Column, CompileMode, CompiledPipeline,
+    DataType, Distinct, ExecMode, Expr, Filter, HashAggregate, HashJoin, IndexScan, JoinKind,
+    Limit, Operator, Project, Schema, Sort, SortKey, StorageError, Table, TableScan, Value,
+    VectorMode, VectorStrategy, VectorTopK, WalRecord,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -295,16 +296,24 @@ pub struct SelectStats {
     /// Milliseconds the deterministic merge step (partial-aggregate merge,
     /// sorted-run merge, distinct/limit finishing) took.
     pub merge_ms: f64,
+    /// Whether the streaming phase ran as a fused compiled pipeline
+    /// (closure-compiled kernels) instead of interpreted operators.
+    pub compiled: bool,
+    /// Milliseconds spent compiling the pipeline's expression kernels
+    /// (0 for interpreted runs).
+    pub compile_ms: f64,
 }
 
 impl SelectStats {
-    /// Stats of a serial run that produced `batches` batches.
+    /// Stats of a serial interpreted run that produced `batches` batches.
     pub fn serial(batches: usize) -> Self {
         Self {
             batches,
             workers: 1,
             worker_ms: Vec::new(),
             merge_ms: 0.0,
+            compiled: false,
+            compile_ms: 0.0,
         }
     }
 }
@@ -581,6 +590,8 @@ pub fn run_select_parallel_opt(
                 workers: worker_ms.len(),
                 worker_ms,
                 merge_ms: merge_started.elapsed().as_secs_f64() * 1000.0,
+                compiled: false,
+                compile_ms: 0.0,
             };
             return Ok((out, stats));
         } else {
@@ -654,8 +665,308 @@ pub fn run_select_parallel_opt(
         workers: worker_ms.len(),
         worker_ms,
         merge_ms: merge_started.elapsed().as_secs_f64() * 1000.0,
+        compiled: false,
+        compile_ms: 0.0,
     };
     Ok((out, stats))
+}
+
+/// Runs a SELECT under the engine's full physical strategy — the
+/// `(mode, dop, compiled)` triple: vector access path first, then the
+/// compiled fused drive when `compile` selects it and the plan is
+/// eligible, otherwise the interpreted serial or morsel-parallel drive.
+///
+/// [`CompileMode::Auto`] consults the shared break-even rule
+/// ([`kath_storage::compile_pays_off`]) on the FROM table's cardinality,
+/// so tiny tables stay interpreted — the same rule the optimizer's
+/// strategy choice prices. Whatever the mode, pipelines the compiler does
+/// not support (aggregation, sorting, DISTINCT/LIMIT, index access paths,
+/// model-backed expressions like `SIMILARITY`) fall back per-query to the
+/// interpreted operators, producing identical rows and the canonical
+/// errors. `stats.compiled` reports which drive actually ran.
+pub fn run_select_auto(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    mode: ExecMode,
+    threads: usize,
+    vector: VectorMode,
+    compile: CompileMode,
+) -> Result<(Table, SelectStats), SqlError> {
+    let attempt = match compile {
+        CompileMode::Off => false,
+        CompileMode::On => true,
+        CompileMode::Auto => catalog
+            .get(&select.from)
+            .map(|t| compile_pays_off(t.len()))
+            .unwrap_or(false),
+    };
+    if let Some(batch) = mode.batch_size() {
+        if attempt && vector_plan_choice(catalog, select, vector).is_none() {
+            if let Some(result) = run_select_compiled(catalog, select, output_name, batch, threads)?
+            {
+                return Ok(result);
+            }
+        }
+    }
+    if threads > 1 {
+        run_select_parallel_opt(catalog, select, output_name, mode, threads, vector)
+    } else {
+        let (t, batches) = run_select_opt(catalog, select, output_name, mode, vector)?;
+        Ok((t, SelectStats::serial(batches)))
+    }
+}
+
+/// A SELECT lowered to the compiled fused drive: shared join build sides
+/// with plan-time probe ordinals, the compiled filter→project pipeline,
+/// and the scan's column/prune hints.
+struct CompiledSelect {
+    table: Arc<Table>,
+    /// Per join stage: the shared build side, the probe key's ordinal in
+    /// the accumulated left row, and the join kind.
+    stages: Vec<(Arc<kath_storage::JoinBuild>, usize, JoinKind)>,
+    /// Arity of the fully-joined row (scan + all build sides).
+    joined_arity: usize,
+    pipeline: CompiledPipeline,
+    out_schema: Schema,
+    /// Full-table ordinals the scan must produce, when column pruning
+    /// applies (join-free plans whose projection drops columns).
+    scan_columns: Option<Vec<usize>>,
+    prune_hints: Vec<(String, BinOp, Value)>,
+    compile_ms: f64,
+}
+
+/// Lowers an eligible SELECT to a [`CompiledSelect`], or `None` when any
+/// part is outside the compilable subset. `None` is never an error: the
+/// interpreted drive runs instead and reports the canonical error if the
+/// query is genuinely invalid.
+fn compile_select(catalog: &Catalog, select: &Select) -> Option<CompiledSelect> {
+    use std::time::Instant;
+
+    // Shape gates: only streaming scan → probe → filter → project
+    // pipelines compile. Blocking operators and lazy-LIMIT semantics stay
+    // on the interpreted operators.
+    if select_has_agg(select)
+        || !select.group_by.is_empty()
+        || !select.order_by.is_empty()
+        || select.distinct
+        || select.limit.is_some()
+    {
+        return None;
+    }
+    let table = catalog.get(&select.from).ok()?;
+    // An index hit reads candidate positions instead of scanning; that
+    // access path stays interpreted (it is already sub-linear).
+    if let Some(w) = &select.where_clause {
+        if let Some((column, _)) = equality_target(w, &select.from, table.schema()) {
+            if catalog.index_on(&select.from, &column).is_some() {
+                return None;
+            }
+        }
+    }
+
+    // Resolve the joined schema and per-stage probe columns without yet
+    // materializing any build side (compilation may still bail).
+    let mut left_schema = table.schema().clone();
+    let mut join_specs = Vec::with_capacity(select.joins.len());
+    for j in &select.joins {
+        let right = catalog.get(&j.table).ok()?;
+        let right_schema = right.schema().clone();
+        let (left_col, right_col) =
+            orient_on(&left_schema, &right_schema, &j.on_left, &j.on_right).ok()?;
+        let key_idx = left_schema.resolve(&left_col).ok()?;
+        let kind = if j.left_outer {
+            JoinKind::Left
+        } else {
+            JoinKind::Inner
+        };
+        left_schema = left_schema.join(&right_schema, "right");
+        join_specs.push((right, right_col, key_idx, kind));
+    }
+    let pred: Option<Expr> = match &select.where_clause {
+        Some(w) => Some(to_expr(w, &left_schema).ok()?),
+        None => None,
+    };
+    let outputs = projection_outputs(select, &left_schema).ok()?;
+
+    // Column pruning: on join-free plans with an explicit projection, the
+    // scan only materializes the columns the predicate and outputs read —
+    // on a paged table, unread columns' pages are never decoded. The
+    // pipeline then compiles against the pruned schema.
+    let mut scan_columns = None;
+    let mut compile_schema = left_schema.clone();
+    if select.joins.is_empty() {
+        if let Some(outs) = &outputs {
+            let mut needed: Vec<usize> = outs
+                .iter()
+                .flat_map(|(_, e)| e.referenced_columns())
+                .chain(pred.iter().flat_map(Expr::referenced_columns))
+                .filter_map(|name| left_schema.index_of(&name))
+                .collect();
+            needed.sort_unstable();
+            needed.dedup();
+            if !needed.is_empty() && needed.len() < left_schema.arity() {
+                compile_schema = left_schema.project(&needed);
+                scan_columns = Some(needed);
+            }
+        }
+    }
+
+    let compile_started = Instant::now();
+    let pipeline = CompiledPipeline::compile(&compile_schema, pred.as_ref(), outputs.as_deref())?;
+    let compile_ms = compile_started.elapsed().as_secs_f64() * 1000.0;
+
+    let out_schema = match &outputs {
+        Some(outs) => Project::output_schema(&compile_schema, outs).ok()?,
+        None => left_schema.clone(),
+    };
+    // Only now pay for the build sides: the pipeline is known compilable.
+    let mut stages = Vec::with_capacity(join_specs.len());
+    for (right, right_col, key_idx, kind) in join_specs {
+        let build = Arc::new(
+            kath_storage::JoinBuild::build(Box::new(TableScan::new(right)), &right_col).ok()?,
+        );
+        stages.push((build, key_idx, kind));
+    }
+    let prune_hints = match &select.where_clause {
+        Some(w) if select.joins.is_empty() => prune_conjuncts(w, &select.from, table.schema()),
+        _ => Vec::new(),
+    };
+    Some(CompiledSelect {
+        table,
+        stages,
+        joined_arity: left_schema.arity(),
+        pipeline,
+        out_schema,
+        scan_columns,
+        prune_hints,
+        compile_ms,
+    })
+}
+
+/// The compiled fused drive of an eligible SELECT: each morsel runs one
+/// tight loop — zone-map-pruned page-range scan, hash-join probes against
+/// shared build sides, then the fused filter→project pipeline — with no
+/// per-operator `next_batch` dispatch between them. Returns `Ok(None)`
+/// when the plan is not compilable (the caller falls back to interpreted
+/// execution); results are otherwise identical to the interpreted drives,
+/// serial and parallel (morsel outputs concatenate in scan order).
+fn run_select_compiled(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    batch: usize,
+    threads: usize,
+) -> Result<Option<(Table, SelectStats)>, SqlError> {
+    use kath_storage::{run_morsels, MorselSource, Row};
+    use std::time::Instant;
+
+    let Some(plan) = compile_select(catalog, select) else {
+        return Ok(None);
+    };
+    let table = &plan.table;
+    let total = table.len();
+
+    // One worker's fused loop over one claimed row range.
+    let work = |start: usize, end: usize| -> Result<(Vec<Row>, usize), StorageError> {
+        let mut scan = TableScan::new(Arc::clone(table))
+            .with_range(start, end)
+            .with_prune_hint(&plan.prune_hints)
+            .with_batch_size(batch);
+        if let Some(cols) = &plan.scan_columns {
+            scan = scan.with_columns(cols);
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        let mut batches = 0usize;
+        while let Some(b) = scan.next_batch()? {
+            let b = if plan.stages.is_empty() {
+                b
+            } else {
+                // Row-wise probes, forward match order — exactly the
+                // interpreted HashJoin's output order and NULL handling
+                // (NULL keys never match; LEFT pads the build arity).
+                let mut cur: Vec<Row> = b.into_rows();
+                for (build, key_idx, kind) in &plan.stages {
+                    let mut next = Vec::with_capacity(cur.len());
+                    for lrow in cur {
+                        match build.matches(&lrow[*key_idx]) {
+                            Some(rrows) => {
+                                for rrow in rrows {
+                                    let mut joined = lrow.clone();
+                                    joined.extend(rrow.iter().cloned());
+                                    next.push(joined);
+                                }
+                            }
+                            None => {
+                                if *kind == JoinKind::Left {
+                                    let mut joined = lrow;
+                                    joined.extend(std::iter::repeat_n(
+                                        Value::Null,
+                                        build.right_arity(),
+                                    ));
+                                    next.push(joined);
+                                }
+                            }
+                        }
+                    }
+                    cur = next;
+                }
+                if cur.is_empty() {
+                    continue;
+                }
+                kath_storage::RowBatch::from_rows(plan.joined_arity, cur)
+            };
+            if let Some(out) = plan.pipeline.process(b)? {
+                batches += 1;
+                rows.extend(out.into_rows());
+            }
+        }
+        Ok((rows, batches))
+    };
+
+    // Morsel-parallel drive when there is enough work to split; morsels of
+    // a paged table align to page boundaries so no two workers decode the
+    // same column page.
+    if threads > 1 {
+        let source = match table.paged() {
+            Some(pt) => MorselSource::with_batch_size_aligned(total, batch, pt.page_rows()),
+            None => MorselSource::with_batch_size(total, batch),
+        };
+        if source.morsel_count() >= 2 {
+            let run = run_morsels(&source, threads, |m| work(m.start, m.end))
+                .map_err(SqlError::Storage)?;
+            let worker_ms = run.worker_ms.clone();
+            let merge_started = Instant::now();
+            let mut rows = Vec::new();
+            let mut batches = 0;
+            for (r, b) in run.outputs {
+                batches += b;
+                rows.extend(r);
+            }
+            let out =
+                Table::from_rows(output_name, plan.out_schema, rows).map_err(SqlError::Storage)?;
+            let stats = SelectStats {
+                batches,
+                workers: worker_ms.len(),
+                worker_ms,
+                merge_ms: merge_started.elapsed().as_secs_f64() * 1000.0,
+                compiled: true,
+                compile_ms: plan.compile_ms,
+            };
+            return Ok(Some((out, stats)));
+        }
+    }
+    let (rows, batches) = work(0, total).map_err(SqlError::Storage)?;
+    let out = Table::from_rows(output_name, plan.out_schema, rows).map_err(SqlError::Storage)?;
+    let stats = SelectStats {
+        batches,
+        workers: 1,
+        worker_ms: Vec::new(),
+        merge_ms: 0.0,
+        compiled: true,
+        compile_ms: plan.compile_ms,
+    };
+    Ok(Some((out, stats)))
 }
 
 /// Whether any SELECT item carries an aggregate call.
@@ -930,6 +1241,8 @@ fn run_vector_topk_parallel(
         workers: worker_ms.len(),
         worker_ms,
         merge_ms: merge_started.elapsed().as_secs_f64() * 1000.0,
+        compiled: false,
+        compile_ms: 0.0,
     };
     Ok((out, stats))
 }

@@ -206,55 +206,9 @@ impl Expr {
                 let rv = r.eval_batch(batch, schema)?;
                 eval_bin_batch(*op, &lv, &rv)
             }
-            Expr::Not(e) => {
-                let v = e.eval_batch(batch, schema)?;
-                let truthy = v.truthy_mask();
-                let mut nulls = NullBitmap::new();
-                let mut out = Vec::with_capacity(n);
-                for (i, t) in truthy.iter().enumerate() {
-                    let is_null = v.is_null(i);
-                    nulls.push(is_null);
-                    out.push(!is_null && !t);
-                }
-                Ok(ColumnVector::from_parts(ColumnData::Bool(out), nulls))
-            }
-            Expr::Neg(e) => {
-                let v = e.eval_batch(batch, schema)?;
-                match v.data() {
-                    ColumnData::Int(xs) => Ok(ColumnVector::from_parts(
-                        ColumnData::Int(xs.iter().map(|x| -x).collect()),
-                        v.nulls().clone(),
-                    )),
-                    ColumnData::Float(xs) => Ok(ColumnVector::from_parts(
-                        ColumnData::Float(xs.iter().map(|x| -x).collect()),
-                        v.nulls().clone(),
-                    )),
-                    _ => {
-                        let mut out = Vec::with_capacity(n);
-                        for i in 0..n {
-                            out.push(match v.value(i) {
-                                Value::Int(x) => Value::Int(-x),
-                                Value::Float(x) => Value::Float(-x),
-                                Value::Null => Value::Null,
-                                other => {
-                                    return Err(StorageError::Eval(format!(
-                                        "cannot negate {other:?}"
-                                    )))
-                                }
-                            });
-                        }
-                        Ok(ColumnVector::from_values(out))
-                    }
-                }
-            }
-            Expr::IsNull(e) => {
-                let v = e.eval_batch(batch, schema)?;
-                let out: Vec<bool> = (0..n).map(|i| v.is_null(i)).collect();
-                Ok(ColumnVector::from_parts(
-                    ColumnData::Bool(out),
-                    NullBitmap::all_valid(n),
-                ))
-            }
+            Expr::Not(e) => Ok(not_kernel(&e.eval_batch(batch, schema)?)),
+            Expr::Neg(e) => neg_kernel(&e.eval_batch(batch, schema)?),
+            Expr::IsNull(e) => Ok(is_null_kernel(&e.eval_batch(batch, schema)?)),
             Expr::Call(name, args) if name == "similarity" && args.len() == 2 => {
                 // Batched similarity kernel: the query side is typically a
                 // literal — decode/embed it once per batch, not once per row.
@@ -289,20 +243,17 @@ impl Expr {
                     .iter()
                     .map(|a| a.eval_batch(batch, schema))
                     .collect::<Result<_, _>>()?;
-                let mut out = Vec::with_capacity(n);
-                let mut vals: Vec<Value> = Vec::with_capacity(cols.len());
-                for i in 0..n {
-                    vals.clear();
-                    vals.extend(cols.iter().map(|c| c.value(i)));
-                    out.push(eval_call(name, &vals)?);
-                }
-                Ok(ColumnVector::from_values(out))
+                call_kernel(name, &cols, n)
             }
         }
     }
 
     /// Row-at-a-time evaluation over a batch (exact-semantics fallback).
-    fn eval_rows(&self, batch: &RowBatch, schema: &Schema) -> Result<ColumnVector, StorageError> {
+    pub(crate) fn eval_rows(
+        &self,
+        batch: &RowBatch,
+        schema: &Schema,
+    ) -> Result<ColumnVector, StorageError> {
         let mut out = Vec::with_capacity(batch.num_rows());
         for i in 0..batch.num_rows() {
             out.push(self.eval(&batch.row(i), schema)?);
@@ -338,9 +289,76 @@ impl Expr {
     }
 }
 
+/// `NOT` over an evaluated operand column: three-valued negation (NULL
+/// stays NULL). Shared by the batch evaluator and compiled kernels so the
+/// two paths cannot drift.
+pub(crate) fn not_kernel(v: &ColumnVector) -> ColumnVector {
+    let truthy = v.truthy_mask();
+    let mut nulls = NullBitmap::new();
+    let mut out = Vec::with_capacity(truthy.len());
+    for (i, t) in truthy.iter().enumerate() {
+        let is_null = v.is_null(i);
+        nulls.push(is_null);
+        out.push(!is_null && !t);
+    }
+    ColumnVector::from_parts(ColumnData::Bool(out), nulls)
+}
+
+/// Arithmetic negation over an evaluated operand column, with Int/Float
+/// fast paths and a per-value fallback for mixed columns.
+pub(crate) fn neg_kernel(v: &ColumnVector) -> Result<ColumnVector, StorageError> {
+    match v.data() {
+        ColumnData::Int(xs) => Ok(ColumnVector::from_parts(
+            ColumnData::Int(xs.iter().map(|x| -x).collect()),
+            v.nulls().clone(),
+        )),
+        ColumnData::Float(xs) => Ok(ColumnVector::from_parts(
+            ColumnData::Float(xs.iter().map(|x| -x).collect()),
+            v.nulls().clone(),
+        )),
+        _ => {
+            let n = v.len();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match v.value(i) {
+                    Value::Int(x) => Value::Int(-x),
+                    Value::Float(x) => Value::Float(-x),
+                    Value::Null => Value::Null,
+                    other => return Err(StorageError::Eval(format!("cannot negate {other:?}"))),
+                });
+            }
+            Ok(ColumnVector::from_values(out))
+        }
+    }
+}
+
+/// `IS NULL` over an evaluated operand column: always-valid booleans.
+pub(crate) fn is_null_kernel(v: &ColumnVector) -> ColumnVector {
+    let n = v.len();
+    let out: Vec<bool> = (0..n).map(|i| v.is_null(i)).collect();
+    ColumnVector::from_parts(ColumnData::Bool(out), NullBitmap::all_valid(n))
+}
+
+/// A scalar function applied row-wise over already-evaluated argument
+/// columns (the general `Call` path both evaluators share).
+pub(crate) fn call_kernel(
+    name: &str,
+    cols: &[ColumnVector],
+    n: usize,
+) -> Result<ColumnVector, StorageError> {
+    let mut out = Vec::with_capacity(n);
+    let mut vals: Vec<Value> = Vec::with_capacity(cols.len());
+    for i in 0..n {
+        vals.clear();
+        vals.extend(cols.iter().map(|c| c.value(i)));
+        out.push(eval_call(name, &vals)?);
+    }
+    Ok(ColumnVector::from_values(out))
+}
+
 /// Element-wise three-valued `AND`/`OR` over two evaluated operand columns.
 /// Mirrors the collapse rules of [`Expr::eval`] exactly.
-fn combine_logical(op: BinOp, l: &ColumnVector, r: &ColumnVector) -> ColumnVector {
+pub(crate) fn combine_logical(op: BinOp, l: &ColumnVector, r: &ColumnVector) -> ColumnVector {
     let n = l.len();
     let lt = l.truthy_mask();
     let rt = r.truthy_mask();
@@ -387,7 +405,7 @@ fn is_numeric(c: &ColumnVector) -> bool {
 /// Element-wise binary operation over two operand columns, with typed fast
 /// paths for Int/Int, numeric, and Str/Str operands; everything else falls
 /// back to [`eval_bin`] per element (identical semantics either way).
-fn eval_bin_batch(
+pub(crate) fn eval_bin_batch(
     op: BinOp,
     l: &ColumnVector,
     r: &ColumnVector,

@@ -91,7 +91,11 @@ pub struct TableScan {
     end: usize,
     batch_size: usize,
     // (column ordinal, op, literal) conjuncts for zone-map pruning.
+    // Ordinals stay full-table even under a column restriction.
     prune: Vec<(usize, BinOp, Value)>,
+    // Selected full-table column ordinals + the projected output schema,
+    // when the scan is restricted to a column subset.
+    columns: Option<(Vec<usize>, Schema)>,
 }
 
 impl TableScan {
@@ -104,6 +108,7 @@ impl TableScan {
             end,
             batch_size: DEFAULT_BATCH_SIZE,
             prune: Vec::new(),
+            columns: None,
         }
     }
 
@@ -133,6 +138,26 @@ impl TableScan {
         self
     }
 
+    /// Restricts the scan to the given column ordinals (full-table
+    /// ordinals, in output order): the scan's schema becomes the
+    /// projection, and rows and batches carry only the selected columns —
+    /// on a paged table, unselected columns' pages are never even decoded.
+    /// Zone-map prune hints keep addressing full-table ordinals (zone maps
+    /// are consulted without decoding) and are unaffected.
+    pub fn with_columns(mut self, ordinals: &[usize]) -> Self {
+        let schema = self.table.schema().project(ordinals);
+        self.columns = Some((ordinals.to_vec(), schema));
+        self
+    }
+
+    /// Projects a fetched full-arity row down to the selected columns.
+    fn project_row(&self, row: Row) -> Row {
+        match &self.columns {
+            Some((ords, _)) => ords.iter().map(|&c| row[c].clone()).collect(),
+            None => row,
+        }
+    }
+
     /// Whether page `p` is provably empty under the prune hints.
     fn page_pruned(&self, pages: &crate::PagedTable, p: usize) -> bool {
         self.prune
@@ -143,7 +168,10 @@ impl TableScan {
 
 impl Operator for TableScan {
     fn schema(&self) -> &Schema {
-        self.table.schema()
+        match &self.columns {
+            Some((_, schema)) => schema,
+            None => self.table.schema(),
+        }
     }
 
     fn next(&mut self) -> Result<Option<Row>, StorageError> {
@@ -162,7 +190,7 @@ impl Operator for TableScan {
                 }
                 let row = pages.row_at(self.cursor)?;
                 self.cursor += 1;
-                return Ok(row);
+                return Ok(row.map(|r| self.project_row(r)));
             }
         }
         if self.cursor >= self.end {
@@ -172,7 +200,7 @@ impl Operator for TableScan {
         if row.is_some() {
             self.cursor += 1;
         }
-        Ok(row)
+        Ok(row.map(|r| self.project_row(r)))
     }
 
     fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
@@ -192,9 +220,12 @@ impl Operator for TableScan {
                 // Batches never span pages, so a batch is a slice of one
                 // decoded page per column (or the whole page, zero-slice).
                 let take_end = (self.cursor + self.batch_size).min(upper);
-                let arity = pages.schema().arity();
-                let mut columns = Vec::with_capacity(arity);
-                for c in 0..arity {
+                let selected: Vec<usize> = match &self.columns {
+                    Some((ords, _)) => ords.clone(),
+                    None => (0..pages.schema().arity()).collect(),
+                };
+                let mut columns = Vec::with_capacity(selected.len());
+                for c in selected {
                     let page = pages.column_page(c, p)?;
                     columns.push(if self.cursor == pstart && take_end == pend {
                         (*page).clone()
@@ -220,9 +251,14 @@ impl Operator for TableScan {
         let slice = &rows[self.cursor..end];
         self.cursor = end;
         // Build columns directly from the row slice: one Value clone per
-        // cell, no intermediate row vector.
-        let arity = self.table.schema().arity();
-        let columns: Vec<ColumnVector> = (0..arity)
+        // cell, no intermediate row vector. Only selected columns are built
+        // under a column restriction.
+        let selected: Vec<usize> = match &self.columns {
+            Some((ords, _)) => ords.clone(),
+            None => (0..self.table.schema().arity()).collect(),
+        };
+        let columns: Vec<ColumnVector> = selected
+            .into_iter()
             .map(|c| ColumnVector::from_values(slice.iter().map(|r| r[c].clone()).collect()))
             .collect();
         Ok(Some(
