@@ -2,11 +2,11 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench bench-no-run bench-smoke recovery-smoke clippy fmt examples figures
+.PHONY: verify build test bench bench-no-run bench-smoke recovery-smoke chaos-smoke clippy fmt examples figures
 
 EXAMPLES := $(basename $(notdir $(wildcard examples/*.rs)))
 
-verify: fmt build test clippy bench-no-run recovery-smoke examples
+verify: fmt build test clippy bench-no-run recovery-smoke chaos-smoke examples
 
 build:
 	$(CARGO) build --release
@@ -35,12 +35,20 @@ bench-smoke:
 	$(CARGO) run -q --release -p kath_bench --bin vector_bench -- --quick
 	$(CARGO) run -q --release -p kath_bench --bin storage_bench -- --quick
 	$(CARGO) run -q --release -p kath_bench --bin compiled_bench -- --quick
+	$(CARGO) run -q --release -p kath_bench --bin fault_bench -- --quick
 
 # Crash-recovery smoke: a child process populates a durable DB (WAL-logged
 # inserts around a checkpoint) and dies via abort(); the parent reopens and
 # asserts every committed row survived.
 recovery-smoke:
 	$(CARGO) run -q --release -p kath_bench --bin recovery_smoke
+
+# Fault-injection smoke: seeded fault schedules on the I/O seam drive a
+# durable SQL workload; the run asserts every failure is typed and a
+# fault-free reopen recovers exactly the acknowledged prefix, plus a 0ms
+# query-deadline cancellation leg (see docs/robustness.md).
+chaos-smoke:
+	$(CARGO) run -q --release -p kath_bench --bin chaos_smoke
 
 fmt:
 	$(CARGO) fmt --all --check

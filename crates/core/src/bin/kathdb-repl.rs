@@ -112,7 +112,8 @@ fn main() {
                      \\pool [<pages>] | \\explain <question> | \\lineage | \
                      \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \
                      \\threads <n>|auto | \\compile on|off|auto | \
-                     \\vindex [auto|off|flat|ivf | build <t> <c> | drop <t> <c>] | \\quit\n\
+                     \\vindex [auto|off|flat|ivf | build <t> <c> | drop <t> <c>] | \
+                     \\timeout <ms>|off | \\faults <spec>|off|show | \\quit\n\
                      anything else is parsed as a natural-language query"
                 );
             }
@@ -334,6 +335,66 @@ fn main() {
                     println!("vector access path: {}", vector_label(db.vector_mode()));
                 }
             }
+            _ if line == "\\timeout" => match db.query_timeout() {
+                Some(t) => println!("query timeout: {} ms", t.as_millis()),
+                None => println!("query timeout: off"),
+            },
+            Some(("\\timeout", rest)) if !rest.is_empty() => match rest {
+                "off" => {
+                    db.set_query_timeout(None);
+                    println!("query timeout: off");
+                }
+                n => match n.parse::<u64>() {
+                    Ok(ms) => {
+                        db.set_query_timeout(Some(std::time::Duration::from_millis(ms)));
+                        println!(
+                            "query timeout: {ms} ms (queries past it abort with a \
+                             'query cancelled' error)"
+                        );
+                    }
+                    Err(_) => println!("usage: \\timeout <ms> | \\timeout off"),
+                },
+            },
+            _ if line == "\\faults" || line == "\\faults show" => {
+                let (backend, stats) = db.fault_status();
+                println!("io backend: {backend}");
+                if let Some(s) = stats {
+                    println!(
+                        "  {} eligible op(s) seen, {} fault(s) injected",
+                        s.ops, s.injected
+                    );
+                }
+            }
+            Some(("\\faults", rest)) if !rest.is_empty() => match rest {
+                "off" => {
+                    db.clear_faults();
+                    println!("fault injection off (real io backend)");
+                }
+                "show" => {
+                    let (backend, stats) = db.fault_status();
+                    println!("io backend: {backend}");
+                    if let Some(s) = stats {
+                        println!(
+                            "  {} eligible op(s) seen, {} fault(s) injected",
+                            s.ops, s.injected
+                        );
+                    }
+                }
+                spec => match kath_storage::FaultPlan::parse(spec) {
+                    Ok(plan) => {
+                        db.install_faults(plan);
+                        println!(
+                            "fault injection on: {} (test-only; \\faults off to disable)",
+                            db.fault_status().0
+                        );
+                    }
+                    Err(e) => println!(
+                        "bad fault spec: {e}\n\
+                         usage: \\faults seed=<n>,p=<f>[,kinds=a|b][,ops=x|y][,at=<n>:<kind>]\
+                         [,max=<n>] | \\faults off | \\faults show"
+                    ),
+                },
+            },
             _ if line.starts_with('\\') => {
                 println!("unknown command {line}; \\help lists commands");
             }

@@ -360,7 +360,10 @@ impl KathDB {
             Statement::Select(select) => {
                 let mode = self.exec_mode();
                 let threads = self.threads();
-                let (table, _stats) = kath_sql::run_select_auto(
+                // Each statement mints a fresh guard: the deadline restarts
+                // here, while the cancel token is the session's shared one.
+                let guard = self.ctx.limits.guard();
+                let result = kath_sql::run_select_auto_guarded(
                     &self.ctx.catalog,
                     &select,
                     "sql_result",
@@ -368,7 +371,10 @@ impl KathDB {
                     threads,
                     self.ctx.vector_mode,
                     self.ctx.compile,
-                )?;
+                    &guard,
+                );
+                self.rearm_cancel();
+                let (table, _stats) = result?;
                 Ok(table)
             }
             stmt => {
@@ -542,6 +548,75 @@ impl KathDB {
     /// The active pipeline-compilation policy.
     pub fn compile_mode(&self) -> CompileMode {
         self.ctx.compile
+    }
+
+    /// Sets (or clears) the per-query wall-clock timeout. A query that
+    /// outlives it aborts mid-scan with
+    /// [`StorageError::Cancelled`] on whichever drive is running —
+    /// Volcano, batched, morsel-parallel, or compiled — with partial
+    /// state dropped and the catalog untouched; the next statement runs
+    /// normally. The deadline is minted fresh at each statement's start.
+    pub fn set_query_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.ctx.limits.timeout = timeout;
+    }
+
+    /// The active per-query timeout, if any.
+    pub fn query_timeout(&self) -> Option<std::time::Duration> {
+        self.ctx.limits.timeout
+    }
+
+    /// Sets (or clears) per-query output budgets: a query that produces
+    /// more than `rows` root-level rows or `bytes` payload bytes aborts
+    /// with [`StorageError::Budget`]. Budgets meter produced output, not
+    /// intermediate operator traffic.
+    pub fn set_query_budget(&mut self, rows: Option<u64>, bytes: Option<u64>) {
+        self.ctx.limits.row_budget = rows;
+        self.ctx.limits.byte_budget = bytes;
+    }
+
+    /// Fires the session cancel token: a query running on another thread
+    /// (via [`KathDB::cancel_handle`]) aborts at its next guard check with
+    /// [`StorageError::Cancelled`]. One-shot — the flag re-arms after the
+    /// cancelled statement returns.
+    pub fn cancel(&self) {
+        self.ctx.limits.cancel.cancel();
+    }
+
+    /// A clonable handle to the session cancel token, for firing
+    /// [`KathDB::cancel`] from another thread while a query runs.
+    pub fn cancel_handle(&self) -> kath_storage::CancelToken {
+        self.ctx.limits.cancel.clone()
+    }
+
+    /// Re-arms the session cancel token after a statement settles, so a
+    /// fired token cancels exactly one statement.
+    fn rearm_cancel(&self) {
+        if self.ctx.limits.cancel.is_cancelled() {
+            self.ctx.limits.cancel.clear();
+        }
+    }
+
+    /// Installs a fault-injection plan on this database's I/O seam: every
+    /// subsequent file operation (WAL appends, checkpoint writes, page
+    /// reads) consults the plan and may fail with the injected error.
+    /// **Test-only** — for exercising recovery paths from the REPL
+    /// (`\faults`) and the chaos suites; see also the `KATHDB_FAULTS`
+    /// environment variable.
+    pub fn install_faults(&self, plan: kath_storage::FaultPlan) {
+        self.ctx.catalog.pool().io().install_faults(plan);
+    }
+
+    /// Removes any installed fault plan (I/O goes back to the real
+    /// backend).
+    pub fn clear_faults(&self) {
+        self.ctx.catalog.pool().io().clear_faults();
+    }
+
+    /// Describes the active I/O backend, with its injected/passed
+    /// operation counters when a fault plan is installed.
+    pub fn fault_status(&self) -> (String, Option<kath_storage::FaultStats>) {
+        let io = self.ctx.catalog.pool().io();
+        (io.describe(), io.fault_stats())
     }
 
     /// Builds (or refreshes) the derived vector index over `table.column`,
@@ -782,7 +857,9 @@ impl KathDB {
             &mut self.registry,
             &compile_report.physical,
             channel,
-        )?;
+        );
+        self.rearm_cancel();
+        let exec_report = exec_report?;
 
         self.last_plan = Some(compile_report.physical.clone());
         // Compilation and self-repair may have added function versions;
@@ -1435,5 +1512,80 @@ mod tests {
         // plot documents' media collection (the excitement score derives
         // from the text view rows).
         assert!(funcs.iter().any(|f| f.starts_with("ingest")), "{funcs:?}");
+    }
+
+    fn cancelled(err: &KathError) -> bool {
+        matches!(
+            err,
+            KathError::Sql(SqlError::Storage(kath_storage::StorageError::Cancelled(_)))
+        )
+    }
+
+    #[test]
+    fn query_timeout_is_per_statement_and_reversible() {
+        let mut db = KathDB::new(42);
+        db.sql("CREATE TABLE t (x INT)").unwrap();
+        db.sql("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        db.set_query_timeout(Some(std::time::Duration::ZERO));
+        assert_eq!(db.query_timeout(), Some(std::time::Duration::ZERO));
+        let err = db.sql("SELECT * FROM t").unwrap_err();
+        assert!(cancelled(&err), "expected Cancelled, got {err:?}");
+        // Mutations carry no deadline; only queries are guarded.
+        db.sql("INSERT INTO t VALUES (4)").unwrap();
+        db.set_query_timeout(None);
+        assert_eq!(db.sql("SELECT * FROM t").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn cancel_aborts_one_statement_then_rearms() {
+        let mut db = KathDB::new(42);
+        db.sql("CREATE TABLE t (x INT)").unwrap();
+        db.sql("INSERT INTO t VALUES (1), (2)").unwrap();
+        db.cancel();
+        let err = db.sql("SELECT * FROM t").unwrap_err();
+        assert!(cancelled(&err), "expected Cancelled, got {err:?}");
+        // The token is one-shot: the very next statement runs normally.
+        assert_eq!(db.sql("SELECT * FROM t").unwrap().len(), 2);
+        // A handle fired from "another thread" behaves identically.
+        let handle = db.cancel_handle();
+        handle.cancel();
+        assert!(cancelled(&db.sql("SELECT * FROM t").unwrap_err()));
+        assert_eq!(db.sql("SELECT * FROM t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn query_budgets_bound_result_size() {
+        let mut db = KathDB::new(42);
+        db.sql("CREATE TABLE t (x INT)").unwrap();
+        db.sql("INSERT INTO t VALUES (1), (2), (3), (4)").unwrap();
+        db.set_query_budget(Some(2), None);
+        let err = db.sql("SELECT * FROM t").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                KathError::Sql(SqlError::Storage(kath_storage::StorageError::Budget(_)))
+            ),
+            "expected Budget, got {err:?}"
+        );
+        db.set_query_budget(None, None);
+        assert_eq!(db.sql("SELECT * FROM t").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn fault_injection_round_trips_through_the_facade() {
+        let mut db = KathDB::new(42);
+        let (backend, stats) = db.fault_status();
+        assert_eq!(backend, "real");
+        assert!(stats.is_none());
+        db.install_faults(kath_storage::FaultPlan::parse("seed=7,p=0.5").unwrap());
+        let (backend, stats) = db.fault_status();
+        assert!(backend.contains("faulty"), "{backend}");
+        assert!(stats.is_some());
+        db.clear_faults();
+        assert_eq!(db.fault_status().0, "real");
+        // The catalog still works after the faulty backend is removed.
+        db.sql("CREATE TABLE t (x INT)").unwrap();
+        db.sql("INSERT INTO t VALUES (1)").unwrap();
+        assert_eq!(db.sql("SELECT * FROM t").unwrap().len(), 1);
     }
 }

@@ -4,7 +4,7 @@ use crate::ExecError;
 use kath_lineage::{DataKind, LineageStore};
 use kath_media::MediaRegistry;
 use kath_model::SimLlm;
-use kath_storage::{Catalog, CompileMode, ExecMode, Table, VectorMode};
+use kath_storage::{Catalog, CompileMode, ExecMode, GuardSpec, Table, VectorMode};
 use std::collections::HashMap;
 
 /// Everything a function body needs at runtime.
@@ -47,6 +47,12 @@ pub struct ExecContext {
     /// the interpreted operators, and compiled results are byte-identical
     /// to interpreted ones at any batch size or worker count.
     pub compile: CompileMode,
+    /// Session-level query limits — timeout, row/byte budgets, and the
+    /// shared cancellation token. Each statement mints a fresh
+    /// [`kath_storage::QueryGuard`] from this spec (`limits.guard()`), so
+    /// the deadline restarts per statement while the cancel token is shared
+    /// with whoever holds a handle to it.
+    pub limits: GuardSpec,
 }
 
 impl ExecContext {
@@ -62,6 +68,7 @@ impl ExecContext {
             threads: 1,
             vector_mode: VectorMode::default(),
             compile: CompileMode::from_env(),
+            limits: GuardSpec::default(),
         }
     }
 

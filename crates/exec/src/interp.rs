@@ -254,7 +254,8 @@ fn exec_sql(
     // morsel-parallel interpreted drive when the context asks for threads,
     // serial interpreted otherwise. Results are identical across all three
     // by construction.
-    let (mut table, stats) = kath_sql::run_select_auto(
+    let guard = ctx.limits.guard();
+    let (mut table, stats) = kath_sql::run_select_auto_guarded(
         &ctx.catalog,
         &select,
         output_name,
@@ -262,6 +263,7 @@ fn exec_sql(
         ctx.threads,
         ctx.vector_mode,
         ctx.compile,
+        &guard,
     )?;
 
     if let Some(key) = dedup_key {

@@ -28,6 +28,7 @@ pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_expr, parse_select, parse_statement, SqlParseError};
 pub use plan::{
     apply_mutation, execute, execute_with, plan_mutation, run_select, run_select_auto,
-    run_select_opt, run_select_parallel, run_select_parallel_opt, run_select_with, to_expr,
+    run_select_auto_guarded, run_select_opt, run_select_opt_guarded, run_select_parallel,
+    run_select_parallel_opt, run_select_parallel_opt_guarded, run_select_with, to_expr,
     vector_plan_choice, vector_topk_pattern, SelectStats, SqlError, VectorPattern,
 };

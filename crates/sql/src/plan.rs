@@ -6,11 +6,11 @@
 use crate::ast::*;
 use crate::parser::{parse_statement, SqlParseError};
 use kath_storage::{
-    collect, collect_batched, compile_pays_off, merge_top_k, preferred_vector_strategy,
-    top_k_entries, AggFunc, Aggregate, BinOp, Catalog, Column, CompileMode, CompiledPipeline,
-    DataType, Distinct, ExecMode, Expr, Filter, HashAggregate, HashJoin, IndexScan, JoinKind,
-    Limit, Operator, Project, Schema, Sort, SortKey, StorageError, Table, TableScan, Value,
-    VectorMode, VectorStrategy, VectorTopK, WalRecord,
+    collect_batched_guarded, collect_guarded, compile_pays_off, merge_top_k,
+    preferred_vector_strategy, top_k_entries, AggFunc, Aggregate, BinOp, Catalog, Column,
+    CompileMode, CompiledPipeline, DataType, Distinct, ExecMode, Expr, Filter, HashAggregate,
+    HashJoin, IndexScan, JoinKind, Limit, Operator, Project, QueryGuard, Schema, Sort, SortKey,
+    StorageError, Table, TableScan, Value, VectorMode, VectorStrategy, VectorTopK, WalRecord,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -210,10 +210,41 @@ pub fn run_select_opt(
     mode: ExecMode,
     vector: VectorMode,
 ) -> Result<(Table, usize), SqlError> {
+    run_select_opt_guarded(
+        catalog,
+        select,
+        output_name,
+        mode,
+        vector,
+        &QueryGuard::unlimited(),
+    )
+}
+
+/// [`run_select_opt`] under a [`QueryGuard`]: the guard is attached to the
+/// leading scan (periodic deadline/cancel checks as rows stream) and to the
+/// root drain (row/byte budget charges on produced output), so a tripped
+/// guard aborts mid-scan with a typed [`StorageError::Cancelled`] or
+/// [`StorageError::Budget`] instead of running to completion.
+pub fn run_select_opt_guarded(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    mode: ExecMode,
+    vector: VectorMode,
+    guard: &QueryGuard,
+) -> Result<(Table, usize), SqlError> {
     if let Some((pattern, strategy)) = vector_plan_choice(catalog, select, vector) {
-        return run_vector_topk(catalog, select, &pattern, strategy, output_name, mode);
+        return run_vector_topk(
+            catalog,
+            select,
+            &pattern,
+            strategy,
+            output_name,
+            mode,
+            guard,
+        );
     }
-    let mut op: Box<dyn Operator> = leading_scan(catalog, select, mode)?;
+    let mut op: Box<dyn Operator> = leading_scan(catalog, select, mode, guard)?;
 
     // Joins, in order.
     for j in &select.joins {
@@ -278,8 +309,8 @@ pub fn run_select_opt(
     }
 
     match mode {
-        ExecMode::Volcano => Ok((collect(output_name, op)?, 0)),
-        ExecMode::Batched(_) => Ok(collect_batched(output_name, op)?),
+        ExecMode::Volcano => Ok((collect_guarded(output_name, op, guard)?, 0)),
+        ExecMode::Batched(_) => Ok(collect_batched_guarded(output_name, op, guard)?),
     }
 }
 
@@ -379,8 +410,32 @@ pub fn run_select_parallel_opt(
     threads: usize,
     vector: VectorMode,
 ) -> Result<(Table, SelectStats), SqlError> {
+    run_select_parallel_opt_guarded(
+        catalog,
+        select,
+        output_name,
+        mode,
+        threads,
+        vector,
+        &QueryGuard::unlimited(),
+    )
+}
+
+/// [`run_select_parallel_opt`] under a [`QueryGuard`]: workers re-check the
+/// guard between morsels, so cancellation and deadlines stop the whole
+/// sweep at morsel granularity and the earliest-morsel rule reports a
+/// deterministic typed error (see [`kath_storage::run_morsels_guarded`]).
+pub fn run_select_parallel_opt_guarded(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    mode: ExecMode,
+    threads: usize,
+    vector: VectorMode,
+    guard: &QueryGuard,
+) -> Result<(Table, SelectStats), SqlError> {
     use kath_storage::{
-        merge_sorted_runs, resolve_sort_keys, run_morsels, sort_rows, JoinBuild, Morsel,
+        merge_sorted_runs, resolve_sort_keys, run_morsels_guarded, sort_rows, JoinBuild, Morsel,
         MorselSource, PartialAggregate, Row,
     };
     use std::time::Instant;
@@ -394,11 +449,13 @@ pub fn run_select_parallel_opt(
             output_name,
             mode,
             threads,
+            guard,
         );
     }
 
     let serial = |catalog: &Catalog| -> Result<(Table, SelectStats), SqlError> {
-        let (t, batches) = run_select_opt(catalog, select, output_name, mode, vector)?;
+        let (t, batches) =
+            run_select_opt_guarded(catalog, select, output_name, mode, vector, guard)?;
         Ok((t, SelectStats::serial(batches)))
     };
 
@@ -506,11 +563,24 @@ pub fn run_select_parallel_opt(
         }
         Ok(op)
     };
+    // Workers charge budgets per produced batch so a tripped budget aborts
+    // mid-scan; the uncharged variant serves legs whose serial tail charges
+    // the same rows again at the root.
+    let drain_uncharged = |op: &mut dyn Operator| -> Result<(Vec<Row>, usize), StorageError> {
+        let mut rows = Vec::new();
+        let mut batches = 0;
+        while let Some(b) = op.next_batch()? {
+            batches += 1;
+            rows.extend(b.into_rows());
+        }
+        Ok((rows, batches))
+    };
     let drain = |op: &mut dyn Operator| -> Result<(Vec<Row>, usize), StorageError> {
         let mut rows = Vec::new();
         let mut batches = 0;
         while let Some(b) = op.next_batch()? {
             batches += 1;
+            guard.charge_batch(&b)?;
             rows.extend(b.into_rows());
         }
         Ok((rows, batches))
@@ -520,7 +590,7 @@ pub fn run_select_parallel_opt(
         // Pipeline breaker: aggregation. One thread-local partial per
         // morsel, merged in morsel order.
         let spec = aggregate_spec(select)?;
-        let run = run_morsels(&source, threads, |m| {
+        let run = run_morsels_guarded(&source, threads, guard, |m| {
             let mut op = make_stream(m)?;
             let mut partial =
                 PartialAggregate::new(op.schema(), &spec.group_names, spec.aggregates.clone())?;
@@ -537,6 +607,10 @@ pub fn run_select_parallel_opt(
             batches += b;
         }
         let (schema, mut rows) = acc.finish();
+        // Aggregation's root-level output is the merged group rows.
+        for row in &rows {
+            guard.charge_row(row)?;
+        }
         if !sort_keys.is_empty() {
             let key_idx = resolve_sort_keys(&schema, &sort_keys)?;
             sort_rows(&mut rows, &key_idx);
@@ -549,9 +623,9 @@ pub fn run_select_parallel_opt(
             // built pre-projection, merged, then projected serially in
             // sorted order (exactly the serial operator order).
             let key_idx = resolve_sort_keys(&left_schema, &sort_keys)?;
-            let run = run_morsels(&source, threads, |m| {
+            let run = run_morsels_guarded(&source, threads, guard, |m| {
                 let mut op = make_stream(m)?;
-                let (mut rows, batches) = drain(op.as_mut())?;
+                let (mut rows, batches) = drain_uncharged(op.as_mut())?;
                 sort_rows(&mut rows, &key_idx);
                 Ok((rows, batches))
             })
@@ -584,7 +658,7 @@ pub fn run_select_parallel_opt(
                 tail = Box::new(Limit::new(tail, n));
             }
             let (out, tail_batches) =
-                collect_batched(output_name, tail).map_err(SqlError::Storage)?;
+                collect_batched_guarded(output_name, tail, guard).map_err(SqlError::Storage)?;
             let stats = SelectStats {
                 batches: batches + tail_batches,
                 workers: worker_ms.len(),
@@ -598,7 +672,7 @@ pub fn run_select_parallel_opt(
             // Projection is streaming; an ORDER BY over projected columns
             // sorts per-morsel runs merged stably.
             let key_idx = resolve_sort_keys(&out_schema, &sort_keys)?;
-            let run = run_morsels(&source, threads, |m| {
+            let run = run_morsels_guarded(&source, threads, guard, |m| {
                 let op = make_stream(m)?;
                 let mut op: Box<dyn Operator> = Box::new(Project::new(op, outputs.clone())?);
                 let (mut rows, batches) = drain(op.as_mut())?;
@@ -626,7 +700,7 @@ pub fn run_select_parallel_opt(
     } else {
         // Bare SELECT *: stream rows through, optionally via sorted runs.
         let key_idx = resolve_sort_keys(&left_schema, &sort_keys)?;
-        let run = run_morsels(&source, threads, |m| {
+        let run = run_morsels_guarded(&source, threads, guard, |m| {
             let mut op = make_stream(m)?;
             let (mut rows, batches) = drain(op.as_mut())?;
             if !key_idx.is_empty() {
@@ -693,6 +767,34 @@ pub fn run_select_auto(
     vector: VectorMode,
     compile: CompileMode,
 ) -> Result<(Table, SelectStats), SqlError> {
+    run_select_auto_guarded(
+        catalog,
+        select,
+        output_name,
+        mode,
+        threads,
+        vector,
+        compile,
+        &QueryGuard::unlimited(),
+    )
+}
+
+/// [`run_select_auto`] under a [`QueryGuard`], the facade's entry point for
+/// `\timeout`, `cancel()`, and row/byte budgets. Whichever drive the
+/// strategy triple selects — Volcano, batched, morsel-parallel, or the
+/// compiled fused loop — checks the same guard as it streams, so a tripped
+/// guard surfaces the identical typed error on every drive.
+#[allow(clippy::too_many_arguments)]
+pub fn run_select_auto_guarded(
+    catalog: &Catalog,
+    select: &Select,
+    output_name: &str,
+    mode: ExecMode,
+    threads: usize,
+    vector: VectorMode,
+    compile: CompileMode,
+    guard: &QueryGuard,
+) -> Result<(Table, SelectStats), SqlError> {
     let attempt = match compile {
         CompileMode::Off => false,
         CompileMode::On => true,
@@ -703,16 +805,18 @@ pub fn run_select_auto(
     };
     if let Some(batch) = mode.batch_size() {
         if attempt && vector_plan_choice(catalog, select, vector).is_none() {
-            if let Some(result) = run_select_compiled(catalog, select, output_name, batch, threads)?
+            if let Some(result) =
+                run_select_compiled(catalog, select, output_name, batch, threads, guard)?
             {
                 return Ok(result);
             }
         }
     }
     if threads > 1 {
-        run_select_parallel_opt(catalog, select, output_name, mode, threads, vector)
+        run_select_parallel_opt_guarded(catalog, select, output_name, mode, threads, vector, guard)
     } else {
-        let (t, batches) = run_select_opt(catalog, select, output_name, mode, vector)?;
+        let (t, batches) =
+            run_select_opt_guarded(catalog, select, output_name, mode, vector, guard)?;
         Ok((t, SelectStats::serial(batches)))
     }
 }
@@ -857,8 +961,9 @@ fn run_select_compiled(
     output_name: &str,
     batch: usize,
     threads: usize,
+    guard: &QueryGuard,
 ) -> Result<Option<(Table, SelectStats)>, SqlError> {
-    use kath_storage::{run_morsels, MorselSource, Row};
+    use kath_storage::{run_morsels_guarded, MorselSource, Row};
     use std::time::Instant;
 
     let Some(plan) = compile_select(catalog, select) else {
@@ -867,12 +972,15 @@ fn run_select_compiled(
     let table = &plan.table;
     let total = table.len();
 
-    // One worker's fused loop over one claimed row range.
+    // One worker's fused loop over one claimed row range. The guard rides
+    // on the scan (checked once per fused-loop iteration, i.e. per input
+    // batch) and is charged for every output batch the pipeline emits.
     let work = |start: usize, end: usize| -> Result<(Vec<Row>, usize), StorageError> {
         let mut scan = TableScan::new(Arc::clone(table))
             .with_range(start, end)
             .with_prune_hint(&plan.prune_hints)
-            .with_batch_size(batch);
+            .with_batch_size(batch)
+            .with_guard(guard.clone());
         if let Some(cols) = &plan.scan_columns {
             scan = scan.with_columns(cols);
         }
@@ -917,6 +1025,7 @@ fn run_select_compiled(
                 kath_storage::RowBatch::from_rows(plan.joined_arity, cur)
             };
             if let Some(out) = plan.pipeline.process(b)? {
+                guard.charge_batch(&out)?;
                 batches += 1;
                 rows.extend(out.into_rows());
             }
@@ -933,7 +1042,7 @@ fn run_select_compiled(
             None => MorselSource::with_batch_size(total, batch),
         };
         if source.morsel_count() >= 2 {
-            let run = run_morsels(&source, threads, |m| work(m.start, m.end))
+            let run = run_morsels_guarded(&source, threads, guard, |m| work(m.start, m.end))
                 .map_err(SqlError::Storage)?;
             let worker_ms = run.worker_ms.clone();
             let merge_started = Instant::now();
@@ -1151,6 +1260,7 @@ fn run_vector_topk(
     strategy: VectorStrategy,
     output_name: &str,
     mode: ExecMode,
+    guard: &QueryGuard,
 ) -> Result<(Table, usize), SqlError> {
     let table = catalog.get(&pattern.table)?;
     let index = catalog.vector_index_for(&pattern.table, &pattern.column)?;
@@ -1168,8 +1278,8 @@ fn run_vector_topk(
     }
     op = Box::new(Limit::new(op, pattern.k));
     match mode {
-        ExecMode::Volcano => Ok((collect(output_name, op)?, 0)),
-        ExecMode::Batched(_) => Ok(collect_batched(output_name, op)?),
+        ExecMode::Volcano => Ok((collect_guarded(output_name, op, guard)?, 0)),
+        ExecMode::Batched(_) => Ok(collect_batched_guarded(output_name, op, guard)?),
     }
 }
 
@@ -1181,6 +1291,7 @@ fn run_vector_topk(
 /// count. Falls back to serial when parallelism cannot help: Volcano mode,
 /// one thread, fewer than two morsels, or the IVF strategy (already
 /// sublinear — its probe set is not worth splitting).
+#[allow(clippy::too_many_arguments)]
 fn run_vector_topk_parallel(
     catalog: &Catalog,
     select: &Select,
@@ -1189,12 +1300,13 @@ fn run_vector_topk_parallel(
     output_name: &str,
     mode: ExecMode,
     threads: usize,
+    guard: &QueryGuard,
 ) -> Result<(Table, SelectStats), SqlError> {
-    use kath_storage::{run_morsels, MorselSource};
+    use kath_storage::{run_morsels_guarded, MorselSource};
     use std::time::Instant;
 
     let serial = || {
-        run_vector_topk(catalog, select, pattern, strategy, output_name, mode)
+        run_vector_topk(catalog, select, pattern, strategy, output_name, mode, guard)
             .map(|(t, batches)| (t, SelectStats::serial(batches)))
     };
     let Some(batch) = mode.batch_size() else {
@@ -1211,7 +1323,7 @@ fn run_vector_topk_parallel(
         return serial();
     }
     let query = kath_vector::embed_query(&pattern.query);
-    let run = run_morsels(&source, threads, |m| {
+    let run = run_morsels_guarded(&source, threads, guard, |m| {
         Ok(top_k_entries(&entries[m.start..m.end], &query, pattern.k))
     })
     .map_err(SqlError::Storage)?;
@@ -1235,7 +1347,8 @@ fn run_vector_topk_parallel(
         op = Box::new(Project::new(op, outputs)?);
     }
     op = Box::new(Limit::new(op, pattern.k));
-    let (out, batches) = collect_batched(output_name, op).map_err(SqlError::Storage)?;
+    let (out, batches) =
+        collect_batched_guarded(output_name, op, guard).map_err(SqlError::Storage)?;
     let stats = SelectStats {
         batches,
         workers: worker_ms.len(),
@@ -1290,6 +1403,7 @@ fn leading_scan(
     catalog: &Catalog,
     select: &Select,
     mode: ExecMode,
+    guard: &QueryGuard,
 ) -> Result<Box<dyn Operator>, SqlError> {
     let table = catalog.get(&select.from)?;
     let batch = mode.batch_size();
@@ -1297,7 +1411,7 @@ fn leading_scan(
         if let Some((column, value)) = equality_target(w, &select.from, table.schema()) {
             if let Some(ix) = catalog.index_on(&select.from, &column) {
                 let positions = ix.lookup(&value).to_vec();
-                let scan = IndexScan::new(table, positions);
+                let scan = IndexScan::new(table, positions).with_guard(guard.clone());
                 return Ok(match batch {
                     Some(n) => Box::new(scan.with_batch_size(n)),
                     None => Box::new(scan),
@@ -1305,7 +1419,7 @@ fn leading_scan(
             }
         }
     }
-    let mut scan = TableScan::new(table);
+    let mut scan = TableScan::new(table).with_guard(guard.clone());
     // Zone-map prune hints are safe only on join-free plans (see
     // `prune_conjuncts`).
     if select.joins.is_empty() {

@@ -1,0 +1,144 @@
+//! Query-guard acceptance tests: deadline, cancellation, and budgets
+//! abort every physical drive — Volcano, batched, morsel-parallel, and
+//! compiled — with the same typed error, and leave the catalog ready for
+//! the next query.
+
+use kath_sql::{parse_select, run_select_auto_guarded, SqlError};
+use kath_storage::{
+    CancelToken, Catalog, CompileMode, DataType, ExecMode, QueryGuard, Schema, StorageError, Table,
+    Value, VectorMode,
+};
+use std::time::Duration;
+
+fn catalog(rows: usize) -> Catalog {
+    let schema = Schema::of(&[("id", DataType::Int), ("v", DataType::Int)]);
+    let mut t = Table::new("t", schema);
+    for i in 0..rows {
+        t.push(vec![Value::Int(i as i64), Value::Int((i % 97) as i64)])
+            .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register(t).unwrap();
+    c
+}
+
+/// The four drives as (label, mode, threads, compile) strategy triples.
+/// `CompileMode::On` forces the fused drive for the compilable query below.
+const DRIVES: &[(&str, ExecMode, usize, CompileMode)] = &[
+    ("volcano", ExecMode::Volcano, 1, CompileMode::Off),
+    ("batched", ExecMode::Batched(128), 1, CompileMode::Off),
+    ("parallel", ExecMode::Batched(128), 4, CompileMode::Off),
+    ("compiled", ExecMode::Batched(128), 1, CompileMode::On),
+    (
+        "compiled-parallel",
+        ExecMode::Batched(128),
+        4,
+        CompileMode::On,
+    ),
+];
+
+fn run(
+    c: &Catalog,
+    query: &str,
+    drive: &(&str, ExecMode, usize, CompileMode),
+    guard: &QueryGuard,
+) -> Result<Table, SqlError> {
+    let select = parse_select(query).unwrap();
+    run_select_auto_guarded(
+        c,
+        &select,
+        "out",
+        drive.1,
+        drive.2,
+        VectorMode::Auto,
+        drive.3,
+        guard,
+    )
+    .map(|(t, _)| t)
+}
+
+#[test]
+fn zero_deadline_cancels_every_drive_and_the_catalog_survives() {
+    let c = catalog(4000);
+    let query = "SELECT id, v FROM t WHERE v >= 0";
+    for drive in DRIVES {
+        let guard = QueryGuard::unlimited().with_timeout(Duration::ZERO);
+        let err = run(&c, query, drive, &guard).unwrap_err();
+        assert!(
+            matches!(&err, SqlError::Storage(StorageError::Cancelled(_))),
+            "{}: expected Cancelled, got {err:?}",
+            drive.0
+        );
+        // The same catalog immediately serves the next (unguarded) query.
+        let ok = run(&c, query, drive, &QueryGuard::unlimited()).unwrap();
+        assert_eq!(ok.len(), 4000, "{}: catalog damaged after cancel", drive.0);
+    }
+}
+
+#[test]
+fn fired_cancel_token_aborts_every_drive() {
+    let c = catalog(4000);
+    let query = "SELECT id FROM t";
+    for drive in DRIVES {
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = QueryGuard::unlimited().with_cancel(token.clone());
+        let err = run(&c, query, drive, &guard).unwrap_err();
+        assert!(
+            matches!(&err, SqlError::Storage(StorageError::Cancelled(_))),
+            "{}: expected Cancelled, got {err:?}",
+            drive.0
+        );
+        // Clearing the token (what the facade does after a cancelled
+        // statement) re-arms the same guard spec for the next query.
+        token.clear();
+        let guard = QueryGuard::unlimited().with_cancel(token);
+        assert_eq!(run(&c, query, drive, &guard).unwrap().len(), 4000);
+    }
+}
+
+#[test]
+fn row_budget_trips_with_a_typed_error_on_every_drive() {
+    let c = catalog(4000);
+    let query = "SELECT id, v FROM t WHERE v >= 0";
+    for drive in DRIVES {
+        let guard = QueryGuard::unlimited().with_row_budget(100);
+        let err = run(&c, query, drive, &guard).unwrap_err();
+        assert!(
+            matches!(&err, SqlError::Storage(StorageError::Budget(_))),
+            "{}: expected Budget, got {err:?}",
+            drive.0
+        );
+        // A budget large enough for the whole result never trips.
+        let guard = QueryGuard::unlimited().with_row_budget(4000);
+        assert_eq!(run(&c, query, drive, &guard).unwrap().len(), 4000);
+    }
+}
+
+#[test]
+fn byte_budget_meters_produced_payload() {
+    let c = catalog(1000);
+    let query = "SELECT id, v FROM t";
+    // Two Int columns ≈ 16 bytes/row; 1000 rows ≈ 16000 bytes.
+    let tight = QueryGuard::unlimited().with_byte_budget(1000);
+    let err = run(&c, query, &DRIVES[1], &tight).unwrap_err();
+    assert!(matches!(&err, SqlError::Storage(StorageError::Budget(_))));
+    let roomy = QueryGuard::unlimited().with_byte_budget(1_000_000);
+    assert_eq!(run(&c, query, &DRIVES[1], &roomy).unwrap().len(), 1000);
+}
+
+#[test]
+fn guarded_results_match_unguarded_results_on_every_drive() {
+    let c = catalog(2000);
+    let query = "SELECT id, v FROM t WHERE v < 50";
+    let baseline = run(&c, query, &DRIVES[0], &QueryGuard::unlimited()).unwrap();
+    for drive in DRIVES {
+        // A generous guard must not perturb results on any drive.
+        let guard = QueryGuard::unlimited()
+            .with_timeout(Duration::from_secs(3600))
+            .with_row_budget(1 << 40)
+            .with_byte_budget(1 << 50);
+        let out = run(&c, query, drive, &guard).unwrap();
+        assert_eq!(out.rows(), baseline.rows(), "{}: rows diverged", drive.0);
+    }
+}

@@ -32,6 +32,7 @@
 //! disk until first touch — and replays every WAL segment from that epoch
 //! onward, tolerating a torn final record.
 
+use crate::io::{with_retry, Io, RetryPolicy};
 use crate::page::ZoneMap;
 use crate::paged::{PagedTable, RecoveredPage};
 use crate::persist::{decode_table, dtype_from_tag, dtype_tag, get_str, put_str};
@@ -103,10 +104,16 @@ pub struct DurabilityStatus {
 #[derive(Debug)]
 pub struct Durability {
     dir: PathBuf,
+    io: Io,
     /// Newest snapshot epoch == index of the active WAL segment.
     epoch: u64,
     wal: Wal,
     last_checkpoint: Option<CheckpointStats>,
+    /// Set when WAL rotation failed after a committed checkpoint: the old
+    /// segment is behind the new snapshot's replay horizon, so appending
+    /// there would acknowledge records recovery can never see. All further
+    /// logging refuses until the database is reopened.
+    poisoned: bool,
 }
 
 fn epoch_name(e: u64) -> String {
@@ -126,15 +133,17 @@ fn pages_dir(dir: &Path) -> PathBuf {
 }
 
 /// Numeric entries (dirs or `.log` files) under `path`, ascending.
-fn list_epochs(path: &Path, strip_log: bool) -> Result<Vec<u64>, StorageError> {
+fn list_epochs(io: &Io, path: &Path, strip_log: bool) -> Result<Vec<u64>, StorageError> {
     let mut out = Vec::new();
-    let entries = match std::fs::read_dir(path) {
+    let entries = match io.read_dir(path) {
         Ok(e) => e,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
         Err(e) => return Err(e.into()),
     };
-    for entry in entries {
-        let name = entry?.file_name();
+    for path in entries {
+        let Some(name) = path.file_name() else {
+            continue;
+        };
         let name = name.to_string_lossy();
         let stem = if strip_log {
             match name.strip_suffix(".log") {
@@ -161,19 +170,22 @@ impl Durability {
     /// no retained state verifies. Recovered paged tables read their pages
     /// through `pool`.
     pub fn open(dir: &Path, pool: &Arc<BufferPool>) -> Result<(Self, Recovered), StorageError> {
-        std::fs::create_dir_all(dir.join("wal"))?;
-        std::fs::create_dir_all(dir.join("snapshots"))?;
-        std::fs::create_dir_all(pages_dir(dir))?;
+        let io = pool.io().clone();
+        io.create_dir_all(&dir.join("wal"))?;
+        io.create_dir_all(&dir.join("snapshots"))?;
+        io.create_dir_all(&pages_dir(dir))?;
         // Clear interrupted checkpoint attempts.
-        for entry in std::fs::read_dir(dir.join("snapshots"))? {
-            let entry = entry?;
-            if entry.file_name().to_string_lossy().starts_with(".tmp-") {
-                let _ = std::fs::remove_dir_all(entry.path());
+        for path in io.read_dir(&dir.join("snapshots"))? {
+            let is_tmp = path
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with(".tmp-"));
+            if is_tmp {
+                let _ = io.remove_dir_all(&path);
             }
         }
 
-        let snaps = list_epochs(&dir.join("snapshots"), false)?;
-        let segments = list_epochs(&dir.join("wal"), true)?;
+        let snaps = list_epochs(&io, &dir.join("snapshots"), false)?;
+        let segments = list_epochs(&io, &dir.join("wal"), true)?;
         let max_epoch = snaps
             .iter()
             .chain(segments.iter())
@@ -200,7 +212,7 @@ impl Durability {
             let loaded = if candidate == 0 {
                 Ok((Vec::new(), None))
             } else {
-                load_snapshot(dir, candidate, pool)
+                load_snapshot(&io, dir, candidate, pool)
             };
             let (tables, functions_json) = match loaded {
                 Ok(state) => state,
@@ -212,7 +224,7 @@ impl Durability {
             let mut wal_records = Vec::new();
             let mut replay_ok = true;
             for e in candidate..max_epoch {
-                match Wal::replay_file(&segment_path(dir, e)) {
+                match Wal::replay_file_with(&segment_path(dir, e), &io) {
                     Ok(records) => wal_records.extend(records),
                     Err(err) => {
                         first_error.get_or_insert(err);
@@ -225,14 +237,16 @@ impl Durability {
                 continue;
             }
             // The active segment: replay and truncate any torn tail.
-            let (wal, tail) = Wal::open(&segment_path(dir, max_epoch))?;
+            let (wal, tail) = Wal::open_with(&segment_path(dir, max_epoch), io.clone())?;
             wal_records.extend(tail);
             return Ok((
                 Self {
                     dir: dir.to_path_buf(),
+                    io,
                     epoch: max_epoch,
                     wal,
                     last_checkpoint: None,
+                    poisoned: false,
                 },
                 Recovered {
                     tables,
@@ -248,8 +262,16 @@ impl Durability {
     }
 
     /// Appends one record to the active segment and fsyncs it. Call this
-    /// *before* applying the mutation in memory (write-ahead).
+    /// *before* applying the mutation in memory (write-ahead). Refuses
+    /// once the handle is poisoned (WAL rotation failed after a committed
+    /// checkpoint): the active segment is behind the snapshot's replay
+    /// horizon, so an append there would be acknowledged-then-lost.
     pub fn log(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Io(
+                "wal rotation failed after the last checkpoint; reopen the database".to_string(),
+            ));
+        }
         self.wal.append(record)
     }
 
@@ -273,10 +295,10 @@ impl Durability {
         let next = self.epoch + 1;
         let snapshots = self.dir.join("snapshots");
         let pages = pages_dir(&self.dir);
-        std::fs::create_dir_all(&pages)?;
+        self.io.create_dir_all(&pages)?;
         let tmp = snapshots.join(format!(".tmp-{}", epoch_name(next)));
-        let _ = std::fs::remove_dir_all(&tmp);
-        std::fs::create_dir_all(&tmp)?;
+        let _ = self.io.remove_dir_all(&tmp);
+        self.io.create_dir_all(&tmp)?;
 
         let mut stats = CheckpointStats {
             epoch: next,
@@ -302,7 +324,7 @@ impl Durability {
             stats.bytes_total += w.bytes_total;
             let file = format!("t{i}.kmeta");
             let bytes = encode_kmeta(paged.name(), pt)?;
-            write_synced(&tmp.join(&file), &bytes)?;
+            write_synced(&self.io, &tmp.join(&file), &bytes)?;
             manifest.push_str(&format!(
                 "ptable {file} {} {}\n",
                 bytes.len(),
@@ -312,10 +334,10 @@ impl Durability {
         }
         // Page files (and their directory entry) must be durable before the
         // manifest that references them commits.
-        let _ = std::fs::File::open(&pages).and_then(|d| d.sync_all());
+        let _ = self.io.fsync_dir(&pages);
         if let Some(json) = functions_json {
             let bytes = json.as_bytes();
-            write_synced(&tmp.join("functions.json"), bytes)?;
+            write_synced(&self.io, &tmp.join("functions.json"), bytes)?;
             manifest.push_str(&format!(
                 "functions functions.json {} {}\n",
                 bytes.len(),
@@ -323,31 +345,61 @@ impl Durability {
             ));
         }
         manifest.push_str(&format!("crc {}\n", crc32(manifest.as_bytes())));
-        write_synced(&tmp.join("MANIFEST"), manifest.as_bytes())?;
-        let _ = std::fs::File::open(&tmp).and_then(|d| d.sync_all());
-        std::fs::rename(&tmp, snapshot_dir(&self.dir, next))?;
-        let _ = std::fs::File::open(&snapshots).and_then(|d| d.sync_all());
+        write_synced(&self.io, &tmp.join("MANIFEST"), manifest.as_bytes())?;
+        let _ = self.io.fsync_dir(&tmp);
+        // The commit point: everything before a failed rename is an
+        // uncommitted `.tmp-` directory the next open clears.
+        if let Err(e) = self.io.rename(&tmp, &snapshot_dir(&self.dir, next)) {
+            return Err(e.into());
+        }
+        let _ = self.io.fsync_dir(&snapshots);
 
-        // Rotate the log: subsequent records belong to the new epoch.
-        let (wal, _) = Wal::open(&segment_path(&self.dir, next))?;
-        self.wal = wal;
-        self.epoch = next;
-
-        // Prune: keep this snapshot and the previous one (plus the WAL
-        // segments needed to roll either forward to the present).
-        for e in list_epochs(&snapshots, false)? {
-            if e + 2 <= next {
-                let _ = std::fs::remove_dir_all(snapshot_dir(&self.dir, e));
+        // Rotate the log: subsequent records belong to the new epoch. The
+        // snapshot is already committed, so a rotation failure poisons the
+        // handle — appending to the *old* segment would acknowledge
+        // records behind the new snapshot's replay horizon (recovery would
+        // silently drop them).
+        match Wal::open_with(&segment_path(&self.dir, next), self.io.clone()) {
+            Ok((wal, _)) => {
+                self.wal = wal;
+                self.epoch = next;
+            }
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
             }
         }
-        for e in list_epochs(&self.dir.join("wal"), true)? {
-            if e + 2 <= next {
-                let _ = std::fs::remove_file(segment_path(&self.dir, e));
-            }
-        }
-        sweep_orphan_pages(&self.dir)?;
+
+        // Post-commit housekeeping is best-effort: the checkpoint is
+        // durable, and a failed prune or sweep must not report it as
+        // failed — the next checkpoint retries, and stale state is
+        // harmless (recovery ignores epochs older than the newest valid
+        // chain; the sweep never deletes a page unless every retained
+        // descriptor was read successfully).
+        self.prune_and_sweep(next);
         self.last_checkpoint = Some(stats);
         Ok((next, paged_out))
+    }
+
+    /// Prunes snapshots/segments older than `next - 1` and sweeps
+    /// unreferenced pages. Every step is individually best-effort.
+    fn prune_and_sweep(&self, next: u64) {
+        let snapshots = self.dir.join("snapshots");
+        if let Ok(epochs) = list_epochs(&self.io, &snapshots, false) {
+            for e in epochs {
+                if e + 2 <= next {
+                    let _ = self.io.remove_dir_all(&snapshot_dir(&self.dir, e));
+                }
+            }
+        }
+        if let Ok(epochs) = list_epochs(&self.io, &self.dir.join("wal"), true) {
+            for e in epochs {
+                if e + 2 <= next {
+                    let _ = self.io.remove_file(&segment_path(&self.dir, e));
+                }
+            }
+        }
+        sweep_orphan_pages(&self.io, &self.dir);
     }
 
     /// Records appended through this handle since open or the last
@@ -376,14 +428,15 @@ impl Durability {
     }
 }
 
-/// Writes `bytes` and fsyncs. Plain (non-atomic) writes are fine here: the
-/// file lives in a temp snapshot directory whose *rename* is the atomic
-/// commit point.
-fn write_synced(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
-    use std::io::Write;
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
+/// Writes `bytes` and fsyncs, retrying transient faults (the write is
+/// idempotent: each attempt recreates the file). Plain (non-atomic) writes
+/// are fine here: the file lives in a temp snapshot directory whose
+/// *rename* is the atomic commit point.
+fn write_synced(io: &Io, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    with_retry(&RetryPolicy::default(), || {
+        io.write_file(path, bytes)?;
+        io.fsync(path)
+    })?;
     Ok(())
 }
 
@@ -516,14 +569,19 @@ impl KmetaDoc {
     /// verifying every referenced page file (length + CRC32) first —
     /// one file at a time, so recovery verification is O(data) I/O but
     /// bounded memory.
-    fn into_table(self, root: &Path, pool: &Arc<BufferPool>) -> Result<Table, StorageError> {
+    fn into_table(
+        self,
+        io: &Io,
+        root: &Path,
+        pool: &Arc<BufferPool>,
+    ) -> Result<Table, StorageError> {
         let pages = pages_dir(root);
         let mut recovered: Vec<Vec<RecoveredPage>> = Vec::with_capacity(self.columns.len());
         for col in self.columns {
             let mut out = Vec::with_capacity(col.len());
             for (file, len, crc, fnv, zone) in col {
                 let path = pages.join(&file);
-                let bytes = std::fs::read(&path).map_err(|e| {
+                let bytes = io.read(&path).map_err(|e| {
                     StorageError::Corrupt(format!("unreadable page file {file}: {e}"))
                 })?;
                 if bytes.len() != len as usize || crc32(&bytes) != crc {
@@ -552,25 +610,33 @@ impl KmetaDoc {
     }
 }
 
-/// Deletes page files no retained snapshot references. If any retained
-/// descriptor fails to parse the sweep is skipped entirely — an orphaned
-/// page is harmless, a deleted referenced page is not.
-fn sweep_orphan_pages(dir: &Path) -> Result<(), StorageError> {
+/// Deletes page files no retained snapshot references. Deletion happens
+/// only when the referenced set is provably complete: if any retained
+/// snapshot fails to list, or any of its descriptors fails to read or
+/// parse, the sweep is skipped entirely — an orphaned page is harmless, a
+/// deleted referenced page is not. Individual deletions are best-effort
+/// (a failed unlink leaves an orphan for the next sweep).
+fn sweep_orphan_pages(io: &Io, dir: &Path) {
     let pages = pages_dir(dir);
-    if !pages.exists() {
-        return Ok(());
+    if !io.exists(&pages) {
+        return;
     }
     let mut referenced: BTreeSet<String> = BTreeSet::new();
-    for e in list_epochs(&dir.join("snapshots"), false)? {
+    let Ok(epochs) = list_epochs(io, &dir.join("snapshots"), false) else {
+        return;
+    };
+    for e in epochs {
         let snap = snapshot_dir(dir, e);
-        for entry in std::fs::read_dir(&snap)? {
-            let path = entry?.path();
+        let Ok(entries) = io.read_dir(&snap) else {
+            return;
+        };
+        for path in entries {
             if path.extension().is_some_and(|x| x == "kmeta") {
-                let Ok(bytes) = std::fs::read(&path) else {
-                    return Ok(());
+                let Ok(bytes) = io.read(&path) else {
+                    return;
                 };
                 let Ok(doc) = parse_kmeta(&bytes) else {
-                    return Ok(());
+                    return;
                 };
                 for col in &doc.columns {
                     for (file, ..) in col {
@@ -580,28 +646,35 @@ fn sweep_orphan_pages(dir: &Path) -> Result<(), StorageError> {
             }
         }
     }
-    for entry in std::fs::read_dir(&pages)? {
-        let path = entry?.path();
+    let Ok(entries) = io.read_dir(&pages) else {
+        return;
+    };
+    for path in entries {
         let name = path.file_name().map(|n| n.to_string_lossy().to_string());
         if let Some(name) = name {
             if name.ends_with(".kpg") && !referenced.contains(&name) {
-                let _ = std::fs::remove_file(&path);
+                let _ = io.remove_file(&path);
             }
         }
     }
-    Ok(())
 }
 
 /// Loads and fully verifies snapshot `epoch` under `root`.
 fn load_snapshot(
+    io: &Io,
     root: &Path,
     epoch: u64,
     pool: &Arc<BufferPool>,
 ) -> Result<(Vec<Table>, Option<String>), StorageError> {
     let dir = snapshot_dir(root, epoch);
     let corrupt = |m: String| StorageError::Corrupt(m);
-    let manifest = std::fs::read_to_string(dir.join("MANIFEST"))
-        .map_err(|e| corrupt(format!("unreadable manifest in {}: {e}", dir.display())))?;
+    let manifest = io
+        .read(&dir.join("MANIFEST"))
+        .map_err(|e| corrupt(format!("unreadable manifest in {}: {e}", dir.display())))
+        .and_then(|bytes| {
+            String::from_utf8(bytes)
+                .map_err(|_| corrupt(format!("manifest in {} is not utf-8", dir.display())))
+        })?;
     // The manifest authenticates itself: its last line checksums the rest.
     let body_end = manifest
         .trim_end_matches('\n')
@@ -636,13 +709,14 @@ fn load_snapshot(
                 let want_crc: u32 = crc
                     .parse()
                     .map_err(|_| corrupt(format!("bad crc in manifest line '{line}'")))?;
-                let bytes = std::fs::read(dir.join(file))
+                let bytes = io
+                    .read(&dir.join(file))
                     .map_err(|e| corrupt(format!("unreadable snapshot file {file}: {e}")))?;
                 if bytes.len() != want_len || crc32(&bytes) != want_crc {
                     return Err(corrupt(format!("snapshot file {file} fails verification")));
                 }
                 if line.starts_with("ptable ") {
-                    tables.push(parse_kmeta(&bytes)?.into_table(root, pool)?);
+                    tables.push(parse_kmeta(&bytes)?.into_table(io, root, pool)?);
                 } else if line.starts_with("table ") {
                     // Legacy whole-table snapshots (pre-paged format).
                     tables.push(decode_table(&bytes)?);
@@ -904,10 +978,88 @@ mod tests {
                 d.checkpoint(&[Arc::new(t.clone())], &pl, None).unwrap();
             }
         }
-        let snaps = list_epochs(&dir.join("snapshots"), false).unwrap();
+        let io = Io::real();
+        let snaps = list_epochs(&io, &dir.join("snapshots"), false).unwrap();
         assert_eq!(snaps, vec![3, 4]);
-        let segs = list_epochs(&dir.join("wal"), true).unwrap();
+        let segs = list_epochs(&io, &dir.join("wal"), true).unwrap();
         assert_eq!(segs, vec![3, 4]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failed_prune_never_deletes_referenced_pages() {
+        use crate::{FaultPlan, IoOp};
+        let dir = tmp("pruneguard");
+        let io = Io::real();
+        let pl = Arc::new(BufferPool::with_budget_io(64, io.clone()));
+        let (mut d, _) = Durability::open(&dir, &pl).unwrap();
+        let t1 = kv_table(&[(1, "first")]);
+        let t2 = kv_table(&[(2, "second")]);
+        let t3 = kv_table(&[(3, "third")]);
+        d.checkpoint(&[Arc::new(t1)], &pl, None).unwrap();
+        d.checkpoint(&[Arc::new(t2)], &pl, None).unwrap();
+        // Every unlink (snapshot prune, segment prune, orphan sweep) fails:
+        // the checkpoint must still commit and report success…
+        io.install_faults(FaultPlan::probabilistic(3, 1.0).on_ops(&[IoOp::Unlink]));
+        d.checkpoint(&[Arc::new(t3.clone())], &pl, None).unwrap();
+        io.clear_faults();
+        // …and every page referenced by any retained kmeta must survive.
+        let io2 = Io::real();
+        for e in list_epochs(&io2, &dir.join("snapshots"), false).unwrap() {
+            for path in io2.read_dir(&snapshot_dir(&dir, e)).unwrap() {
+                if path.extension().is_some_and(|x| x == "kmeta") {
+                    let doc = parse_kmeta(&std::fs::read(&path).unwrap()).unwrap();
+                    for (file, ..) in doc.columns.iter().flatten() {
+                        assert!(
+                            pages_dir(&dir).join(file).exists(),
+                            "page {file} referenced by snapshot {e} was deleted"
+                        );
+                    }
+                }
+            }
+        }
+        // Reopen recovers the committed state, and the next checkpoint
+        // retries the housekeeping successfully.
+        drop(d);
+        let (mut d, rec) = Durability::open(&dir, &pl).unwrap();
+        assert_eq!(rec.snapshot_epoch, 3);
+        assert_eq!(rec.tables, vec![t3.clone()]);
+        d.checkpoint(&[Arc::new(t3)], &pl, None).unwrap();
+        let snaps = list_epochs(&io2, &dir.join("snapshots"), false).unwrap();
+        assert_eq!(snaps, vec![3, 4], "stale snapshots pruned on retry");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn wal_rotation_failure_poisons_logging_until_reopen() {
+        let dir = tmp("rotatepoison");
+        let pl = pool();
+        let (mut d, _) = Durability::open(&dir, &pl).unwrap();
+        let t = kv_table(&[(1, "a")]);
+        d.log(&WalRecord::CreateTable(t.clone())).unwrap();
+        // Make rotation fail after the snapshot rename commits: a
+        // directory squats on the new segment's path, so opening it
+        // errors. The checkpoint reports the failure…
+        std::fs::create_dir_all(segment_path(&dir, 1)).unwrap();
+        let err = d.checkpoint(&[Arc::new(t.clone())], &pl, None).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::Io(_) | StorageError::Corrupt(_)
+        ));
+        // Logging now refuses: an append to the old segment would be
+        // acknowledged-then-lost behind snapshot 1.
+        assert!(matches!(
+            d.log(&WalRecord::DropTable("kv".into())),
+            Err(StorageError::Io(_))
+        ));
+        // Reopen (after clearing the obstruction) recovers the committed
+        // snapshot.
+        std::fs::remove_dir_all(segment_path(&dir, 1)).unwrap();
+        drop(d);
+        let (mut d, rec) = Durability::open(&dir, &pl).unwrap();
+        assert_eq!(rec.snapshot_epoch, 1);
+        assert_eq!(rec.tables, vec![t]);
+        d.log(&WalRecord::DropTable("kv".into())).unwrap();
         let _ = std::fs::remove_dir_all(dir);
     }
 

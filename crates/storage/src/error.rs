@@ -44,6 +44,15 @@ pub enum StorageError {
     },
     /// Underlying I/O failure (message only, to keep the error `Clone`).
     Io(String),
+    /// The query was cancelled: its deadline passed or its cancel token
+    /// fired. Partial results are dropped; catalog state is untouched.
+    Cancelled(String),
+    /// The query exceeded its row or byte budget.
+    Budget(String),
+    /// A torn WAL tail could not be truncated at open. The segment is left
+    /// untouched for forensics and must not be appended to — appending
+    /// after the poisoned tail would bury a torn frame inside valid data.
+    TornTail(String),
 }
 
 impl fmt::Display for StorageError {
@@ -67,6 +76,9 @@ impl fmt::Display for StorageError {
                 write!(f, "cannot encode {what} of length {len}: exceeds u32::MAX")
             }
             StorageError::Io(m) => write!(f, "io error: {m}"),
+            StorageError::Cancelled(m) => write!(f, "query cancelled: {m}"),
+            StorageError::Budget(m) => write!(f, "query budget exceeded: {m}"),
+            StorageError::TornTail(m) => write!(f, "torn wal tail not repaired: {m}"),
         }
     }
 }

@@ -15,6 +15,7 @@
 //! aggregation, and sorted-run merge from [`crate::ops`] into full parallel
 //! query pipelines.
 
+use crate::guard::QueryGuard;
 use crate::StorageError;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -144,6 +145,24 @@ where
     T: Send,
     F: Fn(Morsel) -> Result<T, StorageError> + Sync,
 {
+    run_morsels_guarded(source, workers, &QueryGuard::unlimited(), work)
+}
+
+/// [`run_morsels`] under a [`QueryGuard`]: every worker re-checks the guard
+/// after claiming a morsel and before running it, so cancellation and
+/// deadlines take effect at morsel granularity. A tripped guard is recorded
+/// at that morsel's `seq`, and the earliest-morsel error rule then makes the
+/// result deterministic: the same typed error a serial run would surface.
+pub fn run_morsels_guarded<T, F>(
+    source: &MorselSource,
+    workers: usize,
+    guard: &QueryGuard,
+    work: F,
+) -> Result<MorselRun<T>, StorageError>
+where
+    T: Send,
+    F: Fn(Morsel) -> Result<T, StorageError> + Sync,
+{
     let workers = workers.max(1).min(source.morsel_count().max(1));
     let slots: Vec<parking_lot::Mutex<Option<T>>> = (0..source.morsel_count())
         .map(|_| parking_lot::Mutex::new(None))
@@ -159,7 +178,7 @@ where
             let Some(morsel) = source.claim() else {
                 break;
             };
-            match work(morsel) {
+            match guard.check().and_then(|()| work(morsel)) {
                 Ok(out) => *slots[morsel.seq].lock() = Some(out),
                 Err(e) => {
                     let mut slot = failure.lock();
@@ -276,5 +295,23 @@ mod tests {
     #[test]
     fn host_parallelism_is_at_least_one() {
         assert!(host_parallelism() >= 1);
+    }
+
+    #[test]
+    fn guarded_run_cancels_deterministically() {
+        use std::time::Duration;
+        // A 0ms deadline trips on the very first claimed morsel, and the
+        // earliest-morsel rule pins the reported error to seq 0 regardless
+        // of worker count or scheduling.
+        for workers in [1usize, 4] {
+            let src = MorselSource::new(1000, 10);
+            let guard = QueryGuard::unlimited().with_timeout(Duration::ZERO);
+            let err = run_morsels_guarded(&src, workers, &guard, Ok).unwrap_err();
+            assert!(matches!(err, StorageError::Cancelled(_)), "{err:?}");
+        }
+        // An untripped guard changes nothing.
+        let src = MorselSource::new(100, 10);
+        let run = run_morsels_guarded(&src, 4, &QueryGuard::unlimited(), |m| Ok(m.seq)).unwrap();
+        assert_eq!(run.outputs, (0..10).collect::<Vec<_>>());
     }
 }

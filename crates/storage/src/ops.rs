@@ -6,6 +6,7 @@
 //! layer.
 
 use crate::batch::{ColumnVector, RowBatch, DEFAULT_BATCH_SIZE};
+use crate::guard::QueryGuard;
 use crate::{BinOp, Expr, Row, Schema, StorageError, Table, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -53,23 +54,49 @@ pub trait Operator {
 }
 
 /// Drains an operator into a materialized [`Table`].
-pub fn collect(name: &str, mut op: Box<dyn Operator>) -> Result<Table, StorageError> {
+pub fn collect(name: &str, op: Box<dyn Operator>) -> Result<Table, StorageError> {
+    collect_guarded(name, op, &QueryGuard::unlimited())
+}
+
+/// [`collect`] under a [`QueryGuard`]: the guard is checked before every
+/// `next()` (so a 0ms deadline aborts before the first row) and charged
+/// for every produced row.
+pub fn collect_guarded(
+    name: &str,
+    mut op: Box<dyn Operator>,
+    guard: &QueryGuard,
+) -> Result<Table, StorageError> {
     let mut out = Table::new(name, op.schema().clone());
+    guard.check()?;
     while let Some(row) = op.next()? {
+        guard.charge_row(&row)?;
         out.push(row)?;
+        guard.check_periodic(out.len())?;
     }
     Ok(out)
 }
 
 /// Drains an operator batch-at-a-time into a materialized [`Table`],
 /// returning the table and the number of batches produced.
-pub fn collect_batched(
+pub fn collect_batched(name: &str, op: Box<dyn Operator>) -> Result<(Table, usize), StorageError> {
+    collect_batched_guarded(name, op, &QueryGuard::unlimited())
+}
+
+/// [`collect_batched`] under a [`QueryGuard`]: checked before every
+/// `next_batch()`, charged per produced batch.
+pub fn collect_batched_guarded(
     name: &str,
     mut op: Box<dyn Operator>,
+    guard: &QueryGuard,
 ) -> Result<(Table, usize), StorageError> {
     let mut out = Table::new(name, op.schema().clone());
     let mut batches = 0;
-    while let Some(batch) = op.next_batch()? {
+    loop {
+        guard.check()?;
+        let Some(batch) = op.next_batch()? else {
+            break;
+        };
+        guard.charge_batch(&batch)?;
         batches += 1;
         for row in batch.into_rows() {
             out.push(row)?;
@@ -96,6 +123,7 @@ pub struct TableScan {
     // Selected full-table column ordinals + the projected output schema,
     // when the scan is restricted to a column subset.
     columns: Option<(Vec<usize>, Schema)>,
+    guard: QueryGuard,
 }
 
 impl TableScan {
@@ -109,7 +137,16 @@ impl TableScan {
             batch_size: DEFAULT_BATCH_SIZE,
             prune: Vec::new(),
             columns: None,
+            guard: QueryGuard::unlimited(),
         }
+    }
+
+    /// Attaches a [`QueryGuard`]: deadline/cancellation is checked
+    /// periodically in `next()` and once per `next_batch()`, so a
+    /// long-running scan aborts mid-stream instead of at drain time.
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
+        self
     }
 
     /// Sets the rows-per-batch capacity for batched execution (min 1).
@@ -175,6 +212,7 @@ impl Operator for TableScan {
     }
 
     fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        self.guard.check_periodic(self.cursor)?;
         if let Some(pages) = self.table.paged().cloned() {
             loop {
                 if self.cursor >= self.end {
@@ -204,6 +242,7 @@ impl Operator for TableScan {
     }
 
     fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        self.guard.check()?;
         if let Some(pages) = self.table.paged().cloned() {
             loop {
                 if self.cursor >= self.end {
@@ -279,6 +318,7 @@ pub struct IndexScan {
     positions: Vec<usize>,
     cursor: usize,
     batch_size: usize,
+    guard: QueryGuard,
 }
 
 impl IndexScan {
@@ -289,12 +329,19 @@ impl IndexScan {
             positions,
             cursor: 0,
             batch_size: DEFAULT_BATCH_SIZE,
+            guard: QueryGuard::unlimited(),
         }
     }
 
     /// Sets the rows-per-batch capacity for batched execution (min 1).
     pub fn with_batch_size(mut self, n: usize) -> Self {
         self.batch_size = n.max(1);
+        self
+    }
+
+    /// Attaches a [`QueryGuard`] checked as the scan advances.
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = guard;
         self
     }
 }
@@ -305,6 +352,7 @@ impl Operator for IndexScan {
     }
 
     fn next(&mut self) -> Result<Option<Row>, StorageError> {
+        self.guard.check_periodic(self.cursor)?;
         let Some(&pos) = self.positions.get(self.cursor) else {
             return Ok(None);
         };
@@ -316,6 +364,7 @@ impl Operator for IndexScan {
     }
 
     fn next_batch(&mut self) -> Result<Option<RowBatch>, StorageError> {
+        self.guard.check()?;
         if self.cursor >= self.positions.len() {
             return Ok(None);
         }

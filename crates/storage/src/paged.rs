@@ -10,6 +10,7 @@
 //! whole incremental-checkpoint mechanism: unchanged pages are recognized by
 //! name (`{crc32}{fnv1a64}.kpg`) and skipped.
 
+use crate::io::{with_retry, Io, RetryPolicy};
 use crate::page::{decode_page, encode_page, ZoneMap};
 use crate::pool::{BufferPool, PageKey};
 use crate::wal::crc32;
@@ -102,12 +103,20 @@ impl PageSlot {
         matches!(*self.backing.read(), PageBacking::Mem(_))
     }
 
-    fn encoded_bytes(&self) -> Result<Bytes, StorageError> {
+    fn encoded_bytes(&self, io: &Io) -> Result<Bytes, StorageError> {
         let backing = self.backing.read();
         match &*backing {
             PageBacking::Mem(bytes) => Ok(bytes.clone()),
             PageBacking::File(path) => {
-                let data = std::fs::read(path)?;
+                // One retry on a transient read failure; anything that
+                // persists surfaces as a typed `Io`, and bytes that arrive
+                // but do not match the descriptor are `Corrupt`. Never a
+                // panic, never a wrong page.
+                let retry = RetryPolicy {
+                    attempts: 2,
+                    ..RetryPolicy::default()
+                };
+                let data = with_retry(&retry, || io.read(path))?;
                 if crc32(&data) != self.crc || data.len() != self.len as usize {
                     return Err(StorageError::Corrupt(format!(
                         "page file {} does not match its descriptor",
@@ -319,7 +328,7 @@ impl PagedTable {
             page: p as u32,
         };
         self.pool.get_or_load(key, || {
-            let bytes = slot.encoded_bytes()?;
+            let bytes = slot.encoded_bytes(self.pool.io())?;
             Ok(Arc::new(decode_page(&bytes)?))
         })
     }
@@ -376,16 +385,17 @@ impl PagedTable {
     /// whose file already exists (identical content from an earlier
     /// checkpoint) are skipped — this is what makes checkpoints incremental.
     pub fn write_durable(&self, pages_dir: &Path) -> Result<PageWriteStats, StorageError> {
+        let io = self.pool.io().clone();
         let mut stats = PageWriteStats::default();
         for slots in &self.columns {
             for slot in slots {
                 stats.bytes_total += slot.len as u64;
                 let path = pages_dir.join(slot.file_name());
-                if path.exists() {
+                if io.exists(&path) {
                     stats.pages_reused += 1;
                 } else {
-                    let bytes = slot.encoded_bytes()?;
-                    crate::persist::atomic_write(&path, &bytes)?;
+                    let bytes = slot.encoded_bytes(&io)?;
+                    crate::persist::atomic_write_with(&io, &path, &bytes)?;
                     stats.pages_written += 1;
                     stats.bytes_written += slot.len as u64;
                 }
@@ -517,6 +527,28 @@ mod tests {
             PagedTable::from_recovered(schema(), 200, 64, recovered, Arc::clone(&pool)).unwrap();
         assert_eq!(back.dirty_pages(), 0);
         assert_eq!(back.materialize().unwrap(), data);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn page_reads_retry_once_then_surface_typed_errors() {
+        use crate::{FaultKind, FaultPlan, IoOp};
+        let dir = tempdir();
+        let io = Io::real();
+        let pool = Arc::new(BufferPool::with_budget_io(1, io.clone()));
+        let data = rows(200);
+        let pt = PagedTable::from_rows(schema(), &data, Arc::clone(&pool), 64).unwrap();
+        pt.write_durable(&dir).unwrap();
+        // A transient read fault is retried once and hidden from the scan
+        // (budget 1 forces a disk read per page).
+        io.install_faults(FaultPlan::at(1, FaultKind::Transient).on_ops(&[IoOp::Read]));
+        assert_eq!(pt.materialize().unwrap(), data);
+        // A persistent read fault surfaces as Io — never a panic or a
+        // wrong batch.
+        io.install_faults(FaultPlan::probabilistic(1, 1.0).with_kinds(&[FaultKind::Permanent]));
+        assert!(matches!(pt.materialize().unwrap_err(), StorageError::Io(_)));
+        io.clear_faults();
+        assert_eq!(pt.materialize().unwrap(), data);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,10 +8,10 @@
 //! a CRC32 trailer over the entire encoding, so a torn or bit-flipped
 //! snapshot file is detected instead of decoded into wrong rows.
 
+use crate::io::{with_retry, Io, RetryPolicy};
 use crate::wal::crc32;
 use crate::{Column, DataType, Row, Schema, StorageError, Table, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"KTBL";
@@ -119,9 +119,19 @@ fn decode_body(mut data: &[u8]) -> Result<Table, StorageError> {
 /// containing directory is fsynced best-effort (required for the rename to
 /// be durable on power loss; not supported on every filesystem).
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    atomic_write_with(&Io::real(), path, bytes)
+}
+
+/// [`atomic_write`] through an explicit [`Io`] handle. The temp-file write
+/// and its fsync retry transient faults (the sequence is idempotent — each
+/// attempt recreates the temp file from scratch); the rename is attempted
+/// once, since its failure modes are not transient and a duplicate rename
+/// could clobber a concurrent writer. On any failure the target file is
+/// untouched and the temp file is cleaned up best-effort.
+pub fn atomic_write_with(io: &Io, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
     let dir = match path.parent() {
         Some(d) if !d.as_os_str().is_empty() => {
-            std::fs::create_dir_all(d)?;
+            io.create_dir_all(d)?;
             d.to_path_buf()
         }
         _ => std::path::PathBuf::from("."),
@@ -134,26 +144,40 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
         file_name.to_string_lossy(),
         std::process::id()
     ));
-    let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(bytes)?;
-    f.sync_all()?;
-    drop(f);
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        let _ = std::fs::remove_file(&tmp);
+    let write = with_retry(&RetryPolicy::default(), || {
+        io.write_file(&tmp, bytes)?;
+        io.fsync(&tmp)
+    });
+    if let Err(e) = write {
+        let _ = io.remove_file(&tmp);
         return Err(e.into());
     }
-    let _ = std::fs::File::open(&dir).and_then(|d| d.sync_all());
+    if let Err(e) = io.rename(&tmp, path) {
+        let _ = io.remove_file(&tmp);
+        return Err(e.into());
+    }
+    let _ = io.fsync_dir(&dir);
     Ok(())
 }
 
 /// Writes a table to `path` atomically (temp file + fsync + rename).
 pub fn save_table(table: &Table, path: &Path) -> Result<(), StorageError> {
-    atomic_write(path, &encode_table(table)?)
+    save_table_with(&Io::real(), table, path)
+}
+
+/// [`save_table`] through an explicit [`Io`] handle.
+pub fn save_table_with(io: &Io, table: &Table, path: &Path) -> Result<(), StorageError> {
+    atomic_write_with(io, path, &encode_table(table)?)
 }
 
 /// Reads a table from `path`.
 pub fn load_table(path: &Path) -> Result<Table, StorageError> {
-    let data = std::fs::read(path)?;
+    load_table_with(&Io::real(), path)
+}
+
+/// [`load_table`] through an explicit [`Io`] handle.
+pub fn load_table_with(io: &Io, path: &Path) -> Result<Table, StorageError> {
+    let data = io.read(path)?;
     decode_table(&data)
 }
 
@@ -345,6 +369,40 @@ mod tests {
         save_table(&t, &path).unwrap();
         let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
         assert_eq!(entries.len(), 1, "temp file left behind");
+        assert_eq!(load_table(&path).unwrap(), t);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failed_atomic_write_leaves_target_and_no_temp() {
+        use crate::{FaultKind, FaultPlan, IoOp};
+        let dir =
+            std::env::temp_dir().join(format!("kathdb_persist_fault_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("films.ktbl");
+        let t = table();
+        save_table(&t, &path).unwrap();
+        let io = Io::real();
+        for kind in [FaultKind::Permanent, FaultKind::Enospc] {
+            for op in [IoOp::Write, IoOp::Rename] {
+                io.install_faults(
+                    FaultPlan::probabilistic(1, 1.0)
+                        .with_kinds(&[kind])
+                        .on_ops(&[op]),
+                );
+                assert!(matches!(
+                    save_table_with(&io, &t, &path),
+                    Err(StorageError::Io(_))
+                ));
+                io.clear_faults();
+                // The old contents survive and no temp file is left behind.
+                assert_eq!(load_table(&path).unwrap(), t);
+                assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+            }
+        }
+        // A transient write fault is retried away.
+        io.install_faults(FaultPlan::at(1, FaultKind::ShortWrite).on_ops(&[IoOp::Write]));
+        save_table_with(&io, &t, &path).unwrap();
         assert_eq!(load_table(&path).unwrap(), t);
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -9,6 +9,7 @@
 //! Hit/miss/eviction and zone-map-skip counters feed `\pool` in the REPL
 //! and `durability_status()` in the facade.
 
+use crate::io::Io;
 use crate::ColumnVector;
 use crate::{StorageError, Value};
 use parking_lot::Mutex;
@@ -74,6 +75,10 @@ pub struct BufferPool {
     misses: AtomicU64,
     evictions: AtomicU64,
     zone_skips: AtomicU64,
+    /// The database's I/O seam: page reads, the WAL, and checkpoints of
+    /// the catalog owning this pool all share it, so one `\faults` spec
+    /// (or `KATHDB_FAULTS`) covers the whole durability path.
+    io: Io,
 }
 
 impl std::fmt::Debug for Inner {
@@ -91,8 +96,13 @@ impl Default for BufferPool {
 }
 
 impl BufferPool {
-    /// A pool with an explicit page budget (min 1).
+    /// A pool with an explicit page budget (min 1) over the real backend.
     pub fn with_budget(pages: usize) -> Self {
+        Self::with_budget_io(pages, Io::real())
+    }
+
+    /// A pool with an explicit page budget and I/O seam.
+    pub fn with_budget_io(pages: usize, io: Io) -> Self {
         Self {
             budget: AtomicUsize::new(pages.max(1)),
             inner: Mutex::new(Inner::default()),
@@ -100,18 +110,26 @@ impl BufferPool {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             zone_skips: AtomicU64::new(0),
+            io,
         }
     }
 
     /// A pool budgeted from `KATHDB_POOL_PAGES` (default
-    /// [`DEFAULT_POOL_PAGES`]).
+    /// [`DEFAULT_POOL_PAGES`]), with an I/O seam honouring `KATHDB_FAULTS`
+    /// (test-only).
     pub fn from_env() -> Self {
         let pages = std::env::var(POOL_PAGES_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or(DEFAULT_POOL_PAGES);
-        Self::with_budget(pages)
+        Self::with_budget_io(pages, Io::from_env())
+    }
+
+    /// The database's I/O seam (shared by page reads, the WAL, and
+    /// checkpoints).
+    pub fn io(&self) -> &Io {
+        &self.io
     }
 
     /// Current budget in pages.

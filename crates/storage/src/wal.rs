@@ -17,11 +17,10 @@
 //! corruption and surfaces as [`StorageError::Corrupt`] — recovery never
 //! fabricates rows and never silently discards acknowledged ones.
 
+use crate::io::{with_retry, Io, RetryPolicy};
 use crate::persist::{encode_table, get_str, get_value, put_str, put_value};
 use crate::{decode_table, Row, StorageError, Table};
 use bytes::{Buf, BufMut, BytesMut};
-use std::fs::OpenOptions;
-use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const CRC_TABLE: [u32; 256] = build_crc_table();
@@ -207,10 +206,14 @@ pub(crate) fn decode_frames(data: &[u8]) -> Result<(Vec<WalRecord>, u64), Storag
     Ok((records, off as u64))
 }
 
-/// One append-only log segment, fsynced on every append.
+/// One append-only log segment, fsynced on every append. All file
+/// operations route through the segment's [`Io`] handle, so fault
+/// injection exercises the exact append/repair paths a real disk error
+/// would hit.
 #[derive(Debug)]
 pub struct Wal {
-    file: std::fs::File,
+    io: Io,
+    retry: RetryPolicy,
     path: PathBuf,
     /// End of the last complete frame (where the next append goes).
     len: u64,
@@ -221,32 +224,48 @@ pub struct Wal {
 }
 
 impl Wal {
+    /// [`Wal::open_with`] over the real backend.
+    pub fn open(path: &Path) -> Result<(Self, Vec<WalRecord>), StorageError> {
+        Self::open_with(path, Io::real())
+    }
+
     /// Opens (creating if absent) a segment and replays its complete
     /// records. A torn final frame is dropped and the file truncated to the
-    /// last valid offset, so the next append overwrites it.
-    pub fn open(path: &Path) -> Result<(Self, Vec<WalRecord>), StorageError> {
+    /// last valid offset, so the next append overwrites it. If that
+    /// truncation fails even after retrying transient errors, open fails
+    /// with [`StorageError::TornTail`] rather than handing back a segment
+    /// whose poisoned tail would end up buried under later appends.
+    pub fn open_with(path: &Path, io: Io) -> Result<(Self, Vec<WalRecord>), StorageError> {
+        let retry = RetryPolicy::default();
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
+            io.create_dir_all(dir)?;
         }
-        let data = match std::fs::read(path) {
-            Ok(d) => d,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e.into()),
+        let data = match io.read_opt(path)? {
+            Some(d) => d,
+            None => {
+                // Create the (empty) segment eagerly so recovery listings
+                // and chain checks see it.
+                io.write_file(path, &[])?;
+                Vec::new()
+            }
         };
         let (records, valid_len) = decode_frames(&data)?;
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
         if data.len() as u64 != valid_len {
-            file.set_len(valid_len)?;
-            file.sync_data()?;
+            with_retry(&retry, || {
+                io.set_len(path, valid_len)?;
+                io.fsync(path)
+            })
+            .map_err(|e| {
+                StorageError::TornTail(format!(
+                    "failed to truncate '{}' to {valid_len} bytes: {e}",
+                    path.display()
+                ))
+            })?;
         }
         Ok((
             Wal {
-                file,
+                io,
+                retry,
                 path: path.to_path_buf(),
                 len: valid_len,
                 records: records.len() as u64,
@@ -258,6 +277,11 @@ impl Wal {
 
     /// Appends one record: frame written at the valid tail, then fsynced.
     /// Only after this returns may the record be applied in memory.
+    /// Transient failures are retried under the segment's [`RetryPolicy`];
+    /// the rewrite targets a fixed offset, so a retry after a short write
+    /// simply overwrites the torn prefix. On failure nothing is
+    /// acknowledged and the valid tail is unchanged — a later append
+    /// overwrites whatever the failed attempt left behind.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
         let payload = record.encode()?;
         let len_bytes = crate::persist::encodable_len("wal payload", payload.len())?.to_be_bytes();
@@ -266,9 +290,10 @@ impl Wal {
         frame.extend_from_slice(&crc32(&len_bytes).to_be_bytes());
         frame.extend_from_slice(&crc32(&payload).to_be_bytes());
         frame.extend_from_slice(&payload);
-        self.file.seek(SeekFrom::Start(self.len))?;
-        self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        with_retry(&self.retry, || {
+            self.io.write_at(&self.path, self.len, &frame)?;
+            self.io.fsync(&self.path)
+        })?;
         self.len += frame.len() as u64;
         self.records += 1;
         self.appended += 1;
@@ -278,11 +303,12 @@ impl Wal {
     /// Read-only replay of a whole segment file (used for rotated-out
     /// segments during recovery). Missing file = empty segment.
     pub fn replay_file(path: &Path) -> Result<Vec<WalRecord>, StorageError> {
-        let data = match std::fs::read(path) {
-            Ok(d) => d,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e.into()),
-        };
+        Self::replay_file_with(path, &Io::real())
+    }
+
+    /// [`Wal::replay_file`] through an explicit [`Io`] handle.
+    pub fn replay_file_with(path: &Path, io: &Io) -> Result<Vec<WalRecord>, StorageError> {
+        let data = io.read_opt(path)?.unwrap_or_default();
         decode_frames(&data).map(|(records, _)| records)
     }
 
@@ -312,7 +338,8 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DataType, Schema, Value};
+    use crate::{DataType, FaultKind, FaultPlan, IoOp, Schema, Value};
+    use std::fs::OpenOptions;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("kathdb_wal_{}_{name}", std::process::id()));
@@ -426,6 +453,83 @@ mod tests {
         assert!(matches!(Wal::open(&path), Err(StorageError::Corrupt(_))));
         // Nothing was truncated: the bytes are still there for forensics.
         assert_eq!(std::fs::read(&path).unwrap().len(), data.len());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_truncate_failure_is_a_typed_error() {
+        let dir = tmp("torntyped");
+        let path = dir.join("000000.log");
+        let records = sample_records();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        // Every truncate attempt fails permanently: open must refuse with
+        // a typed error, not proceed with the poisoned tail…
+        let io = Io::real();
+        io.install_faults(FaultPlan::probabilistic(1, 1.0).on_ops(&[IoOp::Truncate]));
+        assert!(matches!(
+            Wal::open_with(&path, io),
+            Err(StorageError::TornTail(_))
+        ));
+        // …and the bytes are untouched for forensics.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len - 3);
+        // A transient truncate failure is retried away.
+        let io = Io::real();
+        io.install_faults(FaultPlan::at(1, FaultKind::Transient).on_ops(&[IoOp::Truncate]));
+        let (_, replayed) = Wal::open_with(&path, io).unwrap();
+        assert_eq!(replayed, records[..records.len() - 1]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn append_retries_transient_faults() {
+        let dir = tmp("retryappend");
+        let path = dir.join("000000.log");
+        let io = Io::real();
+        let (mut wal, _) = Wal::open_with(&path, io.clone()).unwrap();
+        let records = sample_records();
+        // A short write tears the first attempt; the retry overwrites the
+        // torn prefix at the same offset.
+        io.install_faults(FaultPlan::at(1, FaultKind::ShortWrite).on_ops(&[IoOp::Write]));
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        io.clear_faults();
+        drop(wal);
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, records);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn append_surfaces_permanent_faults_without_acknowledging() {
+        let dir = tmp("permappend");
+        let path = dir.join("000000.log");
+        let io = Io::real();
+        let (mut wal, _) = Wal::open_with(&path, io.clone()).unwrap();
+        let records = sample_records();
+        wal.append(&records[0]).unwrap();
+        io.install_faults(FaultPlan::probabilistic(1, 1.0).with_kinds(&[FaultKind::Enospc]));
+        assert!(matches!(wal.append(&records[1]), Err(StorageError::Io(_))));
+        assert_eq!(wal.records(), 1, "failed append must not be counted");
+        io.clear_faults();
+        // The failed attempt left no acknowledged record behind…
+        drop(wal);
+        let (mut wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, records[..1]);
+        // …and the tail is clean for the next append.
+        wal.append(&records[1]).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, records[..2]);
         let _ = std::fs::remove_dir_all(dir);
     }
 
