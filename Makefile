@@ -2,11 +2,11 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench bench-no-run bench-smoke recovery-smoke chaos-smoke clippy fmt examples figures
+.PHONY: verify build test bench bench-no-run bench-smoke recovery-smoke chaos-smoke session-smoke clippy fmt examples figures
 
 EXAMPLES := $(basename $(notdir $(wildcard examples/*.rs)))
 
-verify: fmt build test clippy bench-no-run recovery-smoke chaos-smoke examples
+verify: fmt build test clippy bench-no-run recovery-smoke chaos-smoke session-smoke examples
 
 build:
 	$(CARGO) build --release
@@ -25,10 +25,10 @@ bench-no-run:
 
 # Quick end-to-end runs of the perf benches (small corpora, few reps):
 # prove the morsel-parallel, durable-recovery, vector-search, paged
-# out-of-core storage, and compiled-pipeline paths still run and refresh
-# BENCH_parallel.json / BENCH_recovery.json / BENCH_vector.json /
-# BENCH_storage.json / BENCH_compiled.json's schemas without the full
-# sweeps.
+# out-of-core storage, compiled-pipeline, and concurrent-transaction
+# paths still run and refresh BENCH_parallel.json / BENCH_recovery.json /
+# BENCH_vector.json / BENCH_storage.json / BENCH_compiled.json /
+# BENCH_txn.json's schemas without the full sweeps.
 bench-smoke:
 	$(CARGO) run -q --release -p kath_bench --bin parallel_bench -- --quick
 	$(CARGO) run -q --release -p kath_bench --bin recovery_bench -- --quick
@@ -36,6 +36,7 @@ bench-smoke:
 	$(CARGO) run -q --release -p kath_bench --bin storage_bench -- --quick
 	$(CARGO) run -q --release -p kath_bench --bin compiled_bench -- --quick
 	$(CARGO) run -q --release -p kath_bench --bin fault_bench -- --quick
+	$(CARGO) run -q --release -p kath_bench --bin txn_bench -- --quick
 
 # Crash-recovery smoke: a child process populates a durable DB (WAL-logged
 # inserts around a checkpoint) and dies via abort(); the parent reopens and
@@ -49,6 +50,16 @@ recovery-smoke:
 # query-deadline cancellation leg (see docs/robustness.md).
 chaos-smoke:
 	$(CARGO) run -q --release -p kath_bench --bin chaos_smoke
+
+# Concurrent-session smoke: 8 writer sessions commit framed transactions
+# while 8 readers take MVCC snapshots under seeded interleavings; asserts
+# no torn reads (every snapshot is a per-writer committed prefix of
+# complete transactions) and that post-crash recovery — including a
+# hand-torn Begin-without-Commit WAL tail — equals the acked commits
+# exactly (see docs/concurrency.md). CI also runs this under
+# KATHDB_FAULTS as a chaos leg.
+session-smoke:
+	$(CARGO) run -q --release -p kath_bench --bin session_smoke
 
 fmt:
 	$(CARGO) fmt --all --check

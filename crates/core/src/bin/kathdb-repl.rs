@@ -12,7 +12,15 @@
 //!   (newest valid snapshot + WAL replay), then WAL-logged mutations,
 //! - `\checkpoint` — snapshot every table + the function registry,
 //! - `\wal` — durability status (snapshot epoch, log records/bytes, what
-//!   the last incremental checkpoint wrote vs reused),
+//!   the last incremental checkpoint wrote vs reused, and the group-commit
+//!   coordinator's fsync batching counters),
+//! - `\begin` / `\commit` / `\rollback` — explicit transactions: mutations
+//!   stage against the begin-time snapshot (visible to this shell's own
+//!   SELECTs, invisible to concurrent sessions) and publish atomically as
+//!   one framed WAL group at `\commit`,
+//! - `\sessions` — how many concurrent [`kathdb::Session`] handles are
+//!   live on this database (0 in a plain shell; programs open them via
+//!   `KathDB::session()`),
 //! - `\pool` — buffer-pool status (budget, residency, hit/miss/eviction
 //!   counters, zone-map skips, dirty pages); `\pool <n>` re-budgets it,
 //! - `\explain <question>` — NL questions over the last query's provenance,
@@ -108,7 +116,8 @@ fn main() {
             _ if line == "\\quit" || line == "\\q" => break,
             _ if line == "\\help" || line == "help" => {
                 println!(
-                    "commands: \\sql <query> | \\open <dir> | \\checkpoint | \\wal | \
+                    "commands: \\sql <query> | \\begin | \\commit | \\rollback | \
+                     \\sessions | \\open <dir> | \\checkpoint | \\wal | \
                      \\pool [<pages>] | \\explain <question> | \\lineage | \
                      \\functions | \\tables | \\tokens | \\batch <n>|off|auto | \
                      \\threads <n>|auto | \\compile on|off|auto | \
@@ -162,6 +171,30 @@ fn main() {
                     Err(e) => println!("sql error: {e}"),
                 }
             }
+            _ if line == "\\begin" => match db.begin() {
+                Ok(()) => println!(
+                    "transaction open: mutations stage until \\commit \
+                     (SELECTs here see them; other sessions do not)"
+                ),
+                Err(e) => println!("begin failed: {e}"),
+            },
+            _ if line == "\\commit" => match db.commit() {
+                Ok(n) => println!("committed {n} record(s) as one durable WAL group"),
+                Err(e) => println!("commit failed: {e}"),
+            },
+            _ if line == "\\rollback" => match db.rollback() {
+                Ok(n) => println!("rolled back: {n} staged record(s) discarded"),
+                Err(e) => println!("rollback failed: {e}"),
+            },
+            _ if line == "\\sessions" => {
+                let n = db.sessions();
+                let txn = if db.in_transaction() {
+                    " — this shell has a transaction open"
+                } else {
+                    ""
+                };
+                println!("{n} concurrent session handle(s) live{txn}");
+            }
             Some(("\\open", rest)) if !rest.is_empty() => match db.open_dir(rest) {
                 Ok(info) => {
                     println!(
@@ -193,6 +226,15 @@ fn main() {
                         s.wal_records,
                         s.wal_bytes
                     );
+                    if s.group_fsyncs > 0 {
+                        println!(
+                            "group commit: {} commit(s) over {} fsync(s) \
+                             (mean group size {:.2})",
+                            s.group_commits,
+                            s.group_fsyncs,
+                            s.group_commits as f64 / s.group_fsyncs as f64
+                        );
+                    }
                     if let Some(c) = s.last_checkpoint {
                         println!(
                             "last checkpoint: epoch {} — {} table(s), {} page(s) written, \

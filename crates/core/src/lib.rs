@@ -61,7 +61,8 @@ use kath_storage::{
 };
 use std::fmt;
 use std::path::Path;
-use std::sync::Arc;
+
+mod session;
 
 pub use kath_data as data;
 pub use kath_exec as exec;
@@ -77,6 +78,7 @@ pub use kath_parser as parser;
 pub use kath_sql as sql;
 pub use kath_storage as storage;
 pub use kath_vector as vector;
+pub use session::{Session, TxnStage};
 
 /// Top-level errors.
 #[derive(Debug)]
@@ -95,6 +97,9 @@ pub enum KathError {
     Sql(SqlError),
     /// A durability operation was requested but no directory is open.
     NotDurable,
+    /// Transaction-control misuse: nested `begin`, or `commit`/`rollback`
+    /// with no open transaction.
+    Txn(String),
 }
 
 impl fmt::Display for KathError {
@@ -111,6 +116,7 @@ impl fmt::Display for KathError {
             KathError::NotDurable => {
                 write!(f, "no durable directory open (use KathDB::open or \\open)")
             }
+            KathError::Txn(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -206,12 +212,15 @@ pub struct KathDB {
     /// Durable-storage state when a directory is open (`None` = in-memory
     /// only, the historical behaviour).
     durability: Option<DurableState>,
+    /// The facade's own open transaction (`\begin` … `\commit`), staged
+    /// against the snapshot taken at [`KathDB::begin`].
+    txn: Option<TxnStage>,
 }
 
-/// The attached durability coordinator plus the function-registry payload
-/// as last logged or checkpointed (change detection for `query()`).
+/// The function-registry payload as last logged or checkpointed (change
+/// detection for `query()`). The durability coordinator itself lives inside
+/// the shared catalog so concurrent sessions commit through one WAL.
 struct DurableState {
-    inner: Durability,
     functions_json: String,
 }
 
@@ -254,6 +263,7 @@ impl KathDB {
             pinned_exec_mode: None,
             pinned_threads,
             durability: None,
+            txn: None,
         }
     }
 
@@ -278,15 +288,18 @@ impl KathDB {
         let dir = dir.as_ref();
         self.close()?;
         let pre_existing = !self.ctx.catalog.is_empty();
-        let (inner, recovered) = Durability::open(dir, self.ctx.catalog.pool())?;
+        let pool = self.ctx.catalog.pool();
+        let (inner, recovered) = Durability::open(dir, &pool)?;
         let info = RecoveryInfo {
             snapshot_tables: recovered.tables.len(),
             wal_replayed: recovered.wal_records.len(),
             snapshot_epoch: recovered.snapshot_epoch,
         };
         // Stage recovery on copies: a failed open must leave the session
-        // exactly as it was, never half-recovered.
-        let mut catalog = self.ctx.catalog.clone();
+        // exactly as it was, never half-recovered. Only committed WAL
+        // records reach us here — `Durability::open` filtered out any
+        // framed transaction that never reached its `Commit` marker.
+        let mut catalog = self.ctx.catalog.snapshot().catalog().clone();
         let mut registry = match &recovered.functions_json {
             Some(json) => Self::registry_from_json(json)?,
             None => self.registry.clone(),
@@ -314,10 +327,13 @@ impl KathDB {
                 }
             }
         }
-        // Commit the staged state, then give every restored table a
-        // lineage ingest root: provenance bottoms out at the durable
+        // Publish the staged state as one new version (readers holding
+        // older snapshots are unaffected), then give every restored table
+        // a lineage ingest root: provenance bottoms out at the durable
         // directory, whether the table came from the snapshot or the log.
-        self.ctx.catalog = catalog;
+        self.ctx
+            .catalog
+            .install_recovered(catalog, inner, recovered.max_txid);
         self.registry = registry;
         for name in restored {
             if self.ctx.catalog.contains(&name) && self.ctx.table_lid(&name).is_none() {
@@ -331,10 +347,7 @@ impl KathDB {
             }
         }
         let functions_json = to_string_pretty(&self.registry.to_json());
-        self.durability = Some(DurableState {
-            inner,
-            functions_json,
-        });
+        self.durability = Some(DurableState { functions_json });
         if pre_existing {
             self.checkpoint()?;
         }
@@ -351,9 +364,13 @@ impl KathDB {
     }
 
     /// Runs one SQL statement against the catalog. SELECTs execute in the
-    /// active execution mode and return the result table; CREATE TABLE /
-    /// INSERT / DROP TABLE are validated, logged write-ahead (fsync) when a
-    /// durable directory is open, and only then applied in memory.
+    /// active execution mode against one frozen catalog snapshot (or the
+    /// open transaction's working state — read-your-writes) and return the
+    /// result table. CREATE TABLE / INSERT / DROP TABLE autocommit: they
+    /// are validated against the snapshot, made durable through the
+    /// group-commit WAL when a directory is open, and only then published.
+    /// Inside [`KathDB::begin`]…[`KathDB::commit`] mutations stage locally
+    /// instead and hit the log as one framed transaction at commit.
     pub fn sql(&mut self, sql: &str) -> Result<Table, KathError> {
         let stmt = kath_sql::parse_statement(sql).map_err(|e| KathError::Sql(e.into()))?;
         match stmt {
@@ -363,32 +380,110 @@ impl KathDB {
                 // Each statement mints a fresh guard: the deadline restarts
                 // here, while the cancel token is the session's shared one.
                 let guard = self.ctx.limits.guard();
-                let result = kath_sql::run_select_auto_guarded(
-                    &self.ctx.catalog,
-                    &select,
-                    "sql_result",
-                    mode,
-                    threads,
-                    self.ctx.vector_mode,
-                    self.ctx.compile,
-                    &guard,
-                );
+                // One snapshot per statement: the whole SELECT reads a
+                // single catalog version even while other sessions commit.
+                let result = match &self.txn {
+                    Some(txn) => kath_sql::run_select_auto_guarded(
+                        txn.working(),
+                        &select,
+                        "sql_result",
+                        mode,
+                        threads,
+                        self.ctx.vector_mode,
+                        self.ctx.compile,
+                        &guard,
+                    ),
+                    None => {
+                        let snapshot = self.ctx.catalog.snapshot();
+                        kath_sql::run_select_auto_guarded(
+                            &snapshot,
+                            &select,
+                            "sql_result",
+                            mode,
+                            threads,
+                            self.ctx.vector_mode,
+                            self.ctx.compile,
+                            &guard,
+                        )
+                    }
+                };
                 self.rearm_cancel();
                 let (table, _stats) = result?;
                 Ok(table)
             }
             stmt => {
-                let record = kath_sql::plan_mutation(&self.ctx.catalog, &stmt)?;
-                if let Some(d) = &mut self.durability {
-                    d.inner.log(&record)?;
+                if let Some(txn) = &mut self.txn {
+                    return Ok(txn.mutate(&stmt)?);
                 }
-                Ok(kath_sql::apply_mutation(
-                    &mut self.ctx.catalog,
-                    &record,
-                    "sql_result",
-                )?)
+                let snapshot = self.ctx.catalog.snapshot();
+                let record = kath_sql::plan_mutation(&snapshot, &stmt)?;
+                drop(snapshot);
+                let records = [record];
+                Ok(self
+                    .ctx
+                    .catalog
+                    .submit::<Table, SqlError>(&records, false, |c| {
+                        kath_sql::apply_mutation(c, &records[0], "sql_result")
+                    })?)
             }
         }
+    }
+
+    /// Opens an explicit transaction on this facade: subsequent mutations
+    /// stage against a private copy of the current snapshot (visible to
+    /// this handle's own SELECTs, invisible to every other session) until
+    /// [`KathDB::commit`] publishes them atomically or
+    /// [`KathDB::rollback`] discards them.
+    pub fn begin(&mut self) -> Result<(), KathError> {
+        if self.txn.is_some() {
+            return Err(KathError::Txn(
+                "a transaction is already open (commit or rollback it first)".to_string(),
+            ));
+        }
+        self.txn = Some(TxnStage::new(&self.ctx.catalog.snapshot()));
+        Ok(())
+    }
+
+    /// Commits the open transaction: every staged mutation re-applies to
+    /// the current catalog head (first committer wins on conflicts), the
+    /// records hit the WAL as one `Begin..Commit` frame through the
+    /// group-commit coordinator, and the new version publishes only once
+    /// durable. Returns the number of committed records.
+    pub fn commit(&mut self) -> Result<usize, KathError> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| KathError::Txn("no open transaction to commit".to_string()))?;
+        Ok(txn.commit(&self.ctx.catalog)?)
+    }
+
+    /// Discards the open transaction's staged mutations. Returns how many
+    /// records were dropped.
+    pub fn rollback(&mut self) -> Result<usize, KathError> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| KathError::Txn("no open transaction to roll back".to_string()))?;
+        Ok(txn.discard())
+    }
+
+    /// Whether an explicit transaction is open on this facade.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// A new concurrent session over this database's shared catalog: its
+    /// own guard settings and cancel token, its own exec/vector/compile
+    /// pins, its own transactions — reading MVCC snapshots and committing
+    /// through the same group-commit WAL as everyone else. Sessions are
+    /// `Send`: hand them to worker threads.
+    pub fn session(&self) -> Session {
+        Session::new(self.ctx.catalog.clone())
+    }
+
+    /// How many [`Session`] handles are currently live.
+    pub fn sessions(&self) -> usize {
+        self.ctx.catalog.session_count()
     }
 
     /// Writes a checkpoint: every catalog table plus the function registry
@@ -396,30 +491,17 @@ impl KathDB {
     /// Returns the new epoch. Errors with [`KathError::NotDurable`] when no
     /// directory is open.
     pub fn checkpoint(&mut self) -> Result<u64, KathError> {
-        let durability = self.durability.as_mut().ok_or(KathError::NotDurable)?;
-        let names: Vec<String> = self
-            .ctx
-            .catalog
-            .table_names()
-            .into_iter()
-            .map(String::from)
-            .collect();
-        let arcs: Vec<Arc<Table>> = names
-            .iter()
-            .map(|n| self.ctx.catalog.get(n).expect("listed table exists"))
-            .collect();
+        if self.durability.is_none() {
+            return Err(KathError::NotDurable);
+        }
         let functions_json = to_string_pretty(&self.registry.to_json());
-        let pool = Arc::clone(self.ctx.catalog.pool());
-        let (epoch, paged) = durability
-            .inner
-            .checkpoint(&arcs, &pool, Some(&functions_json))?;
-        durability.functions_json = functions_json;
-        // The checkpoint returned each table in its paged form — identical
-        // rows, page-backed representation. Swapping them in means the
-        // catalog now serves scans from the same pages the snapshot
-        // references (and the next checkpoint rewrites only dirty pages).
-        for table in paged {
-            self.ctx.catalog.swap_in_identical(table);
+        // The shared catalog drains in-flight commits, snapshots every
+        // table, rotates the WAL, and publishes the paged representations
+        // the checkpoint produced (identical rows, page-backed — the next
+        // checkpoint rewrites only dirty pages).
+        let epoch = self.ctx.catalog.checkpoint(Some(&functions_json))?;
+        if let Some(d) = &mut self.durability {
+            d.functions_json = functions_json;
         }
         Ok(epoch)
     }
@@ -432,21 +514,38 @@ impl KathDB {
     pub fn close(&mut self) -> Result<(), KathError> {
         if let Some(d) = &self.durability {
             // Replayed tail records are already durable (they replay again
-            // next open); only records appended by *this* session, or an
-            // unlogged registry change, warrant a closing snapshot.
-            let dirty = d.inner.appended_records() > 0
+            // next open); only records appended since open, or an unlogged
+            // registry change, warrant a closing snapshot.
+            let dirty = self.ctx.catalog.wal_appended() > 0
                 || to_string_pretty(&self.registry.to_json()) != d.functions_json;
             if dirty {
                 self.checkpoint()?;
             }
         }
         self.durability = None;
+        self.ctx.catalog.detach();
         Ok(())
     }
 
-    /// WAL / snapshot status of the open durable directory, if any.
+    /// Switches between group commit (the default: concurrent commits
+    /// batch into shared fsyncs — leader syncs, followers wait on the
+    /// durable LSN) and per-statement fsync (every commit pays its own
+    /// sync — the baseline `txn_bench` measures group commit against).
+    pub fn set_group_commit(&self, on: bool) {
+        self.ctx.catalog.set_group_commit(on);
+    }
+
+    /// Whether group commit is enabled.
+    pub fn group_commit(&self) -> bool {
+        self.ctx.catalog.group_commit()
+    }
+
+    /// WAL / snapshot status of the open durable directory, if any —
+    /// including the group-commit coordinator's live counters (batched
+    /// fsyncs, commits acknowledged per fsync).
     pub fn durability_status(&self) -> Option<DurabilityStatus> {
-        self.durability.as_ref().map(|d| d.inner.status())
+        self.durability.as_ref()?;
+        self.ctx.catalog.status()
     }
 
     /// Buffer-pool counters for this instance: budget, residency, hit /
@@ -474,11 +573,11 @@ impl KathDB {
     /// Total dirty (not yet checkpointed) pages across paged catalog
     /// tables; resident tables are entirely "dirty" but not counted here.
     pub fn dirty_pages(&self) -> usize {
-        self.ctx
-            .catalog
+        let snapshot = self.ctx.catalog.snapshot();
+        snapshot
             .table_names()
-            .into_iter()
-            .filter_map(|n| self.ctx.catalog.get(n).ok())
+            .iter()
+            .filter_map(|n| snapshot.get(n).ok())
             .filter_map(|t| t.paged().map(|p| p.dirty_pages()))
             .sum()
     }
@@ -487,12 +586,16 @@ impl KathDB {
     /// log/checkpoint (called after every NL query; registries mutate
     /// through compilation and self-repair).
     fn log_registry_if_changed(&mut self) -> Result<(), KathError> {
-        let Some(d) = &mut self.durability else {
-            return Ok(());
-        };
         let json = to_string_pretty(&self.registry.to_json());
-        if json != d.functions_json {
-            d.inner.log(&WalRecord::Functions(json.clone()))?;
+        match &self.durability {
+            Some(d) if d.functions_json != json => {}
+            _ => return Ok(()),
+        }
+        let records = [WalRecord::Functions(json.clone())];
+        self.ctx
+            .catalog
+            .submit::<(), StorageError>(&records, false, |_| Ok(()))?;
+        if let Some(d) = &mut self.durability {
             d.functions_json = json;
         }
         Ok(())
@@ -615,7 +718,8 @@ impl KathDB {
     /// Describes the active I/O backend, with its injected/passed
     /// operation counters when a fault plan is installed.
     pub fn fault_status(&self) -> (String, Option<kath_storage::FaultStats>) {
-        let io = self.ctx.catalog.pool().io();
+        let pool = self.ctx.catalog.pool();
+        let io = pool.io();
         (io.describe(), io.fault_stats())
     }
 
@@ -641,13 +745,7 @@ impl KathDB {
     /// Every derived vector index: `(table, column, scored, unscored)`.
     pub fn vector_index_status(&self) -> Vec<(String, String, usize, usize)> {
         let mut out = Vec::new();
-        let names: Vec<String> = self
-            .ctx
-            .catalog
-            .table_names()
-            .into_iter()
-            .map(String::from)
-            .collect();
+        let names: Vec<String> = self.ctx.catalog.table_names();
         for table in names {
             for column in self.ctx.catalog.vector_indexed_columns(&table) {
                 if let Some(ix) = self.ctx.catalog.vector_index_on(&table, &column) {
@@ -712,11 +810,12 @@ impl KathDB {
         if matches!(mode, ExecMode::Volcano) {
             return 1;
         }
+        let snapshot = self.ctx.catalog.snapshot();
         let mut max_input_rows = 0usize;
         for node in &plan.nodes {
             if let Ok(entry) = self.registry.get(&node.func_id) {
                 for input in entry.active_version().body.inputs() {
-                    if let Ok(t) = self.ctx.catalog.get(&input) {
+                    if let Ok(t) = snapshot.get(&input) {
                         max_input_rows = max_input_rows.max(t.len());
                     }
                 }
@@ -744,18 +843,19 @@ impl KathDB {
             return mode;
         }
         let batched = ExecMode::default();
+        let snapshot = self.ctx.catalog.snapshot();
         let (mut volcano_ms, mut batched_ms, mut profiled) = (0.0, 0.0, false);
         let mut max_input_rows = 0usize;
         for node in &plan.nodes {
             let v = kath_optimizer::estimate_function_in_mode(
                 &self.registry,
-                &self.ctx.catalog,
+                &snapshot,
                 &node.func_id,
                 ExecMode::Volcano,
             );
             let b = kath_optimizer::estimate_function_in_mode(
                 &self.registry,
-                &self.ctx.catalog,
+                &snapshot,
                 &node.func_id,
                 batched,
             );
@@ -766,7 +866,7 @@ impl KathDB {
             }
             if let Ok(entry) = self.registry.get(&node.func_id) {
                 for input in entry.active_version().body.inputs() {
-                    if let Ok(t) = self.ctx.catalog.get(&input) {
+                    if let Ok(t) = snapshot.get(&input) {
                         max_input_rows = max_input_rows.max(t.len());
                     }
                 }
@@ -811,10 +911,28 @@ impl KathDB {
                 table.name().to_string(),
             )));
         }
-        if let Some(d) = &mut self.durability {
-            d.inner.log(&WalRecord::CreateTable(table.clone()))?;
-        }
-        self.ctx.ingest_table(table, src_uri)?;
+        let name = table.name().to_string();
+        let records: Vec<WalRecord> = if self.durability.is_some() {
+            vec![WalRecord::CreateTable(table.clone())]
+        } else {
+            Vec::new()
+        };
+        self.ctx
+            .catalog
+            .submit::<(), StorageError>(&records, false, move |c| c.register(table).map(|_| ()))?;
+        let lid = self.ctx.lineage.alloc_lid();
+        self.ctx
+            .lineage
+            .record(
+                lid,
+                None,
+                Some(src_uri.to_string()),
+                "ingest",
+                1,
+                DataKind::Table,
+            )
+            .map_err(|e| KathError::Exec(ExecError::Lineage(e.to_string())))?;
+        self.ctx.table_lids.insert(name, lid);
         Ok(())
     }
 
@@ -825,9 +943,11 @@ impl KathDB {
         let parser = NlParser::new(self.ctx.llm.clone());
         let parse = parser.parse(nl, channel);
 
-        // 2. Logical plan generation + agentic verification.
+        // 2. Logical plan generation + agentic verification (over one
+        //    frozen catalog snapshot).
         let logical = generate_logical_plan(&parse.sketch, "movie_table");
-        let verifier = PlanVerifier::new(&self.ctx.catalog);
+        let verify_snapshot = self.ctx.catalog.snapshot();
+        let verifier = PlanVerifier::new(&verify_snapshot);
         let (logical, verification) = verifier.verify(logical);
         if !verification.approved {
             return Err(KathError::PlanRejected(verification));
@@ -879,7 +999,8 @@ impl KathDB {
     /// `"explain the pipeline"`, `"explain tuple <lid>"`, ….
     pub fn explain(&self, question: &str) -> Result<String, KathError> {
         let plan = self.last_plan.as_ref().ok_or(KathError::NoQueryRun)?;
-        let explainer = Explainer::new(plan, &self.registry, &self.ctx.lineage, &self.ctx.catalog);
+        let snapshot = self.ctx.catalog.snapshot();
+        let explainer = Explainer::new(plan, &self.registry, &self.ctx.lineage, &snapshot);
         Ok(explainer.answer(question))
     }
 

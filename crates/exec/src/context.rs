@@ -4,13 +4,16 @@ use crate::ExecError;
 use kath_lineage::{DataKind, LineageStore};
 use kath_media::MediaRegistry;
 use kath_model::SimLlm;
-use kath_storage::{Catalog, CompileMode, ExecMode, GuardSpec, Table, VectorMode};
+use kath_storage::{CompileMode, ExecMode, GuardSpec, SharedCatalog, Table, VectorMode};
 use std::collections::HashMap;
 
 /// Everything a function body needs at runtime.
 pub struct ExecContext {
-    /// The system catalog (base relations + materialized intermediates).
-    pub catalog: Catalog,
+    /// The system catalog (base relations + materialized intermediates),
+    /// shared and versioned: statements read a frozen
+    /// [`kath_storage::CatalogRef`] snapshot while concurrent sessions
+    /// publish new versions.
+    pub catalog: SharedCatalog,
     /// Registered media, resolved by URI.
     pub media: MediaRegistry,
     /// The simulated foundation model (shared token meter).
@@ -59,7 +62,7 @@ impl ExecContext {
     /// Builds a context around a model.
     pub fn new(llm: SimLlm) -> Self {
         Self {
-            catalog: Catalog::new(),
+            catalog: SharedCatalog::new(),
             media: MediaRegistry::new(),
             llm,
             lineage: LineageStore::new(),

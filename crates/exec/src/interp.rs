@@ -244,9 +244,13 @@ fn exec_sql(
     let select = kath_sql::parse_select(query).map_err(|e| ExecError::Sql(e.to_string()))?;
     let mut inputs = vec![select.from.clone()];
     inputs.extend(select.joins.iter().map(|j| j.table.clone()));
+    // One frozen snapshot for the whole statement: cardinality estimates
+    // and the scan itself read the same catalog version even while
+    // concurrent sessions commit.
+    let snapshot = ctx.catalog.snapshot();
     let rows_in: usize = inputs
         .iter()
-        .map(|t| ctx.catalog.get(t).map(|t| t.len()).unwrap_or(0))
+        .map(|t| snapshot.get(t).map(|t| t.len()).unwrap_or(0))
         .sum();
     // The auto driver picks the physical drive from the context's knobs:
     // a fused compiled pipeline where the plan is compilable and the
@@ -256,7 +260,7 @@ fn exec_sql(
     // by construction.
     let guard = ctx.limits.guard();
     let (mut table, stats) = kath_sql::run_select_auto_guarded(
-        &ctx.catalog,
+        &snapshot,
         &select,
         output_name,
         ctx.exec_mode,

@@ -402,7 +402,8 @@ mod tests {
     #[test]
     fn coarse_mode_numbers_every_step() {
         let (ctx, registry, plan) = setup();
-        let ex = Explainer::new(&plan, &registry, &ctx.lineage, &ctx.catalog);
+        let snapshot = ctx.catalog.snapshot();
+        let ex = Explainer::new(&plan, &registry, &ctx.lineage, &snapshot);
         let text = ex.explain_pipeline();
         assert!(text.contains("1: gen_recency_score"));
         assert!(text.contains("2: combine_score"));
@@ -415,7 +416,8 @@ mod tests {
         let final_table = ctx.catalog.get("combined").unwrap();
         let lid_idx = final_table.schema().index_of("lid").unwrap();
         let lid = final_table.rows()[0][lid_idx].as_int().unwrap();
-        let ex = Explainer::new(&plan, &registry, &ctx.lineage, &ctx.catalog);
+        let snapshot = ctx.catalog.snapshot();
+        let ex = Explainer::new(&plan, &registry, &ctx.lineage, &snapshot);
         let text = ex.explain_tuple(lid).unwrap();
         // Fig. 5: the weighted sum appears with operand values substituted.
         assert!(text.contains("**final_score**"), "{text}");
@@ -428,7 +430,8 @@ mod tests {
     #[test]
     fn nl_questions_route_to_the_right_mode() {
         let (ctx, registry, plan) = setup();
-        let ex = Explainer::new(&plan, &registry, &ctx.lineage, &ctx.catalog);
+        let snapshot = ctx.catalog.snapshot();
+        let ex = Explainer::new(&plan, &registry, &ctx.lineage, &snapshot);
         assert!(ex
             .answer("Explain the pipeline?")
             .contains("Pipeline overview"));
@@ -448,7 +451,8 @@ mod tests {
     #[test]
     fn unknown_lid_is_reported() {
         let (ctx, registry, plan) = setup();
-        let ex = Explainer::new(&plan, &registry, &ctx.lineage, &ctx.catalog);
+        let snapshot = ctx.catalog.snapshot();
+        let ex = Explainer::new(&plan, &registry, &ctx.lineage, &snapshot);
         assert!(ex.explain_tuple(999_999).is_err());
         assert!(ex.answer("explain tuple 999999").contains("cannot explain"));
     }

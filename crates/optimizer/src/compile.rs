@@ -140,8 +140,9 @@ pub fn compile(
         }
 
         let func_id = node.signature.name.clone();
+        let sample_snapshot = sample_ctx.catalog.snapshot();
         let coder_ctx = CoderContext {
-            catalog: &sample_ctx.catalog,
+            catalog: &sample_snapshot,
             clarifications,
             faults: opts.faults,
         };
@@ -271,8 +272,9 @@ pub fn compile(
                     .critique_monotonic("assign a recency score based on release year", &samples);
                 if let Verdict::Mismatch { hint } = verdict {
                     // Coder retries without the fault; critic re-checks.
+                    let fixed_snapshot = sample_ctx.catalog.snapshot();
                     let fixed_ctx = CoderContext {
-                        catalog: &sample_ctx.catalog,
+                        catalog: &fixed_snapshot,
                         clarifications,
                         faults: CoderFaults {
                             reversed_recency: false,
@@ -359,21 +361,23 @@ fn build_sample_ctx(ctx: &ExecContext, sample_size: usize) -> ExecContext {
     sample.lineage = LineageStore::with_policy(LineagePolicy::Off);
     sample.media = ctx.media.clone();
     for name in ctx.catalog.table_names() {
-        if let Ok(table) = ctx.catalog.get(name) {
+        if let Ok(table) = ctx.catalog.get(&name) {
             let mut t = table.sample(sample_size);
-            t.set_name(name);
+            t.set_name(&name);
             sample.catalog.register_or_replace(t);
         }
     }
     sample
 }
 
-/// Forks the sample context for one candidate profile run.
+/// Forks the sample context for one candidate profile run. The catalog is
+/// forked, not cloned: a `SharedCatalog` clone would share the version
+/// chain, leaking one candidate's materializations into the next.
 fn fork_ctx(sample: &ExecContext) -> ExecContext {
     let mut fork = ExecContext::new(sample.llm.clone());
     fork.lineage = LineageStore::with_policy(LineagePolicy::Off);
     fork.media = sample.media.clone();
-    fork.catalog = sample.catalog.clone();
+    fork.catalog = sample.catalog.fork();
     fork.table_lids = sample.table_lids.clone();
     fork
 }

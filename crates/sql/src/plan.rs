@@ -162,6 +162,11 @@ pub fn apply_mutation(
         WalRecord::Functions(_) => Err(SqlError::Unsupported(
             "function-registry records are applied by the facade, not the catalog".to_string(),
         )),
+        WalRecord::Begin(_) | WalRecord::Commit(_) | WalRecord::Abort(_) => {
+            Err(SqlError::Unsupported(
+                "transaction markers frame the log; they are not applied".to_string(),
+            ))
+        }
     }
 }
 

@@ -37,7 +37,7 @@ use crate::page::ZoneMap;
 use crate::paged::{PagedTable, RecoveredPage};
 use crate::persist::{decode_table, dtype_from_tag, dtype_tag, get_str, put_str};
 use crate::pool::BufferPool;
-use crate::wal::{crc32, Wal, WalRecord};
+use crate::wal::{crc32, filter_committed, Wal, WalRecord};
 use crate::{Column, Schema, StorageError, Table, DEFAULT_PAGE_ROWS};
 use bytes::{Buf, BufMut, BytesMut};
 use std::collections::BTreeSet;
@@ -57,12 +57,22 @@ pub struct Recovered {
     pub tables: Vec<Table>,
     /// The function-registry payload persisted with that snapshot.
     pub functions_json: Option<String>,
-    /// WAL records logged after the snapshot, in commit order. The caller
-    /// applies them on top of `tables` (the storage layer keeps the apply
-    /// semantics with the SQL layer that produced the records).
+    /// WAL records logged after the snapshot, in commit order, already
+    /// filtered to the committed view: bare (autocommitted) records plus
+    /// the contents of `Begin..Commit` spans; aborted and crash-torn open
+    /// transactions are discarded. The caller applies them on top of
+    /// `tables` (the storage layer keeps the apply semantics with the SQL
+    /// layer that produced the records).
     pub wal_records: Vec<WalRecord>,
     /// Epoch of the snapshot that was loaded (0 = started empty).
     pub snapshot_epoch: u64,
+    /// Highest transaction id seen in the log (0 when none): the txid
+    /// allocator resumes above this.
+    pub max_txid: u64,
+    /// Framed transactions whose commit marker was found and replayed.
+    pub committed_txns: u64,
+    /// Framed transactions discarded (aborted or torn open at the tail).
+    pub discarded_txns: u64,
 }
 
 /// What one checkpoint wrote (and avoided writing), for `\wal` and
@@ -97,6 +107,12 @@ pub struct DurabilityStatus {
     /// What the most recent checkpoint of this session wrote (None before
     /// the first checkpoint).
     pub last_checkpoint: Option<CheckpointStats>,
+    /// Batched fsyncs the group-commit coordinator issued (0 when the
+    /// database is driven through the plain single-caller path).
+    pub group_fsyncs: u64,
+    /// Commits acknowledged by those batched fsyncs; `group_commits /
+    /// group_fsyncs` is the mean group size.
+    pub group_commits: u64,
 }
 
 /// The durability coordinator: owns the active WAL segment and writes
@@ -237,8 +253,25 @@ impl Durability {
                 continue;
             }
             // The active segment: replay and truncate any torn tail.
-            let (wal, tail) = Wal::open_with(&segment_path(dir, max_epoch), io.clone())?;
+            let (mut wal, tail) = Wal::open_with(&segment_path(dir, max_epoch), io.clone())?;
             wal_records.extend(tail);
+            // Transaction framing: replay bare records and committed
+            // spans only. A malformed frame sequence is corruption — try
+            // the next candidate like any other corrupt state.
+            let filtered = match filter_committed(wal_records) {
+                Ok(f) => f,
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+            };
+            // Seal a crash-torn open transaction: its complete frames sit
+            // at the tail, so without an explicit abort marker, bare
+            // records appended later would be swallowed into it at the
+            // next replay.
+            if let Some(txid) = filtered.open_txn {
+                wal.append(&WalRecord::Abort(txid))?;
+            }
             return Ok((
                 Self {
                     dir: dir.to_path_buf(),
@@ -251,8 +284,11 @@ impl Durability {
                 Recovered {
                     tables,
                     functions_json,
-                    wal_records,
+                    wal_records: filtered.records,
                     snapshot_epoch: candidate,
+                    max_txid: filtered.max_txid,
+                    committed_txns: filtered.committed_txns,
+                    discarded_txns: filtered.discarded_txns,
                 },
             ));
         }
@@ -273,6 +309,52 @@ impl Durability {
             ));
         }
         self.wal.append(record)
+    }
+
+    /// Appends a batch of records as one contiguous write **without
+    /// fsyncing** (see [`Wal::append_batch_nosync`]), returning the new
+    /// tail offset. The group-commit coordinator pairs this with
+    /// [`Durability::sync_wal`] (or an out-of-lock fsync through
+    /// [`Durability::wal_sync_handles`]) and rolls back with
+    /// [`Durability::rewind_wal`] when the fsync fails.
+    pub fn log_batch_nosync<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a WalRecord>,
+    ) -> Result<u64, StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Io(
+                "wal rotation failed after the last checkpoint; reopen the database".to_string(),
+            ));
+        }
+        self.wal.append_batch_nosync(records)
+    }
+
+    /// Fsyncs the active segment (acknowledges every batch appended since
+    /// the last sync).
+    pub fn sync_wal(&self) -> Result<(), StorageError> {
+        self.wal.sync()
+    }
+
+    /// Clones the handles a group-commit leader needs to fsync the active
+    /// segment outside the commit lock.
+    pub fn wal_sync_handles(&self) -> (Io, PathBuf, RetryPolicy) {
+        self.wal.sync_handles()
+    }
+
+    /// Valid bytes in the active segment (the durable LSN once fsynced).
+    pub fn wal_tail(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// Complete records in the active segment.
+    pub fn wal_record_count(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// Rolls the active segment back to `(len, records)` after a failed
+    /// group fsync (see [`Wal::rewind`]).
+    pub fn rewind_wal(&mut self, len: u64, records: u64) {
+        self.wal.rewind(len, records);
     }
 
     /// Writes an incremental checkpoint: every table is converted to its
@@ -419,6 +501,8 @@ impl Durability {
             wal_records: self.wal.records(),
             wal_bytes: self.wal.bytes(),
             last_checkpoint: self.last_checkpoint,
+            group_fsyncs: 0,
+            group_commits: 0,
         }
     }
 
@@ -1060,6 +1144,51 @@ mod tests {
         assert_eq!(rec.snapshot_epoch, 1);
         assert_eq!(rec.tables, vec![t]);
         d.log(&WalRecord::DropTable("kv".into())).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn recovery_replays_committed_txns_and_seals_torn_open_ones() {
+        let dir = tmp("txnframing");
+        let pl = pool();
+        let ins = |k: i64, v: &str| WalRecord::Insert {
+            table: "kv".into(),
+            rows: vec![vec![k.into(), v.into()]],
+        };
+        {
+            let (mut d, _) = Durability::open(&dir, &pl).unwrap();
+            d.log(&WalRecord::CreateTable(kv_table(&[]))).unwrap();
+            // Committed transaction, then a torn one (Begin + record but
+            // no Commit — as a crash mid-group-write would leave).
+            let committed = [WalRecord::Begin(1), ins(1, "a"), WalRecord::Commit(1)];
+            d.log_batch_nosync(committed.iter()).unwrap();
+            d.sync_wal().unwrap();
+            let torn = [WalRecord::Begin(2), ins(2, "lost")];
+            d.log_batch_nosync(torn.iter()).unwrap();
+            d.sync_wal().unwrap();
+        }
+        let (mut d, rec) = Durability::open(&dir, &pl).unwrap();
+        assert_eq!(
+            rec.wal_records,
+            vec![WalRecord::CreateTable(kv_table(&[])), ins(1, "a")]
+        );
+        assert_eq!(rec.max_txid, 2);
+        assert_eq!(rec.committed_txns, 1);
+        assert_eq!(rec.discarded_txns, 1);
+        // The open transaction was sealed with an Abort, so a bare append
+        // after recovery is not swallowed into it at the next replay.
+        d.log(&ins(3, "kept")).unwrap();
+        drop(d);
+        let (_, rec) = Durability::open(&dir, &pl).unwrap();
+        assert_eq!(
+            rec.wal_records,
+            vec![
+                WalRecord::CreateTable(kv_table(&[])),
+                ins(1, "a"),
+                ins(3, "kept")
+            ]
+        );
+        assert_eq!(rec.discarded_txns, 1);
         let _ = std::fs::remove_dir_all(dir);
     }
 

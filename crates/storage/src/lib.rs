@@ -29,6 +29,7 @@ mod pool;
 mod schema;
 mod stats;
 mod table;
+mod txn;
 mod value;
 mod vecindex;
 mod wal;
@@ -71,10 +72,11 @@ pub use pool::{BufferPool, PageKey, PoolStatus, DEFAULT_POOL_PAGES, POOL_PAGES_E
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
+pub use txn::{CatalogRef, SharedCatalog};
 pub use value::{cmp_int_f64, DataType, Row, Value};
 pub use vecindex::{
     decode_embedding, default_nlist, default_nprobe, encode_embedding, merge_top_k,
     preferred_vector_strategy, top_k_entries, vector_search_cost, VectorIndex, VectorMode,
     VectorStrategy, VectorTopK, IVF_FIXED_COST, VECTOR_INDEX_SEED,
 };
-pub use wal::{crc32, Wal, WalRecord};
+pub use wal::{crc32, filter_committed, FilteredLog, Wal, WalRecord};

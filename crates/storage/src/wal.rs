@@ -45,6 +45,18 @@ const fn build_crc_table() -> [u32; 256] {
     table
 }
 
+/// Encodes one record as a complete WAL frame (header + payload).
+fn encode_frame(record: &WalRecord) -> Result<Vec<u8>, StorageError> {
+    let payload = record.encode()?;
+    let len_bytes = crate::persist::encodable_len("wal payload", payload.len())?.to_be_bytes();
+    let mut frame = Vec::with_capacity(payload.len() + 12);
+    frame.extend_from_slice(&len_bytes);
+    frame.extend_from_slice(&crc32(&len_bytes).to_be_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_be_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
 /// CRC32 (IEEE 802.3 polynomial), the checksum of WAL frames, KTBL v2
 /// trailers, and snapshot manifests.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -75,12 +87,25 @@ pub enum WalRecord {
     /// payload is opaque JSON owned by `kath_fao`; storage only frames and
     /// checksums it).
     Functions(String),
+    /// Opens transaction `txid`. Everything between a `Begin` and its
+    /// matching `Commit` is one atomic unit: recovery replays the enclosed
+    /// records only when the `Commit` frame is on disk.
+    Begin(u64),
+    /// Commits transaction `txid` (must match the open `Begin`).
+    Commit(u64),
+    /// Aborts transaction `txid`: the enclosed records are discarded at
+    /// replay. Written when sealing a crash-torn open transaction so later
+    /// appends are not mistaken for its continuation.
+    Abort(u64),
 }
 
 const TAG_CREATE: u8 = 1;
 const TAG_INSERT: u8 = 2;
 const TAG_DROP: u8 = 3;
 const TAG_FUNCTIONS: u8 = 4;
+const TAG_BEGIN: u8 = 5;
+const TAG_COMMIT: u8 = 6;
+const TAG_ABORT: u8 = 7;
 
 impl WalRecord {
     /// Encodes the record payload (tag byte + body).
@@ -109,6 +134,18 @@ impl WalRecord {
             WalRecord::Functions(json) => {
                 buf.put_u8(TAG_FUNCTIONS);
                 buf.put_slice(json.as_bytes());
+            }
+            WalRecord::Begin(txid) => {
+                buf.put_u8(TAG_BEGIN);
+                buf.put_u64(*txid);
+            }
+            WalRecord::Commit(txid) => {
+                buf.put_u8(TAG_COMMIT);
+                buf.put_u64(*txid);
+            }
+            WalRecord::Abort(txid) => {
+                buf.put_u8(TAG_ABORT);
+                buf.put_u64(*txid);
             }
         }
         Ok(buf.to_vec())
@@ -160,6 +197,20 @@ impl WalRecord {
                     .map_err(|_| corrupt("wal functions record is not utf-8"))?;
                 Ok(WalRecord::Functions(json.to_string()))
             }
+            tag @ (TAG_BEGIN | TAG_COMMIT | TAG_ABORT) => {
+                if data.remaining() < 8 {
+                    return Err(corrupt("truncated wal txn marker"));
+                }
+                let txid = data.get_u64();
+                if data.has_remaining() {
+                    return Err(corrupt("trailing bytes after wal txn marker"));
+                }
+                Ok(match tag {
+                    TAG_BEGIN => WalRecord::Begin(txid),
+                    TAG_COMMIT => WalRecord::Commit(txid),
+                    _ => WalRecord::Abort(txid),
+                })
+            }
             t => Err(corrupt(&format!("unknown wal record tag {t}"))),
         }
     }
@@ -204,6 +255,104 @@ pub(crate) fn decode_frames(data: &[u8]) -> Result<(Vec<WalRecord>, u64), Storag
         off = end;
     }
     Ok((records, off as u64))
+}
+
+/// Outcome of [`filter_committed`]: the records recovery should replay,
+/// plus what the filter learned about the log tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilteredLog {
+    /// Records to replay: every bare (unframed) record, plus the contents
+    /// of each `Begin..Commit` span, in log order.
+    pub records: Vec<WalRecord>,
+    /// A transaction left open at the end of the log (its buffered records
+    /// were discarded). The caller seals it with an [`WalRecord::Abort`] so
+    /// later appends are never mistaken for its continuation.
+    pub open_txn: Option<u64>,
+    /// Complete transactions whose `Commit` frame was found.
+    pub committed_txns: u64,
+    /// Transactions dropped: explicit `Abort` frames plus an open tail.
+    pub discarded_txns: u64,
+    /// Highest txid seen in any marker (0 when none) — the txid allocator
+    /// resumes above this.
+    pub max_txid: u64,
+}
+
+/// Applies transaction framing to a replayed record stream: bare records
+/// (autocommitted statements) pass through; `Begin..Commit` spans flush
+/// atomically; `Begin..Abort` spans and a trailing open transaction are
+/// discarded. Malformed framing — a nested `Begin`, or a `Commit`/`Abort`
+/// with no or the wrong open transaction — is [`StorageError::Corrupt`]:
+/// the group-commit writer emits each transaction as one contiguous batch,
+/// so interleaved or unbalanced markers can only come from a corrupted log.
+pub fn filter_committed(records: Vec<WalRecord>) -> Result<FilteredLog, StorageError> {
+    let corrupt = |m: String| StorageError::Corrupt(m);
+    let mut out = FilteredLog {
+        records: Vec::with_capacity(records.len()),
+        open_txn: None,
+        committed_txns: 0,
+        discarded_txns: 0,
+        max_txid: 0,
+    };
+    let mut open: Option<(u64, Vec<WalRecord>)> = None;
+    for r in records {
+        match r {
+            WalRecord::Begin(txid) => {
+                out.max_txid = out.max_txid.max(txid);
+                if let Some((prev, _)) = open {
+                    return Err(corrupt(format!(
+                        "wal begin({txid}) while transaction {prev} is open"
+                    )));
+                }
+                open = Some((txid, Vec::new()));
+            }
+            WalRecord::Commit(txid) => {
+                out.max_txid = out.max_txid.max(txid);
+                match open.take() {
+                    Some((id, buf)) if id == txid => {
+                        out.records.extend(buf);
+                        out.committed_txns += 1;
+                    }
+                    Some((id, _)) => {
+                        return Err(corrupt(format!(
+                            "wal commit({txid}) does not match open transaction {id}"
+                        )));
+                    }
+                    None => {
+                        return Err(corrupt(format!(
+                            "wal commit({txid}) with no open transaction"
+                        )));
+                    }
+                }
+            }
+            WalRecord::Abort(txid) => {
+                out.max_txid = out.max_txid.max(txid);
+                match open.take() {
+                    Some((id, _)) if id == txid => out.discarded_txns += 1,
+                    Some((id, _)) => {
+                        return Err(corrupt(format!(
+                            "wal abort({txid}) does not match open transaction {id}"
+                        )));
+                    }
+                    None => {
+                        return Err(corrupt(format!(
+                            "wal abort({txid}) with no open transaction"
+                        )));
+                    }
+                }
+            }
+            other => match &mut open {
+                Some((_, buf)) => buf.push(other),
+                None => out.records.push(other),
+            },
+        }
+    }
+    if let Some((txid, _)) = open {
+        // A crash mid-group-write can leave complete frames of a partial
+        // transaction at the tail; they were never acknowledged.
+        out.open_txn = Some(txid);
+        out.discarded_txns += 1;
+    }
+    Ok(out)
 }
 
 /// One append-only log segment, fsynced on every append. All file
@@ -283,13 +432,7 @@ impl Wal {
     /// acknowledged and the valid tail is unchanged — a later append
     /// overwrites whatever the failed attempt left behind.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
-        let payload = record.encode()?;
-        let len_bytes = crate::persist::encodable_len("wal payload", payload.len())?.to_be_bytes();
-        let mut frame = Vec::with_capacity(payload.len() + 12);
-        frame.extend_from_slice(&len_bytes);
-        frame.extend_from_slice(&crc32(&len_bytes).to_be_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_be_bytes());
-        frame.extend_from_slice(&payload);
+        let frame = encode_frame(record)?;
         with_retry(&self.retry, || {
             self.io.write_at(&self.path, self.len, &frame)?;
             self.io.fsync(&self.path)
@@ -298,6 +441,55 @@ impl Wal {
         self.records += 1;
         self.appended += 1;
         Ok(())
+    }
+
+    /// Appends a batch of records as one contiguous write **without
+    /// fsyncing**, returning the new tail offset. The group-commit
+    /// coordinator calls this under its commit lock, then fsyncs outside
+    /// the lock (one fsync acknowledges every batch appended since the
+    /// last one). Until that fsync returns, the records are *not* durable;
+    /// on fsync failure the caller rolls the tail back with
+    /// [`Wal::rewind`]. A transaction's `Begin..Commit` span is always one
+    /// batch, so a crash can tear at most the trailing batch — never
+    /// interleave two transactions.
+    pub fn append_batch_nosync<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a WalRecord>,
+    ) -> Result<u64, StorageError> {
+        let mut buf = Vec::new();
+        let mut n = 0u64;
+        for r in records {
+            buf.extend_from_slice(&encode_frame(r)?);
+            n += 1;
+        }
+        with_retry(&self.retry, || self.io.write_at(&self.path, self.len, &buf))?;
+        self.len += buf.len() as u64;
+        self.records += n;
+        self.appended += n;
+        Ok(self.len)
+    }
+
+    /// Fsyncs the segment (pairs with [`Wal::append_batch_nosync`]).
+    pub fn sync(&self) -> Result<(), StorageError> {
+        Ok(with_retry(&self.retry, || self.io.fsync(&self.path))?)
+    }
+
+    /// Clones the handles a group-commit leader needs to fsync this
+    /// segment *outside* the commit lock.
+    pub fn sync_handles(&self) -> (Io, PathBuf, RetryPolicy) {
+        (self.io.clone(), self.path.clone(), self.retry)
+    }
+
+    /// Rolls the in-memory tail back to `(len, records)` after a failed
+    /// group fsync, so the next append overwrites the unacknowledged
+    /// bytes. Best-effort truncates the file too (purely cosmetic — the
+    /// bytes past the tail are dead either way, exactly like a torn tail).
+    pub fn rewind(&mut self, len: u64, records: u64) {
+        debug_assert!(len <= self.len && records <= self.records);
+        self.appended -= (self.records - records).min(self.appended);
+        self.len = len;
+        self.records = records;
+        let _ = self.io.set_len(&self.path, len);
     }
 
     /// Read-only replay of a whole segment file (used for rotated-out
@@ -530,6 +722,109 @@ mod tests {
         drop(wal);
         let (_, replayed) = Wal::open(&path).unwrap();
         assert_eq!(replayed, records[..2]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn txn_markers_encode_decode_round_trip() {
+        for r in [
+            WalRecord::Begin(0),
+            WalRecord::Commit(42),
+            WalRecord::Abort(u64::MAX),
+        ] {
+            let bytes = r.encode().unwrap();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn filter_committed_replays_bare_and_committed_only() {
+        let ins = |t: &str| WalRecord::Insert {
+            table: t.into(),
+            rows: vec![vec![1i64.into()]],
+        };
+        let log = vec![
+            ins("bare1"),
+            WalRecord::Begin(1),
+            ins("tx1_a"),
+            ins("tx1_b"),
+            WalRecord::Commit(1),
+            WalRecord::Begin(2),
+            ins("tx2"),
+            WalRecord::Abort(2),
+            ins("bare2"),
+            WalRecord::Begin(3),
+            ins("tx3_torn"),
+        ];
+        let f = filter_committed(log).unwrap();
+        assert_eq!(
+            f.records,
+            vec![ins("bare1"), ins("tx1_a"), ins("tx1_b"), ins("bare2")]
+        );
+        assert_eq!(f.open_txn, Some(3));
+        assert_eq!(f.committed_txns, 1);
+        assert_eq!(f.discarded_txns, 2);
+        assert_eq!(f.max_txid, 3);
+    }
+
+    #[test]
+    fn filter_committed_rejects_malformed_framing() {
+        let cases: Vec<Vec<WalRecord>> = vec![
+            vec![WalRecord::Begin(1), WalRecord::Begin(2)],
+            vec![WalRecord::Begin(1), WalRecord::Commit(2)],
+            vec![WalRecord::Commit(7)],
+            vec![WalRecord::Abort(7)],
+            vec![WalRecord::Begin(1), WalRecord::Abort(9)],
+        ];
+        for log in cases {
+            assert!(
+                matches!(filter_committed(log.clone()), Err(StorageError::Corrupt(_))),
+                "expected Corrupt for {log:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_batch_nosync_then_sync_round_trip() {
+        let dir = tmp("batch");
+        let path = dir.join("000000.log");
+        let records = sample_records();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            let framed: Vec<WalRecord> = std::iter::once(WalRecord::Begin(1))
+                .chain(records.iter().cloned())
+                .chain(std::iter::once(WalRecord::Commit(1)))
+                .collect();
+            let tail = wal.append_batch_nosync(framed.iter()).unwrap();
+            assert_eq!(tail, wal.bytes());
+            assert_eq!(wal.records(), framed.len() as u64);
+            wal.sync().unwrap();
+        }
+        let (_, replayed) = Wal::open(&path).unwrap();
+        let f = filter_committed(replayed).unwrap();
+        assert_eq!(f.records, records);
+        assert_eq!(f.committed_txns, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rewind_discards_unsynced_tail() {
+        let dir = tmp("rewind");
+        let path = dir.join("000000.log");
+        let records = sample_records();
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&records[0]).unwrap();
+        let (durable_len, durable_records) = (wal.bytes(), wal.records());
+        wal.append_batch_nosync(records[1..].iter()).unwrap();
+        // Pretend the group fsync failed: roll back to the durable tail.
+        wal.rewind(durable_len, durable_records);
+        assert_eq!(wal.bytes(), durable_len);
+        assert_eq!(wal.records(), durable_records);
+        // The next append lands where the discarded batch began.
+        wal.append(&records[3]).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed, vec![records[0].clone(), records[3].clone()]);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -24,7 +24,7 @@ fn db_after_flagship() -> KathDB {
 #[test]
 fn scene_objects_view_is_sql_queryable() {
     let db = db_after_flagship();
-    let mut catalog = db.context().catalog.clone();
+    let mut catalog = db.context().catalog.snapshot().catalog().clone();
     // Count detected objects per poster.
     let t = kath_sql::execute(
         &mut catalog,
@@ -51,7 +51,7 @@ fn scene_objects_view_is_sql_queryable() {
 #[test]
 fn cross_modal_join_movies_to_detected_weapons() {
     let db = db_after_flagship();
-    let mut catalog = db.context().catalog.clone();
+    let mut catalog = db.context().catalog.snapshot().catalog().clone();
     // Which movies' posters depict a weapon? A cross-modal join: base table
     // × scene-graph view.
     let t = kath_sql::execute(
@@ -71,7 +71,7 @@ fn cross_modal_join_movies_to_detected_weapons() {
 #[test]
 fn text_entities_view_finds_the_director() {
     let db = db_after_flagship();
-    let mut catalog = db.context().catalog.clone();
+    let mut catalog = db.context().catalog.snapshot().catalog().clone();
     // The Guilty by Suspicion plot mentions Irwin Winkler; the text graph
     // resolves him as a person entity with a director_of relationship.
     let people = kath_sql::execute(
