@@ -2,11 +2,11 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test bench bench-no-run bench-smoke recovery-smoke chaos-smoke session-smoke clippy fmt examples figures
+.PHONY: verify build test bench bench-no-run bench-smoke recovery-smoke chaos-smoke session-smoke clippy fmt lint lint-baseline examples figures
 
 EXAMPLES := $(basename $(notdir $(wildcard examples/*.rs)))
 
-verify: fmt build test clippy bench-no-run recovery-smoke chaos-smoke session-smoke examples
+verify: fmt build test clippy lint bench-no-run recovery-smoke chaos-smoke session-smoke examples
 
 build:
 	$(CARGO) build --release
@@ -63,6 +63,16 @@ session-smoke:
 
 fmt:
 	$(CARGO) fmt --all --check
+
+# Workspace static analysis: io-seam, panic ratchet, lock order, atomics,
+# nondeterminism (see docs/static-analysis.md). Fails on any finding.
+lint:
+	$(CARGO) run -q --release -p kath_lint --bin kathdb-lint
+
+# Regenerates lint-baseline.json from the current panic-site counts — the
+# only sanctioned way to change the ratchet (it may only shrink).
+lint-baseline:
+	$(CARGO) run -q --release -p kath_lint --bin kathdb-lint -- --write-baseline
 
 examples:
 	for e in $(EXAMPLES); do \

@@ -110,7 +110,7 @@ impl ExecutionEngine {
         let mut final_table: Option<Table> = None;
 
         for node in &plan.nodes {
-            let started = Instant::now();
+            let started = Instant::now(); // lint: nondet-ok — per-node timing telemetry in the run report; results never depend on it
             let (outcome, node_repairs) =
                 monitor.execute_with_repair(ctx, registry, &node.func_id, &node.output)?;
             repairs.extend(node_repairs);

@@ -209,7 +209,7 @@ impl LineageStore {
             next_lid: 1,
             row_counter: 0,
             policy: LineagePolicy::Full,
-            started: Instant::now(),
+            started: Instant::now(), // lint: nondet-ok — lineage-store age telemetry only
         }
     }
 

@@ -1,0 +1,140 @@
+//! `lint-baseline.json`: the panic-freedom ratchet state.
+//!
+//! The baseline records, per file, how many panic sites
+//! (`unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!`) the ratcheted crates are *allowed* to contain. The
+//! pass fails when a file exceeds its recorded count (the ratchet: new
+//! panic sites are refused) **and** when a file undershoots it (the
+//! baseline must be regenerated with `kathdb-lint --write-baseline`, so
+//! the committed number only ever shrinks — an improvement is locked in
+//! the moment it lands).
+//!
+//! The format is deliberately tiny JSON (the workspace is offline and
+//! dependency-free): `{"version": 1, "files": {"path": count, …}}`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The parsed baseline: panic-site budget per file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Repo-relative path → allowed panic-site count.
+    pub files: BTreeMap<String, u64>,
+}
+
+/// A baseline parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError(pub String);
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-baseline.json: {}", self.0)
+    }
+}
+
+impl Baseline {
+    /// Total allowed sites across all files.
+    pub fn total(&self) -> u64 {
+        self.files.values().sum()
+    }
+
+    /// Serializes the baseline (sorted, one file per line — diff-stable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"files\": {\n");
+        let n = self.files.len();
+        for (i, (path, count)) in self.files.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            out.push_str(&format!("    \"{path}\": {count}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the baseline JSON (the exact shape `to_json` writes, with
+    /// tolerance for whitespace).
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut files = BTreeMap::new();
+        let mut chars = text.char_indices().peekable();
+        let mut in_files = false;
+        let mut depth = 0u32;
+        let mut pending_key: Option<String> = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if in_files && depth <= 1 {
+                        in_files = false;
+                    }
+                }
+                '"' => {
+                    let start = i + 1;
+                    let mut end = start;
+                    for (j, cj) in chars.by_ref() {
+                        if cj == '"' {
+                            end = j;
+                            break;
+                        }
+                    }
+                    let s = &text[start..end];
+                    if depth == 1 && s == "files" {
+                        in_files = true;
+                    } else if in_files && depth == 2 {
+                        pending_key = Some(s.to_string());
+                    }
+                }
+                '0'..='9' => {
+                    let start = i;
+                    let mut end = i + 1;
+                    while let Some(&(j, cj)) = chars.peek() {
+                        if cj.is_ascii_digit() {
+                            end = j + 1;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let value: u64 = text[start..end]
+                        .parse()
+                        .map_err(|_| BaselineError(format!("bad count `{}`", &text[start..end])))?;
+                    if let Some(key) = pending_key.take() {
+                        files.insert(key, value);
+                    }
+                    // `"version": 1` has no pending file key and is ignored.
+                }
+                _ => {}
+            }
+        }
+        if depth != 0 {
+            return Err(BaselineError("unbalanced braces".to_string()));
+        }
+        Ok(Baseline { files })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.files.insert("crates/a/src/x.rs".to_string(), 3);
+        b.files.insert("crates/b/src/y.rs".to_string(), 0);
+        let json = b.to_json();
+        let parsed = Baseline::parse(&json).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let b = Baseline::default();
+        assert_eq!(Baseline::parse(&b.to_json()).unwrap(), b);
+    }
+
+    #[test]
+    fn unbalanced_is_an_error() {
+        assert!(Baseline::parse("{\"files\": {").is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! `kathdb-lint`: run the workspace static-analysis passes.
+//!
+//! ```text
+//! kathdb-lint [--root PATH] [--json] [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/config/IO error.
+//! `--write-baseline` regenerates `lint-baseline.json` from the current
+//! panic-site counts (the only sanctioned way to change the ratchet).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("kathdb-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: kathdb-lint [--root PATH] [--json] [--write-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("kathdb-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if write_baseline {
+        return match write_baseline_at(&root) {
+            Ok(total) => {
+                println!("kathdb-lint: wrote lint-baseline.json ({total} panic sites)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("kathdb-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let result = match kath_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kathdb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", kath_lint::to_json(&result));
+    } else {
+        for finding in &result.findings {
+            println!("{finding}");
+        }
+        if result.findings.is_empty() {
+            println!(
+                "kathdb-lint: clean ({} files scanned, panic baseline {})",
+                result.files_scanned,
+                result.generated_baseline().total()
+            );
+        } else {
+            println!("kathdb-lint: {} finding(s)", result.findings.len());
+        }
+    }
+    if result.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Scans the workspace and rewrites `lint-baseline.json`; returns the
+/// total panic-site count written.
+fn write_baseline_at(root: &std::path::Path) -> Result<u64, String> {
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).map_err(|e| format!("lint.toml: {e}"))?;
+    let config = kath_lint::config::Config::parse(&config_text).map_err(|e| e.to_string())?;
+    let files = kath_lint::scan_workspace(root)?;
+    let result = kath_lint::run_on(&files, &config, None);
+    let baseline = result.generated_baseline();
+    let total = baseline.total();
+    std::fs::write(root.join("lint-baseline.json"), baseline.to_json())
+        .map_err(|e| format!("write lint-baseline.json: {e}"))?;
+    Ok(total)
+}

@@ -1,0 +1,321 @@
+//! `lint.toml`: the allowlist and the lock model.
+//!
+//! The workspace is offline-vendored, so this is a hand-rolled parser for
+//! the small TOML subset the config actually uses: `[section]` /
+//! `[[array-of-tables]]` headers, `key = "string"`, and
+//! `key = ["a", "b"]` single-line string arrays, with `#` comments.
+//!
+//! Every `[[allow]]` entry **requires** a non-empty `reason` — an
+//! allowlist that does not say *why* is a suppression, not a decision.
+//! Entries that no longer match any finding are reported as stale, so the
+//! list can only describe the present.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One allowlist entry: suppresses all findings of `pass` in `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Pass name (`io-seam`, `panic-ratchet`, `lock-order`, `atomics`,
+    /// `nondet`).
+    pub pass: String,
+    /// Repo-relative file path the entry covers.
+    pub path: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// One declared lock: a struct field in a specific file whose
+/// `lock()`/`read()`/`write()` calls are acquisition sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSpec {
+    /// Canonical name used in the declared order (`txn.commit`).
+    pub name: String,
+    /// File the field lives in.
+    pub file: String,
+    /// Field identifier (`commit`, `current`, `inner`, …).
+    pub field: String,
+    /// Acquisition method names (`lock`, `read`, `write`).
+    pub methods: Vec<String>,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Allowlist entries.
+    pub allows: Vec<Allow>,
+    /// Declared locks.
+    pub locks: Vec<LockSpec>,
+    /// The total acquisition order (outermost first).
+    pub lock_order: Vec<String>,
+}
+
+/// A config parse or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml` (0 for file-level errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses and validates a `lint.toml` document.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        // Section currently being filled.
+        enum Section {
+            None,
+            Allow(BTreeMap<String, Vec<String>>),
+            Lock(BTreeMap<String, Vec<String>>),
+            LockOrder,
+        }
+        let mut section = Section::None;
+        let mut section_line = 0u32;
+        let flush =
+            |config: &mut Config, section: &mut Section, line: u32| -> Result<(), ConfigError> {
+                match std::mem::replace(section, Section::None) {
+                    Section::None | Section::LockOrder => Ok(()),
+                    Section::Allow(map) => {
+                        let get = |k: &str| -> Result<String, ConfigError> {
+                            map.get(k)
+                                .and_then(|v| v.first())
+                                .filter(|s| !s.is_empty())
+                                .cloned()
+                                .ok_or(ConfigError {
+                                    line,
+                                    message: format!("[[allow]] entry is missing `{k}`"),
+                                })
+                        };
+                        config.allows.push(Allow {
+                            pass: get("pass")?,
+                            path: get("path")?,
+                            reason: get("reason")?,
+                        });
+                        Ok(())
+                    }
+                    Section::Lock(map) => {
+                        let get = |k: &str| -> Result<String, ConfigError> {
+                            map.get(k)
+                                .and_then(|v| v.first())
+                                .filter(|s| !s.is_empty())
+                                .cloned()
+                                .ok_or(ConfigError {
+                                    line,
+                                    message: format!("[[lock]] entry is missing `{k}`"),
+                                })
+                        };
+                        let methods = map.get("methods").cloned().unwrap_or_default();
+                        if methods.is_empty() {
+                            return Err(ConfigError {
+                                line,
+                                message: "[[lock]] entry is missing `methods`".to_string(),
+                            });
+                        }
+                        config.locks.push(LockSpec {
+                            name: get("name")?,
+                            file: get("file")?,
+                            field: get("field")?,
+                            methods,
+                        });
+                        Ok(())
+                    }
+                }
+            };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                flush(&mut config, &mut section, section_line)?;
+                section_line = lineno;
+                section = match header.trim() {
+                    "allow" => Section::Allow(BTreeMap::new()),
+                    "lock" => Section::Lock(BTreeMap::new()),
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown section [[{other}]]"),
+                        })
+                    }
+                };
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                flush(&mut config, &mut section, section_line)?;
+                section_line = lineno;
+                section = match header.trim() {
+                    "lock-order" => Section::LockOrder,
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown section [{other}]"),
+                        })
+                    }
+                };
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or(ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let values = parse_value(value).map_err(|message| ConfigError {
+                line: lineno,
+                message,
+            })?;
+            match &mut section {
+                Section::Allow(map) | Section::Lock(map) => {
+                    map.insert(key.to_string(), values);
+                }
+                Section::LockOrder if key == "order" => config.lock_order = values,
+                Section::LockOrder => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown [lock-order] key `{key}`"),
+                    })
+                }
+                Section::None => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("`{key}` outside any section"),
+                    })
+                }
+            }
+        }
+        flush(&mut config, &mut section, section_line)?;
+        config.validate()?;
+        Ok(config)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        for lock in &self.locks {
+            if !self.lock_order.iter().any(|n| n == &lock.name) {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!("lock `{}` is not listed in [lock-order] order", lock.name),
+                });
+            }
+        }
+        for name in &self.lock_order {
+            if !self.locks.iter().any(|l| &l.name == name) {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!("[lock-order] names undeclared lock `{name}`"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether an allow entry covers (pass, path); returns its index.
+    pub fn allow_index(&self, pass: &str, path: &str) -> Option<usize> {
+        self.allows
+            .iter()
+            .position(|a| a.pass == pass && a.path == path)
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+/// Parses `"string"` or `["a", "b"]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut out = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            out.push(parse_string(part)?);
+        }
+        return Ok(out);
+    }
+    Ok(vec![parse_string(value)?])
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("expected a quoted string, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allows_locks_and_order() {
+        let toml = r#"
+# comment
+[[allow]]
+pass = "nondet"
+path = "crates/data/src/scale.rs"
+reason = "seeded rng" # trailing comment
+
+[[lock]]
+name = "a"
+file = "f.rs"
+field = "x"
+methods = ["lock"]
+
+[[lock]]
+name = "b"
+file = "f.rs"
+field = "y"
+methods = ["read", "write"]
+
+[lock-order]
+order = ["a", "b"]
+"#;
+        let config = Config::parse(toml).unwrap();
+        assert_eq!(config.allows.len(), 1);
+        assert_eq!(config.allows[0].reason, "seeded rng");
+        assert_eq!(config.locks.len(), 2);
+        assert_eq!(config.locks[1].methods, vec!["read", "write"]);
+        assert_eq!(config.lock_order, vec!["a", "b"]);
+        assert!(config
+            .allow_index("nondet", "crates/data/src/scale.rs")
+            .is_some());
+        assert!(config
+            .allow_index("atomics", "crates/data/src/scale.rs")
+            .is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let toml = "[[allow]]\npass = \"nondet\"\npath = \"x.rs\"\n";
+        let err = Config::parse(toml).unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_order_lock_is_rejected() {
+        let toml = "[[lock]]\nname = \"a\"\nfile = \"f.rs\"\nfield = \"x\"\nmethods = [\"lock\"]\n";
+        let err = Config::parse(toml).unwrap_err();
+        assert!(err.message.contains("lock-order"), "{err}");
+    }
+}

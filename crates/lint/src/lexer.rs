@@ -1,0 +1,601 @@
+//! A hand-rolled Rust token scanner for the lint passes.
+//!
+//! This is not a full Rust lexer: it produces exactly what the passes
+//! need — identifiers, punctuation, and literal placeholders, each tagged
+//! with a 1-based line number — while being *correct about what is code*:
+//! line comments, nested block comments, string literals (plain, raw,
+//! byte, and C strings), char literals, and lifetimes are recognized so a
+//! `std::fs` inside a doc comment or a `"panic!("` inside a string never
+//! counts as a finding.
+//!
+//! Two side channels ride along with the token stream:
+//!
+//! * **Lint annotations.** Comments containing `lint: <name>-ok — <reason>`
+//!   become [`Annotation`]s. An annotation covers its own line and the
+//!   next, so both trailing (`x.load(Relaxed) // lint: relaxed-ok — …`)
+//!   and preceding (`// lint: relaxed-ok — …` above the site) styles
+//!   work. A `lint:` marker that does not parse is itself reported as a
+//!   malformed-annotation finding by the driver.
+//! * **Test spans.** Any item under a `#[cfg(test)]` or `#[test]`
+//!   attribute — in practice the per-file `mod tests { … }` — is recorded
+//!   as an inclusive line range. Every pass exempts those lines: tests may
+//!   unwrap, panic, and touch `std::fs` freely.
+
+use std::fmt;
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A string/char/byte/numeric literal (content intentionally dropped).
+    Lit,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(c) => write!(f, "{c}"),
+            Tok::Lit => write!(f, "<lit>"),
+            Tok::Lifetime => write!(f, "<'_>"),
+        }
+    }
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A parsed `lint: <name>-ok — <reason>` comment annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// Line the comment starts on (covers this line and the next).
+    pub line: u32,
+    /// The annotation name without the `-ok` suffix (`relaxed`, `nondet`).
+    pub name: String,
+    /// The mandatory human reason.
+    pub reason: String,
+}
+
+/// A `lint:` marker that failed to parse (missing `-ok` name or reason).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedAnnotation {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// A lexed source file: tokens plus the annotation and test-span side
+/// channels.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Parsed lint annotations.
+    pub annotations: Vec<Annotation>,
+    /// `lint:` markers that failed to parse.
+    pub malformed: Vec<MalformedAnnotation>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Lexes `text` (registered under `path` for findings).
+    pub fn new(path: &str, text: &str) -> Lexed {
+        let (tokens, annotations, malformed) = scan(text);
+        let test_spans = test_spans(&tokens);
+        Lexed {
+            path: path.to_string(),
+            tokens,
+            annotations,
+            malformed,
+            test_spans,
+        }
+    }
+
+    /// Whether `line` falls inside a test-gated item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// The annotation of the given name covering `line`, if any. An
+    /// annotation on line `n` covers lines `n` and `n + 1`.
+    pub fn annotation(&self, name: &str, line: u32) -> Option<&Annotation> {
+        self.annotations
+            .iter()
+            .find(|a| a.name == name && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Scans `text` into tokens, collecting annotations from comments.
+fn scan(text: &str) -> (Vec<Token>, Vec<Annotation>, Vec<MalformedAnnotation>) {
+    let b = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut annotations = Vec::new();
+    let mut malformed = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                note_comment(&text[start..i], line, &mut annotations, &mut malformed);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                note_comment(
+                    &text[start..i],
+                    start_line,
+                    &mut annotations,
+                    &mut malformed,
+                );
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: tok_line,
+                });
+            }
+            b'r' | b'b' if raw_string_start(b, i).is_some() => {
+                let tok_line = line;
+                let hashes = raw_string_start(b, i).unwrap_or(0);
+                i = skip_raw_string(b, i, hashes, &mut line);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: tok_line,
+                });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i + 1, &mut line);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: tok_line,
+                });
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'\'' => {
+                let tok_line = line;
+                i = skip_char(b, i + 1);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_char = if i + 1 >= b.len() {
+                    false
+                } else if b[i + 1] == b'\\' {
+                    true
+                } else {
+                    // `'x'` is a char; `'x` followed by anything else is a
+                    // lifetime (or `'_`).
+                    i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\''
+                };
+                if is_char {
+                    let tok_line = line;
+                    i = skip_char(b, i);
+                    tokens.push(Token {
+                        tok: Tok::Lit,
+                        line: tok_line,
+                    });
+                } else {
+                    let tok_line = line;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line: tok_line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let tok_line = line;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // A fractional part, but not a `0..n` range.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: tok_line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(text[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                // Multi-byte UTF-8 (e.g. an em dash in a string would have
+                // been consumed above; in code it can only appear inside
+                // comments, already handled) — skip the whole character.
+                let width = utf8_width(c);
+                if width == 1 {
+                    tokens.push(Token {
+                        tok: Tok::Punct(c as char),
+                        line,
+                    });
+                }
+                i += width;
+            }
+        }
+    }
+    (tokens, annotations, malformed)
+}
+
+fn utf8_width(c: u8) -> usize {
+    match c {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Consumes a plain (escaped) string starting at the opening quote index.
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether a raw string starts at `i` (`r"`, `r#"`, `br##"`, …); returns
+/// the hash count.
+fn raw_string_start(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Consumes a raw string with `hashes` delimiter hashes.
+fn skip_raw_string(b: &[u8], start: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut i = start;
+    // Skip the `b`/`r`/`#`* prefix up to and including the opening quote.
+    while i < b.len() && b[i] != b'"' {
+        i += 1;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if i + 1 + k >= b.len() || b[i + 1 + k] != b'#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Consumes a char literal starting at the opening quote index.
+fn skip_char(b: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Parses `lint:` annotations out of one comment's text.
+fn note_comment(
+    text: &str,
+    line: u32,
+    annotations: &mut Vec<Annotation>,
+    malformed: &mut Vec<MalformedAnnotation>,
+) {
+    let Some(pos) = text.find("lint:") else {
+        return;
+    };
+    let rest = text[pos + "lint:".len()..].trim_start();
+    let name_end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
+    // Trailing `*`/`/` strip block-comment closers; backticks strip
+    // doc-comment mentions of the grammar itself (`lint: <name>-ok`).
+    let word = rest[..name_end]
+        .trim_end_matches(['*', '/'])
+        .trim_matches('`');
+    let Some(name) = word.strip_suffix("-ok") else {
+        malformed.push(MalformedAnnotation {
+            line,
+            message: format!("expected `lint: <name>-ok — <reason>`, got `lint: {word}`"),
+        });
+        return;
+    };
+    // The reason follows an optional separator: an em/en dash, `--`, `-`,
+    // or `:`.
+    let mut reason = rest[name_end..].trim_start();
+    for sep in ["—", "–", "--", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r.trim_start();
+            break;
+        }
+    }
+    let reason = reason.trim_end_matches(['*', '/']).trim().trim_matches('`');
+    if name.is_empty() || reason.is_empty() {
+        malformed.push(MalformedAnnotation {
+            line,
+            message: format!("`lint: {word}` annotation is missing its reason"),
+        });
+        return;
+    }
+    annotations.push(Annotation {
+        line,
+        name: name.to_string(),
+        reason: reason.to_string(),
+    });
+}
+
+/// Finds the inclusive line spans of items gated on `#[cfg(test)]` or
+/// `#[test]`.
+fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_punct(tokens, i, '#') || !is_punct(tokens, i + 1, '[') {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens[i].line;
+        let (attr_end, is_test) = scan_attr(tokens, i + 1);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes between the test gate and the item.
+        let mut j = attr_end;
+        while is_punct(tokens, j, '#') && is_punct(tokens, j + 1, '[') {
+            let (end, _) = scan_attr(tokens, j + 1);
+            j = end;
+        }
+        // The item body is the first `{ … }` group; `;`-terminated items
+        // (e.g. `use`) end at the `;`.
+        let mut depth = 0usize;
+        let mut end_line = tokens.get(j).map(|t| t.line).unwrap_or(attr_line);
+        while j < tokens.len() {
+            match &tokens[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = tokens[j].line;
+                        j += 1;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if depth == 0 => {
+                    end_line = tokens[j].line;
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tokens[j].line;
+            j += 1;
+        }
+        spans.push((attr_line, end_line));
+        i = j;
+    }
+    spans
+}
+
+/// Scans one attribute starting at its `[`; returns (index past `]`,
+/// whether the attribute mentions the bare ident `test`).
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut j = open;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, is_test);
+                }
+            }
+            Tok::Ident(name) if name == "test" => is_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+/// Whether token `i` is the punctuation `c`.
+pub fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+/// Whether token `i` is the identifier `name`.
+pub fn is_ident(tokens: &[Token], i: usize, name: &str) -> bool {
+    matches!(tokens.get(i), Some(Token { tok: Tok::Ident(s), .. }) if s == name)
+}
+
+/// The identifier text of token `i`, if it is one.
+pub fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i) {
+        Some(Token {
+            tok: Tok::Ident(s), ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+// std::fs in a comment
+/* nested /* std::fs */ still comment */
+let s = "std::fs::read";
+let r = r#"panic!("x")"#;
+let c = 'x';
+let lt: &'static str = "y";
+std::fs::read(s);
+"##;
+        let lexed = Lexed::new("x.rs", src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        // The only `fs` ident is the real call on the last line.
+        assert_eq!(idents.iter().filter(|s| **s == "fs").count(), 1);
+        let fs_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "fs"))
+            .unwrap();
+        assert_eq!(fs_tok.line, 8);
+    }
+
+    #[test]
+    fn annotations_parse_with_reason() {
+        let src = "let x = 1; // lint: relaxed-ok — monotonic counter\n\
+                   // lint: nondet-ok - telemetry only\nlet y = 2;\n\
+                   // lint: broken\nlet z = 3; // lint: empty-ok —\n";
+        let lexed = Lexed::new("x.rs", src);
+        assert_eq!(lexed.annotations.len(), 2);
+        assert_eq!(lexed.annotations[0].name, "relaxed");
+        assert_eq!(lexed.annotations[0].reason, "monotonic counter");
+        assert_eq!(lexed.annotations[1].name, "nondet");
+        assert!(lexed.annotation("relaxed", 1).is_some());
+        assert!(lexed.annotation("nondet", 3).is_some(), "covers next line");
+        assert_eq!(lexed.malformed.len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_spans() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live2() {}\n";
+        let lexed = Lexed::new("x.rs", src);
+        assert!(!lexed.is_test_line(1));
+        assert!(lexed.is_test_line(2));
+        assert!(lexed.is_test_line(4));
+        assert!(lexed.is_test_line(5));
+        assert!(!lexed.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_exempt() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn live() {}\n";
+        let lexed = Lexed::new("x.rs", src);
+        assert!(lexed.is_test_line(2));
+        assert!(!lexed.is_test_line(3));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_scan() {
+        let src =
+            "let a = b\"bytes\"; let b2 = br#\"raw \" bytes\"#; let c = b'x';\nstd::fs::x();\n";
+        let lexed = Lexed::new("x.rs", src);
+        let fs = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "fs"))
+            .unwrap();
+        assert_eq!(fs.line, 2);
+    }
+}

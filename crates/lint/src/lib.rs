@@ -1,0 +1,357 @@
+//! `kath_lint`: the KathDB workspace static analyzer (`kathdb-lint`).
+//!
+//! PRs 8–9 left the engine's correctness resting on conventions no
+//! compiler checks: all file I/O behind the `Io` seam, the txn layer's
+//! lock order acyclic, acked durability never gated on a `Relaxed`
+//! atomic, hot paths returning typed errors instead of panicking. This
+//! crate machine-checks those invariants on every PR — the static
+//! counterpart of the chaos suite.
+//!
+//! The analyzer is deliberately dependency-free (the workspace is
+//! offline-vendored): a hand-rolled token scanner ([`lexer`]), a tiny
+//! TOML-subset config parser ([`config`]), a tiny JSON baseline
+//! ([`baseline`]), and five passes:
+//!
+//! | pass | checks |
+//! |------|--------|
+//! | `io-seam` | no `std::fs`/`File::`/`OpenOptions` outside `storage/src/io.rs` |
+//! | `panic-ratchet` | panic sites in storage/sql/exec/core vs. a shrink-only baseline |
+//! | `lock-order` | acquired-while-held graph vs. the declared total order |
+//! | `atomics` | every `Ordering::Relaxed` carries a `relaxed-ok` reason |
+//! | `nondet` | no wall-clock/entropy outside `guard.rs`/bench/test |
+//!
+//! See `docs/static-analysis.md` for the annotation grammar, the
+//! baseline workflow, and how to add a pass.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod lock_order;
+pub mod passes;
+
+use baseline::Baseline;
+use config::Config;
+use lexer::Lexed;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Pass identifier (see [`passes::name`]).
+    pub pass: &'static str,
+    /// Repo-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    /// `file:line: [pass] message` (line elided for file-level findings).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.pass, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.pass, self.message
+            )
+        }
+    }
+}
+
+/// How a source file participates in the passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code — every pass applies.
+    Lib,
+    /// A binary (`src/bin/`, `src/main.rs`, `build.rs`) — exempt from the
+    /// engine-invariant passes (binaries are drivers, not the engine).
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+/// A scanned workspace file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Role derived from the path.
+    pub role: Role,
+    /// The lexed contents (carries the repo-relative path).
+    pub lexed: Lexed,
+}
+
+impl SourceFile {
+    /// Builds a file from a path and its text (role derived from path).
+    pub fn new(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            role: role_of(path),
+            lexed: Lexed::new(path, text),
+        }
+    }
+}
+
+/// Derives the role of a repo-relative path.
+fn role_of(path: &str) -> Role {
+    if path.contains("/tests/") || path.starts_with("tests/") {
+        Role::Test
+    } else if path.contains("/benches/") || path.starts_with("benches/") {
+        Role::Bench
+    } else if path.contains("/examples/") || path.starts_with("examples/") {
+        Role::Example
+    } else if path.contains("/src/bin/") || path.ends_with("/main.rs") || path.ends_with("build.rs")
+    {
+        Role::Bin
+    } else {
+        Role::Lib
+    }
+}
+
+/// Crates exempt from all passes: the linter itself (it must read files
+/// and its fixtures seed violations) and the bench harness (wall-clock is
+/// its job).
+fn exempt_crate(path: &str) -> bool {
+    path.starts_with("crates/lint/") || path.starts_with("crates/bench/")
+}
+
+/// The crates whose panic sites are ratcheted.
+fn ratcheted(path: &str) -> bool {
+    [
+        "crates/storage/",
+        "crates/sql/",
+        "crates/exec/",
+        "crates/core/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+/// The result of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintResult {
+    /// All findings, sorted by (file, line, pass).
+    pub findings: Vec<Finding>,
+    /// Panic-site counts for every ratcheted file (zeros included).
+    pub panic_counts: BTreeMap<String, u64>,
+    /// The acquired-while-held edges the lock-order pass observed.
+    pub edges: Vec<lock_order::Edge>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintResult {
+    /// The baseline the current panic counts would generate (files with
+    /// zero sites are omitted).
+    pub fn generated_baseline(&self) -> Baseline {
+        Baseline {
+            files: self
+                .panic_counts
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(f, &c)| (f.clone(), c))
+                .collect(),
+        }
+    }
+}
+
+/// Runs every pass over pre-scanned files. `baseline` is `None` in
+/// `--write-baseline` mode (the ratchet comparison is skipped; counts are
+/// still computed).
+pub fn run_on(files: &[SourceFile], config: &Config, baseline: Option<&Baseline>) -> LintResult {
+    let mut result = LintResult {
+        files_scanned: files.len(),
+        ..LintResult::default()
+    };
+    let mut findings = Vec::new();
+    for file in files {
+        let path = &file.lexed.path;
+        if exempt_crate(path) {
+            continue;
+        }
+        for m in &file.lexed.malformed {
+            findings.push(Finding {
+                pass: passes::name::ANNOTATION,
+                file: path.clone(),
+                line: m.line,
+                message: m.message.clone(),
+            });
+        }
+        if file.role != Role::Lib {
+            continue;
+        }
+        if path != "crates/storage/src/io.rs" {
+            findings.extend(passes::io_seam(&file.lexed));
+        }
+        if ratcheted(path) {
+            result
+                .panic_counts
+                .insert(path.clone(), passes::panic_sites(&file.lexed).len() as u64);
+        }
+        findings.extend(passes::atomics(&file.lexed));
+        if !path.ends_with("guard.rs") {
+            findings.extend(passes::nondet(&file.lexed));
+        }
+    }
+    if let Some(baseline) = baseline {
+        findings.extend(passes::panic_ratchet(&result.panic_counts, baseline));
+    }
+    // Lock-order runs over the lib files of every crate that declares a
+    // lock (callee resolution stays within those crates).
+    let scopes: Vec<String> = config
+        .locks
+        .iter()
+        .map(|l| match l.file.find("/src/") {
+            Some(pos) => l.file[..pos + "/src/".len()].to_string(),
+            None => l.file.clone(),
+        })
+        .collect();
+    let lock_files: Vec<&Lexed> = files
+        .iter()
+        .filter(|f| f.role == Role::Lib && scopes.iter().any(|s| f.lexed.path.starts_with(s)))
+        .map(|f| &f.lexed)
+        .collect();
+    let (lock_findings, edges) = lock_order::run(&lock_files, config);
+    findings.extend(lock_findings);
+    result.edges = edges;
+    // Apply the allowlist; stale entries are themselves findings.
+    let mut used = vec![false; config.allows.len()];
+    findings.retain(|f| match config.allow_index(f.pass, &f.file) {
+        Some(i) => {
+            used[i] = true;
+            false
+        }
+        None => true,
+    });
+    for (i, allow) in config.allows.iter().enumerate() {
+        if !used[i] {
+            findings.push(Finding {
+                pass: passes::name::ALLOWLIST,
+                file: "lint.toml".to_string(),
+                line: 0,
+                message: format!(
+                    "stale allow entry (pass `{}`, path `{}`) matches no finding — remove it",
+                    allow.pass, allow.path
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    result.findings = findings;
+    result
+}
+
+/// Scans the workspace `.rs` files under `root` (the umbrella crate's
+/// `src`/`tests`/`examples` plus `crates/`; `vendor/` and `target/` are
+/// skipped — vendored stand-ins are not ours to lint).
+pub fn scan_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.lexed.path.cmp(&b.lexed.path));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix {}: {e}", path.display()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::new(&rel, &text));
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace and runs every pass with the committed `lint.toml`
+/// and `lint-baseline.json` at `root`.
+pub fn run(root: &Path) -> Result<LintResult, String> {
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).map_err(|e| format!("lint.toml: {e}"))?;
+    let config = Config::parse(&config_text).map_err(|e| e.to_string())?;
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .map_err(|e| format!("lint-baseline.json: {e} (generate with --write-baseline)"))?;
+    let baseline = Baseline::parse(&baseline_text).map_err(|e| e.to_string())?;
+    let files = scan_workspace(root)?;
+    Ok(run_on(&files, &config, Some(&baseline)))
+}
+
+/// Serializes findings as the `--json` machine output.
+pub fn to_json(result: &LintResult) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", result.files_scanned));
+    out.push_str(&format!(
+        "  \"panic_baseline_total\": {},\n",
+        result.generated_baseline().total()
+    ));
+    out.push_str("  \"lock_edges\": [\n");
+    let n = result.edges.len();
+    for (i, e) in result.edges.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"held\": \"{}\", \"acquired\": \"{}\", \"at\": \"{}:{}\", \
+             \"function\": \"{}\"}}{comma}\n",
+            json_escape(&e.held_name),
+            json_escape(&e.acquired_name),
+            json_escape(&e.file),
+            e.line,
+            json_escape(&e.function)
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"findings\": [\n");
+    let n = result.findings.len();
+    for (i, f) in result.findings.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{comma}\n",
+            json_escape(f.pass),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,234 @@
+//! The per-file lint passes: io-seam, panic-ratchet, atomics, nondet.
+//!
+//! Each pass walks a [`Lexed`] token stream. Test-gated lines (the
+//! lexer's test spans) are always exempt; inline annotations
+//! (`// lint: <name>-ok — <reason>`) exempt single sites for the passes
+//! that support them; file-level exemptions live in `lint.toml` and are
+//! applied by the driver after the passes run.
+
+use crate::baseline::Baseline;
+use crate::lexer::{ident_at, is_ident, is_punct, Lexed, Tok};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// Pass names (also the `--json` identifiers and the `[[allow]]` keys).
+pub mod name {
+    /// Io-seam enforcement.
+    pub const IO_SEAM: &str = "io-seam";
+    /// Panic-freedom ratchet.
+    pub const PANIC: &str = "panic-ratchet";
+    /// `Ordering::Relaxed` audit.
+    pub const ATOMICS: &str = "atomics";
+    /// Nondeterminism lint.
+    pub const NONDET: &str = "nondet";
+    /// Allowlist hygiene (stale entries).
+    pub const ALLOWLIST: &str = "allowlist";
+    /// Malformed `lint:` markers.
+    pub const ANNOTATION: &str = "annotation";
+}
+
+/// **Io-seam enforcement.** All file-system access must go through the
+/// `Io` trait in `crates/storage/src/io.rs` — that seam is what makes
+/// fault injection and the chaos suite possible. Flags `std::fs`,
+/// imported `fs::…` paths, `File::…`, and `OpenOptions` in library code.
+/// Sites may carry a `// lint: io-ok — <reason>` annotation.
+pub fn io_seam(lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let hit: Option<&str> = if is_ident(toks, i, "fs")
+            && is_punct(toks, i + 1, ':')
+            && is_punct(toks, i + 2, ':')
+        {
+            // Covers both `std::fs::…` and an imported `fs::…`. `use
+            // std::fs;` itself is also caught via this arm's `std::fs`
+            // spelling below.
+            Some("`fs::` path")
+        } else if is_ident(toks, i, "std")
+            && is_punct(toks, i + 1, ':')
+            && is_punct(toks, i + 2, ':')
+            && is_ident(toks, i + 3, "fs")
+        {
+            Some("`std::fs`")
+        } else if is_ident(toks, i, "File")
+            && is_punct(toks, i + 1, ':')
+            && is_punct(toks, i + 2, ':')
+        {
+            Some("`File::`")
+        } else if is_ident(toks, i, "OpenOptions") {
+            Some("`OpenOptions`")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            let line = toks[i].line;
+            // One finding per line: `std::fs::File::open` matches three
+            // overlapping patterns but is one violation.
+            let already = findings.last().is_some_and(|f: &Finding| f.line == line);
+            if !already && !lexed.is_test_line(line) && lexed.annotation("io", line).is_none() {
+                findings.push(Finding {
+                    pass: name::IO_SEAM,
+                    file: lexed.path.clone(),
+                    line,
+                    message: format!(
+                        "{what} outside the Io seam — route file access through \
+                         `crates/storage/src/io.rs` so faults stay injectable"
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// The lines of panic sites (`.unwrap()` / `.expect(` / `panic!` /
+/// `unreachable!` / `todo!` / `unimplemented!`) outside test spans.
+pub fn panic_sites(lexed: &Lexed) -> Vec<u32> {
+    let toks = &lexed.tokens;
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        let Tok::Ident(word) = &toks[i].tok else {
+            continue;
+        };
+        let is_site = match word.as_str() {
+            // Method calls only (`.unwrap(`), so a local `fn unwrap` or a
+            // mention in a path does not count.
+            "unwrap" | "expect" => {
+                i > 0 && is_punct(toks, i - 1, '.') && is_punct(toks, i + 1, '(')
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                // Macro invocation, not `core::panic` paths or the
+                // `#[panic_handler]` ident.
+                is_punct(toks, i + 1, '!')
+            }
+            _ => false,
+        };
+        if is_site && !lexed.is_test_line(toks[i].line) {
+            sites.push(toks[i].line);
+        }
+    }
+    sites
+}
+
+/// **Panic-freedom ratchet.** Compares the per-file panic-site counts of
+/// the ratcheted crates against the committed baseline. Exceeding the
+/// budget fails (new panic sites refused); undershooting also fails with
+/// a "regenerate" hint, so the committed number only ever shrinks.
+pub fn panic_ratchet(counts: &BTreeMap<String, u64>, baseline: &Baseline) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (file, &count) in counts {
+        let allowed = baseline.files.get(file).copied().unwrap_or(0);
+        if count > allowed {
+            findings.push(Finding {
+                pass: name::PANIC,
+                file: file.clone(),
+                line: 0,
+                message: format!(
+                    "{count} panic site(s), baseline allows {allowed} — return a typed \
+                     `StorageError` instead (the ratchet only goes down)"
+                ),
+            });
+        } else if count < allowed {
+            findings.push(Finding {
+                pass: name::PANIC,
+                file: file.clone(),
+                line: 0,
+                message: format!(
+                    "{count} panic site(s) but the baseline still says {allowed} — \
+                     stale baseline, lock the improvement in with \
+                     `kathdb-lint --write-baseline`"
+                ),
+            });
+        }
+    }
+    for file in baseline.files.keys() {
+        if !counts.contains_key(file) {
+            findings.push(Finding {
+                pass: name::PANIC,
+                file: file.clone(),
+                line: 0,
+                message: "baseline entry for a file that no longer exists — \
+                          regenerate with `kathdb-lint --write-baseline`"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// **Atomics audit.** Every `Ordering::Relaxed` (or imported `Relaxed`)
+/// load/store must carry a `// lint: relaxed-ok — <reason>` annotation:
+/// `Relaxed` is only sound for monotonic counters and telemetry, never
+/// for cross-thread control flow, and the annotation forces that claim to
+/// be written down next to the site.
+pub fn atomics(lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if !is_ident(toks, i, "Relaxed") {
+            continue;
+        }
+        let line = toks[i].line;
+        if lexed.is_test_line(line) || lexed.annotation("relaxed", line).is_some() {
+            continue;
+        }
+        findings.push(Finding {
+            pass: name::ATOMICS,
+            file: lexed.path.clone(),
+            line,
+            message: "`Ordering::Relaxed` without a `// lint: relaxed-ok — <reason>` \
+                      annotation — use Acquire/Release if this synchronizes data"
+                .to_string(),
+        });
+    }
+    findings
+}
+
+/// **Nondeterminism lint.** `Instant::now` / `SystemTime::now` / the
+/// `rand` crate make query results or plans depend on wall-clock or
+/// entropy, which breaks replay and the deterministic test suites. Only
+/// `guard.rs` (timeout enforcement), benches, and tests may use them;
+/// other sites need a `// lint: nondet-ok — <reason>` annotation or a
+/// `lint.toml` entry.
+pub fn nondet(lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let hit: Option<&str> = if (is_ident(toks, i, "Instant") || is_ident(toks, i, "SystemTime"))
+            && is_punct(toks, i + 1, ':')
+            && is_punct(toks, i + 2, ':')
+            && is_ident(toks, i + 3, "now")
+        {
+            match ident_at(toks, i) {
+                Some("Instant") => Some("`Instant::now()`"),
+                _ => Some("`SystemTime::now()`"),
+            }
+        } else if is_ident(toks, i, "rand")
+            && is_punct(toks, i + 1, ':')
+            && is_punct(toks, i + 2, ':')
+        {
+            Some("the `rand` crate")
+        } else {
+            None
+        };
+        let Some(what) = hit else {
+            continue;
+        };
+        let line = toks[i].line;
+        if lexed.is_test_line(line) || lexed.annotation("nondet", line).is_some() {
+            continue;
+        }
+        findings.push(Finding {
+            pass: name::NONDET,
+            file: lexed.path.clone(),
+            line,
+            message: format!(
+                "{what} in library code — nondeterminism breaks replay; thread a clock/seed \
+                 through, or annotate `// lint: nondet-ok — <reason>`"
+            ),
+        });
+    }
+    findings
+}

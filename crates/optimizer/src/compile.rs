@@ -154,7 +154,7 @@ pub fn compile(
         for (body, note) in &candidates {
             let mut fork = fork_ctx(&sample_ctx);
             let tokens_before = fork.llm.meter().usage().total();
-            let started = Instant::now();
+            let started = Instant::now(); // lint: nondet-ok — candidate profiling wall-clock; ranks compile candidates, not query results
             let result = execute_body(&mut fork, &func_id, 1, body, &node.signature.output);
             let runtime_ms = started.elapsed().as_secs_f64() * 1000.0;
             let tokens = fork.llm.meter().usage().total() - tokens_before;

@@ -398,7 +398,9 @@ impl Durability {
             } else {
                 Arc::new(table.to_paged(pool, DEFAULT_PAGE_ROWS)?)
             };
-            let pt = paged.paged().expect("to_paged returns a paged table");
+            let pt = paged.paged().ok_or_else(|| {
+                StorageError::Corrupt("checkpoint produced a non-paged table".to_string())
+            })?;
             let w = pt.write_durable(&pages)?;
             stats.pages_written += w.pages_written;
             stats.pages_reused += w.pages_reused;
@@ -583,7 +585,11 @@ fn parse_kmeta(data: &[u8]) -> Result<KmetaDoc, StorageError> {
         return Err(corrupt("unsupported kmeta version"));
     }
     let (payload, trailer) = data.split_at(data.len() - 4);
-    let stored = u32::from_be_bytes(trailer.try_into().expect("4-byte trailer"));
+    let stored = u32::from_be_bytes(
+        trailer
+            .try_into()
+            .map_err(|_| corrupt("kmeta trailer truncated"))?,
+    );
     if crc32(payload) != stored {
         return Err(corrupt("kmeta checksum mismatch"));
     }

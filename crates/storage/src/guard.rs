@@ -54,18 +54,20 @@ impl CancelToken {
     }
 
     /// Fires the token: the owning query aborts at its next check.
+    /// Release/Acquire so everything the cancelling thread did before
+    /// firing is visible to the query that observes the abort.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        self.flag.store(true, Ordering::Release);
     }
 
     /// Re-arms the token for the next query.
     pub fn clear(&self) {
-        self.flag.store(false, Ordering::Relaxed);
+        self.flag.store(false, Ordering::Release);
     }
 
     /// Whether the token has fired.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -187,7 +189,7 @@ impl QueryGuard {
             return Ok(());
         };
         if let Some(budget) = inner.row_budget {
-            let total = inner.rows.fetch_add(rows, Ordering::Relaxed) + rows;
+            let total = inner.rows.fetch_add(rows, Ordering::Relaxed) + rows; // lint: relaxed-ok — the RMW keeps the budget count exact; no other memory rides on it
             if total > budget {
                 return Err(StorageError::Budget(format!(
                     "row budget of {budget} exceeded ({total} rows produced)"
@@ -195,7 +197,7 @@ impl QueryGuard {
             }
         }
         if let Some(budget) = inner.byte_budget {
-            let total = inner.bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+            let total = inner.bytes.fetch_add(bytes, Ordering::Relaxed) + bytes; // lint: relaxed-ok — the RMW keeps the budget count exact; no other memory rides on it
             if total > budget {
                 return Err(StorageError::Budget(format!(
                     "byte budget of {budget} exceeded ({total} bytes produced)"

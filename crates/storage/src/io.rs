@@ -451,8 +451,9 @@ impl FaultyIo {
         if !self.plan.ops.is_empty() && !self.plan.ops.contains(&op) {
             return None;
         }
-        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1; // lint: relaxed-ok — the RMW keeps the fault-clock tick exact; no other memory rides on it
         if let Some(max) = self.plan.max_faults {
+            // lint: relaxed-ok — injection cap is advisory; a racy read at worst injects one extra fault
             if self.injected.load(Ordering::Relaxed) >= max {
                 return None;
             }
@@ -471,7 +472,7 @@ impl FaultyIo {
             None
         };
         if kind.is_some() {
-            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.injected.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok — monotonic injected-fault counter
         }
         kind
     }
@@ -562,8 +563,8 @@ impl IoBackend for FaultyIo {
 
     fn fault_stats(&self) -> Option<FaultStats> {
         Some(FaultStats {
-            ops: self.ops.load(Ordering::Relaxed),
-            injected: self.injected.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed), // lint: relaxed-ok — stats snapshot; approximate reads are fine
+            injected: self.injected.load(Ordering::Relaxed), // lint: relaxed-ok — stats snapshot; approximate reads are fine
         })
     }
 

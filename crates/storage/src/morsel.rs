@@ -91,7 +91,7 @@ impl MorselSource {
 
     /// Claims the next morsel, or `None` when the scan is exhausted.
     pub fn claim(&self) -> Option<Morsel> {
-        let start = self.cursor.fetch_add(self.morsel_rows, Ordering::Relaxed);
+        let start = self.cursor.fetch_add(self.morsel_rows, Ordering::Relaxed); // lint: relaxed-ok — the RMW hands out disjoint ranges; no ordering needed
         if start >= self.total {
             return None;
         }
@@ -173,8 +173,10 @@ where
         (0..workers).map(|_| parking_lot::Mutex::new(0.0)).collect();
 
     let worker_loop = |w: usize| {
-        let started = Instant::now();
-        while !abort.load(Ordering::Relaxed) {
+        let started = Instant::now(); // lint: nondet-ok — per-worker busy-time telemetry; merged outputs stay in morsel order
+                                      // Acquire pairs with the Release store below: a worker that sees
+                                      // the abort also sees the failure recorded before it.
+        while !abort.load(Ordering::Acquire) {
             let Some(morsel) = source.claim() else {
                 break;
             };
@@ -187,7 +189,7 @@ where
                     if slot.as_ref().is_none_or(|(seq, _)| morsel.seq < *seq) {
                         *slot = Some((morsel.seq, e));
                     }
-                    abort.store(true, Ordering::Relaxed);
+                    abort.store(true, Ordering::Release);
                 }
             }
         }

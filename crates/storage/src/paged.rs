@@ -196,7 +196,7 @@ impl PagedTable {
             }
         }
         Ok(Self {
-            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed), // lint: relaxed-ok — unique-ID tick; the RMW alone guarantees uniqueness
             schema,
             rows: rows.len(),
             page_rows,
@@ -240,7 +240,7 @@ impl PagedTable {
             })
             .collect();
         Ok(Self {
-            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed), // lint: relaxed-ok — unique-ID tick; the RMW alone guarantees uniqueness
             schema,
             rows,
             page_rows,

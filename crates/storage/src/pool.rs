@@ -134,12 +134,12 @@ impl BufferPool {
 
     /// Current budget in pages.
     pub fn budget(&self) -> usize {
-        self.budget.load(Ordering::Relaxed)
+        self.budget.load(Ordering::Relaxed) // lint: relaxed-ok — budget is a tuning knob; a stale read only delays eviction by one op
     }
 
     /// Re-budgets the pool, evicting down to the new cap immediately.
     pub fn set_budget(&self, pages: usize) {
-        self.budget.store(pages.max(1), Ordering::Relaxed);
+        self.budget.store(pages.max(1), Ordering::Relaxed); // lint: relaxed-ok — budget is a tuning knob; a stale read only delays eviction by one op
         let mut inner = self.inner.lock();
         self.evict_to_budget(&mut inner, None);
     }
@@ -157,13 +157,13 @@ impl BufferPool {
             let tick = inner.tick;
             if let Some(entry) = inner.map.get_mut(&key) {
                 entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok — telemetry counter
                 return Ok(Arc::clone(&entry.col));
             }
         }
         // Decode outside the lock: concurrent scans of distinct pages
         // should not serialize on the pool mutex.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok — telemetry counter
         let col = loader()?;
         let bytes = estimate_bytes(&col);
         let mut inner = self.inner.lock();
@@ -193,7 +193,7 @@ impl BufferPool {
             match victim {
                 Some(k) => {
                     inner.map.remove(&k);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok — telemetry counter
                 }
                 None => break, // only the pinned page remains
             }
@@ -209,7 +209,7 @@ impl BufferPool {
 
     /// Records a page skipped via its zone map (pruned before decode).
     pub fn note_zone_skip(&self) {
-        self.zone_skips.fetch_add(1, Ordering::Relaxed);
+        self.zone_skips.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok — telemetry counter
     }
 
     /// Snapshot of occupancy and counters.
@@ -219,19 +219,19 @@ impl BufferPool {
             budget_pages: self.budget(),
             resident_pages: inner.map.len(),
             resident_bytes: inner.map.values().map(|e| e.bytes).sum(),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            zone_skips: self.zone_skips.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed), // lint: relaxed-ok — stats snapshot; approximate reads are fine
+            misses: self.misses.load(Ordering::Relaxed), // lint: relaxed-ok — stats snapshot; approximate reads are fine
+            evictions: self.evictions.load(Ordering::Relaxed), // lint: relaxed-ok — stats snapshot; approximate reads are fine
+            zone_skips: self.zone_skips.load(Ordering::Relaxed), // lint: relaxed-ok — stats snapshot; approximate reads are fine
         }
     }
 
     /// Zeroes the hit/miss/eviction/zone-skip counters (occupancy is kept).
     pub fn reset_counters(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.zone_skips.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed); // lint: relaxed-ok — telemetry reset
+        self.misses.store(0, Ordering::Relaxed); // lint: relaxed-ok — telemetry reset
+        self.evictions.store(0, Ordering::Relaxed); // lint: relaxed-ok — telemetry reset
+        self.zone_skips.store(0, Ordering::Relaxed); // lint: relaxed-ok — telemetry reset
     }
 }
 

@@ -570,17 +570,17 @@ impl SharedCatalog {
 
     /// Registers a session handle; returns the new count.
     pub fn register_session(&self) -> usize {
-        self.inner.sessions.fetch_add(1, Ordering::Relaxed) + 1
+        self.inner.sessions.fetch_add(1, Ordering::Relaxed) + 1 // lint: relaxed-ok — session bookkeeping for diagnostics; commit safety rests on the commit mutex
     }
 
     /// Unregisters a session handle.
     pub fn unregister_session(&self) {
-        self.inner.sessions.fetch_sub(1, Ordering::Relaxed);
+        self.inner.sessions.fetch_sub(1, Ordering::Relaxed); // lint: relaxed-ok — session bookkeeping for diagnostics; commit safety rests on the commit mutex
     }
 
     /// Live session handles (excluding the owning facade).
     pub fn session_count(&self) -> usize {
-        self.inner.sessions.load(Ordering::Relaxed)
+        self.inner.sessions.load(Ordering::Relaxed) // lint: relaxed-ok — session bookkeeping for diagnostics; commit safety rests on the commit mutex
     }
 
     // ---- read-path passthroughs (each takes one fresh snapshot) ----------

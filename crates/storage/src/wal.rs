@@ -216,6 +216,15 @@ impl WalRecord {
     }
 }
 
+/// The four header bytes at `at`. The callers' length checks make a short
+/// slice impossible, but decode paths return typed errors rather than
+/// panic, so the bound is re-checked instead of unwrapped.
+fn header4(data: &[u8], at: usize) -> Result<[u8; 4], StorageError> {
+    data.get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::Corrupt("wal frame header truncated".to_string()))
+}
+
 /// Decodes every complete frame in `data`. Returns the records plus the
 /// byte offset of the end of the last complete frame (the valid length).
 /// An incomplete final frame is dropped; a complete frame that fails its
@@ -231,9 +240,9 @@ pub(crate) fn decode_frames(data: &[u8]) -> Result<(Vec<WalRecord>, u64), Storag
         // skip) from "length field flipped on disk" (corruption, error):
         // trusting an unverified length would let one bad bit silently
         // discard every later record as an apparent tail.
-        let len_bytes: [u8; 4] = data[off..off + 4].try_into().expect("4 bytes");
-        let header_crc = u32::from_be_bytes(data[off + 4..off + 8].try_into().expect("4 bytes"));
-        let payload_crc = u32::from_be_bytes(data[off + 8..off + 12].try_into().expect("4 bytes"));
+        let len_bytes = header4(data, off)?;
+        let header_crc = u32::from_be_bytes(header4(data, off + 4)?);
+        let payload_crc = u32::from_be_bytes(header4(data, off + 8)?);
         if crc32(&len_bytes) != header_crc {
             return Err(StorageError::Corrupt(
                 "wal frame header checksum mismatch".to_string(),
